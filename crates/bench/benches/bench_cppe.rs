@@ -1,0 +1,26 @@
+//! E5 — the Lemma 4.8 CPPE algorithm on chains of gadgets from `J_{μ,k}`.
+
+use anet_constructions::JClass;
+use anet_election::cppe::solve_cppe_on_j;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_cppe_on_j(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cppe_on_J_chain");
+    group.sample_size(10);
+    let class = JClass::new(2, 4).unwrap();
+    for gadgets in [4usize, 16, 48] {
+        let member = class.template(Some(gadgets)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!(
+                "gadgets{gadgets}_n{}",
+                member.labeled.graph.num_nodes()
+            )),
+            &member,
+            |b, member| b.iter(|| solve_cppe_on_j(member, 4).unwrap().outputs.len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cppe_on_j);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E4 — the Lemma 3.9 Port Election algorithm on members of `U_{Δ,k}`.
+
+use anet_constructions::UClass;
+use anet_election::port_election::solve_port_election_on_u;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pe_on_u(c: &mut Criterion) {
+    let mut group = c.benchmark_group("port_election_on_U");
+    group.sample_size(10);
+    for (delta, k) in [(4usize, 1usize), (5, 1)] {
+        let class = UClass::new(delta, k).unwrap();
+        let sigma: Vec<u32> = (0..class.y())
+            .map(|j| (j % (delta as u64 - 1)) as u32 + 1)
+            .collect();
+        let member = class.member(&sigma).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!(
+                "d{delta}_k{k}_n{}",
+                member.labeled.graph.num_nodes()
+            )),
+            &member.labeled.graph,
+            |b, g| b.iter(|| solve_port_election_on_u(g, k).unwrap().outputs.len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pe_on_u);
+criterion_main!(benches);

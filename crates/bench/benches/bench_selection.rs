@@ -1,0 +1,39 @@
+//! E2/E3 — the Theorem 2.2 Selection oracle/algorithm pair: end-to-end solve time and
+//! advice size on random graphs and on members of `G_{Δ,k}`.
+
+use anet_constructions::GClass;
+use anet_election::selection::solve_selection_min_time;
+use anet_graph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_selection_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection_min_time_random");
+    group.sample_size(20);
+    for n in [30usize, 100, 300] {
+        let g = (0..50u64)
+            .map(|s| generators::random_connected(n, 5, n / 2, s).unwrap())
+            .find(|g| anet_views::election_index::psi_s(g).is_some())
+            .expect("some random graph of this size is solvable");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| solve_selection_min_time(g).advice_bits())
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection_on_g_class(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection_min_time_G_class");
+    group.sample_size(10);
+    for (delta, k, i) in [(4usize, 1usize, 5u64), (5, 1, 20)] {
+        let member = GClass::new(delta, k).unwrap().member(i).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{delta}_k{k}_i{i}")),
+            &member.labeled.graph,
+            |b, g| b.iter(|| solve_selection_min_time(g).advice_bits()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection_random, bench_selection_on_g_class);
+criterion_main!(benches);

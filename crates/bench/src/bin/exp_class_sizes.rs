@@ -1,0 +1,7 @@
+//! Experiment E6: the counting facts of the paper (Facts 2.3, 3.1, 4.1, 4.2).
+//!
+//! Usage: `cargo run --release -p anet-bench --bin exp_class_sizes`
+
+fn main() {
+    println!("{}", anet_bench::experiments::e6_class_sizes());
+}

@@ -1,0 +1,58 @@
+//! Figure regeneration: rebuild the exact objects drawn in Figures 1–11 of the paper,
+//! print their structural statistics, and write DOT files to `figures/`.
+//!
+//! Usage: `cargo run --release -p anet-bench --bin exp_figures [--full-figure-11]`
+//! (`--full-figure-11` builds the complete 1024-gadget `J_Y`, which takes a while and
+//! several hundred MB.)
+
+use anet_constructions::figures;
+use std::fs;
+use std::path::Path;
+
+fn emit(report: &figures::FigureReport, dir: &Path) {
+    println!("--- {} ---", report.name);
+    println!("    {}", report.description);
+    for (k, v) in &report.stats {
+        println!("    {k}: {v}");
+    }
+    if !report.dot.is_empty() {
+        let file = dir.join(format!(
+            "{}.dot",
+            report
+                .name
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c } else { '_' })
+                .collect::<String>()
+        ));
+        if let Err(e) = fs::write(&file, &report.dot) {
+            eprintln!("    (could not write {}: {e})", file.display());
+        } else {
+            println!("    dot: {}", file.display());
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let full11 = std::env::args().any(|a| a == "--full-figure-11");
+    let dir = Path::new("figures");
+    let _ = fs::create_dir_all(dir);
+
+    let mut reports = Vec::new();
+    reports.extend(figures::figure1().expect("figure 1"));
+    reports.push(figures::figure2().expect("figure 2"));
+    reports.push(figures::figure3().expect("figure 3"));
+    reports.extend(figures::figure4().expect("figure 4"));
+    reports.extend(figures::figures_5_to_7().expect("figures 5-7"));
+    reports.push(figures::figure8().expect("figure 8"));
+    reports.push(figures::figure9().expect("figure 9"));
+    reports.push(figures::figure10());
+    reports.push(
+        figures::figure11(if full11 { None } else { Some(8) }).expect("figure 11"),
+    );
+
+    for r in &reports {
+        emit(r, dir);
+    }
+    println!("{} figures regenerated; DOT files in {}/", reports.len(), dir.display());
+}

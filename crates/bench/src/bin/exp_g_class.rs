@@ -1,0 +1,21 @@
+//! Experiment E3: the Selection advice lower bound family `G_{Δ,k}` (Theorem 2.9).
+//!
+//! Usage: `cargo run --release -p anet-bench --bin exp_g_class [--large]`
+//! The `--large` flag adds the (Δ=4, k=2) and (Δ=6, k=1) rows (bigger graphs).
+
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    let mut params = vec![(4usize, 1usize), (5, 1)];
+    if large {
+        params.push((6, 1));
+        params.push((4, 2));
+    }
+    println!("{}", anet_bench::experiments::e3_g_class(&params));
+    println!("{}", anet_bench::experiments::e3b_conflict_census(&params));
+    println!(
+        "Theorem 2.9: any algorithm solving S in ψ_S rounds on all of G_{{Δ,k}} needs advice of\n\
+         size Ω((Δ−1)^k log Δ) on some member. The table verifies the structural ingredients on\n\
+         instantiated members (ψ_S = k, uniqueness of r_{{i,2}}, cross-member indistinguishability)\n\
+         and reports the closed-form bound next to the measured Theorem 2.2 advice."
+    );
+}

@@ -1,0 +1,11 @@
+//! Experiment E1: the election-index hierarchy (Fact 1.1) over the small-graph suite.
+//!
+//! Usage: `cargo run --release -p anet-bench --bin exp_hierarchy`
+
+fn main() {
+    println!("{}", anet_bench::experiments::e1_hierarchy());
+    println!(
+        "Fact 1.1: ψ_CPPE(G) ≥ ψ_PPE(G) ≥ ψ_PE(G) ≥ ψ_S(G); '∞' marks tasks that are\n\
+         unsolvable on the graph at any time bound (infeasible symmetry)."
+    );
+}

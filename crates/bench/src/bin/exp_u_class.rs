@@ -1,0 +1,19 @@
+//! Experiment E4: the Port Election advice lower bound family `U_{Δ,k}` (Theorem 3.11).
+//!
+//! Usage: `cargo run --release -p anet-bench --bin exp_u_class [--large]`
+//! The `--large` flag adds the (Δ=5, k=1) row (≈5k nodes).
+
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    let mut params = vec![(4usize, 1usize)];
+    if large {
+        params.push((5, 1));
+    }
+    println!("{}", anet_bench::experiments::e4_u_class(&params));
+    println!(
+        "Theorem 3.11: solving PE in minimum time on U_{{Δ,k}} requires advice of size\n\
+         Ω((Δ−1)^{{(Δ−2)(Δ−1)^{{k−1}}}} log Δ) — exponential in Δ — while Selection in minimum\n\
+         time on the very same graphs is solved with the measured (polynomial in Δ) advice.\n\
+         The separation factor column is the ratio of the two."
+    );
+}

@@ -1,0 +1,16 @@
+//! # anet-bench — experiment harness
+//!
+//! Shared machinery for the experiment binaries (`src/bin/exp_*.rs`) and the Criterion
+//! benches (`benches/`): a plain-text table type, a standard suite of small graphs, and
+//! the experiment implementations E1–E6 (one per "table" of `EXPERIMENTS.md`). The
+//! binaries only parse arguments and print; all measurement logic lives here so that
+//! integration tests can call it too.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod suite;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,88 @@
+//! The standard suite of small graphs used by experiment E1 and several benches.
+
+use anet_graph::{generators, PortGraph};
+
+/// A named graph of the evaluation suite.
+pub struct SuiteGraph {
+    /// Human-readable name.
+    pub name: String,
+    /// The graph.
+    pub graph: PortGraph,
+}
+
+/// The small-graph suite: the paper's own 3-node example, simple named topologies
+/// (feasible and infeasible), members of the constructed families small enough for the
+/// exact index computations, and a few random graphs.
+pub fn small_suite() -> Vec<SuiteGraph> {
+    let mut out = Vec::new();
+    let mut push = |name: &str, graph: PortGraph| {
+        out.push(SuiteGraph {
+            name: name.to_string(),
+            graph,
+        })
+    };
+
+    push("paper 3-node line", generators::paper_three_node_line());
+    push("path(6)", generators::path(6).unwrap());
+    push("star(4)", generators::star(4).unwrap());
+    push("symmetric ring(6)", generators::symmetric_ring(6).unwrap());
+    push(
+        "oriented ring(5)",
+        generators::oriented_ring(&[true, true, false, true, false]).unwrap(),
+    );
+    push(
+        "oriented ring(7)",
+        generators::oriented_ring(&[true, true, true, false, true, false, false]).unwrap(),
+    );
+    push("hypercube(3)", generators::hypercube(3).unwrap());
+    push("complete(5)", generators::complete(5).unwrap());
+
+    let g41 = anet_constructions::GClass::new(4, 1).unwrap();
+    push("G_{4,1} member 2", g41.member(2).unwrap().labeled.graph);
+    push("G_{4,1} member 4", g41.member(4).unwrap().labeled.graph);
+
+    for seed in [11u64, 23, 47] {
+        push(
+            &format!("random(n=12, Δ≤4, seed={seed})"),
+            generators::random_connected(12, 4, 4, seed).unwrap(),
+        );
+    }
+    out
+}
+
+/// Graphs for the scaling benches: random connected graphs of increasing size.
+pub fn scaling_suite(sizes: &[usize]) -> Vec<SuiteGraph> {
+    sizes
+        .iter()
+        .map(|&n| SuiteGraph {
+            name: format!("random(n={n}, Δ≤6)"),
+            graph: generators::random_connected(n, 6, n / 2, n as u64).unwrap(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_graphs_are_valid_and_distinctly_named() {
+        let suite = small_suite();
+        assert!(suite.len() >= 10);
+        let mut names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len(), "names must be unique");
+        for s in &suite {
+            assert!(s.graph.num_nodes() >= 3);
+        }
+    }
+
+    #[test]
+    fn scaling_suite_has_requested_sizes() {
+        let suite = scaling_suite(&[20, 50]);
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite[0].graph.num_nodes(), 20);
+        assert_eq!(suite[1].graph.num_nodes(), 50);
+    }
+}

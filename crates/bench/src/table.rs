@@ -1,0 +1,129 @@
+//! A minimal aligned-text table used by every experiment binary.
+
+/// A rectangular table with named columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title, printed above the header.
+    pub title: String,
+    /// Column names.
+    pub headers: Vec<String>,
+    /// Rows (each must have `headers.len()` cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given title and column names.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics if the width does not match the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Look up a cell by row index and column name (used by tests).
+    pub fn cell(&self, row: usize, column: &str) -> Option<&str> {
+        let idx = self.headers.iter().position(|h| h == column)?;
+        self.rows.get(row).map(|r| r[idx].as_str())
+    }
+
+    /// Render the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Format a float compactly (integers without decimals, big values in scientific
+/// notation, infinities as a glyph).
+pub fn fmt_f64(x: f64) -> String {
+    if x.is_infinite() {
+        return "astronomical (>1e308)".to_string();
+    }
+    if x.abs() >= 1e6 {
+        format!("{x:.3e}")
+    } else if x.fract() == 0.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("demo", &["graph", "ψ_S"]);
+        t.push_row(vec!["line".into(), "0".into()]);
+        t.push_row(vec!["oriented ring".into(), "2".into()]);
+        let text = t.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("graph"));
+        assert!(text.lines().count() >= 4);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(1, "ψ_S"), Some("2"));
+        assert_eq!(t.cell(0, "missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(4.0), "4");
+        assert_eq!(fmt_f64(4.5), "4.50");
+        assert_eq!(fmt_f64(f64::INFINITY), "astronomical (>1e308)");
+        assert!(fmt_f64(3.2e9).contains('e'));
+    }
+}

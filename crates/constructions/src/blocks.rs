@@ -1,0 +1,541 @@
+//! Building Blocks 1–3 of Section 2.2.1.
+//!
+//! * **Building Block 1 — rooted tree `T`.** Height `k`; the root has degree `Δ − 2`
+//!   with ports `1, …, Δ−2` towards its children; every other internal node has port
+//!   `0` towards its parent and ports `1, …, Δ−1` towards its children; the leaves
+//!   (at depth `k`) have port `0` towards their parent. `T` has
+//!   `z = (Δ−2)(Δ−1)^{k−1}` leaves.
+//! * **Building Block 2 — augmented trees `T_X`.** For a sequence
+//!   `X = (x_1, …, x_z)` with `1 ≤ x_i ≤ Δ−1`, attach `x_i` degree-one nodes to the
+//!   `i`-th leaf `ℓ_i` of `T` (leaves ordered by the lexicographic order of the port
+//!   sequences from the root), with ports `1, …, x_i` at `ℓ_i` and port 0 at the new
+//!   nodes.
+//! * **Building Block 3 — appended paths `T_{X,1}` / `T_{X,2}`.** Append to the root a
+//!   path `r, p_1, …, p_{k+1}`; the ports at `r` and `p_{k+1}` on the path are 0; for
+//!   `i = 1..k` the port at `p_i` towards `p_{i−1}` is 1 and towards `p_{i+1}` is 0.
+//!   `T_{X,2}` is the same except that the two port labels at `p_k` are swapped.
+//!
+//! Note that the root of `T` uses ports `1..Δ−2` only: ports `0` and `Δ−1` are reserved
+//! for the appended path and for the attachment edge added later by the `G_{Δ,k}` and
+//! `U_{Δ,k}` constructions, so a `T_X` on its own is *not* a valid port-numbered graph.
+//! The functions here therefore *append into* a [`GraphBuilder`]; validation happens
+//! when the enclosing construction finishes.
+
+use anet_graph::{GraphBuilder, GraphError, NodeId, Result};
+
+/// Number of leaves `z = (Δ−2)·(Δ−1)^{k−1}` of the tree `T` (checked arithmetic).
+pub fn num_leaves(delta: usize, k: usize) -> Result<u64> {
+    if delta < 3 || k < 1 {
+        return Err(GraphError::invalid("tree T requires Δ ≥ 3 and k ≥ 1"));
+    }
+    let base = (delta - 1) as u64;
+    let pow = base
+        .checked_pow((k - 1) as u32)
+        .ok_or_else(|| GraphError::invalid("(Δ−1)^(k−1) overflows u64"))?;
+    (delta as u64 - 2)
+        .checked_mul(pow)
+        .ok_or_else(|| GraphError::invalid("z overflows u64"))
+}
+
+/// Number of augmented trees `|T_{Δ,k}| = (Δ−1)^z` (checked; fails for parameters where
+/// the value exceeds `u64`). Fact 2.3 uses this as the size of the class `G_{Δ,k}`.
+pub fn num_augmented_trees(delta: usize, k: usize) -> Result<u64> {
+    let z = num_leaves(delta, k)?;
+    let z32: u32 = z
+        .try_into()
+        .map_err(|_| GraphError::invalid("z too large"))?;
+    (delta as u64 - 1)
+        .checked_pow(z32)
+        .ok_or_else(|| GraphError::invalid("(Δ−1)^z overflows u64"))
+}
+
+/// Base-2 logarithm of `|T_{Δ,k}|` as a float — usable even when the count itself
+/// overflows. `log2 |T_{Δ,k}| = z · log2(Δ−1)`.
+pub fn log2_num_augmented_trees(delta: usize, k: usize) -> Result<f64> {
+    let z = num_leaves(delta, k)? as f64;
+    Ok(z * ((delta - 1) as f64).log2())
+}
+
+/// The `j`-th sequence `X` (1-based) in the lexicographic order used by the paper to
+/// index the trees `T_1, …, T_{|T_{Δ,k}|}`: entries range over `1..=Δ−1` and the order
+/// is lexicographic with the leftmost entry most significant.
+pub fn x_sequence(delta: usize, k: usize, j: u64) -> Result<Vec<u32>> {
+    let z = num_leaves(delta, k)? as usize;
+    let total = num_augmented_trees(delta, k)?;
+    if j == 0 || j > total {
+        return Err(GraphError::invalid(format!(
+            "tree index {j} out of range 1..={total}"
+        )));
+    }
+    let mut rem = j - 1;
+    let base = (delta - 1) as u64;
+    let mut digits = vec![1u32; z];
+    for slot in (0..z).rev() {
+        digits[slot] = (rem % base) as u32 + 1;
+        rem /= base;
+    }
+    Ok(digits)
+}
+
+/// Inverse of [`x_sequence`]: the 1-based index of a sequence.
+pub fn x_index(delta: usize, k: usize, x: &[u32]) -> Result<u64> {
+    let z = num_leaves(delta, k)? as usize;
+    if x.len() != z {
+        return Err(GraphError::invalid(format!(
+            "sequence has length {}, expected z = {z}",
+            x.len()
+        )));
+    }
+    let base = (delta - 1) as u64;
+    let mut index = 0u64;
+    for &xi in x {
+        if xi < 1 || xi as usize > delta - 1 {
+            return Err(GraphError::invalid(format!(
+                "sequence entry {xi} outside 1..={}",
+                delta - 1
+            )));
+        }
+        index = index
+            .checked_mul(base)
+            .and_then(|v| v.checked_add(u64::from(xi) - 1))
+            .ok_or_else(|| GraphError::invalid("index overflows u64"))?;
+    }
+    Ok(index + 1)
+}
+
+/// Result of appending a tree `T` (Building Block 1) into a builder.
+#[derive(Debug, Clone)]
+pub struct AppendedTreeT {
+    /// The root `r`.
+    pub root: NodeId,
+    /// The `z` leaves `ℓ_1, …, ℓ_z` in lexicographic order of root-to-leaf port
+    /// sequences.
+    pub leaves: Vec<NodeId>,
+    /// All nodes of `T` (root first).
+    pub nodes: Vec<NodeId>,
+}
+
+/// Append Building Block 1 (the rooted tree `T` of height `k`) into `b`.
+pub fn append_tree_t(b: &mut GraphBuilder, delta: usize, k: usize) -> Result<AppendedTreeT> {
+    if delta < 3 || k < 1 {
+        return Err(GraphError::invalid("tree T requires Δ ≥ 3 and k ≥ 1"));
+    }
+    let root = b.add_node();
+    let mut nodes = vec![root];
+    let mut leaves = Vec::new();
+    // Depth-first in increasing port order yields the leaves in lexicographic order of
+    // their port sequences.
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+    // Root's children use ports 1..=Δ−2.
+    for port in (1..=delta as u32 - 2).rev() {
+        stack.push((root, port as usize));
+    }
+    // The stack holds (parent, parent_port) pairs to expand; we also need the depth.
+    // Recompute depth from a side table.
+    let mut depth_of = std::collections::HashMap::new();
+    depth_of.insert(root, 0usize);
+    while let Some((parent, pport)) = stack.pop() {
+        let child = b.add_node();
+        nodes.push(child);
+        let child_depth = depth_of[&parent] + 1;
+        depth_of.insert(child, child_depth);
+        // Port 0 at the child towards its parent.
+        b.add_edge(parent, pport as u32, child, 0)?;
+        if child_depth == k {
+            leaves.push(child);
+        } else {
+            for port in (1..=delta as u32 - 1).rev() {
+                stack.push((child, port as usize));
+            }
+        }
+    }
+    debug_assert_eq!(leaves.len() as u64, num_leaves(delta, k)?);
+    Ok(AppendedTreeT {
+        root,
+        leaves,
+        nodes,
+    })
+}
+
+/// Result of appending an augmented tree `T_X` (Building Block 2).
+#[derive(Debug, Clone)]
+pub struct AppendedTreeX {
+    /// The root `r`.
+    pub root: NodeId,
+    /// The `z` leaves of the underlying `T`, in lexicographic order.
+    pub t_leaves: Vec<NodeId>,
+    /// The degree-one nodes attached to each leaf: `pendants[i]` are the `x_i` children
+    /// of `ℓ_i`.
+    pub pendants: Vec<Vec<NodeId>>,
+    /// All nodes of `T_X`.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Append Building Block 2 (`T_X`) for the sequence `x`.
+pub fn append_tree_x(
+    b: &mut GraphBuilder,
+    delta: usize,
+    k: usize,
+    x: &[u32],
+) -> Result<AppendedTreeX> {
+    let z = num_leaves(delta, k)? as usize;
+    if x.len() != z {
+        return Err(GraphError::invalid(format!(
+            "sequence X has length {}, expected z = {z}",
+            x.len()
+        )));
+    }
+    let t = append_tree_t(b, delta, k)?;
+    let mut nodes = t.nodes.clone();
+    let mut pendants = Vec::with_capacity(z);
+    for (i, &leaf) in t.leaves.iter().enumerate() {
+        let xi = x[i];
+        if xi < 1 || xi as usize > delta - 1 {
+            return Err(GraphError::invalid(format!(
+                "x_{} = {xi} outside 1..={}",
+                i + 1,
+                delta - 1
+            )));
+        }
+        let mut children = Vec::with_capacity(xi as usize);
+        for port in 1..=xi {
+            let c = b.add_node();
+            nodes.push(c);
+            b.add_edge(leaf, port, c, 0)?;
+            children.push(c);
+        }
+        pendants.push(children);
+    }
+    Ok(AppendedTreeX {
+        root: t.root,
+        t_leaves: t.leaves,
+        pendants,
+        nodes,
+    })
+}
+
+/// Which of the two appended-path variants of Building Block 3 to construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathVariant {
+    /// `T_{X,1}` — the port at `p_k` towards `p_{k−1}` is 1 and towards `p_{k+1}` is 0.
+    One,
+    /// `T_{X,2}` — the two port labels at `p_k` are swapped.
+    Two,
+}
+
+impl PathVariant {
+    /// The paper's numeric name of the variant (`b ∈ {1, 2}`).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            PathVariant::One => 1,
+            PathVariant::Two => 2,
+        }
+    }
+
+    /// Variant from the paper's numeric name.
+    pub fn from_u8(b: u8) -> Option<PathVariant> {
+        match b {
+            1 => Some(PathVariant::One),
+            2 => Some(PathVariant::Two),
+            _ => None,
+        }
+    }
+}
+
+/// Result of appending a tree `T_{X,b}` (Building Block 3).
+#[derive(Debug, Clone)]
+pub struct AppendedTreeXb {
+    /// The root `r` (shared with the underlying `T_X`).
+    pub root: NodeId,
+    /// The underlying augmented tree.
+    pub tree_x: AppendedTreeX,
+    /// The appended path nodes `p_1, …, p_{k+1}` in order.
+    pub path: Vec<NodeId>,
+    /// All nodes.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Append Building Block 3 (`T_{X,1}` or `T_{X,2}`).
+pub fn append_tree_xb(
+    b: &mut GraphBuilder,
+    delta: usize,
+    k: usize,
+    x: &[u32],
+    variant: PathVariant,
+) -> Result<AppendedTreeXb> {
+    let tree_x = append_tree_x(b, delta, k, x)?;
+    let mut nodes = tree_x.nodes.clone();
+    let mut path = Vec::with_capacity(k + 1);
+    // p_1 … p_{k+1}; p_0 = root.
+    let mut prev = tree_x.root;
+    for i in 1..=k + 1 {
+        let p = b.add_node();
+        nodes.push(p);
+        path.push(p);
+        // Port at the previous node towards p.
+        let prev_port = if i == 1 {
+            0 // at the root the path port is 0
+        } else if i - 1 == k {
+            // previous node is p_k: its forward port is 0 in T_{X,1} but 1 in T_{X,2}
+            match variant {
+                PathVariant::One => 0,
+                PathVariant::Two => 1,
+            }
+        } else {
+            0 // interior p_i: forward port 0
+        };
+        // Port at p towards prev.
+        let p_port = if i == k + 1 {
+            0 // p_{k+1} has a single port 0
+        } else if i == k {
+            // p_k: backward port is 1 in T_{X,1}, 0 in T_{X,2}
+            match variant {
+                PathVariant::One => 1,
+                PathVariant::Two => 0,
+            }
+        } else {
+            1 // interior p_i: backward port 1
+        };
+        b.add_edge(prev, prev_port, p, p_port)?;
+        prev = p;
+    }
+    Ok(AppendedTreeXb {
+        root: tree_x.root,
+        tree_x,
+        path,
+        nodes,
+    })
+}
+
+/// Number of nodes of `T_{X,b}`: `|T| + Σx_i + (k+1)` where
+/// `|T| = 1 + (Δ−2)·((Δ−1)^k − 1)/(Δ−2) = 1 + (Δ−2)(1 + (Δ−1) + … + (Δ−1)^{k−1})`.
+pub fn tree_xb_size(delta: usize, k: usize, x: &[u32]) -> Result<usize> {
+    let _ = num_leaves(delta, k)?;
+    // Nodes of T: root + (Δ−2)·Σ_{d=0}^{k−1} (Δ−1)^d.
+    let mut internal_levels = 0u64;
+    for d in 0..k {
+        internal_levels += ((delta - 1) as u64).pow(d as u32);
+    }
+    let t_size = 1 + (delta as u64 - 2) * internal_levels;
+    let pendant: u64 = x.iter().map(|&v| u64::from(v)).sum();
+    Ok((t_size + pendant + (k as u64 + 1)) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Embed a tree fragment into a valid graph by completing the root's port set:
+    /// the fragments deliberately leave some root ports unused (port 0 before the path
+    /// is appended, port Δ−1 until the enclosing construction attaches the root), so we
+    /// hang a throwaway pendant node on each listed free root port and let `build()`
+    /// validate everything else.
+    fn finish(
+        mut b: GraphBuilder,
+        root: NodeId,
+        free_root_ports: &[u32],
+    ) -> anet_graph::PortGraph {
+        for &p in free_root_ports {
+            let extra = b.add_node();
+            b.add_edge(root, p, extra, 0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// Free root ports of a bare `T` / `T_X` fragment: 0 (appended path) and Δ−1
+    /// (attachment edge added by the enclosing construction).
+    fn tx_free_ports(delta: usize) -> Vec<u32> {
+        vec![0, delta as u32 - 1]
+    }
+
+    /// Free root ports of a `T_{X,b}` fragment: only Δ−1.
+    fn txb_free_ports(delta: usize) -> Vec<u32> {
+        vec![delta as u32 - 1]
+    }
+
+    #[test]
+    fn leaf_and_tree_counts_match_fact_2_3() {
+        assert_eq!(num_leaves(4, 1).unwrap(), 2);
+        assert_eq!(num_leaves(4, 2).unwrap(), 6);
+        assert_eq!(num_leaves(5, 2).unwrap(), 12);
+        assert_eq!(num_leaves(3, 3).unwrap(), 4);
+        assert_eq!(num_augmented_trees(4, 1).unwrap(), 9);
+        assert_eq!(num_augmented_trees(4, 2).unwrap(), 729);
+        assert_eq!(num_augmented_trees(5, 1).unwrap(), 64);
+        // log2 form agrees where both are computable.
+        let log2 = log2_num_augmented_trees(4, 2).unwrap();
+        assert!((log2 - 729f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parameters_are_validated() {
+        assert!(num_leaves(2, 1).is_err());
+        assert!(num_leaves(4, 0).is_err());
+        assert!(x_sequence(4, 1, 0).is_err());
+        assert!(x_sequence(4, 1, 10).is_err());
+        assert!(x_index(4, 1, &[1]).is_err());
+        assert!(x_index(4, 1, &[1, 7]).is_err());
+    }
+
+    #[test]
+    fn x_sequence_enumeration_is_lexicographic_and_invertible() {
+        // Δ=4, k=1: z=2, entries in 1..=3, 9 sequences.
+        let all: Vec<Vec<u32>> = (1..=9).map(|j| x_sequence(4, 1, j).unwrap()).collect();
+        assert_eq!(all[0], vec![1, 1]);
+        assert_eq!(all[1], vec![1, 2]);
+        assert_eq!(all[2], vec![1, 3]);
+        assert_eq!(all[3], vec![2, 1]);
+        assert_eq!(all[8], vec![3, 3]);
+        for w in all.windows(2) {
+            assert!(w[0] < w[1], "lexicographic order");
+        }
+        for (j, x) in all.iter().enumerate() {
+            assert_eq!(x_index(4, 1, x).unwrap(), j as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn tree_t_shape_and_ports() {
+        let mut b = GraphBuilder::new();
+        let t = append_tree_t(&mut b, 4, 2).unwrap();
+        // z = 6 leaves; |T| = 1 + 2·(1 + 3) = 9 nodes.
+        assert_eq!(t.leaves.len(), 6);
+        assert_eq!(t.nodes.len(), 9);
+        let g = finish(b, t.root, &tx_free_ports(4));
+        // Root: children on ports 1, 2 plus finishing pendants on ports 0 and 3.
+        assert_eq!(g.degree(t.root), 4);
+        // Internal nodes: port 0 to parent, 1..=3 to children → degree 4 = Δ.
+        let (child, _) = g.neighbor(t.root, 1).unwrap();
+        assert_eq!(g.degree(child), 4);
+        assert_eq!(g.neighbor(child, 0).unwrap().0, t.root);
+        // Leaves have port 0 to their parent and degree 1 here.
+        for &leaf in &t.leaves {
+            assert_eq!(g.degree(leaf), 1);
+        }
+    }
+
+    #[test]
+    fn tree_t_leaves_are_in_lexicographic_port_order() {
+        let mut b = GraphBuilder::new();
+        let t = append_tree_t(&mut b, 4, 2).unwrap();
+        let g = finish(b, t.root, &tx_free_ports(4));
+        // Recover each leaf's port sequence from the root and check sorted order.
+        let seqs: Vec<Vec<u32>> = t
+            .leaves
+            .iter()
+            .map(|&leaf| {
+                let path = g.shortest_path(t.root, leaf);
+                g.outgoing_ports_of_path(&path)
+            })
+            .collect();
+        for w in seqs.windows(2) {
+            assert!(w[0] < w[1], "{:?} vs {:?}", w[0], w[1]);
+        }
+        assert_eq!(seqs[0], vec![1, 1]);
+        assert_eq!(seqs[5], vec![2, 3]);
+    }
+
+    #[test]
+    fn tree_x_attaches_the_right_number_of_pendants() {
+        let x = vec![1, 2, 3, 3, 2, 2];
+        let mut b = GraphBuilder::new();
+        let tx = append_tree_x(&mut b, 4, 2, &x).unwrap();
+        for (i, children) in tx.pendants.iter().enumerate() {
+            assert_eq!(children.len(), x[i] as usize);
+        }
+        let g = finish(b, tx.root, &tx_free_ports(4));
+        for (i, &leaf) in tx.t_leaves.iter().enumerate() {
+            // Leaf degree = 1 (parent) + x_i (pendants).
+            assert_eq!(g.degree(leaf), 1 + x[i] as usize);
+            // The pendant attached via port 1 exists, via port x_i exists.
+            assert!(g.neighbor(leaf, 1).is_some());
+            assert!(g.neighbor(leaf, x[i]).is_some());
+        }
+        assert_eq!(
+            tx.nodes.len(),
+            9 + x.iter().sum::<u32>() as usize
+        );
+    }
+
+    #[test]
+    fn tree_x_rejects_bad_sequences() {
+        let mut b = GraphBuilder::new();
+        assert!(append_tree_x(&mut b, 4, 2, &[1, 2]).is_err());
+        let mut b = GraphBuilder::new();
+        assert!(append_tree_x(&mut b, 4, 1, &[0, 1]).is_err());
+        let mut b = GraphBuilder::new();
+        assert!(append_tree_x(&mut b, 4, 1, &[4, 1]).is_err());
+    }
+
+    #[test]
+    fn appended_path_ports_match_variant_one() {
+        let x = vec![1, 2];
+        let mut b = GraphBuilder::new();
+        let t1 = append_tree_xb(&mut b, 4, 1, &x, PathVariant::One).unwrap();
+        let g = finish(b, t1.root, &txb_free_ports(4));
+        let k = 1;
+        assert_eq!(t1.path.len(), k + 1);
+        // Root --(0 / 1)--> p_1  [p_1 = p_k: backward port 1 in variant One]
+        let p1 = t1.path[0];
+        assert_eq!(g.neighbor(t1.root, 0), Some((p1, 1)));
+        // p_k --(0 / 0)--> p_{k+1}.
+        let p2 = t1.path[1];
+        assert_eq!(g.neighbor(p1, 0), Some((p2, 0)));
+        assert_eq!(g.degree(p2), 1);
+    }
+
+    #[test]
+    fn appended_path_ports_match_variant_two() {
+        let x = vec![1, 2];
+        let mut b = GraphBuilder::new();
+        let t2 = append_tree_xb(&mut b, 4, 1, &x, PathVariant::Two).unwrap();
+        let g = finish(b, t2.root, &txb_free_ports(4));
+        let p1 = t2.path[0];
+        let p2 = t2.path[1];
+        // In variant Two, the ports at p_k are swapped: backward 0, forward 1.
+        assert_eq!(g.neighbor(t2.root, 0), Some((p1, 0)));
+        assert_eq!(g.neighbor(p1, 1), Some((p2, 0)));
+    }
+
+    #[test]
+    fn variant_one_and_two_differ_only_at_p_k() {
+        // For k = 2 the interior node p_1 must look the same in both variants.
+        let x = vec![1, 2, 3, 3, 2, 2];
+        let mut b1 = GraphBuilder::new();
+        let t1 = append_tree_xb(&mut b1, 4, 2, &x, PathVariant::One).unwrap();
+        let g1 = finish(b1, t1.root, &txb_free_ports(4));
+        let mut b2 = GraphBuilder::new();
+        let t2 = append_tree_xb(&mut b2, 4, 2, &x, PathVariant::Two).unwrap();
+        let g2 = finish(b2, t2.root, &txb_free_ports(4));
+
+        // p_1 interior: ports 1 back, 0 forward in both variants.
+        assert_eq!(g1.neighbor(t1.path[0], 1).unwrap().0, t1.root);
+        assert_eq!(g2.neighbor(t2.path[0], 1).unwrap().0, t2.root);
+        // p_2 = p_k differs: in variant One its port 1 goes back to p_1, in variant Two
+        // its port 0 goes back to p_1.
+        assert_eq!(g1.neighbor(t1.path[1], 1).unwrap().0, t1.path[0]);
+        assert_eq!(g2.neighbor(t2.path[1], 0).unwrap().0, t2.path[0]);
+    }
+
+    #[test]
+    fn size_formula_matches_construction() {
+        for (delta, k, x) in [
+            (4usize, 1usize, vec![1u32, 3]),
+            (4, 2, vec![1, 2, 3, 3, 2, 2]),
+            (5, 1, vec![2, 4, 1]),
+        ] {
+            let mut b = GraphBuilder::new();
+            let t = append_tree_xb(&mut b, delta, k, &x, PathVariant::One).unwrap();
+            assert_eq!(t.nodes.len(), tree_xb_size(delta, k, &x).unwrap());
+        }
+    }
+
+    #[test]
+    fn path_variant_round_trip() {
+        assert_eq!(PathVariant::from_u8(1), Some(PathVariant::One));
+        assert_eq!(PathVariant::from_u8(2), Some(PathVariant::Two));
+        assert_eq!(PathVariant::from_u8(3), None);
+        assert_eq!(PathVariant::One.as_u8(), 1);
+        assert_eq!(PathVariant::Two.as_u8(), 2);
+    }
+}

@@ -1,0 +1,417 @@
+//! Exact instances of the graphs drawn in Figures 1–11 of the paper.
+//!
+//! Each `figure*` function builds the object the figure depicts (with the figure's own
+//! parameters where the paper fixes them, and representative small parameters where
+//! the figure is schematic), and returns a [`FigureReport`] containing a DOT rendering
+//! plus the structural statistics a reader would check against the drawing (node and
+//! edge counts, degrees, specific port labels). The `exp_figures` binary in
+//! `anet-bench` prints all of them; the tests here assert the statistics.
+
+use crate::blocks::{self, PathVariant};
+use crate::component::{component_h, gadget, Side};
+use crate::g_class::GClass;
+use crate::j_class::JClass;
+use crate::layers::layer_graph;
+use crate::u_class::UClass;
+use anet_graph::dot::{to_dot, DotOptions};
+use anet_graph::{GraphBuilder, Labeling, NodeId, PortGraph, Result};
+
+/// A regenerated figure: the graph(s) it shows, a DOT rendering and key statistics.
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// Figure identifier, e.g. `"Figure 1 (left): T_{X,1}"`.
+    pub name: String,
+    /// What the figure depicts and with which parameters it was regenerated.
+    pub description: String,
+    /// Graphviz rendering (node roles and both port labels per edge).
+    pub dot: String,
+    /// `(statistic, value)` pairs checked against the drawing.
+    pub stats: Vec<(String, String)>,
+}
+
+fn report(
+    name: &str,
+    description: &str,
+    graph: &PortGraph,
+    labels: Option<&Labeling>,
+    extra: Vec<(String, String)>,
+) -> FigureReport {
+    let mut stats = vec![
+        ("nodes".to_string(), graph.num_nodes().to_string()),
+        ("edges".to_string(), graph.num_edges().to_string()),
+        ("max degree".to_string(), graph.max_degree().to_string()),
+    ];
+    stats.extend(extra);
+    FigureReport {
+        name: name.to_string(),
+        description: description.to_string(),
+        dot: to_dot(
+            graph,
+            labels,
+            &DotOptions {
+                name: name.to_string(),
+                ..DotOptions::default()
+            },
+        ),
+        stats,
+    }
+}
+
+/// Build `T_{X,b}` as a standalone graph (valid on its own: the root's ports are
+/// `0..Δ−1` except `Δ−1`, which is only added by the enclosing constructions).
+fn standalone_tree_xb(delta: usize, k: usize, x: &[u32], variant: PathVariant) -> Result<(PortGraph, NodeId)> {
+    let mut b = GraphBuilder::new();
+    let t = blocks::append_tree_xb(&mut b, delta, k, x, variant)?;
+    Ok((b.build()?, t.root))
+}
+
+/// Figure 1: the trees `T_{X,1}` (left) and `T_{X,2}` (right) for `k = 2`, `Δ = 4`,
+/// `X = (1, 2, 3, 3, 2, 2)`.
+pub fn figure1() -> Result<Vec<FigureReport>> {
+    let x = [1u32, 2, 3, 3, 2, 2];
+    let mut out = Vec::new();
+    for (variant, side) in [(PathVariant::One, "left"), (PathVariant::Two, "right")] {
+        let (g, root) = standalone_tree_xb(4, 2, &x, variant)?;
+        let mut labels = Labeling::new();
+        labels.name(root, "r")?;
+        out.push(report(
+            &format!("Figure 1 ({side}): T_X,{}", variant.as_u8()),
+            "Appended-path tree for k=2, Δ=4, X=(1,2,3,3,2,2)",
+            &g,
+            Some(&labels),
+            vec![
+                ("pendant (degree-1) nodes".into(), g.degree_histogram()[1].to_string()),
+                (
+                    "sum of X".into(),
+                    x.iter().sum::<u32>().to_string(),
+                ),
+            ],
+        ));
+    }
+    Ok(out)
+}
+
+/// Figure 2: the graph `G_i` of the class `G_{Δ,k}`; regenerated for `Δ = 4`, `k = 1`,
+/// `i = 3` (the paper's figure is schematic in `i`).
+pub fn figure2() -> Result<FigureReport> {
+    let class = GClass::new(4, 1)?;
+    let m = class.member(3)?;
+    Ok(report(
+        "Figure 2: G_i",
+        "Member G_3 of G_{4,1}: cycle of 4i−1 = 11 nodes, one tree per cycle node",
+        &m.labeled.graph,
+        Some(&m.labeled.labels),
+        vec![
+            ("cycle length".into(), m.cycle_len.to_string()),
+            ("attached trees".into(), m.roots().len().to_string()),
+        ],
+    ))
+}
+
+/// Figure 3: the template graph `U`; regenerated for `Δ = 4`, `k = 1`.
+pub fn figure3() -> Result<FigureReport> {
+    let class = UClass::new(4, 1)?;
+    let u = class.template()?;
+    Ok(report(
+        "Figure 3: template U",
+        "Template U of U_{4,1}: 2|T| cycle roots of degree Δ+2, 2|T| heavy roots of degree 2Δ−1",
+        &u.labeled.graph,
+        Some(&u.labeled.labels),
+        vec![
+            ("y = |T_{Δ,k}|".into(), class.y().to_string()),
+            ("cycle roots".into(), u.cycle_roots().len().to_string()),
+            ("heavy roots".into(), u.heavy_roots().len().to_string()),
+        ],
+    ))
+}
+
+/// Figure 4: the layer graphs `L_0, …, L_5` for `μ = 3`.
+pub fn figure4() -> Result<Vec<FigureReport>> {
+    let mut out = Vec::new();
+    for m in 0..=5usize {
+        let (g, _) = layer_graph(3, m)?;
+        out.push(report(
+            &format!("Figure 4: L_{m}"),
+            "Layer graph for μ = 3",
+            &g,
+            None,
+            vec![("diameter".into(), if m == 0 { "0".into() } else { g.diameter().to_string() })],
+        ));
+    }
+    Ok(out)
+}
+
+/// DOT rendering of the subgraph of a labelled graph induced by a node set (the
+/// figure drawings of `H` show only a few consecutive layers).
+fn induced_dot(g: &PortGraph, keep: &[NodeId], name: &str) -> String {
+    use std::fmt::Write as _;
+    let keep_set: std::collections::HashSet<NodeId> = keep.iter().copied().collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {} {{", name.replace(|c: char| !c.is_alphanumeric(), "_"));
+    for &v in keep {
+        let _ = writeln!(out, "  n{v} [label=\"\"];");
+    }
+    for e in g.edges() {
+        if keep_set.contains(&e.u) && keep_set.contains(&e.v) {
+            let _ = writeln!(
+                out,
+                "  n{} -- n{} [taillabel=\"{}\", headlabel=\"{}\"];",
+                e.u, e.v, e.port_u, e.port_v
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Figures 5–7: subgraphs of the component graph `H` (μ = 3, k = 6 > 5) induced by
+/// layers `L_0..L_3`, `L_3 ∪ L_4`, and `L_4 ∪ L_5` respectively.
+pub fn figures_5_to_7() -> Result<Vec<FigureReport>> {
+    let (g, h) = component_h(3, 6)?;
+    let layer_nodes = |m: usize| -> Vec<NodeId> {
+        if m == 0 {
+            vec![h.r00]
+        } else {
+            h.layer(m).all.clone()
+        }
+    };
+    let specs: [(&str, Vec<usize>); 3] = [
+        ("Figure 5: H restricted to L_0..L_3", vec![0, 1, 2, 3]),
+        ("Figure 6: H restricted to L_3 and L_4", vec![3, 4]),
+        ("Figure 7: H restricted to L_4 and L_5", vec![4, 5]),
+    ];
+    let mut out = Vec::new();
+    for (name, ms) in specs {
+        let mut keep = Vec::new();
+        for &m in &ms {
+            keep.extend(layer_nodes(m));
+        }
+        let keep_set: std::collections::HashSet<NodeId> = keep.iter().copied().collect();
+        let induced_edges = g
+            .edges()
+            .filter(|e| keep_set.contains(&e.u) && keep_set.contains(&e.v))
+            .count();
+        out.push(FigureReport {
+            name: name.to_string(),
+            description: "Induced subgraph of the component graph H for μ = 3, k = 6".to_string(),
+            dot: induced_dot(&g, &keep, name),
+            stats: vec![
+                ("nodes".into(), keep.len().to_string()),
+                ("induced edges".into(), induced_edges.to_string()),
+            ],
+        });
+    }
+    Ok(out)
+}
+
+/// Figure 8: the gadget `Ĥ` and the port blocks at `ρ` (regenerated for μ = 2, k = 4).
+pub fn figure8() -> Result<FigureReport> {
+    let (g, gad) = gadget(2, 4)?;
+    let mut labels = Labeling::new();
+    labels.name(gad.rho, "rho")?;
+    let mu = 2usize;
+    let mut extra = vec![("deg(ρ)".into(), g.degree(gad.rho).to_string())];
+    for side in Side::ALL {
+        let ports: Vec<String> = (side.index() * mu..(side.index() + 1) * mu)
+            .map(|p| p.to_string())
+            .collect();
+        extra.push((format!("ports of H_{}", side.letter()), ports.join(",")));
+    }
+    Ok(report(
+        "Figure 8: gadget Ĥ",
+        "Four copies of H merged at ρ; port blocks 0..μ, μ..2μ, 2μ..3μ, 3μ..4μ",
+        &g,
+        Some(&labels),
+        extra,
+    ))
+}
+
+/// Figure 9: the border edges added between two consecutive gadgets (`Ĥ_4`, `Ĥ_5`) of
+/// the template `J` (μ = 2, k = 4, chain capped at 6 gadgets — the border pattern
+/// between gadgets 4 and 5 does not depend on the rest of the chain).
+pub fn figure9() -> Result<FigureReport> {
+    let class = JClass::new(2, 4)?;
+    let j = class.template(Some(6))?;
+    let g = &j.labeled.graph;
+    let z = j.z;
+    // Count the border edges incident to gadget 5's T/L components and gadget 4's B/R.
+    let i = 5usize;
+    let ones = (1..=z).filter(|&q| crate::j_class::bit_of(i as u64, q, z)).count();
+    Ok(report(
+        "Figure 9: border edges between gadgets 4 and 5",
+        "Each set bit of the index adds 4 border edges (HB of the previous gadget, HT of the next, and two crossing HR–HL edges)",
+        g,
+        Some(&j.labeled.labels),
+        vec![
+            ("z".into(), z.to_string()),
+            ("set bits of 5".into(), ones.to_string()),
+            ("border edges between Ĥ_4 and Ĥ_5 (crossing)".into(), (2 * ones).to_string()),
+            ("border edges inside Ĥ_4 (bottom) for index 5".into(), ones.to_string()),
+            ("border edges inside Ĥ_5 (top) for index 5".into(), ones.to_string()),
+        ],
+    ))
+}
+
+/// Figure 10: the three possible port layouts at a gadget's `ρ` node in a member `J_Y`
+/// (no swap; right/bottom swap for `y_i = 1, i < 2^{z−1}`; left/top swap for the mirror
+/// gadget). Returns a textual report (no graph is drawn in addition to Figure 8's).
+pub fn figure10() -> FigureReport {
+    let mu = 2usize;
+    let block = |from: usize| -> String {
+        format!("{}..{}", from * mu, (from + 1) * mu - 1)
+    };
+    FigureReport {
+        name: "Figure 10: port swaps at ρ_i".to_string(),
+        description: "The three outcomes of Part 5 of the construction".to_string(),
+        dot: String::new(),
+        stats: vec![
+            (
+                "(a) y_i = 0".into(),
+                format!(
+                    "HL={}, HT={}, HR={}, HB={}",
+                    block(0),
+                    block(1),
+                    block(2),
+                    block(3)
+                ),
+            ),
+            (
+                "(b) y_i = 1, i in first half".into(),
+                format!(
+                    "HL={}, HT={}, HR={}, HB={} (R and B exchanged)",
+                    block(0),
+                    block(1),
+                    block(3),
+                    block(2)
+                ),
+            ),
+            (
+                "(c) mirror gadget of a set bit".into(),
+                format!(
+                    "HL={}, HT={}, HR={}, HB={} (L and T exchanged)",
+                    block(1),
+                    block(0),
+                    block(2),
+                    block(3)
+                ),
+            ),
+        ],
+    }
+}
+
+/// Figure 11: the member `J_Y` with `Y = (1, 0, …, 0)`. Building the full template
+/// (1024 gadgets for μ = 2, k = 4) is deliberately left to the caller: pass
+/// `max_gadgets = None` to reproduce the figure exactly, or a cap for a quick look at
+/// the chain structure (in which case the two swapped end-gadgets are not included and
+/// the figure degenerates to the template chain).
+pub fn figure11(max_gadgets: Option<usize>) -> Result<FigureReport> {
+    let class = JClass::new(2, 4)?;
+    let member = if max_gadgets.is_none() {
+        class.member(&[true], None)?
+    } else {
+        class.template(max_gadgets)?
+    };
+    let g = &member.labeled.graph;
+    Ok(FigureReport {
+        name: "Figure 11: J_Y with Y = (1,0,…,0)".to_string(),
+        description: if max_gadgets.is_none() {
+            "Full template with the R/B blocks of ρ_0 and the L/T blocks of ρ_{2^z−1} swapped".into()
+        } else {
+            "Capped chain (template only): the swapped end gadgets require the full template".into()
+        },
+        dot: String::new(), // the full drawing is far too large; stats carry the content
+        stats: vec![
+            ("gadgets built".into(), member.num_gadgets().to_string()),
+            ("nodes".into(), g.num_nodes().to_string()),
+            ("edges".into(), g.num_edges().to_string()),
+            ("z".into(), member.z.to_string()),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_matches_the_drawing() {
+        let reports = figure1().unwrap();
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            // |T| = 9 nodes, Σ X = 13 pendants, path of 3 nodes → 25 nodes, 24 edges.
+            assert_eq!(r.stats[0], ("nodes".to_string(), "25".to_string()));
+            assert_eq!(r.stats[1], ("edges".to_string(), "24".to_string()));
+            assert!(r.dot.contains("label=\"r\""));
+        }
+    }
+
+    #[test]
+    fn figure2_and_3_build() {
+        let f2 = figure2().unwrap();
+        assert_eq!(
+            f2.stats.iter().find(|(k, _)| k == "cycle length").unwrap().1,
+            "11"
+        );
+        let f3 = figure3().unwrap();
+        assert_eq!(
+            f3.stats.iter().find(|(k, _)| k == "y = |T_{Δ,k}|").unwrap().1,
+            "9"
+        );
+    }
+
+    #[test]
+    fn figure4_layer_sizes_match_fact_4_1() {
+        let reports = figure4().unwrap();
+        let sizes: Vec<&str> = reports
+            .iter()
+            .map(|r| r.stats[0].1.as_str())
+            .collect();
+        assert_eq!(sizes, vec!["1", "3", "5", "8", "17", "26"]);
+    }
+
+    #[test]
+    fn figures_5_to_7_have_the_right_node_counts() {
+        let reports = figures_5_to_7().unwrap();
+        // L_0..L_3 for μ=3: 1+3+5+8 = 17 nodes; L_3∪L_4: 8+17 = 25; L_4∪L_5: 17+26 = 43.
+        let nodes: Vec<&str> = reports.iter().map(|r| r.stats[0].1.as_str()).collect();
+        assert_eq!(nodes, vec!["17", "25", "43"]);
+        for r in &reports {
+            assert!(r.dot.starts_with("graph "));
+        }
+    }
+
+    #[test]
+    fn figure8_port_blocks() {
+        let f8 = figure8().unwrap();
+        assert_eq!(
+            f8.stats.iter().find(|(k, _)| k == "deg(ρ)").unwrap().1,
+            "8"
+        );
+        assert_eq!(
+            f8.stats.iter().find(|(k, _)| k == "ports of H_B").unwrap().1,
+            "6,7"
+        );
+    }
+
+    #[test]
+    fn figure9_and_10_reports() {
+        let f9 = figure9().unwrap();
+        // 5 = 0000000101 in 10 bits: two set bits.
+        assert_eq!(
+            f9.stats.iter().find(|(k, _)| k == "set bits of 5").unwrap().1,
+            "2"
+        );
+        let f10 = figure10();
+        assert_eq!(f10.stats.len(), 3);
+        assert!(f10.stats[1].1.contains("R and B exchanged"));
+    }
+
+    #[test]
+    fn figure11_capped_chain() {
+        let f11 = figure11(Some(4)).unwrap();
+        assert_eq!(
+            f11.stats.iter().find(|(k, _)| k == "gadgets built").unwrap().1,
+            "4"
+        );
+    }
+}

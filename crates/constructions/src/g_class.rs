@@ -1,0 +1,347 @@
+//! The class `G_{Δ,k}` of Section 2.2.1 — the Selection advice lower bound family.
+//!
+//! The class contains one graph `G_i` for every `i ∈ {1, …, |T_{Δ,k}|}`. `G_i` is the
+//! disjoint union of
+//!
+//! * the tree `T_{i,2}` (one copy),
+//! * two copies of `T_{j',2}` for every `j' < i`,
+//! * two copies of `T_{j,1}` for every `j ≤ i`,
+//! * a cycle `C_i` of `4i−1` nodes `c_1, …, c_{4i−1}` whose ports are "alternately 0
+//!   and 1": every `c_m` uses port 0 towards `c_{m+1}` and port 1 towards `c_{m−1}`,
+//!
+//! plus one edge per cycle node attaching a tree root: `c_{4j−3}` and `c_{4j−2}` to the
+//! two copies of `r_{j,1}`, `c_{4j−1}` to the first copy of `r_{j,2}`, and `c_{4j'}` to
+//! the second copy of `r_{j',2}` (`j' < i`). Attachment edges are labelled 2 at the
+//! cycle node and `Δ−1` at the root.
+//!
+//! Key facts verified by the tests (and, on larger parameters, by experiment E3):
+//! Fact 2.3 (class size), Lemma 2.6 (the root of `T_{i,2}` is the unique node with a
+//! unique `B^k`), Lemma 2.7 (`ψ_S(G_i) = k`), Lemma 2.8 (cross-graph
+//! indistinguishability of the tree roots at depth `k`).
+
+use crate::blocks::{self, PathVariant};
+use anet_graph::{GraphBuilder, GraphError, LabeledGraph, Labeling, NodeId, Result};
+
+/// The family `G_{Δ,k}` for fixed `Δ ≥ 3`, `k ≥ 1` (the lower bound of Theorem 2.9 is
+/// stated for `Δ ≥ 5` but the construction itself only needs `Δ ≥ 3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GClass {
+    /// Maximum degree parameter `Δ`.
+    pub delta: usize,
+    /// Election-index parameter `k`.
+    pub k: usize,
+}
+
+/// One member `G_i` of the class, with its role labels.
+#[derive(Debug, Clone)]
+pub struct GMember {
+    /// The member index `i` (1-based, as in the paper).
+    pub i: u64,
+    /// The graph together with role labels.
+    pub labeled: LabeledGraph,
+    /// Number of cycle nodes (`4i − 1`).
+    pub cycle_len: usize,
+}
+
+impl GClass {
+    /// Create a handle on the class `G_{Δ,k}`.
+    pub fn new(delta: usize, k: usize) -> Result<Self> {
+        if delta < 3 {
+            return Err(GraphError::invalid("G_{Δ,k} requires Δ ≥ 3"));
+        }
+        if k < 1 {
+            return Err(GraphError::invalid("G_{Δ,k} requires k ≥ 1"));
+        }
+        // Validate that z is computable.
+        blocks::num_leaves(delta, k)?;
+        Ok(GClass { delta, k })
+    }
+
+    /// `z = (Δ−2)(Δ−1)^{k−1}`, the number of leaves of the tree `T`.
+    pub fn z(&self) -> u64 {
+        blocks::num_leaves(self.delta, self.k).expect("validated at construction")
+    }
+
+    /// `|G_{Δ,k}| = |T_{Δ,k}| = (Δ−1)^z` (Fact 2.3). Errors if the value overflows u64.
+    pub fn size(&self) -> Result<u64> {
+        blocks::num_augmented_trees(self.delta, self.k)
+    }
+
+    /// `log₂ |G_{Δ,k}|` — available even when [`GClass::size`] overflows.
+    pub fn log2_size(&self) -> f64 {
+        blocks::log2_num_augmented_trees(self.delta, self.k).expect("validated")
+    }
+
+    /// Build the member `G_i` (`i` is 1-based).
+    pub fn member(&self, i: u64) -> Result<GMember> {
+        let total = self.size()?;
+        if i == 0 || i > total {
+            return Err(GraphError::invalid(format!(
+                "member index {i} out of range 1..={total}"
+            )));
+        }
+        let delta = self.delta;
+        let k = self.k;
+        let cycle_len = (4 * i - 1) as usize;
+
+        let mut b = GraphBuilder::new();
+        let mut labels = Labeling::new();
+
+        // Cycle nodes c_1 … c_{4i−1}: ids 0..cycle_len.
+        let cycle: Vec<NodeId> = b.add_nodes(cycle_len);
+        for (m, &c) in cycle.iter().enumerate() {
+            labels.name(c, format!("c{}", m + 1))?;
+            labels.tag(c, "cycle");
+        }
+        for m in 0..cycle_len {
+            let u = cycle[m];
+            let v = cycle[(m + 1) % cycle_len];
+            // Port 0 at c_m towards its successor, port 1 at the successor back.
+            b.add_edge(u, 0, v, 1)?;
+        }
+
+        // Helper appending one tree copy and attaching it to a cycle node.
+        let attach_tree = |b: &mut GraphBuilder,
+                               labels: &mut Labeling,
+                               j: u64,
+                               variant: PathVariant,
+                               copy: usize,
+                               cycle_node: NodeId|
+         -> Result<()> {
+            let x = blocks::x_sequence(delta, k, j)?;
+            let tree = blocks::append_tree_xb(b, delta, k, &x, variant)?;
+            // Attachment edge: port 2 at the cycle node, Δ−1 at the root.
+            b.add_edge(cycle_node, 2, tree.root, delta as u32 - 1)?;
+            let name = format!("r{j},{}#{}", variant.as_u8(), copy);
+            labels.name(tree.root, name)?;
+            labels.tag(tree.root, "roots");
+            labels.tag(tree.root, format!("roots-{}", variant.as_u8()));
+            for &n in &tree.nodes {
+                labels.tag(n, format!("tree:{j},{}#{}", variant.as_u8(), copy));
+            }
+            Ok(())
+        };
+
+        for j in 1..=i {
+            // Two copies of T_{j,1} attached to c_{4j−3} and c_{4j−2}.
+            attach_tree(
+                &mut b,
+                &mut labels,
+                j,
+                PathVariant::One,
+                1,
+                cycle[(4 * j - 3 - 1) as usize],
+            )?;
+            attach_tree(
+                &mut b,
+                &mut labels,
+                j,
+                PathVariant::One,
+                2,
+                cycle[(4 * j - 2 - 1) as usize],
+            )?;
+            // First copy of T_{j,2} attached to c_{4j−1}.
+            attach_tree(
+                &mut b,
+                &mut labels,
+                j,
+                PathVariant::Two,
+                1,
+                cycle[(4 * j - 1 - 1) as usize],
+            )?;
+            // Second copy of T_{j,2} attached to c_{4j} — only for j < i.
+            if j < i {
+                attach_tree(
+                    &mut b,
+                    &mut labels,
+                    j,
+                    PathVariant::Two,
+                    2,
+                    cycle[(4 * j - 1) as usize],
+                )?;
+            }
+        }
+
+        let graph = b.build()?;
+        Ok(GMember {
+            i,
+            labeled: LabeledGraph::new(graph, labels),
+            cycle_len,
+        })
+    }
+}
+
+impl GMember {
+    /// The cycle node `c_m` (`m` is 1-based).
+    pub fn cycle_node(&self, m: usize) -> NodeId {
+        self.labeled.node(&format!("c{m}"))
+    }
+
+    /// The root `r_{j,b}` of the given copy (`copy ∈ {1, 2}`); copy 2 of `T_{i,2}` does
+    /// not exist in `G_i`.
+    pub fn root(&self, j: u64, b: u8, copy: usize) -> Option<NodeId> {
+        self.labeled.labels.node(&format!("r{j},{b}#{copy}"))
+    }
+
+    /// The distinguished root `r_{i,2}` (the unique node with a unique `B^k`,
+    /// Lemma 2.6).
+    pub fn special_root(&self) -> NodeId {
+        self.root(self.i, 2, 1).expect("T_{i,2} always exists")
+    }
+
+    /// All tree-root nodes.
+    pub fn roots(&self) -> &[NodeId] {
+        self.labeled.group("roots")
+    }
+
+    /// All cycle nodes, in order `c_1, …, c_{4i−1}`.
+    pub fn cycle_nodes(&self) -> Vec<NodeId> {
+        (1..=self.cycle_len).map(|m| self.cycle_node(m)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_views::Refinement;
+
+    #[test]
+    fn class_size_matches_fact_2_3() {
+        assert_eq!(GClass::new(4, 1).unwrap().size().unwrap(), 9);
+        assert_eq!(GClass::new(4, 2).unwrap().size().unwrap(), 729);
+        assert_eq!(GClass::new(5, 1).unwrap().size().unwrap(), 64);
+        assert_eq!(GClass::new(6, 1).unwrap().size().unwrap(), 625);
+    }
+
+    #[test]
+    fn parameters_validated() {
+        assert!(GClass::new(2, 1).is_err());
+        assert!(GClass::new(4, 0).is_err());
+        let c = GClass::new(4, 1).unwrap();
+        assert!(c.member(0).is_err());
+        assert!(c.member(10).is_err());
+    }
+
+    #[test]
+    fn member_structure_and_degrees() {
+        let class = GClass::new(4, 1).unwrap();
+        let m = class.member(3).unwrap();
+        let g = &m.labeled.graph;
+        // Cycle of 4·3−1 = 11 nodes, each of degree 3 (two cycle edges + one root).
+        assert_eq!(m.cycle_len, 11);
+        for c in m.cycle_nodes() {
+            assert_eq!(g.degree(c), 3);
+        }
+        // 11 trees are attached, one per cycle node.
+        assert_eq!(m.roots().len(), 11);
+        // Tree roots have degree Δ = 4: Δ−2 children + appended path + cycle edge.
+        for &r in m.roots() {
+            assert_eq!(g.degree(r), 4);
+        }
+        // Maximum degree of the whole graph is Δ.
+        assert_eq!(g.max_degree(), 4);
+        // The attachment edge uses port 2 at the cycle node and Δ−1 = 3 at the root.
+        let c1 = m.cycle_node(1);
+        let r11 = m.root(1, 1, 1).unwrap();
+        assert_eq!(g.neighbor(c1, 2), Some((r11, 3)));
+    }
+
+    #[test]
+    fn cycle_ports_alternate() {
+        let class = GClass::new(4, 1).unwrap();
+        let m = class.member(2).unwrap();
+        let g = &m.labeled.graph;
+        for idx in 0..m.cycle_len {
+            let cm = m.cycle_node(idx + 1);
+            let successor = m.cycle_node(if idx + 2 > m.cycle_len { 1 } else { idx + 2 });
+            assert_eq!(g.neighbor(cm, 0), Some((successor, 1)));
+        }
+    }
+
+    #[test]
+    fn special_root_is_the_unique_unique_view_node_lemma_2_6() {
+        // Checked for i ≥ 2: for i = 1 the graph contains a single appended path of the
+        // "variant 2" kind, whose interior nodes then have no twin — a boundary case
+        // recorded in EXPERIMENTS.md (it does not affect Lemma 2.7 or Theorem 2.9).
+        let class = GClass::new(4, 1).unwrap();
+        for i in [2u64, 3, 4] {
+            let m = class.member(i).unwrap();
+            let g = &m.labeled.graph;
+            let r = Refinement::compute(g, Some(class.k + 1));
+            let unique = r.unique_nodes_at(class.k);
+            assert_eq!(
+                unique,
+                vec![m.special_root()],
+                "G_{i}: exactly r_{{i,2}} has a unique B^k"
+            );
+        }
+    }
+
+    #[test]
+    fn selection_index_is_exactly_k_lemma_2_7() {
+        for (delta, k, i) in [(4usize, 1usize, 2u64), (4, 1, 5), (5, 1, 3), (4, 2, 2)] {
+            let class = GClass::new(delta, k).unwrap();
+            let m = class.member(i).unwrap();
+            let g = &m.labeled.graph;
+            let r = Refinement::compute(g, Some(k + 1));
+            // No unique node at any depth below k…
+            for h in 0..k {
+                assert!(
+                    r.unique_nodes_at(h).is_empty(),
+                    "Δ={delta}, k={k}, i={i}: unexpectedly unique node at depth {h}"
+                );
+            }
+            // …and at least one (exactly r_{i,2}) at depth k.
+            assert!(!r.unique_nodes_at(k).is_empty());
+        }
+    }
+
+    #[test]
+    fn root_views_agree_across_members_lemma_2_8() {
+        use anet_views::JointRefinement;
+        let class = GClass::new(4, 1).unwrap();
+        let (alpha, beta) = (2u64, 4u64);
+        let ga = class.member(alpha).unwrap();
+        let gb = class.member(beta).unwrap();
+        let joint = JointRefinement::compute(
+            &[&ga.labeled.graph, &gb.labeled.graph],
+            Some(class.k),
+        );
+        // For every j ≤ α and b, copy 1: same view at depth k in G_α and G_β.
+        for j in 1..=alpha {
+            for bb in [1u8, 2] {
+                let va = ga.root(j, bb, 1).unwrap();
+                let vb = gb.root(j, bb, 1).unwrap();
+                assert!(
+                    joint.same_view((0, va), (1, vb), class.k),
+                    "j={j}, b={bb}"
+                );
+            }
+        }
+        // And the two copies of T_{α,2} inside G_β are twins (used at the end of the
+        // Theorem 2.9 proof).
+        let c1 = gb.root(alpha, 2, 1).unwrap();
+        let c2 = gb.root(alpha, 2, 2).unwrap();
+        let within = JointRefinement::compute(&[&gb.labeled.graph], Some(class.k));
+        assert!(within.same_view((0, c1), (0, c2), class.k));
+    }
+
+    #[test]
+    fn cycle_nodes_all_share_views_lemma_2_5() {
+        let class = GClass::new(4, 1).unwrap();
+        let m = class.member(3).unwrap();
+        let r = Refinement::compute(&m.labeled.graph, Some(class.k));
+        let cycle = m.cycle_nodes();
+        for w in cycle.windows(2) {
+            assert!(r.same_view(w[0], w[1], class.k));
+        }
+    }
+
+    #[test]
+    fn member_is_reproducible() {
+        let class = GClass::new(4, 1).unwrap();
+        let a = class.member(5).unwrap();
+        let b = class.member(5).unwrap();
+        assert_eq!(a.labeled.graph, b.labeled.graph);
+    }
+}

@@ -1,0 +1,390 @@
+//! Parts 4 and 5 of Section 4.1: the template `J` and the class `J_{μ,k}` — the
+//! PPE / CPPE advice lower bound family.
+//!
+//! **Part 4 (template `J`).** Let `z = |L_k|` and let `w_1, …, w_z` be the nodes of
+//! `L_k` ordered by the sequences `b·σ` (side bit prepended to the address, compared
+//! lexicographically). The template chains `2^z` gadgets `Ĥ_0, …, Ĥ_{2^z−1}`. For every
+//! `i ≥ 1`, write `x_i` for the `z`-bit binary representation of `i`; for every `q`
+//! whose bit of `x_i` is 1, add the four border edges
+//!
+//! 1. `w_{q,1} — w_{q,2}` inside `H_B` of `Ĥ_{i−1}`,
+//! 2. `w_{q,1} — w_{q,2}` inside `H_T` of `Ĥ_i`,
+//! 3. `w_{q,1}` in `H_R` of `Ĥ_{i−1}` — `w_{q,2}` in `H_L` of `Ĥ_i`,
+//! 4. `w_{q,2}` in `H_R` of `Ĥ_{i−1}` — `w_{q,1}` in `H_L` of `Ĥ_i`,
+//!
+//! each labelled at both endpoints with the endpoint's degree in the plain component
+//! `H` (i.e. its next free port).
+//!
+//! **Part 5 (class member `J_Y`).** For a binary sequence `Y = (y_0, …, y_{2^{z−1}−1})`
+//! and every `i` with `y_i = 1`: swap ports `x ↔ x+μ` for `x ∈ 2μ..3μ` at `ρ_i`
+//! (exchanging the `H_R` and `H_B` blocks), and swap ports `x ↔ x+μ` for `x ∈ 0..μ` at
+//! `ρ_{2^z−1−i}` (exchanging the `H_L` and `H_T` blocks).
+//!
+//! For experimentation at larger `z` the number of chained gadgets can be capped
+//! (`max_gadgets`); the full template is used whenever it fits (`μ = 2`, `k = 4` gives
+//! `z = 10`, 1024 gadgets, ≈132k nodes). The cap is a *scale substitution* documented
+//! in `DESIGN.md`: the structural lemmas verified on the capped chain do not depend on
+//! the chain length, only the counting argument of Theorem 4.11 does.
+
+use crate::component::{append_gadget, Gadget, Side};
+use anet_graph::{GraphBuilder, GraphError, LabeledGraph, Labeling, NodeId, Result};
+
+/// The family `J_{μ,k}` for fixed `μ ≥ 2`, `k ≥ 4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JClass {
+    /// Arity parameter `μ` (the graphs have maximum degree `4μ`).
+    pub mu: usize,
+    /// Election-index parameter `k`.
+    pub k: usize,
+}
+
+/// One member of `J_{μ,k}` (or the template `J`, when `y` is `None`).
+#[derive(Debug, Clone)]
+pub struct JMember {
+    /// The binary sequence `Y`, or `None` for the template.
+    pub y: Option<Vec<bool>>,
+    /// The graph with (sparse) role labels: the `ρ_i` carry names `rho{i}`.
+    pub labeled: LabeledGraph,
+    /// Per-gadget handles (index `i` = gadget `Ĥ_i`).
+    pub gadgets: Vec<Gadget>,
+    /// `z = |L_k|`.
+    pub z: usize,
+}
+
+impl JClass {
+    /// Create a handle on the class.
+    pub fn new(mu: usize, k: usize) -> Result<Self> {
+        if mu < 2 {
+            return Err(GraphError::invalid("J_{μ,k} requires μ ≥ 2"));
+        }
+        if k < 4 {
+            return Err(GraphError::invalid("J_{μ,k} requires k ≥ 4"));
+        }
+        Ok(JClass { mu, k })
+    }
+
+    /// `z = |L_k|` (Fact 4.2 gives `μ^{⌊k/2⌋} ≤ z ≤ 4 μ^{⌊k/2⌋}`).
+    pub fn z(&self) -> u64 {
+        crate::layers::layer_size(self.mu, self.k).expect("validated")
+    }
+
+    /// Number of gadgets of the full template, `2^z` (errors if it exceeds `u64`).
+    pub fn num_gadgets(&self) -> Result<u64> {
+        let z = self.z();
+        if z >= 63 {
+            return Err(GraphError::invalid("2^z overflows u64"));
+        }
+        Ok(1u64 << z)
+    }
+
+    /// `log₂ |J_{μ,k}| = 2^{z−1}` (Fact 4.2) as a float.
+    pub fn log2_size(&self) -> f64 {
+        2f64.powf(self.z() as f64 - 1.0)
+    }
+
+    /// Length of the defining binary sequence `Y`, i.e. `2^{z−1}`.
+    pub fn y_len(&self) -> Result<u64> {
+        let z = self.z();
+        if z >= 64 {
+            return Err(GraphError::invalid("2^{z−1} overflows u64"));
+        }
+        Ok(1u64 << (z - 1))
+    }
+
+    /// Build the template `J` (optionally capped to the first `max_gadgets` gadgets).
+    pub fn template(&self, max_gadgets: Option<usize>) -> Result<JMember> {
+        self.build_inner(None, max_gadgets)
+    }
+
+    /// Build the member `J_Y`. `y` may be shorter than `2^{z−1}`: missing entries are
+    /// treated as 0 (this is what makes building members practical — a full-length `Y`
+    /// has `2^{z−1}` entries). Entries whose swap would land outside the built chain
+    /// (when `max_gadgets` caps it) must be 0.
+    pub fn member(&self, y: &[bool], max_gadgets: Option<usize>) -> Result<JMember> {
+        let y_len = self.y_len()?;
+        if y.len() as u64 > y_len {
+            return Err(GraphError::invalid(format!(
+                "Y has length {}, maximum is 2^(z−1) = {y_len}",
+                y.len()
+            )));
+        }
+        self.build_inner(Some(y.to_vec()), max_gadgets)
+    }
+
+    fn build_inner(&self, y: Option<Vec<bool>>, max_gadgets: Option<usize>) -> Result<JMember> {
+        let mu = self.mu;
+        let k = self.k;
+        let z = self.z() as usize;
+        let full = self.num_gadgets()? as usize;
+        let count = max_gadgets.map(|m| m.min(full)).unwrap_or(full);
+        if count < 2 {
+            return Err(GraphError::invalid("the chain needs at least 2 gadgets"));
+        }
+
+        let mut b = GraphBuilder::new();
+        let mut labels = Labeling::new();
+        let mut gadgets = Vec::with_capacity(count);
+        for i in 0..count {
+            let gadget = append_gadget(&mut b, mu, k)?;
+            labels.name(gadget.rho, format!("rho{i}"))?;
+            labels.tag(gadget.rho, "rho");
+            gadgets.push(gadget);
+        }
+
+        // Part 4: border edges encoding i in gadget boundaries.
+        for i in 1..count {
+            for q in 1..=z {
+                if !bit_of(i as u64, q, z) {
+                    continue;
+                }
+                let prev = &gadgets[i - 1];
+                let cur = &gadgets[i];
+                let pairs = [
+                    (prev.w(Side::Bottom, q, 1), prev.w(Side::Bottom, q, 2)),
+                    (cur.w(Side::Top, q, 1), cur.w(Side::Top, q, 2)),
+                    (prev.w(Side::Right, q, 1), cur.w(Side::Left, q, 2)),
+                    (prev.w(Side::Right, q, 2), cur.w(Side::Left, q, 1)),
+                ];
+                for (u1, u2) in pairs {
+                    let p1 = b.next_free_port(u1);
+                    let p2 = b.next_free_port(u2);
+                    b.add_edge(u1, p1, u2, p2)?;
+                }
+            }
+        }
+
+        let graph = b.build()?;
+
+        // Part 5: port swaps at the ρ nodes.
+        let graph = match &y {
+            None => graph,
+            Some(y) => {
+                let mu32 = mu as u32;
+                let mut swaps = Vec::new();
+                for (i, &yi) in y.iter().enumerate() {
+                    if !yi {
+                        continue;
+                    }
+                    let mirror = full - 1 - i;
+                    if i >= count || mirror >= count {
+                        return Err(GraphError::invalid(format!(
+                            "Y bit {i} set but gadget {i} or {mirror} is outside the built chain \
+                             (max_gadgets too small)"
+                        )));
+                    }
+                    for x in 0..mu32 {
+                        // H_R ↔ H_B at ρ_i.
+                        swaps.push((gadgets[i].rho, 2 * mu32 + x, 3 * mu32 + x));
+                        // H_L ↔ H_T at ρ_{2^z−1−i}.
+                        swaps.push((gadgets[mirror].rho, x, mu32 + x));
+                    }
+                }
+                anet_graph::permute::swap_ports_many(&graph, &swaps)?
+            }
+        };
+
+        Ok(JMember {
+            y,
+            labeled: LabeledGraph::new(graph, labels),
+            gadgets,
+            z,
+        })
+    }
+}
+
+/// The `q`-th bit (1-based, most significant first) of the `z`-bit binary
+/// representation of `i`.
+pub fn bit_of(i: u64, q: usize, z: usize) -> bool {
+    debug_assert!(q >= 1 && q <= z);
+    (i >> (z - q)) & 1 == 1
+}
+
+impl JMember {
+    /// Number of gadgets actually built.
+    pub fn num_gadgets(&self) -> usize {
+        self.gadgets.len()
+    }
+
+    /// The centre node `ρ_i`.
+    pub fn rho(&self, i: usize) -> NodeId {
+        self.gadgets[i].rho
+    }
+
+    /// Border node `w_{q,c}` of component `side` of gadget `Ĥ_i`.
+    pub fn w(&self, i: usize, side: Side, q: usize, c: u8) -> NodeId {
+        self.gadgets[i].w(side, q, c)
+    }
+
+    /// The integer `W_{i,side}` encoded (Lemma 4.8's notation) by the border-edge
+    /// pattern of the given component: bit `q` is 1 iff `w_{q,1}` has one more incident
+    /// edge than it has in the plain component `H`. Reading it off the graph is exactly
+    /// what the CPPE algorithm of Lemma 4.8 does.
+    pub fn encoded_w(&self, graph_degrees: &dyn Fn(NodeId) -> usize, i: usize, side: Side) -> u64 {
+        let comp = self.gadgets[i].component(side);
+        let z = comp.z();
+        let mut value = 0u64;
+        for q in 1..=z {
+            let w = comp.w(q, 1);
+            // Degree in plain H: recompute as (current degree − 1) if a border edge was
+            // added. We detect the border edge by comparing against the matching node
+            // in a border-edge-free component: w_{q,1} of H_L of Ĥ_0 never receives
+            // border edges... to stay self-contained we instead use the parity trick:
+            // the caller passes the *graph* degree; the plain-H degree is the degree of
+            // the same w-node in gadget 0's left component, which never has border
+            // edges by construction.
+            let reference = self.gadgets[0].component(Side::Left).w(q, 1);
+            let has_edge = graph_degrees(w) > graph_degrees(reference);
+            if has_edge {
+                value |= 1 << (z - q);
+            }
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_views::{JointRefinement, Refinement};
+
+    fn small_chain(n: usize) -> (JClass, JMember) {
+        let class = JClass::new(2, 4).unwrap();
+        let member = class.template(Some(n)).unwrap();
+        (class, member)
+    }
+
+    #[test]
+    fn class_parameters_and_sizes_fact_4_2() {
+        let class = JClass::new(2, 4).unwrap();
+        assert_eq!(class.z(), 10);
+        assert_eq!(class.num_gadgets().unwrap(), 1024);
+        assert_eq!(class.y_len().unwrap(), 512);
+        assert!((class.log2_size() - 512.0).abs() < 1e-9);
+        // Fact 4.2's bounds on z: μ^{⌊k/2⌋} ≤ z ≤ 4 μ^{⌊k/2⌋}.
+        let lo = 2f64.powi(2);
+        let hi = 4.0 * 2f64.powi(2);
+        assert!(lo <= class.z() as f64 && class.z() as f64 <= hi);
+
+        assert!(JClass::new(1, 4).is_err());
+        assert!(JClass::new(2, 3).is_err());
+    }
+
+    #[test]
+    fn bit_of_is_most_significant_first() {
+        // z = 4: the representation of 5 is 0101.
+        assert!(!bit_of(5, 1, 4));
+        assert!(bit_of(5, 2, 4));
+        assert!(!bit_of(5, 3, 4));
+        assert!(bit_of(5, 4, 4));
+    }
+
+    #[test]
+    fn chain_structure_and_counts() {
+        let (class, m) = small_chain(4);
+        let g = &m.labeled.graph;
+        assert_eq!(m.num_gadgets(), 4);
+        assert_eq!(m.z, 10);
+        // Every ρ has degree 4μ = 8.
+        for i in 0..4 {
+            assert_eq!(g.degree(m.rho(i)), 4 * class.mu);
+        }
+        // Gadget size: 4(|H|−1)+1 = 129 for μ=2, k=4; plus border edges do not add
+        // nodes.
+        assert_eq!(g.num_nodes(), 4 * 129);
+        // Maximum degree: the ρ nodes have degree 4μ; the middle nodes of L_{k−1}
+        // connect to both copies of L_k and have degree 2μ+5, which exceeds 4μ only in
+        // the μ = 2 corner case used by this test (Theorem 4.11 takes μ = ⌈Δ/4⌉ ≥ 4,
+        // where 4μ dominates). So the expected maximum is max(4μ, 2μ+5).
+        assert_eq!(
+            g.max_degree(),
+            usize::max(4 * class.mu, 2 * class.mu + 5)
+        );
+    }
+
+    #[test]
+    fn border_edges_encode_the_gadget_index() {
+        let (_class, m) = small_chain(4);
+        let g = &m.labeled.graph;
+        let deg = |v: NodeId| g.degree(v);
+        // H_T and H_L of Ĥ_i encode i; H_B and H_R of Ĥ_{i−1} encode i as well.
+        for i in 1..4usize {
+            assert_eq!(m.encoded_w(&deg, i, Side::Top), i as u64);
+            assert_eq!(m.encoded_w(&deg, i - 1, Side::Bottom), i as u64);
+        }
+        // Ĥ_0's top/left encode 0; the last gadget's bottom/right encode the next index
+        // only if it was built — in a capped chain they encode 0.
+        assert_eq!(m.encoded_w(&deg, 0, Side::Top), 0);
+        assert_eq!(m.encoded_w(&deg, 0, Side::Left), 0);
+        assert_eq!(m.encoded_w(&deg, 3, Side::Bottom), 0);
+    }
+
+    #[test]
+    fn rho_views_are_identical_below_k_proposition_4_4() {
+        let (class, m) = small_chain(4);
+        let r = Refinement::compute(&m.labeled.graph, Some(class.k - 1));
+        for i in 1..m.num_gadgets() {
+            assert!(
+                r.same_view(m.rho(0), m.rho(i), class.k - 1),
+                "ρ_0 vs ρ_{i} at depth k−1"
+            );
+        }
+    }
+
+    #[test]
+    fn member_swaps_act_on_the_right_rho_blocks() {
+        let class = JClass::new(2, 4).unwrap();
+        let template = class.template(Some(4)).unwrap();
+        // A short Y with y_1 = 1 requires gadgets 1 and 2^z−1−1 = 1022 — outside a
+        // 4-gadget chain, so it must be rejected.
+        assert!(class.member(&[false, true], Some(4)).is_err());
+
+        // Use the full-template mirror relation on a capped chain by picking y_0 = 1:
+        // the mirror gadget is 1023, also outside the chain → rejected too.
+        assert!(class.member(&[true], Some(4)).is_err());
+
+        // With the full template the swap is applied (this is exercised in the
+        // integration tests); here we at least check that an all-zero Y reproduces the
+        // template exactly.
+        let member = class.member(&[false, false, false], Some(4)).unwrap();
+        assert_eq!(member.labeled.graph, template.labeled.graph);
+    }
+
+    #[test]
+    fn no_node_is_unique_at_depth_k_minus_1_on_a_chain_lemma_4_6() {
+        // Lemma 4.6 is about the full template; on a capped chain the interior gadgets
+        // still pair up. We check the weaker but structural statement that the ρ nodes
+        // and all border nodes of interior gadgets are non-unique at depth k−1.
+        let (class, m) = small_chain(6);
+        let r = Refinement::compute(&m.labeled.graph, Some(class.k - 1));
+        for i in 0..m.num_gadgets() {
+            assert!(!r.is_unique(m.rho(i), class.k - 1), "rho{i}");
+        }
+        for i in 1..5usize {
+            for side in Side::ALL {
+                for q in 1..=m.z {
+                    assert!(
+                        !r.is_unique(m.w(i, side, q, 1), class.k - 1),
+                        "w_{q},1 of {side:?} in gadget {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corner_border_node_views_agree_across_members_lemma_4_10_part_1() {
+        // v_Y = w_{1,1} in H_L of Ĥ_0 has the same B^k in every member of the class.
+        // We compare the template against a member whose first differing swap is far
+        // from gadget 0 (use the full-template mirror: a bit set at i = 5 affects ρ_5
+        // and ρ_{1018}; with a capped chain we cannot place legal swaps, so compare two
+        // capped chains built with different caps instead — the corner node cannot see
+        // the far end either way).
+        let class = JClass::new(2, 4).unwrap();
+        let a = class.template(Some(4)).unwrap();
+        let b = class.template(Some(6)).unwrap();
+        let joint = JointRefinement::compute(&[&a.labeled.graph, &b.labeled.graph], Some(class.k));
+        let va = a.w(0, Side::Left, 1, 1);
+        let vb = b.w(0, Side::Left, 1, 1);
+        assert!(joint.same_view((0, va), (1, vb), class.k));
+    }
+}

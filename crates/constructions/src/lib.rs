@@ -1,0 +1,38 @@
+//! # anet-constructions — the paper's lower-bound graph families
+//!
+//! This crate implements, node by node and port by port, every graph construction of
+//! *"Four Shades of Deterministic Leader Election in Anonymous Networks"*:
+//!
+//! * [`blocks`] — Building Blocks 1–3 of Section 2.2.1: the rooted tree `T`, the
+//!   augmented trees `T_X`, and the appended-path trees `T_{X,1}` / `T_{X,2}`;
+//! * [`g_class`] — the class `G_{Δ,k}` (Section 2.2.1) used for the Selection
+//!   advice lower bound (Theorem 2.9);
+//! * [`u_class`] — the template `U` and class `U_{Δ,k}` (Section 3.1) used for the
+//!   Port Election advice lower bound (Theorem 3.11);
+//! * [`layers`] — the layer graphs `L_0, …, L_k` of Section 4.1 (Part 1);
+//! * [`component`] — the component graph `H` (Part 2) and gadget `Ĥ` (Part 3);
+//! * [`j_class`] — the template `J` (Part 4) and the class `J_{μ,k}` (Part 5) used for
+//!   the PPE / CPPE advice lower bounds (Theorems 4.11 and 4.12);
+//! * [`figures`] — exact instances of the graphs drawn in Figures 1–11 of the paper,
+//!   with DOT export, for the figure-regeneration experiment.
+//!
+//! Every builder returns a [`anet_graph::LabeledGraph`]: the anonymous network plus
+//! role names (`r_{j,b}`, `c_m`, `ρ_i`, `w_{q,b}`, …) used by tests, oracles and the
+//! paper's map-based algorithms. The builders validate the model invariants (ports
+//! `0..deg` at every node, simplicity, connectivity), so a successful build is itself
+//! evidence that the port-label bookkeeping of the paper's description is respected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod component;
+pub mod figures;
+pub mod g_class;
+pub mod j_class;
+pub mod layers;
+pub mod u_class;
+
+pub use g_class::GClass;
+pub use j_class::JClass;
+pub use u_class::UClass;

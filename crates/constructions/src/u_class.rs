@@ -1,0 +1,450 @@
+//! The template `U` and class `U_{Δ,k}` of Section 3.1 — the Port Election advice
+//! lower bound family.
+//!
+//! Template `U` (maximum degree `2Δ−1`):
+//!
+//! 1. Disjoint union of all trees `T_{j,b}` (`j ∈ 1..=|T_{Δ,k}|`, `b ∈ {1,2}`), whose
+//!    roots are joined into a cycle `r_{1,1}, r_{1,2}, r_{2,1}, …, r_{|T|,2}, r_{1,1}`;
+//!    along the cycle each root uses port `Δ+1` forwards and `Δ−1` backwards.
+//! 2. For each `j`, two extra copies `T_{j,1,1}`, `T_{j,1,2}` of `T_{j,1}` with roots
+//!    `r_{j,1,1}`, `r_{j,1,2}`.
+//! 3. For each `j`, a path of length `k+1` from `r_{j,1}` to `r_{j,1,1}` (port `Δ` at
+//!    `r_{j,1}`, `Δ−1` at `r_{j,1,1}`, interior ports 1 towards `r_{j,1}` / 0 towards
+//!    `r_{j,1,1}`), and likewise from `r_{j,2}` to `r_{j,1,2}`.
+//! 4. For each `j`, `Δ−1` pendant paths of length `k+1` at `r_{j,1,1}` using ports
+//!    `Δ, …, 2Δ−2` there (interior ports 0 towards `r_{j,1,1}`, 1 away), and likewise
+//!    at `r_{j,1,2}`.
+//!
+//! A member `G_σ` (`σ = (s_1, …, s_{|T|})`, `s_j ∈ 1..=Δ−1`) is the template with ports
+//! `Δ−1` and `Δ−1+s_j` exchanged at both `r_{j,1,1}` and `r_{j,1,2}`.
+//!
+//! The tests verify Fact 3.1 (class size), Proposition 3.2 (cycle roots share views up
+//! to depth `k−1`), Lemma 3.6 / Corollary 3.7 (`ψ_S ≥ k`), Lemma 3.8 (each cycle root
+//! has a unique `B^k`), Claim 1 of Lemma 3.9 (the two heavy roots of index `j` are
+//! twins at depth `k` and distinct from other heavy roots), and the cross-graph
+//! indistinguishability of heavy roots used by Theorem 3.11.
+
+use crate::blocks::{self, PathVariant};
+use anet_graph::{GraphBuilder, GraphError, LabeledGraph, Labeling, NodeId, Result};
+
+/// The family `U_{Δ,k}` for fixed `Δ ≥ 4`, `k ≥ 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UClass {
+    /// The tree-degree parameter `Δ` (the graphs themselves have maximum degree `2Δ−1`).
+    pub delta: usize,
+    /// Election-index parameter `k`.
+    pub k: usize,
+}
+
+/// One member of `U_{Δ,k}` (or the template, when `sigma` is `None`).
+#[derive(Debug, Clone)]
+pub struct UMember {
+    /// The port-swap sequence `σ`, or `None` for the template `U`.
+    pub sigma: Option<Vec<u32>>,
+    /// The graph with role labels.
+    pub labeled: LabeledGraph,
+    /// `y = |T_{Δ,k}|`.
+    pub y: u64,
+}
+
+impl UClass {
+    /// Create a handle on the class.
+    pub fn new(delta: usize, k: usize) -> Result<Self> {
+        if delta < 4 {
+            return Err(GraphError::invalid("U_{Δ,k} requires Δ ≥ 4"));
+        }
+        if k < 1 {
+            return Err(GraphError::invalid("U_{Δ,k} requires k ≥ 1"));
+        }
+        blocks::num_augmented_trees(delta, k)?;
+        Ok(UClass { delta, k })
+    }
+
+    /// `y = |T_{Δ,k}|`, the number of tree indices (and half the number of cycle roots).
+    pub fn y(&self) -> u64 {
+        blocks::num_augmented_trees(self.delta, self.k).expect("validated")
+    }
+
+    /// `|U_{Δ,k}| = (Δ−1)^{|T_{Δ,k}|}` (Fact 3.1); errors on u64 overflow.
+    pub fn size(&self) -> Result<u64> {
+        let y: u32 = self
+            .y()
+            .try_into()
+            .map_err(|_| GraphError::invalid("|T_{Δ,k}| too large"))?;
+        (self.delta as u64 - 1)
+            .checked_pow(y)
+            .ok_or_else(|| GraphError::invalid("(Δ−1)^|T| overflows u64"))
+    }
+
+    /// `log₂ |U_{Δ,k}|` — available even when the count overflows.
+    pub fn log2_size(&self) -> f64 {
+        self.y() as f64 * ((self.delta - 1) as f64).log2()
+    }
+
+    /// Build the template graph `U` (no port swaps).
+    pub fn template(&self) -> Result<UMember> {
+        self.build_inner(None)
+    }
+
+    /// Build the member `G_σ`. `sigma` must have length `y` with entries in `1..=Δ−1`.
+    pub fn member(&self, sigma: &[u32]) -> Result<UMember> {
+        let y = self.y();
+        if sigma.len() as u64 != y {
+            return Err(GraphError::invalid(format!(
+                "σ has length {}, expected {y}",
+                sigma.len()
+            )));
+        }
+        for &s in sigma {
+            if s < 1 || s as usize > self.delta - 1 {
+                return Err(GraphError::invalid(format!(
+                    "σ entry {s} outside 1..={}",
+                    self.delta - 1
+                )));
+            }
+        }
+        self.build_inner(Some(sigma.to_vec()))
+    }
+
+    /// Build the member whose σ is the `idx`-th sequence (1-based, lexicographic).
+    pub fn member_by_index(&self, idx: u64) -> Result<UMember> {
+        let total = self.size()?;
+        if idx == 0 || idx > total {
+            return Err(GraphError::invalid(format!(
+                "member index {idx} out of range 1..={total}"
+            )));
+        }
+        let y = self.y() as usize;
+        let base = (self.delta - 1) as u64;
+        let mut rem = idx - 1;
+        let mut sigma = vec![1u32; y];
+        for slot in (0..y).rev() {
+            sigma[slot] = (rem % base) as u32 + 1;
+            rem /= base;
+        }
+        self.member(&sigma)
+    }
+
+    fn build_inner(&self, sigma: Option<Vec<u32>>) -> Result<UMember> {
+        let delta = self.delta;
+        let k = self.k;
+        let y = self.y();
+        let d = delta as u32;
+
+        let mut b = GraphBuilder::new();
+        let mut labels = Labeling::new();
+
+        // Step 1: the trees T_{j,b} and the cycle of their roots.
+        let mut cycle_roots: Vec<NodeId> = Vec::with_capacity(2 * y as usize);
+        for j in 1..=y {
+            let x = blocks::x_sequence(delta, k, j)?;
+            for variant in [PathVariant::One, PathVariant::Two] {
+                let tree = blocks::append_tree_xb(&mut b, delta, k, &x, variant)?;
+                labels.name(tree.root, format!("r{j},{}", variant.as_u8()))?;
+                labels.tag(tree.root, "cycle-roots");
+                for &n in &tree.nodes {
+                    labels.tag(n, format!("tree:{j},{}", variant.as_u8()));
+                }
+                cycle_roots.push(tree.root);
+            }
+        }
+        let len = cycle_roots.len();
+        for idx in 0..len {
+            let a = cycle_roots[idx];
+            let next = cycle_roots[(idx + 1) % len];
+            // Forward port Δ+1 at a, backward port Δ−1 at the next root.
+            b.add_edge(a, d + 1, next, d - 1)?;
+        }
+
+        // Step 2: the extra copies T_{j,1,1} and T_{j,1,2}.
+        let mut heavy_roots: Vec<(NodeId, NodeId)> = Vec::with_capacity(y as usize);
+        for j in 1..=y {
+            let x = blocks::x_sequence(delta, k, j)?;
+            let t1 = blocks::append_tree_xb(&mut b, delta, k, &x, PathVariant::One)?;
+            let t2 = blocks::append_tree_xb(&mut b, delta, k, &x, PathVariant::One)?;
+            labels.name(t1.root, format!("r{j},1,1"))?;
+            labels.name(t2.root, format!("r{j},1,2"))?;
+            labels.tag(t1.root, "heavy-roots");
+            labels.tag(t2.root, "heavy-roots");
+            for &n in &t1.nodes {
+                labels.tag(n, format!("tree:{j},1,1"));
+            }
+            for &n in &t2.nodes {
+                labels.tag(n, format!("tree:{j},1,2"));
+            }
+            heavy_roots.push((t1.root, t2.root));
+        }
+
+        // Step 3: the connecting paths r_{j,1} — r_{j,1,1} and r_{j,2} — r_{j,1,2}.
+        for j in 1..=y {
+            let (h1, h2) = heavy_roots[(j - 1) as usize];
+            let r1 = labels.expect_node(&format!("r{j},1"));
+            let r2 = labels.expect_node(&format!("r{j},2"));
+            for (cycle_root, heavy_root) in [(r1, h1), (r2, h2)] {
+                let mut prev = cycle_root;
+                for step in 1..=k {
+                    let q = b.add_node();
+                    let prev_port = if step == 1 { d } else { 0 };
+                    b.add_edge(prev, prev_port, q, 1)?;
+                    prev = q;
+                }
+                let last_port = if k == 0 { d } else { 0 };
+                b.add_edge(prev, last_port, heavy_root, d - 1)?;
+            }
+        }
+
+        // Step 4: the Δ−1 pendant paths of length k+1 at each heavy root.
+        for &(h1, h2) in &heavy_roots {
+            for heavy_root in [h1, h2] {
+                for c in 1..=d - 1 {
+                    let mut prev = heavy_root;
+                    for step in 1..=k + 1 {
+                        let m = b.add_node();
+                        let prev_port = if step == 1 { d - 1 + c } else { 1 };
+                        b.add_edge(prev, prev_port, m, 0)?;
+                        prev = m;
+                    }
+                }
+            }
+        }
+
+        let graph = b.build()?;
+
+        // Port swaps defining the member G_σ.
+        let graph = match &sigma {
+            None => graph,
+            Some(sigma) => {
+                let mut swaps = Vec::with_capacity(2 * sigma.len());
+                for (j0, &s) in sigma.iter().enumerate() {
+                    let (h1, h2) = heavy_roots[j0];
+                    swaps.push((h1, d - 1, d - 1 + s));
+                    swaps.push((h2, d - 1, d - 1 + s));
+                }
+                anet_graph::permute::swap_ports_many(&graph, &swaps)?
+            }
+        };
+
+        Ok(UMember {
+            sigma,
+            labeled: LabeledGraph::new(graph, labels),
+            y,
+        })
+    }
+}
+
+impl UMember {
+    /// The cycle root `r_{j,b}`.
+    pub fn cycle_root(&self, j: u64, b: u8) -> NodeId {
+        self.labeled.node(&format!("r{j},{b}"))
+    }
+
+    /// The heavy root `r_{j,1,c}` (`c ∈ {1, 2}`).
+    pub fn heavy_root(&self, j: u64, c: u8) -> NodeId {
+        self.labeled.node(&format!("r{j},1,{c}"))
+    }
+
+    /// All cycle roots in cycle order `r_{1,1}, r_{1,2}, r_{2,1}, …`.
+    pub fn cycle_roots(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(2 * self.y as usize);
+        for j in 1..=self.y {
+            out.push(self.cycle_root(j, 1));
+            out.push(self.cycle_root(j, 2));
+        }
+        out
+    }
+
+    /// All heavy roots `r_{j,1,1}, r_{j,1,2}` in index order.
+    pub fn heavy_roots(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(2 * self.y as usize);
+        for j in 1..=self.y {
+            out.push(self.heavy_root(j, 1));
+            out.push(self.heavy_root(j, 2));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_views::{JointRefinement, Refinement};
+
+    fn small_class() -> UClass {
+        UClass::new(4, 1).unwrap()
+    }
+
+    fn some_sigma(class: &UClass, fill: u32) -> Vec<u32> {
+        vec![fill; class.y() as usize]
+    }
+
+    #[test]
+    fn class_size_matches_fact_3_1() {
+        let class = small_class();
+        assert_eq!(class.y(), 9);
+        assert_eq!(class.size().unwrap(), 3u64.pow(9));
+        assert!((class.log2_size() - 9.0 * 3f64.log2()).abs() < 1e-9);
+        // Δ=4, k=2: |T| = 729, so |U| = 3^729 overflows but the log is fine.
+        let big = UClass::new(4, 2).unwrap();
+        assert!(big.size().is_err());
+        assert!((big.log2_size() - 729.0 * 3f64.log2()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parameters_validated() {
+        assert!(UClass::new(3, 1).is_err());
+        assert!(UClass::new(4, 0).is_err());
+        let class = small_class();
+        assert!(class.member(&[1, 2]).is_err());
+        assert!(class.member(&some_sigma(&class, 5)).is_err());
+        assert!(class.member_by_index(0).is_err());
+    }
+
+    #[test]
+    fn template_degrees_match_the_construction() {
+        let class = small_class();
+        let u = class.template().unwrap();
+        let g = &u.labeled.graph;
+        let delta = class.delta;
+        // Cycle roots have degree Δ+2; heavy roots have degree 2Δ−1; the maximum degree
+        // of the graph is 2Δ−1 (as stated before Lemma 3.8 and in Theorem 3.11).
+        for r in u.cycle_roots() {
+            assert_eq!(g.degree(r), delta + 2);
+        }
+        for h in u.heavy_roots() {
+            assert_eq!(g.degree(h), 2 * delta - 1);
+        }
+        assert_eq!(g.max_degree(), 2 * delta - 1);
+        // Exactly 2y nodes of degree Δ+2 (the cycle roots) and 2y of degree 2Δ−1.
+        let hist = g.degree_histogram();
+        assert_eq!(hist[delta + 2], 2 * class.y() as usize);
+        assert_eq!(hist[2 * delta - 1], 2 * class.y() as usize);
+    }
+
+    #[test]
+    fn cycle_is_oriented_with_delta_plus_one_forward() {
+        let class = small_class();
+        let u = class.template().unwrap();
+        let g = &u.labeled.graph;
+        let d = class.delta as u32;
+        let roots = u.cycle_roots();
+        for idx in 0..roots.len() {
+            let a = roots[idx];
+            let next = roots[(idx + 1) % roots.len()];
+            assert_eq!(g.neighbor(a, d + 1), Some((next, d - 1)));
+        }
+    }
+
+    #[test]
+    fn member_swaps_ports_at_heavy_roots_only() {
+        let class = small_class();
+        let template = class.template().unwrap();
+        let mut sigma = some_sigma(&class, 1);
+        sigma[3] = 2;
+        let member = class.member(&sigma).unwrap();
+        let gt = &template.labeled.graph;
+        let gm = &member.labeled.graph;
+        let d = class.delta as u32;
+        // At heavy root r_{4,1,1} ports Δ−1 and Δ−1+2 are exchanged.
+        let h = member.heavy_root(4, 1);
+        assert_eq!(gm.neighbor(h, d - 1), gt.neighbor(h, d + 1));
+        assert_eq!(gm.neighbor(h, d + 1), gt.neighbor(h, d - 1));
+        // Cycle roots are untouched.
+        for r in member.cycle_roots() {
+            for p in 0..gm.degree(r) as u32 {
+                assert_eq!(gm.neighbor(r, p), gt.neighbor(r, p));
+            }
+        }
+        // Two members with different σ differ as graphs.
+        let other = class.member(&some_sigma(&class, 1)).unwrap();
+        assert_ne!(gm, &other.labeled.graph);
+    }
+
+    #[test]
+    fn cycle_roots_share_views_below_k_proposition_3_2() {
+        let class = small_class();
+        let m = class.member(&some_sigma(&class, 2)).unwrap();
+        let r = Refinement::compute(&m.labeled.graph, Some(class.k));
+        let roots = m.cycle_roots();
+        for h in 0..class.k {
+            for w in roots.windows(2) {
+                assert!(r.same_view(w[0], w[1], h), "depth {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_unique_node_below_k_lemma_3_6() {
+        let class = small_class();
+        let m = class.member(&some_sigma(&class, 3)).unwrap();
+        let r = Refinement::compute(&m.labeled.graph, Some(class.k));
+        for h in 0..class.k {
+            assert!(
+                r.unique_nodes_at(h).is_empty(),
+                "ψ_S ≥ k requires no unique view at depth {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_cycle_root_is_unique_at_depth_k_lemma_3_8() {
+        let class = small_class();
+        let m = class.member(&some_sigma(&class, 1)).unwrap();
+        let r = Refinement::compute(&m.labeled.graph, Some(class.k));
+        for root in m.cycle_roots() {
+            assert!(r.is_unique(root, class.k), "cycle root {root} at depth k");
+        }
+    }
+
+    #[test]
+    fn heavy_roots_pair_up_at_depth_k_claim_1() {
+        let class = small_class();
+        let m = class.member(&some_sigma(&class, 2)).unwrap();
+        let r = Refinement::compute(&m.labeled.graph, Some(class.k));
+        for j in 1..=class.y() {
+            let h1 = m.heavy_root(j, 1);
+            let h2 = m.heavy_root(j, 2);
+            assert!(r.same_view(h1, h2, class.k), "j = {j}");
+            assert_eq!(r.multiplicity(h1, class.k), 2, "j = {j}");
+        }
+        // Heavy roots of different indices are distinguishable at depth k.
+        let a = m.heavy_root(1, 1);
+        let c = m.heavy_root(2, 1);
+        assert!(!r.same_view(a, c, class.k));
+    }
+
+    #[test]
+    fn heavy_roots_look_the_same_across_members_theorem_3_11_ingredient() {
+        let class = small_class();
+        let mut sa = some_sigma(&class, 1);
+        let mut sb = some_sigma(&class, 1);
+        sa[4] = 1;
+        sb[4] = 3; // the two members differ (only) in s_5
+        let ga = class.member(&sa).unwrap();
+        let gb = class.member(&sb).unwrap();
+        let joint = JointRefinement::compute(&[&ga.labeled.graph, &gb.labeled.graph], Some(class.k));
+        for j in 1..=class.y() {
+            for c in [1u8, 2] {
+                let va = ga.heavy_root(j, c);
+                let vb = gb.heavy_root(j, c);
+                assert!(
+                    joint.same_view((0, va), (1, vb), class.k),
+                    "r_{{{j},1,{c}}} must be indistinguishable across members at depth k"
+                );
+            }
+        }
+        // Yet the two graphs are different (the swap at r_{5,1,1} differs), which is
+        // exactly why identical advice forces identical — hence wrong — outputs.
+        assert_ne!(ga.labeled.graph, gb.labeled.graph);
+    }
+
+    #[test]
+    fn member_by_index_round_trips_with_member() {
+        let class = small_class();
+        let by_idx = class.member_by_index(1).unwrap();
+        let direct = class.member(&some_sigma(&class, 1)).unwrap();
+        assert_eq!(by_idx.labeled.graph, direct.labeled.graph);
+        let last = class.member_by_index(class.size().unwrap()).unwrap();
+        let direct_last = class.member(&some_sigma(&class, 3)).unwrap();
+        assert_eq!(last.labeled.graph, direct_last.labeled.graph);
+    }
+}

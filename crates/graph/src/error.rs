@@ -1,0 +1,153 @@
+//! Error type for graph construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating a [`crate::PortGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id referenced by an operation does not exist.
+    UnknownNode {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the graph under construction.
+        num_nodes: u32,
+    },
+    /// A port was used twice at the same node.
+    DuplicatePort {
+        /// Node at which the duplicate occurred.
+        node: u32,
+        /// The port number used twice.
+        port: u32,
+    },
+    /// The same unordered node pair was connected by more than one edge.
+    ParallelEdge {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+    /// An edge connected a node to itself.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: u32,
+    },
+    /// After construction, the ports at some node were not exactly `0..deg`.
+    NonContiguousPorts {
+        /// Node with the gap.
+        node: u32,
+        /// The smallest missing port number.
+        missing_port: u32,
+        /// The degree of the node.
+        degree: u32,
+    },
+    /// The graph is not connected (the model requires connectivity).
+    Disconnected {
+        /// Number of nodes reachable from node 0.
+        reachable: u32,
+        /// Total number of nodes.
+        total: u32,
+    },
+    /// The graph has no nodes at all.
+    Empty,
+    /// A port swap or permutation referenced a port that does not exist at the node.
+    UnknownPort {
+        /// The node.
+        node: u32,
+        /// The missing port.
+        port: u32,
+        /// The degree of the node.
+        degree: u32,
+    },
+    /// A label name was attached to two different nodes.
+    DuplicateLabel {
+        /// The duplicated label.
+        label: String,
+    },
+    /// Generic invalid-parameter error for generators and constructions.
+    InvalidParameter {
+        /// Human readable explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode { node, num_nodes } => {
+                write!(f, "unknown node {node} (graph has {num_nodes} nodes)")
+            }
+            GraphError::DuplicatePort { node, port } => {
+                write!(f, "port {port} used twice at node {node}")
+            }
+            GraphError::ParallelEdge { u, v } => {
+                write!(f, "parallel edge between nodes {u} and {v}")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::NonContiguousPorts {
+                node,
+                missing_port,
+                degree,
+            } => write!(
+                f,
+                "ports at node {node} are not 0..{degree}: port {missing_port} is missing"
+            ),
+            GraphError::Disconnected { reachable, total } => write!(
+                f,
+                "graph is disconnected: only {reachable} of {total} nodes reachable from node 0"
+            ),
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::UnknownPort { node, port, degree } => {
+                write!(f, "node {node} has degree {degree}, port {port} does not exist")
+            }
+            GraphError::DuplicateLabel { label } => {
+                write!(f, "label {label:?} attached to more than one node")
+            }
+            GraphError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl GraphError {
+    /// Convenience constructor for [`GraphError::InvalidParameter`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        GraphError::InvalidParameter {
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offenders() {
+        let e = GraphError::UnknownNode {
+            node: 7,
+            num_nodes: 3,
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+
+        let e = GraphError::DuplicatePort { node: 2, port: 5 };
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('5'));
+
+        let e = GraphError::invalid("delta must be at least 3");
+        assert!(e.to_string().contains("delta must be at least 3"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            GraphError::SelfLoop { node: 1 },
+            GraphError::SelfLoop { node: 1 }
+        );
+        assert_ne!(
+            GraphError::SelfLoop { node: 1 },
+            GraphError::SelfLoop { node: 2 }
+        );
+    }
+}

@@ -1,0 +1,409 @@
+//! Generators of standard port-numbered graph families.
+//!
+//! These families are used by unit/property tests, examples and benchmarks:
+//! simple deterministic topologies with explicit port conventions, and random
+//! connected graphs for property tests. The paper-specific constructions
+//! (`G_{Δ,k}`, `U_{Δ,k}`, `J_{μ,k}`) live in the `anet-constructions` crate.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{NodeId, PortGraph};
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Path on `n ≥ 1` nodes. Interior nodes use port 0 towards the lower-indexed
+/// neighbour and port 1 towards the higher-indexed one; the end nodes use port 0.
+pub fn path(n: usize) -> Result<PortGraph> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    if n == 1 {
+        // A single node has no ports; it is a legal (degenerate) network.
+        return PortGraph::from_adjacency(vec![vec![]]);
+    }
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..n - 1 {
+        let u = i as NodeId;
+        let v = (i + 1) as NodeId;
+        let pu = if i == 0 { 0 } else { 1 };
+        b.add_edge(u, pu, v, 0)?;
+    }
+    b.build()
+}
+
+/// The 3-node line with ports `0, 0, 1, 0` from left to right — the paper's example
+/// (Section 1) of a graph with `ψ_CPPE(G) = 1`.
+pub fn paper_three_node_line() -> PortGraph {
+    let mut b = GraphBuilder::with_nodes(3);
+    b.add_edge(0, 0, 1, 0).expect("valid");
+    b.add_edge(1, 1, 2, 0).expect("valid");
+    b.build().expect("valid")
+}
+
+/// Directed-looking ring on `n ≥ 3` nodes: at every node, port 0 leads "clockwise" and
+/// port 1 leads "counter-clockwise". This is the fully symmetric ring: no deterministic
+/// leader election is possible on it (all views are equal), which makes it the standard
+/// *infeasible* example in tests.
+pub fn symmetric_ring(n: usize) -> Result<PortGraph> {
+    if n < 3 {
+        return Err(GraphError::invalid("symmetric_ring requires n >= 3"));
+    }
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..n {
+        let u = i as NodeId;
+        let v = ((i + 1) % n) as NodeId;
+        b.add_edge(u, 0, v, 1)?;
+    }
+    b.build()
+}
+
+/// Ring on `n ≥ 3` nodes whose port assignment is given per node: `orientation[i]`
+/// tells whether node `i` uses port 0 clockwise (`true`) or counter-clockwise
+/// (`false`). Choosing a non-rotation-symmetric orientation pattern yields *feasible*
+/// rings (all views distinct), which are the simplest interesting inputs for election.
+pub fn oriented_ring(orientation: &[bool]) -> Result<PortGraph> {
+    let n = orientation.len();
+    if n < 3 {
+        return Err(GraphError::invalid("oriented_ring requires n >= 3"));
+    }
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..n {
+        let u = i as NodeId;
+        let v = ((i + 1) % n) as NodeId;
+        let pu = if orientation[i] { 0 } else { 1 };
+        let pv = if orientation[(i + 1) % n] { 1 } else { 0 };
+        b.add_edge(u, pu, v, pv)?;
+    }
+    b.build()
+}
+
+/// Cycle with ports alternately labelled 0 and 1 along the cycle, as used by the
+/// construction of `G_{Δ,k}` ("a cycle of `4i−1` nodes with ports alternately labeled
+/// 0 and 1"). On an odd cycle this is realised by: each edge `(c_m, c_{m+1})` gets
+/// port 0 at `c_m` and port 1 at `c_{m+1}` — so every node has port 0 towards its
+/// successor and port 1 towards its predecessor, matching Figure 2.
+pub fn alternating_cycle(n: usize) -> Result<PortGraph> {
+    symmetric_ring(n)
+}
+
+/// Star with `leaves ≥ 1` leaves. The centre (node 0) has ports `0..leaves` in leaf
+/// order; every leaf uses port 0.
+pub fn star(leaves: usize) -> Result<PortGraph> {
+    if leaves == 0 {
+        return Err(GraphError::invalid("star requires at least one leaf"));
+    }
+    let mut b = GraphBuilder::with_nodes(leaves + 1);
+    for l in 0..leaves {
+        b.add_edge(0, l as u32, (l + 1) as NodeId, 0)?;
+    }
+    b.build()
+}
+
+/// Complete graph on `n ≥ 2` nodes. Node `i`'s port towards node `j` is
+/// `j` if `j < i`, else `j − 1` (the natural "skip yourself" numbering).
+pub fn complete(n: usize) -> Result<PortGraph> {
+    if n < 2 {
+        return Err(GraphError::invalid("complete requires n >= 2"));
+    }
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let pi = (j - 1) as u32; // j > i, so skip-yourself index of j at i is j-1
+            let pj = i as u32; // i < j, so skip-yourself index of i at j is i
+            b.add_edge(i as NodeId, pi, j as NodeId, pj)?;
+        }
+    }
+    b.build()
+}
+
+/// `d`-dimensional hypercube (`2^d` nodes). The port of the edge flipping bit `b` is
+/// `b` at both endpoints — a fully symmetric (hence infeasible) network.
+pub fn hypercube(d: usize) -> Result<PortGraph> {
+    if d == 0 {
+        return Err(GraphError::invalid("hypercube requires d >= 1"));
+    }
+    if d > 20 {
+        return Err(GraphError::invalid("hypercube dimension too large"));
+    }
+    let n = 1usize << d;
+    let mut b = GraphBuilder::with_nodes(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if v < u {
+                b.add_edge(v as NodeId, bit as u32, u as NodeId, bit as u32)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Full `arity`-ary rooted tree of the given `height` using the paper's Section 4 port
+/// convention for `T^h`: the root has degree `arity` with ports `0..arity` towards its
+/// children; every internal node has port `arity` towards its parent and ports
+/// `0..arity` towards its children; every leaf has port 0 towards its parent.
+/// Returns the graph and the id of the root (always 0).
+pub fn full_tree(arity: usize, height: usize) -> Result<(PortGraph, NodeId)> {
+    if arity == 0 {
+        return Err(GraphError::invalid("full_tree requires arity >= 1"));
+    }
+    if height == 0 {
+        return Ok((PortGraph::from_adjacency(vec![vec![]])?, 0));
+    }
+    let mut b = GraphBuilder::new();
+    let root = b.add_node();
+    // frontier: nodes of the current level awaiting children.
+    let mut frontier = vec![root];
+    for level in 1..=height {
+        let mut next = Vec::with_capacity(frontier.len() * arity);
+        for &parent in &frontier {
+            for c in 0..arity {
+                let child = b.add_node();
+                // Port at the parent towards this child.
+                let parent_port = c as u32;
+                // Port at the child towards the parent.
+                let child_port = if level == height {
+                    0 // leaves: single port 0 to the parent
+                } else {
+                    arity as u32 // internal nodes: port `arity` to the parent
+                };
+                b.add_edge(parent, parent_port, child, child_port)?;
+                next.push(child);
+            }
+        }
+        frontier = next;
+    }
+    Ok((b.build()?, root))
+}
+
+/// Random connected port-numbered graph on `n ≥ 2` nodes with maximum degree at most
+/// `max_degree ≥ 2`. Construction: a random spanning tree (random attachment), then
+/// extra random edges are attempted until `extra_edges` have been added or too many
+/// attempts fail. Port numbers are assigned in arrival order, then shuffled per node so
+/// the port labelling is itself random. Deterministic for a fixed `seed`.
+pub fn random_connected(
+    n: usize,
+    max_degree: usize,
+    extra_edges: usize,
+    seed: u64,
+) -> Result<PortGraph> {
+    if n < 2 {
+        return Err(GraphError::invalid("random_connected requires n >= 2"));
+    }
+    if max_degree < 2 {
+        return Err(GraphError::invalid(
+            "random_connected requires max_degree >= 2",
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_nodes(n);
+    let mut degree = vec![0usize; n];
+
+    // Random spanning tree: attach node i to a uniformly random earlier node with
+    // spare degree. Node ids are first shuffled so the tree shape is not biased by id.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for idx in 1..n {
+        let v = order[idx];
+        // Candidates: earlier nodes in the order with spare capacity.
+        let candidates: Vec<usize> = order[..idx]
+            .iter()
+            .copied()
+            .filter(|&u| degree[u] + 1 < max_degree || (idx == 1 && degree[u] < max_degree))
+            .collect();
+        let candidates = if candidates.is_empty() {
+            order[..idx]
+                .iter()
+                .copied()
+                .filter(|&u| degree[u] < max_degree)
+                .collect()
+        } else {
+            candidates
+        };
+        if candidates.is_empty() {
+            return Err(GraphError::invalid(
+                "max_degree too small to build a connected graph of this size",
+            ));
+        }
+        let u = candidates[rng.gen_range(0..candidates.len())];
+        b.add_edge_auto(u as NodeId, v as NodeId)?;
+        degree[u] += 1;
+        degree[v] += 1;
+    }
+
+    // Extra edges.
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < extra_edges && attempts < 50 * (extra_edges + 1) {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || degree[u] >= max_degree || degree[v] >= max_degree {
+            continue;
+        }
+        if b.has_edge(u as NodeId, v as NodeId) {
+            continue;
+        }
+        b.add_edge_auto(u as NodeId, v as NodeId)?;
+        degree[u] += 1;
+        degree[v] += 1;
+        added += 1;
+    }
+
+    let g = b.build()?;
+    // Shuffle port labels per node to randomise the port numbering itself.
+    let perms: Vec<Vec<u32>> = g
+        .nodes()
+        .map(|v| {
+            let d = g.degree(v);
+            let mut p: Vec<u32> = (0..d as u32).collect();
+            p.shuffle(&mut rng);
+            p
+        })
+        .collect();
+    crate::permute::permute_ports(&g, &perms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_ports_follow_convention() {
+        let g = path(4).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        // Interior node 1: port 0 to the left (node 0), port 1 to the right (node 2).
+        assert_eq!(g.neighbor(1, 0), Some((0, 0)));
+        assert_eq!(g.neighbor(1, 1), Some((2, 0)));
+    }
+
+    #[test]
+    fn single_node_path_is_legal() {
+        let g = path(1).unwrap();
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(0), 0);
+    }
+
+    #[test]
+    fn paper_line_matches_paper_ports() {
+        let g = paper_three_node_line();
+        assert_eq!(g.neighbor(0, 0), Some((1, 0)));
+        assert_eq!(g.neighbor(1, 1), Some((2, 0)));
+    }
+
+    #[test]
+    fn symmetric_ring_is_regular_and_uniform() {
+        let g = symmetric_ring(5).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 5);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+            // port 0 goes clockwise: the neighbour's port on that edge is 1.
+            let (_, q) = g.neighbor(v, 0).unwrap();
+            assert_eq!(q, 1);
+        }
+    }
+
+    #[test]
+    fn oriented_ring_respects_orientation() {
+        let g = oriented_ring(&[true, true, false, true]).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        // Node 2 has orientation=false: its port 0 points counter-clockwise (to node 1).
+        assert_eq!(g.neighbor(2, 1).unwrap().0, 3);
+        assert_eq!(g.neighbor(2, 0).unwrap().0, 1);
+    }
+
+    #[test]
+    fn ring_too_small_rejected() {
+        assert!(symmetric_ring(2).is_err());
+        assert!(oriented_ring(&[true, false]).is_err());
+    }
+
+    #[test]
+    fn star_and_complete_counts() {
+        let s = star(4).unwrap();
+        assert_eq!(s.degree(0), 4);
+        assert_eq!(s.num_edges(), 4);
+
+        let k5 = complete(5).unwrap();
+        assert_eq!(k5.num_edges(), 10);
+        assert!(k5.nodes().all(|v| k5.degree(v) == 4));
+        // Skip-yourself port convention.
+        assert_eq!(k5.neighbor(0, 0), Some((1, 0)));
+        assert_eq!(k5.neighbor(2, 0), Some((0, 1)));
+        assert_eq!(k5.neighbor(2, 1), Some((1, 1)));
+        assert_eq!(k5.neighbor(2, 2), Some((3, 2)));
+    }
+
+    #[test]
+    fn hypercube_is_symmetric() {
+        let q3 = hypercube(3).unwrap();
+        assert_eq!(q3.num_nodes(), 8);
+        assert_eq!(q3.num_edges(), 12);
+        for v in q3.nodes() {
+            for (p, _, q) in q3.ports(v) {
+                assert_eq!(p, q, "hypercube edges use the same port at both ends");
+            }
+        }
+    }
+
+    #[test]
+    fn full_tree_shape_and_ports() {
+        let (t, root) = full_tree(3, 2).unwrap();
+        // 1 + 3 + 9 nodes.
+        assert_eq!(t.num_nodes(), 13);
+        assert_eq!(t.degree(root), 3);
+        // Children of the root are internal: degree 4 with port 3 to the parent.
+        let (child, _) = t.neighbor(root, 0).unwrap();
+        assert_eq!(t.degree(child), 4);
+        assert_eq!(t.neighbor(child, 3).unwrap().0, root);
+        // Leaves have degree 1.
+        assert_eq!(t.degree_histogram()[1], 9);
+    }
+
+    #[test]
+    fn full_tree_height_zero_is_single_node() {
+        let (t, root) = full_tree(5, 0).unwrap();
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(root, 0);
+    }
+
+    #[test]
+    fn random_connected_is_valid_and_deterministic() {
+        let g1 = random_connected(40, 5, 15, 42).unwrap();
+        let g2 = random_connected(40, 5, 15, 42).unwrap();
+        assert_eq!(g1, g2, "same seed must give the same graph");
+        assert!(g1.max_degree() <= 5);
+        assert_eq!(g1.num_nodes(), 40);
+        assert!(g1.num_edges() >= 39);
+
+        let g3 = random_connected(40, 5, 15, 43).unwrap();
+        assert_ne!(g1, g3, "different seeds should differ (overwhelmingly likely)");
+    }
+
+    #[test]
+    fn random_connected_respects_degree_cap_two() {
+        // With max_degree=2 the only connected graphs are paths/cycles; the generator
+        // must still succeed.
+        let g = random_connected(12, 2, 0, 7).unwrap();
+        assert!(g.max_degree() <= 2);
+        assert_eq!(g.num_nodes(), 12);
+    }
+
+    #[test]
+    fn generator_parameter_validation() {
+        assert!(path(0).is_err());
+        assert!(star(0).is_err());
+        assert!(complete(1).is_err());
+        assert!(hypercube(0).is_err());
+        assert!(full_tree(0, 3).is_err());
+        assert!(random_connected(1, 3, 0, 0).is_err());
+        assert!(random_connected(5, 1, 0, 0).is_err());
+    }
+}

@@ -1,0 +1,501 @@
+//! The core [`PortGraph`] type: a validated, immutable, anonymous port-numbered graph.
+
+use crate::error::GraphError;
+use crate::Result;
+use std::collections::VecDeque;
+
+/// Index of a node. Nodes are anonymous in the model; these ids exist only so the
+/// *simulation infrastructure* (and oracles, which see the whole graph) can address
+/// nodes. Distributed algorithms never observe them.
+pub type NodeId = u32;
+
+/// A local port number at a node. At a node of degree `d` the ports are exactly
+/// `0..d`, with no relation between the two port numbers of an edge.
+pub type Port = u32;
+
+/// A single undirected edge together with its two port numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeRef {
+    /// First endpoint.
+    pub u: NodeId,
+    /// Port number of the edge at `u`.
+    pub port_u: Port,
+    /// Second endpoint.
+    pub v: NodeId,
+    /// Port number of the edge at `v`.
+    pub port_v: Port,
+}
+
+impl EdgeRef {
+    /// The same edge seen from the other endpoint.
+    pub fn reversed(self) -> EdgeRef {
+        EdgeRef {
+            u: self.v,
+            port_u: self.port_v,
+            v: self.u,
+            port_v: self.port_u,
+        }
+    }
+}
+
+/// An anonymous, simple, undirected, connected port-numbered graph.
+///
+/// Internally the graph stores, for every node `v` and every port `p` at `v`, the pair
+/// `(u, q)` where `u` is the neighbour reached through port `p` and `q` is the port of
+/// the same edge at `u`. All invariants of the model (ports are `0..deg(v)`, the port
+/// map is an involution, simplicity, connectivity) are validated at construction time
+/// by [`crate::GraphBuilder::build`], so every `PortGraph` value is a legal network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortGraph {
+    /// `adj[v][p] = (u, q)`.
+    adj: Vec<Vec<(NodeId, Port)>>,
+    /// Total number of undirected edges.
+    num_edges: usize,
+}
+
+impl PortGraph {
+    /// Construct from a fully specified adjacency structure, validating every model
+    /// invariant. Prefer [`crate::GraphBuilder`], which produces this structure safely.
+    pub fn from_adjacency(adj: Vec<Vec<(NodeId, Port)>>) -> Result<Self> {
+        if adj.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let n = adj.len() as u32;
+        let mut num_edges = 0usize;
+        for (v, ports) in adj.iter().enumerate() {
+            let v = v as NodeId;
+            for (p, &(u, q)) in ports.iter().enumerate() {
+                let p = p as Port;
+                if u >= n {
+                    return Err(GraphError::UnknownNode {
+                        node: u,
+                        num_nodes: n,
+                    });
+                }
+                if u == v {
+                    return Err(GraphError::SelfLoop { node: v });
+                }
+                // The port map must be an involution: the entry at (u, q) must be (v, p).
+                let back = adj[u as usize].get(q as usize).copied();
+                if back != Some((v, p)) {
+                    return Err(GraphError::NonContiguousPorts {
+                        node: u,
+                        missing_port: q,
+                        degree: adj[u as usize].len() as u32,
+                    });
+                }
+                num_edges += 1;
+            }
+            // Simplicity: no two ports of v may lead to the same neighbour.
+            let mut targets: Vec<NodeId> = ports.iter().map(|&(u, _)| u).collect();
+            targets.sort_unstable();
+            for w in targets.windows(2) {
+                if w[0] == w[1] {
+                    return Err(GraphError::ParallelEdge { u: v, v: w[0] });
+                }
+            }
+        }
+        debug_assert!(num_edges % 2 == 0);
+        let g = PortGraph {
+            adj,
+            num_edges: num_edges / 2,
+        };
+        let reachable = g.bfs_distances(0).iter().filter(|d| d.is_some()).count() as u32;
+        if reachable != n {
+            return Err(GraphError::Disconnected {
+                reachable,
+                total: n,
+            });
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes (`n` in the paper).
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Maximum degree `Δ`.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Minimum degree.
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// The neighbour reached from `v` through port `p`, together with the port of the
+    /// same edge at the neighbour. Returns `None` if `p ≥ deg(v)`.
+    pub fn neighbor(&self, v: NodeId, p: Port) -> Option<(NodeId, Port)> {
+        self.adj[v as usize].get(p as usize).copied()
+    }
+
+    /// Iterator over `(port, neighbour, neighbour_port)` triples at node `v`, in port
+    /// order — exactly the local information a node of the network has about its edges.
+    pub fn ports(&self, v: NodeId) -> impl Iterator<Item = (Port, NodeId, Port)> + '_ {
+        self.adj[v as usize]
+            .iter()
+            .enumerate()
+            .map(|(p, &(u, q))| (p as Port, u, q))
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.adj.len() as NodeId
+    }
+
+    /// Iterator over every undirected edge, reported once with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.nodes().flat_map(move |v| {
+            self.ports(v).filter_map(move |(p, u, q)| {
+                if v < u {
+                    Some(EdgeRef {
+                        u: v,
+                        port_u: p,
+                        v: u,
+                        port_v: q,
+                    })
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// The port at `v` of the edge `{v, u}`, if such an edge exists.
+    pub fn port_towards(&self, v: NodeId, u: NodeId) -> Option<Port> {
+        self.ports(v)
+            .find(|&(_, w, _)| w == u)
+            .map(|(p, _, _)| p)
+    }
+
+    /// BFS distances from `source`; `None` for unreachable nodes (cannot happen in a
+    /// validated graph but the helper is also used during validation and on subgraphs).
+    pub fn bfs_distances(&self, source: NodeId) -> Vec<Option<u32>> {
+        self.bfs_distances_avoiding(source, None)
+    }
+
+    /// BFS distances from `source` in the graph with the node `avoid` (if any) removed.
+    /// Used by the Port Election verifier: a simple path from `v`'s neighbour to the
+    /// leader avoiding `v` exists iff the leader is reachable in `G − v`.
+    pub fn bfs_distances_avoiding(&self, source: NodeId, avoid: Option<NodeId>) -> Vec<Option<u32>> {
+        let n = self.num_nodes();
+        let mut dist = vec![None; n];
+        if Some(source) == avoid {
+            return dist;
+        }
+        dist[source as usize] = Some(0);
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v as usize].expect("queued node has a distance");
+            for (_, u, _) in self.ports(v) {
+                if Some(u) == avoid {
+                    continue;
+                }
+                if dist[u as usize].is_none() {
+                    dist[u as usize] = Some(dv + 1);
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Distance between two nodes.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> u32 {
+        self.bfs_distances(u)[v as usize].expect("validated graphs are connected")
+    }
+
+    /// Eccentricity of a node: maximum distance to any other node.
+    pub fn eccentricity(&self, v: NodeId) -> u32 {
+        self.bfs_distances(v)
+            .iter()
+            .map(|d| d.expect("connected"))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Diameter of the graph (maximum eccentricity). `O(n·m)`; fine for the graph sizes
+    /// used in tests and experiments.
+    pub fn diameter(&self) -> u32 {
+        self.nodes().map(|v| self.eccentricity(v)).max().unwrap_or(0)
+    }
+
+    /// One shortest path from `u` to `v` as a list of nodes (including both endpoints).
+    pub fn shortest_path(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        let n = self.num_nodes();
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[u as usize] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(u);
+        while let Some(x) = queue.pop_front() {
+            if x == v {
+                break;
+            }
+            for (_, y, _) in self.ports(x) {
+                if !seen[y as usize] {
+                    seen[y as usize] = true;
+                    prev[y as usize] = Some(x);
+                    queue.push_back(y);
+                }
+            }
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != u {
+            cur = prev[cur as usize].expect("connected graph: path exists");
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Outgoing-port labels along a node path: for consecutive nodes `(a, b)` the port
+    /// at `a` of the edge `{a, b}`. Panics if the path uses a non-edge.
+    pub fn outgoing_ports_of_path(&self, path: &[NodeId]) -> Vec<Port> {
+        path.windows(2)
+            .map(|w| {
+                self.port_towards(w[0], w[1])
+                    .expect("consecutive path nodes must be adjacent")
+            })
+            .collect()
+    }
+
+    /// Both port labels along a node path: for consecutive `(a, b)` the pair
+    /// `(port at a, port at b)` of the edge `{a, b}` — the encoding used by the CPPE task.
+    pub fn full_ports_of_path(&self, path: &[NodeId]) -> Vec<(Port, Port)> {
+        path.windows(2)
+            .map(|w| {
+                let p = self
+                    .port_towards(w[0], w[1])
+                    .expect("consecutive path nodes must be adjacent");
+                let (_, q) = self.neighbor(w[0], p).expect("port exists");
+                (p, q)
+            })
+            .collect()
+    }
+
+    /// Follow a sequence of *outgoing* ports starting at `start`. Returns the visited
+    /// nodes (including `start`), or `None` if some port does not exist at the current
+    /// node. This is how a PPE output is interpreted.
+    pub fn follow_outgoing_ports(&self, start: NodeId, ports: &[Port]) -> Option<Vec<NodeId>> {
+        let mut nodes = Vec::with_capacity(ports.len() + 1);
+        nodes.push(start);
+        let mut cur = start;
+        for &p in ports {
+            let (u, _) = self.neighbor(cur, p)?;
+            nodes.push(u);
+            cur = u;
+        }
+        Some(nodes)
+    }
+
+    /// Follow a sequence of `(outgoing, incoming)` port pairs starting at `start`,
+    /// checking that the incoming port of every traversed edge matches. This is how a
+    /// CPPE output `(p_1, q_1, …, p_k, q_k)` is interpreted.
+    pub fn follow_full_ports(&self, start: NodeId, ports: &[(Port, Port)]) -> Option<Vec<NodeId>> {
+        let mut nodes = Vec::with_capacity(ports.len() + 1);
+        nodes.push(start);
+        let mut cur = start;
+        for &(p, q) in ports {
+            let (u, q_actual) = self.neighbor(cur, p)?;
+            if q_actual != q {
+                return None;
+            }
+            nodes.push(u);
+            cur = u;
+        }
+        Some(nodes)
+    }
+
+    /// Does the node sequence form a *simple* path (no repeated node)?
+    pub fn is_simple_node_sequence(path: &[NodeId]) -> bool {
+        let mut sorted = path.to_vec();
+        sorted.sort_unstable();
+        sorted.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// Degree sequence, sorted descending. Handy fingerprint in tests.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut ds: Vec<usize> = self.nodes().map(|v| self.degree(v)).collect();
+        ds.sort_unstable_by(|a, b| b.cmp(a));
+        ds
+    }
+
+    /// Count of nodes having each degree, indexed by degree (length `Δ + 1`).
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_degree() + 1];
+        for v in self.nodes() {
+            hist[self.degree(v)] += 1;
+        }
+        hist
+    }
+
+    /// Access to the raw adjacency (read-only); used by the permutation utilities.
+    pub(crate) fn adjacency(&self) -> &Vec<Vec<(NodeId, Port)>> {
+        &self.adj
+    }
+
+    /// Consume the graph and return its raw adjacency.
+    pub fn into_adjacency(self) -> Vec<Vec<(NodeId, Port)>> {
+        self.adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// The 3-node line with ports 0,0,1,0 from left to right, used in the paper's
+    /// introduction as an example with `ψ_CPPE = 1`.
+    fn three_node_line() -> PortGraph {
+        let mut b = GraphBuilder::with_nodes(3);
+        b.add_edge(0, 0, 1, 0).unwrap();
+        b.add_edge(1, 1, 2, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = three_node_line();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 1);
+        assert_eq!(g.degree_sequence(), vec![2, 1, 1]);
+        assert_eq!(g.degree_histogram(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn neighbor_lookup_and_port_towards() {
+        let g = three_node_line();
+        assert_eq!(g.neighbor(0, 0), Some((1, 0)));
+        assert_eq!(g.neighbor(1, 0), Some((0, 0)));
+        assert_eq!(g.neighbor(1, 1), Some((2, 0)));
+        assert_eq!(g.neighbor(2, 0), Some((1, 1)));
+        assert_eq!(g.neighbor(0, 1), None);
+        assert_eq!(g.port_towards(1, 2), Some(1));
+        assert_eq!(g.port_towards(2, 1), Some(0));
+        assert_eq!(g.port_towards(0, 2), None);
+    }
+
+    #[test]
+    fn distances_and_diameter() {
+        let g = three_node_line();
+        assert_eq!(g.distance(0, 2), 2);
+        assert_eq!(g.distance(0, 0), 0);
+        assert_eq!(g.diameter(), 2);
+        assert_eq!(g.eccentricity(1), 1);
+    }
+
+    #[test]
+    fn bfs_avoiding_disconnects() {
+        let g = three_node_line();
+        // Removing the middle node separates the endpoints.
+        let d = g.bfs_distances_avoiding(0, Some(1));
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], None);
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    fn shortest_path_and_port_extraction() {
+        let g = three_node_line();
+        let path = g.shortest_path(0, 2);
+        assert_eq!(path, vec![0, 1, 2]);
+        assert_eq!(g.outgoing_ports_of_path(&path), vec![0, 1]);
+        assert_eq!(g.full_ports_of_path(&path), vec![(0, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn follow_ports_round_trips() {
+        let g = three_node_line();
+        assert_eq!(g.follow_outgoing_ports(0, &[0, 1]), Some(vec![0, 1, 2]));
+        assert_eq!(g.follow_outgoing_ports(0, &[1]), None);
+        assert_eq!(g.follow_full_ports(0, &[(0, 0), (1, 0)]), Some(vec![0, 1, 2]));
+        // Wrong incoming port is rejected.
+        assert_eq!(g.follow_full_ports(0, &[(0, 1)]), None);
+    }
+
+    #[test]
+    fn edge_iteration_reports_each_edge_once() {
+        let g = three_node_line();
+        let edges: Vec<EdgeRef> = g.edges().collect();
+        assert_eq!(edges.len(), 2);
+        assert!(edges.iter().all(|e| e.u < e.v));
+        let rev = edges[0].reversed();
+        assert_eq!(rev.u, edges[0].v);
+        assert_eq!(rev.port_u, edges[0].port_v);
+    }
+
+    #[test]
+    fn from_adjacency_rejects_broken_involution() {
+        // Port map not symmetric: node 1 thinks its port 0 goes back to (0,1).
+        let adj = vec![vec![(1, 0)], vec![(0, 1)]];
+        assert!(PortGraph::from_adjacency(adj).is_err());
+    }
+
+    #[test]
+    fn from_adjacency_rejects_self_loop_and_disconnected() {
+        let adj = vec![vec![(0, 0)]];
+        assert!(matches!(
+            PortGraph::from_adjacency(adj),
+            Err(GraphError::SelfLoop { node: 0 })
+        ));
+
+        // Two disjoint edges: 0-1 and 2-3.
+        let adj = vec![
+            vec![(1, 0)],
+            vec![(0, 0)],
+            vec![(3, 0)],
+            vec![(2, 0)],
+        ];
+        assert!(matches!(
+            PortGraph::from_adjacency(adj),
+            Err(GraphError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn from_adjacency_rejects_parallel_edges() {
+        // Two nodes joined by two edges.
+        let adj = vec![vec![(1, 0), (1, 1)], vec![(0, 0), (0, 1)]];
+        assert!(matches!(
+            PortGraph::from_adjacency(adj),
+            Err(GraphError::ParallelEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert!(matches!(
+            PortGraph::from_adjacency(vec![]),
+            Err(GraphError::Empty)
+        ));
+    }
+
+    #[test]
+    fn simple_node_sequence_check() {
+        assert!(PortGraph::is_simple_node_sequence(&[0, 1, 2]));
+        assert!(!PortGraph::is_simple_node_sequence(&[0, 1, 0]));
+        assert!(PortGraph::is_simple_node_sequence(&[5]));
+        assert!(PortGraph::is_simple_node_sequence(&[]));
+    }
+}

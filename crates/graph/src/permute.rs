@@ -1,0 +1,264 @@
+//! Port permutations and node relabellings.
+//!
+//! The lower-bound constructions of the paper generate whole graph classes by
+//! *swapping ports* at designated nodes of a template graph (Section 3, Part 5 of
+//! Section 4). These helpers implement such operations while re-validating the result.
+
+use crate::error::GraphError;
+use crate::graph::{NodeId, Port, PortGraph};
+use crate::Result;
+
+/// Swap two ports `p1` and `p2` at node `v`, returning a new graph.
+///
+/// After the swap, the edge previously reached through `p1` is reached through `p2`
+/// and vice versa; the port numbers at the *other* endpoints are unaffected.
+pub fn swap_ports(g: &PortGraph, v: NodeId, p1: Port, p2: Port) -> Result<PortGraph> {
+    let deg = g.degree(v) as u32;
+    for p in [p1, p2] {
+        if p >= deg {
+            return Err(GraphError::UnknownPort {
+                node: v,
+                port: p,
+                degree: deg,
+            });
+        }
+    }
+    if p1 == p2 {
+        return Ok(g.clone());
+    }
+    let mut adj = g.adjacency().clone();
+    adj[v as usize].swap(p1 as usize, p2 as usize);
+    // Fix the back-pointers of the two affected edges.
+    for p in [p1, p2] {
+        let (u, q) = adj[v as usize][p as usize];
+        adj[u as usize][q as usize] = (v, p);
+    }
+    PortGraph::from_adjacency(adj)
+}
+
+/// Apply several port swaps in sequence (each `(node, p1, p2)`).
+pub fn swap_ports_many(g: &PortGraph, swaps: &[(NodeId, Port, Port)]) -> Result<PortGraph> {
+    // Perform all swaps on a single adjacency copy for efficiency; validate once.
+    let mut adj = g.adjacency().clone();
+    for &(v, p1, p2) in swaps {
+        let deg = adj[v as usize].len() as u32;
+        for p in [p1, p2] {
+            if p >= deg {
+                return Err(GraphError::UnknownPort {
+                    node: v,
+                    port: p,
+                    degree: deg,
+                });
+            }
+        }
+        if p1 == p2 {
+            continue;
+        }
+        adj[v as usize].swap(p1 as usize, p2 as usize);
+        for p in [p1, p2] {
+            let (u, q) = adj[v as usize][p as usize];
+            adj[u as usize][q as usize] = (v, p);
+        }
+    }
+    PortGraph::from_adjacency(adj)
+}
+
+/// Apply a full port permutation at every node: `perms[v][p]` is the *new* port number
+/// of the edge currently at port `p` of node `v`. Every `perms[v]` must be a
+/// permutation of `0..deg(v)`.
+pub fn permute_ports(g: &PortGraph, perms: &[Vec<Port>]) -> Result<PortGraph> {
+    if perms.len() != g.num_nodes() {
+        return Err(GraphError::invalid(
+            "permute_ports: one permutation per node is required",
+        ));
+    }
+    let n = g.num_nodes();
+    let mut adj: Vec<Vec<(NodeId, Port)>> = (0..n).map(|v| vec![(0, 0); g.degree(v as u32)]).collect();
+    for v in g.nodes() {
+        let perm = &perms[v as usize];
+        if perm.len() != g.degree(v) {
+            return Err(GraphError::invalid(format!(
+                "permute_ports: permutation at node {v} has wrong length"
+            )));
+        }
+        let mut seen = vec![false; perm.len()];
+        for &np in perm {
+            if np as usize >= perm.len() || seen[np as usize] {
+                return Err(GraphError::invalid(format!(
+                    "permute_ports: not a permutation at node {v}"
+                )));
+            }
+            seen[np as usize] = true;
+        }
+    }
+    for v in g.nodes() {
+        for (p, u, q) in g.ports(v) {
+            let np = perms[v as usize][p as usize];
+            let nq = perms[u as usize][q as usize];
+            adj[v as usize][np as usize] = (u, nq);
+        }
+    }
+    PortGraph::from_adjacency(adj)
+}
+
+/// Relabel nodes by a permutation: `perm[old] = new`. Ports are untouched. The result
+/// is port-preserving isomorphic to the input — anonymous algorithms cannot tell them
+/// apart, which is what the property tests assert.
+pub fn relabel_nodes(g: &PortGraph, perm: &[NodeId]) -> Result<PortGraph> {
+    let n = g.num_nodes();
+    if perm.len() != n {
+        return Err(GraphError::invalid("relabel_nodes: wrong permutation length"));
+    }
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p as usize >= n || seen[p as usize] {
+            return Err(GraphError::invalid("relabel_nodes: not a permutation"));
+        }
+        seen[p as usize] = true;
+    }
+    let mut adj: Vec<Vec<(NodeId, Port)>> = vec![Vec::new(); n];
+    for v in g.nodes() {
+        let nv = perm[v as usize] as usize;
+        adj[nv] = g
+            .ports(v)
+            .map(|(_, u, q)| (perm[u as usize], q))
+            .collect();
+    }
+    PortGraph::from_adjacency(adj)
+}
+
+/// Check whether `map` (a node bijection, `map[a] = b`) is a port-preserving
+/// isomorphism from `a` to `b`: it must map the edge at port `p` of `v` to the edge at
+/// port `p` of `map[v]`, preserving the far-end port as well.
+pub fn is_port_isomorphism(a: &PortGraph, b: &PortGraph, map: &[NodeId]) -> bool {
+    if a.num_nodes() != b.num_nodes() || map.len() != a.num_nodes() {
+        return false;
+    }
+    for v in a.nodes() {
+        let bv = map[v as usize];
+        if a.degree(v) != b.degree(bv) as usize {
+            return false;
+        }
+        for (p, u, q) in a.ports(v) {
+            match b.neighbor(bv, p) {
+                Some((bu, bq)) => {
+                    if bu != map[u as usize] || bq != q {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators;
+
+    fn square() -> PortGraph {
+        // 4-cycle with ports 0 clockwise / 1 counter-clockwise.
+        generators::symmetric_ring(4).unwrap()
+    }
+
+    #[test]
+    fn swap_ports_swaps_the_two_edges() {
+        let g = square();
+        let h = swap_ports(&g, 0, 0, 1).unwrap();
+        // Originally port 0 of node 0 goes to node 1; after the swap it goes to node 3.
+        assert_eq!(g.neighbor(0, 0).unwrap().0, 1);
+        assert_eq!(h.neighbor(0, 0).unwrap().0, 3);
+        assert_eq!(h.neighbor(0, 1).unwrap().0, 1);
+        // Back-pointers fixed: node 1's edge to node 0 now records port 1 at node 0.
+        assert_eq!(h.neighbor(1, 1), Some((0, 1)));
+        // Other nodes untouched.
+        assert_eq!(h.neighbor(2, 0), g.neighbor(2, 0));
+    }
+
+    #[test]
+    fn swap_same_port_is_identity() {
+        let g = square();
+        assert_eq!(swap_ports(&g, 2, 1, 1).unwrap(), g);
+    }
+
+    #[test]
+    fn swap_unknown_port_rejected() {
+        let g = square();
+        assert!(matches!(
+            swap_ports(&g, 0, 0, 5).unwrap_err(),
+            GraphError::UnknownPort { node: 0, port: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn swap_many_equals_sequential_swaps() {
+        let g = square();
+        let a = swap_ports(&swap_ports(&g, 0, 0, 1).unwrap(), 2, 0, 1).unwrap();
+        let b = swap_ports_many(&g, &[(0, 0, 1), (2, 0, 1)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permute_ports_identity_and_reversal() {
+        let g = square();
+        let id: Vec<Vec<u32>> = g.nodes().map(|v| (0..g.degree(v) as u32).collect()).collect();
+        assert_eq!(permute_ports(&g, &id).unwrap(), g);
+
+        let rev: Vec<Vec<u32>> = g
+            .nodes()
+            .map(|v| (0..g.degree(v) as u32).rev().collect())
+            .collect();
+        let h = permute_ports(&g, &rev).unwrap();
+        // Reversing ports at every node of the symmetric ring flips its orientation.
+        assert_eq!(h.neighbor(0, 1).unwrap().0, 1);
+        assert_eq!(h.neighbor(0, 0).unwrap().0, 3);
+    }
+
+    #[test]
+    fn permute_ports_rejects_non_permutation() {
+        let g = square();
+        let bad: Vec<Vec<u32>> = g.nodes().map(|_| vec![0, 0]).collect();
+        assert!(permute_ports(&g, &bad).is_err());
+        assert!(permute_ports(&g, &[]).is_err());
+    }
+
+    #[test]
+    fn relabel_nodes_gives_isomorphic_graph() {
+        let g = square();
+        let perm = vec![2, 3, 0, 1];
+        let h = relabel_nodes(&g, &perm).unwrap();
+        assert!(is_port_isomorphism(&g, &h, &perm));
+        assert_eq!(h.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn relabel_rejects_bad_permutation() {
+        let g = square();
+        assert!(relabel_nodes(&g, &[0, 0, 1, 2]).is_err());
+        assert!(relabel_nodes(&g, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn isomorphism_check_detects_mismatch() {
+        let g = square();
+        let h = swap_ports(&g, 0, 0, 1).unwrap();
+        let id: Vec<NodeId> = (0..4).collect();
+        assert!(is_port_isomorphism(&g, &g, &id));
+        assert!(!is_port_isomorphism(&g, &h, &id));
+    }
+
+    #[test]
+    fn isomorphism_respects_far_end_ports() {
+        // Two paths on 3 nodes that differ only in one far-end port label.
+        let a = generators::paper_three_node_line();
+        let mut b = GraphBuilder::with_nodes(3);
+        b.add_edge(0, 0, 1, 1).unwrap();
+        b.add_edge(1, 0, 2, 0).unwrap();
+        let b = b.build().unwrap();
+        let id: Vec<NodeId> = (0..3).collect();
+        assert!(!is_port_isomorphism(&a, &b, &id));
+    }
+}

@@ -1,0 +1,172 @@
+//! The full-information algorithm: collecting `B^r(v)` through message passing.
+//!
+//! "The information that `v` gets about the graph in `r` rounds is precisely the
+//! truncated view `V^r(v)` together with degrees of leaves of this tree" (Section 1).
+//! The algorithm below realises that ceiling constructively: in round `r`, every node
+//! sends to each neighbour its augmented view of depth `r − 1` (which it has assembled
+//! from the previous rounds) together with the local port it is sending through; on
+//! reception, the node assembles its augmented view of depth `r`.
+//!
+//! Tests check that the assembled tree is *identical* to `ViewTree::build(g, v, r)`,
+//! i.e. the simulator and the direct combinatorial definition agree. This is the bridge
+//! that lets the election algorithms in `anet-election` be defined as functions of
+//! `B^r(v)` (the paper's formulation) while still being executable as genuine
+//! message-passing algorithms.
+
+use crate::model::{AlgorithmFactory, NodeAlgorithm};
+use crate::runner::{run, RunOutcome};
+use anet_graph::{Port, PortGraph};
+use anet_views::ViewTree;
+
+/// Message of the full-information algorithm: the sender's current view, tagged with
+/// the port the sender used (so the receiver learns the far-end port number of the
+/// connecting edge, which is part of the view encoding).
+pub type ViewMessage = (Port, ViewTree);
+
+/// Per-node state of the full-information algorithm.
+#[derive(Debug, Clone)]
+pub struct ViewCollector {
+    degree: usize,
+    /// The view assembled so far; after `r` completed rounds this is `B^r(v)`.
+    view: ViewTree,
+}
+
+impl ViewCollector {
+    /// Create a collector for a node of the given degree; its initial knowledge is
+    /// `B^0(v)`, i.e. just the degree.
+    pub fn new(degree: usize) -> Self {
+        ViewCollector {
+            degree,
+            view: ViewTree {
+                degree: degree as u32,
+                children: Vec::new(),
+            },
+        }
+    }
+
+    /// The view assembled so far.
+    pub fn view(&self) -> &ViewTree {
+        &self.view
+    }
+}
+
+impl NodeAlgorithm for ViewCollector {
+    type Message = ViewMessage;
+    type Output = ViewTree;
+
+    fn send(&mut self, _round: usize) -> Vec<Option<ViewMessage>> {
+        (0..self.degree)
+            .map(|p| Some((p as Port, self.view.clone())))
+            .collect()
+    }
+
+    fn receive(&mut self, _round: usize, inbox: Vec<Option<ViewMessage>>) {
+        let children = inbox
+            .into_iter()
+            .enumerate()
+            .map(|(p, msg)| {
+                let (far_port, far_view) =
+                    msg.expect("full-information algorithm: every neighbour sends every round");
+                (p as Port, far_port, far_view)
+            })
+            .collect();
+        self.view = ViewTree {
+            degree: self.degree as u32,
+            children,
+        };
+    }
+
+    fn output(&self) -> ViewTree {
+        self.view.clone()
+    }
+}
+
+/// Factory for [`ViewCollector`] nodes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ViewCollectorFactory;
+
+impl AlgorithmFactory for ViewCollectorFactory {
+    type Algo = ViewCollector;
+
+    fn create(&self, degree: usize) -> ViewCollector {
+        ViewCollector::new(degree)
+    }
+}
+
+/// Run a deterministic algorithm with allotted time `rounds` in its *canonical form*:
+/// collect `B^rounds(v)` by message passing, then apply `decide` — an arbitrary
+/// function of the augmented truncated view — at every node. Returns the per-node
+/// outputs (and the run report via the second element).
+pub fn run_full_information<O, D>(
+    graph: &PortGraph,
+    rounds: usize,
+    decide: D,
+) -> (Vec<O>, crate::runner::RunReport)
+where
+    O: Clone + Send,
+    D: Fn(&ViewTree) -> O,
+{
+    let RunOutcome { outputs, report } = run(graph, &ViewCollectorFactory, rounds);
+    let decisions = outputs.iter().map(|view| decide(view)).collect();
+    (decisions, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators;
+
+    fn assert_views_match(g: &PortGraph, rounds: usize) {
+        let outcome = run(g, &ViewCollectorFactory, rounds);
+        for v in g.nodes() {
+            let expected = ViewTree::build(g, v, rounds);
+            assert_eq!(
+                outcome.outputs[v as usize], expected,
+                "node {v} after {rounds} rounds"
+            );
+        }
+    }
+
+    #[test]
+    fn collected_views_equal_direct_views_on_line() {
+        let g = generators::paper_three_node_line();
+        for rounds in 0..=3 {
+            assert_views_match(&g, rounds);
+        }
+    }
+
+    #[test]
+    fn collected_views_equal_direct_views_on_star_ring_and_random() {
+        assert_views_match(&generators::star(4).unwrap(), 2);
+        assert_views_match(&generators::symmetric_ring(6).unwrap(), 3);
+        assert_views_match(&generators::random_connected(18, 4, 6, 99).unwrap(), 3);
+    }
+
+    #[test]
+    fn view_collector_initial_state_is_depth_zero_view() {
+        let c = ViewCollector::new(5);
+        assert_eq!(c.view().degree, 5);
+        assert!(c.view().children.is_empty());
+    }
+
+    #[test]
+    fn full_information_decision_runs_the_paper_model() {
+        // Decide "leader" iff the view has a degree-3 node at the root — on a star this
+        // elects exactly the centre after 0 rounds.
+        let g = generators::star(3).unwrap();
+        let (decisions, report) = run_full_information(&g, 0, |view| view.degree == 3);
+        assert_eq!(decisions, vec![true, false, false, false]);
+        assert_eq!(report.rounds, 0);
+    }
+
+    #[test]
+    fn message_count_of_full_information_is_2m_per_round() {
+        let g = generators::random_connected(20, 4, 5, 3).unwrap();
+        let rounds = 3;
+        let outcome = run(&g, &ViewCollectorFactory, rounds);
+        assert_eq!(
+            outcome.report.messages_delivered,
+            2 * g.num_edges() * rounds
+        );
+    }
+}

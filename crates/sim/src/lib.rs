@@ -1,0 +1,31 @@
+//! # anet-sim — synchronous LOCAL-model simulator
+//!
+//! The paper works in the standard LOCAL communication model: communication proceeds
+//! in synchronous rounds, all nodes start simultaneously, and in each round every node
+//! may exchange arbitrary messages with all of its neighbours and perform arbitrary
+//! local computation. Nodes are anonymous; the only local structure is the degree and
+//! the port numbering of incident edges.
+//!
+//! This crate provides
+//!
+//! * [`model`] — the [`model::NodeAlgorithm`] / [`model::AlgorithmFactory`] traits that
+//!   distributed algorithms implement,
+//! * [`runner`] — the synchronous round engine (sequential and multi-threaded via
+//!   crossbeam scoped threads), with message-count accounting,
+//! * [`full_info`] — the *full-information* algorithm in which every node forwards
+//!   everything it knows each round; after `r` rounds its knowledge is exactly the
+//!   augmented truncated view `B^r(v)`, which is the information-theoretic ceiling the
+//!   paper's model assumes. The helper [`full_info::run_full_information`] runs it and
+//!   applies an arbitrary decision function of `B^r(v)` — precisely the paper's notion
+//!   of a deterministic algorithm with allotted time `r`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod full_info;
+pub mod model;
+pub mod runner;
+
+pub use full_info::{run_full_information, ViewCollector, ViewCollectorFactory};
+pub use model::{AlgorithmFactory, NodeAlgorithm};
+pub use runner::{run, run_parallel, RunReport};

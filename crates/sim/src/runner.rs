@@ -1,0 +1,313 @@
+//! The synchronous round engine.
+
+use crate::model::{AlgorithmFactory, NodeAlgorithm};
+use anet_graph::PortGraph;
+
+/// Statistics about a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Number of rounds executed.
+    pub rounds: usize,
+    /// Total number of messages delivered over the whole run (a message sent on a port
+    /// with no neighbour cannot happen: ports always correspond to edges).
+    pub messages_delivered: usize,
+}
+
+/// Outcome of a run: per-node outputs in node order, plus statistics.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<O> {
+    /// `outputs[v]` is the output of node `v`.
+    pub outputs: Vec<O>,
+    /// Run statistics.
+    pub report: RunReport,
+}
+
+/// Run `factory`'s algorithm on `graph` for `rounds` synchronous rounds, sequentially.
+pub fn run<F>(graph: &PortGraph, factory: &F, rounds: usize) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
+where
+    F: AlgorithmFactory,
+{
+    let n = graph.num_nodes();
+    let mut nodes: Vec<F::Algo> = graph
+        .nodes()
+        .map(|v| factory.create(graph.degree(v)))
+        .collect();
+    let mut messages_delivered = 0usize;
+
+    for round in 1..=rounds {
+        // Send phase.
+        let outboxes: Vec<Vec<Option<<F::Algo as NodeAlgorithm>::Message>>> = nodes
+            .iter_mut()
+            .map(|node| node.send(round))
+            .collect();
+        // Routing phase: inbox[u][q] = outbox[v][p] where (u, q) is across port p of v.
+        let mut inboxes: Vec<Vec<Option<<F::Algo as NodeAlgorithm>::Message>>> = graph
+            .nodes()
+            .map(|v| vec![None; graph.degree(v)])
+            .collect();
+        for v in graph.nodes() {
+            for (p, msg) in outboxes[v as usize].iter().enumerate() {
+                if let Some(msg) = msg {
+                    if let Some((u, q)) = graph.neighbor(v, p as u32) {
+                        inboxes[u as usize][q as usize] = Some(msg.clone());
+                        messages_delivered += 1;
+                    }
+                }
+            }
+        }
+        // Receive phase.
+        for (v, inbox) in inboxes.into_iter().enumerate().take(n) {
+            nodes[v].receive(round, inbox);
+        }
+    }
+
+    RunOutcome {
+        outputs: nodes.iter().map(|n| n.output()).collect(),
+        report: RunReport {
+            rounds,
+            messages_delivered,
+        },
+    }
+}
+
+/// Run the algorithm with the send/receive phases parallelised across `threads`
+/// worker threads (crossbeam scoped threads). Semantically identical to [`run`]; used
+/// by the performance benches on the larger constructions.
+pub fn run_parallel<F>(
+    graph: &PortGraph,
+    factory: &F,
+    rounds: usize,
+    threads: usize,
+) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
+where
+    F: AlgorithmFactory,
+    F::Algo: Send,
+    <F::Algo as NodeAlgorithm>::Message: Sync,
+{
+    let threads = threads.max(1);
+    let n = graph.num_nodes();
+    let mut nodes: Vec<F::Algo> = graph
+        .nodes()
+        .map(|v| factory.create(graph.degree(v)))
+        .collect();
+    let mut messages_delivered = 0usize;
+
+    let chunk_size = n.div_ceil(threads);
+
+    for round in 1..=rounds {
+        // Send phase (parallel over node chunks).
+        let mut outboxes: Vec<Vec<Option<<F::Algo as NodeAlgorithm>::Message>>> =
+            Vec::with_capacity(n);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = nodes
+                .chunks_mut(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter_mut()
+                            .map(|node| node.send(round))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                outboxes.extend(h.join().expect("send worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+
+        // Routing phase (sequential: cheap pointer shuffling).
+        let mut inboxes: Vec<Vec<Option<<F::Algo as NodeAlgorithm>::Message>>> = graph
+            .nodes()
+            .map(|v| vec![None; graph.degree(v)])
+            .collect();
+        for v in graph.nodes() {
+            for (p, msg) in outboxes[v as usize].iter().enumerate() {
+                if let Some(msg) = msg {
+                    if let Some((u, q)) = graph.neighbor(v, p as u32) {
+                        inboxes[u as usize][q as usize] = Some(msg.clone());
+                        messages_delivered += 1;
+                    }
+                }
+            }
+        }
+
+        // Receive phase (parallel over node chunks).
+        crossbeam::thread::scope(|scope| {
+            let mut rest_nodes = &mut nodes[..];
+            let mut rest_inboxes = inboxes;
+            let mut handles = Vec::new();
+            while !rest_nodes.is_empty() {
+                let take = chunk_size.min(rest_nodes.len());
+                let (node_chunk, nr) = rest_nodes.split_at_mut(take);
+                rest_nodes = nr;
+                let inbox_chunk: Vec<_> = rest_inboxes.drain(..take).collect();
+                handles.push(scope.spawn(move |_| {
+                    for (node, inbox) in node_chunk.iter_mut().zip(inbox_chunk) {
+                        node.receive(round, inbox);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("receive worker panicked");
+            }
+        })
+        .expect("crossbeam scope failed");
+    }
+
+    RunOutcome {
+        outputs: nodes.iter().map(|n| n.output()).collect(),
+        report: RunReport {
+            rounds,
+            messages_delivered,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NodeAlgorithm;
+    use anet_graph::generators;
+
+    /// Flood-max on degrees: every node repeatedly broadcasts the largest degree it has
+    /// heard of. (Degrees are the only initial asymmetry available to anonymous nodes.)
+    #[derive(Clone)]
+    struct MaxDegreeFlood {
+        degree: usize,
+        best: usize,
+    }
+
+    impl NodeAlgorithm for MaxDegreeFlood {
+        type Message = usize;
+        type Output = usize;
+
+        fn send(&mut self, _round: usize) -> Vec<Option<usize>> {
+            vec![Some(self.best); self.degree]
+        }
+
+        fn receive(&mut self, _round: usize, inbox: Vec<Option<usize>>) {
+            for m in inbox.into_iter().flatten() {
+                self.best = self.best.max(m);
+            }
+        }
+
+        fn output(&self) -> usize {
+            self.best
+        }
+    }
+
+    fn flood_factory(degree: usize) -> MaxDegreeFlood {
+        MaxDegreeFlood {
+            degree,
+            best: degree,
+        }
+    }
+
+    #[test]
+    fn flooding_converges_after_diameter_rounds() {
+        let g = generators::star(4).unwrap();
+        let out = run(&g, &flood_factory, 2);
+        assert!(out.outputs.iter().all(|&b| b == 4));
+
+        // A "broom": a path 0-1-2-3-4 with two extra leaves on node 0, so node 0 has
+        // degree 3 and node 4 only learns that after 4 rounds.
+        let mut b = anet_graph::GraphBuilder::with_nodes(7);
+        for i in 0..4u32 {
+            let pu = if i == 0 { 0 } else { 1 };
+            b.add_edge(i, pu, i + 1, 0).unwrap();
+        }
+        b.add_edge(0, 1, 5, 0).unwrap();
+        b.add_edge(0, 2, 6, 0).unwrap();
+        let broom = b.build().unwrap();
+        let out_short = run(&broom, &flood_factory, 1);
+        assert!(out_short.outputs.iter().any(|&b| b != 3));
+        let out_full = run(&broom, &flood_factory, broom.diameter() as usize);
+        assert!(out_full.outputs.iter().all(|&b| b == 3));
+    }
+
+    #[test]
+    fn message_accounting_counts_deliveries() {
+        let g = generators::symmetric_ring(5).unwrap();
+        let out = run(&g, &flood_factory, 3);
+        // Every node sends on both ports every round: 5 nodes × 2 ports × 3 rounds.
+        assert_eq!(out.report.messages_delivered, 30);
+        assert_eq!(out.report.rounds, 3);
+    }
+
+    #[test]
+    fn zero_rounds_returns_initial_outputs() {
+        let g = generators::star(3).unwrap();
+        let out = run(&g, &flood_factory, 0);
+        assert_eq!(out.outputs, vec![3, 1, 1, 1]);
+        assert_eq!(out.report.messages_delivered, 0);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let g = generators::random_connected(60, 5, 30, 123).unwrap();
+        let rounds = 4;
+        let seq = run(&g, &flood_factory, rounds);
+        for threads in [1, 2, 4, 7] {
+            let par = run_parallel(&g, &flood_factory, rounds, threads);
+            assert_eq!(par.outputs, seq.outputs, "threads = {threads}");
+            assert_eq!(par.report, seq.report);
+        }
+    }
+
+    /// An algorithm that echoes what it receives, used to check that port routing is
+    /// faithful (the message sent through port p of v arrives at the far end's port q).
+    struct PortEcho {
+        degree: usize,
+        /// `(round, port, payload)` triples received.
+        log: Vec<(usize, usize, (u32, u32))>,
+        node_tag: u32,
+    }
+
+    impl NodeAlgorithm for PortEcho {
+        type Message = (u32, u32); // (sender tag, sender port)
+        type Output = Vec<(usize, usize, (u32, u32))>;
+
+        fn send(&mut self, _round: usize) -> Vec<Option<(u32, u32)>> {
+            (0..self.degree)
+                .map(|p| Some((self.node_tag, p as u32)))
+                .collect()
+        }
+
+        fn receive(&mut self, round: usize, inbox: Vec<Option<(u32, u32)>>) {
+            for (p, m) in inbox.into_iter().enumerate() {
+                if let Some(m) = m {
+                    self.log.push((round, p, m));
+                }
+            }
+        }
+
+        fn output(&self) -> Vec<(usize, usize, (u32, u32))> {
+            self.log.clone()
+        }
+    }
+
+    #[test]
+    fn routing_respects_port_numbers() {
+        // NOTE: the node_tag here is test instrumentation (the factory closure uses a
+        // counter), not information available to a real anonymous algorithm.
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let g = generators::paper_three_node_line();
+        let counter = AtomicU32::new(0);
+        let factory = |degree: usize| PortEcho {
+            degree,
+            log: Vec::new(),
+            node_tag: counter.fetch_add(1, Ordering::SeqCst),
+        };
+        let out = run(&g, &factory, 1);
+        // Node 1 (the centre, tag 1) must receive on port 0 the message node 0 sent on
+        // its port 0, and on port 1 the message node 2 sent on its port 0.
+        let centre_log = &out.outputs[1];
+        assert!(centre_log.contains(&(1, 0, (0, 0))));
+        assert!(centre_log.contains(&(1, 1, (2, 0))));
+        // Node 0 receives on its port 0 the message node 1 sent on its port 0.
+        assert!(out.outputs[0].contains(&(1, 0, (1, 0))));
+        // Node 2 receives on its port 0 the message node 1 sent on its port 1.
+        assert!(out.outputs[2].contains(&(1, 0, (1, 1))));
+    }
+}

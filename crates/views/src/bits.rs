@@ -1,0 +1,204 @@
+//! Exact-length bit strings.
+//!
+//! The paper measures *advice* as a single binary string given to every node; its
+//! length in bits is the "size of advice". [`BitString`] stores bits exactly (not
+//! rounded to bytes) so that measured advice sizes can be compared to the paper's
+//! bounds bit-for-bit.
+
+/// A growable sequence of bits with fixed-width integer read/write helpers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitString {
+    bits: Vec<bool>,
+}
+
+impl BitString {
+    /// The empty bit string (advice of size 0).
+    pub fn new() -> Self {
+        BitString { bits: Vec::new() }
+    }
+
+    /// Number of bits — the *size of advice* in the paper's terminology.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Is the string empty?
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Append a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        self.bits.push(bit);
+    }
+
+    /// Append the `width` low-order bits of `value`, most significant first.
+    /// Panics if `value` does not fit in `width` bits.
+    pub fn push_uint(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "width must be at most 64");
+        if width < 64 {
+            assert!(
+                value < (1u64 << width),
+                "value {value} does not fit in {width} bits"
+            );
+        }
+        for i in (0..width).rev() {
+            self.bits.push((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Bit at position `i`.
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Iterate over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// Render as a 0/1 string (for debugging and experiment output).
+    pub fn to_binary_string(&self) -> String {
+        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+    }
+
+    /// Parse from a 0/1 string.
+    pub fn from_binary_string(s: &str) -> Option<BitString> {
+        let mut bits = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                _ => return None,
+            }
+        }
+        Some(BitString { bits })
+    }
+
+    /// A cursor for sequential reads.
+    pub fn reader(&self) -> BitReader<'_> {
+        BitReader { bits: self, pos: 0 }
+    }
+
+    /// Number of bits needed to write any value in `0..=max_value`
+    /// (at least 1, so that a value can always be read back).
+    pub fn width_for(max_value: u64) -> usize {
+        (64 - max_value.leading_zeros() as usize).max(1)
+    }
+}
+
+/// Sequential reader over a [`BitString`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bits: &'a BitString,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read one bit; `None` when exhausted.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.bits.len() {
+            return None;
+        }
+        let b = self.bits.bit(self.pos);
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Read a `width`-bit unsigned integer (most significant bit first).
+    pub fn read_uint(&mut self, width: usize) -> Option<u64> {
+        if width > 64 || self.pos + width > self.bits.len() {
+            return None;
+        }
+        let mut value = 0u64;
+        for _ in 0..width {
+            value = (value << 1) | u64::from(self.bits.bit(self.pos));
+            self.pos += 1;
+        }
+        Some(value)
+    }
+
+    /// Number of bits not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_round_trip() {
+        let mut b = BitString::new();
+        b.push_uint(5, 3);
+        b.push_bit(true);
+        b.push_uint(1023, 10);
+        b.push_uint(0, 4);
+        assert_eq!(b.len(), 18);
+
+        let mut r = b.reader();
+        assert_eq!(r.read_uint(3), Some(5));
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_uint(10), Some(1023));
+        assert_eq!(r.read_uint(4), Some(0));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_uint(1), None);
+    }
+
+    #[test]
+    fn width_checked_on_push() {
+        let mut b = BitString::new();
+        b.push_uint(7, 3);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        let mut b = BitString::new();
+        b.push_uint(8, 3);
+    }
+
+    #[test]
+    fn binary_string_round_trip() {
+        let mut b = BitString::new();
+        b.push_uint(0b1011, 4);
+        assert_eq!(b.to_binary_string(), "1011");
+        assert_eq!(BitString::from_binary_string("1011"), Some(b));
+        assert_eq!(BitString::from_binary_string("10x1"), None);
+        assert_eq!(
+            BitString::from_binary_string(""),
+            Some(BitString::new())
+        );
+    }
+
+    #[test]
+    fn width_for_is_minimal() {
+        assert_eq!(BitString::width_for(0), 1);
+        assert_eq!(BitString::width_for(1), 1);
+        assert_eq!(BitString::width_for(2), 2);
+        assert_eq!(BitString::width_for(3), 2);
+        assert_eq!(BitString::width_for(4), 3);
+        assert_eq!(BitString::width_for(255), 8);
+        assert_eq!(BitString::width_for(256), 9);
+    }
+
+    #[test]
+    fn empty_string_properties() {
+        let b = BitString::new();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.to_binary_string(), "");
+        assert_eq!(b.iter().count(), 0);
+    }
+
+    #[test]
+    fn sixty_four_bit_values_supported() {
+        let mut b = BitString::new();
+        b.push_uint(u64::MAX, 64);
+        let mut r = b.reader();
+        assert_eq!(r.read_uint(64), Some(u64::MAX));
+    }
+}

@@ -1,0 +1,492 @@
+//! Feasibility and election indices `ψ_S`, `ψ_PE`, `ψ_PPE`, `ψ_CPPE`.
+//!
+//! For a graph `G` whose map is known to the nodes, version `Z` of leader election is
+//! solvable in `h` rounds iff outputs that are constant on `B^h`-equivalence classes
+//! can satisfy `Z`'s correctness condition (a node's decision after `h` rounds is a
+//! function of `B^h(v)` only — Proposition 2.1 and its analogues). The minimum such
+//! `h` is the `Z`-index `ψ_Z(G)`.
+//!
+//! Concretely:
+//!
+//! * `ψ_S(G)` — the least depth at which some node's view class is a singleton;
+//! * `ψ_PE(G)` — the least depth at which some singleton class `{u}` admits, for every
+//!   other class, a single port that is the first port of a simple path to `u` from
+//!   *every* member of the class;
+//! * `ψ_PPE(G)` / `ψ_CPPE(G)` — ditto with a single outgoing-port sequence /
+//!   `(outgoing, incoming)`-pair sequence tracing a simple path to `u` from every
+//!   member.
+//!
+//! All searches stop at the refinement's stable depth: deeper views carry no additional
+//! information, so if a task is unsolvable there it is unsolvable at every time bound
+//! (the graph is infeasible for that task).
+//!
+//! The exact `ψ_PPE`/`ψ_CPPE` computations enumerate candidate simple paths and are
+//! meant for the small graphs used in experiment E1; the paper's constructions get
+//! their indices from the paper's own arguments (implemented in `anet-election` and the
+//! construction tests) rather than from this brute-force search.
+
+use crate::paths::{
+    cppe_sequence_is_valid, pe_port_is_valid, ppe_sequence_is_valid, simple_paths,
+};
+use crate::refinement::Refinement;
+use anet_graph::{NodeId, Port, PortGraph};
+
+/// Error produced by the exact index computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The simple-path enumeration cap was reached without an answer; the result would
+    /// not be sound, so none is returned. Increase `max_paths` or use a smaller graph.
+    PathBudgetExceeded {
+        /// The cap that was in force.
+        max_paths: usize,
+    },
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::PathBudgetExceeded { max_paths } => write!(
+                f,
+                "simple-path enumeration cap of {max_paths} paths exceeded; result would be unsound"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// Feasibility of a graph in the sense of the paper: leader election (in the strong
+/// formulations) is possible knowing the map iff the views of all nodes are distinct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Feasibility {
+    /// Are all (infinite) views distinct?
+    pub feasible: bool,
+    /// If feasible, the least depth at which all truncated views are already distinct.
+    pub views_distinct_at: Option<usize>,
+    /// Number of distinct view classes once refinement stabilises.
+    pub stable_classes: usize,
+}
+
+/// Compute feasibility by running refinement to stability (two nodes have equal
+/// infinite views iff they have equal views at the stable depth).
+pub fn feasibility(g: &PortGraph) -> Feasibility {
+    let r = Refinement::compute(g, None);
+    let n = g.num_nodes();
+    let stable_classes = r.num_classes_at(r.stable_depth());
+    if stable_classes != n {
+        return Feasibility {
+            feasible: false,
+            views_distinct_at: None,
+            stable_classes,
+        };
+    }
+    let first = (0..=r.stable_depth())
+        .find(|&h| r.num_classes_at(h) == n)
+        .unwrap_or(r.stable_depth());
+    Feasibility {
+        feasible: true,
+        views_distinct_at: Some(first),
+        stable_classes,
+    }
+}
+
+/// The four election indices of a graph. `None` means the corresponding task is not
+/// solvable on this graph at any time bound, even knowing the map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElectionIndices {
+    /// `ψ_S` — Selection index.
+    pub s: Option<usize>,
+    /// `ψ_PE` — Port Election index.
+    pub pe: Option<usize>,
+    /// `ψ_PPE` — Port Path Election index.
+    pub ppe: Option<usize>,
+    /// `ψ_CPPE` — Complete Port Path Election index.
+    pub cppe: Option<usize>,
+}
+
+impl ElectionIndices {
+    /// Does the hierarchy of Fact 1.1 hold (`ψ_CPPE ≥ ψ_PPE ≥ ψ_PE ≥ ψ_S`, with
+    /// "unsolvable" treated as `+∞`)?
+    pub fn satisfies_hierarchy(&self) -> bool {
+        fn key(x: Option<usize>) -> usize {
+            x.unwrap_or(usize::MAX)
+        }
+        key(self.cppe) >= key(self.ppe)
+            && key(self.ppe) >= key(self.pe)
+            && key(self.pe) >= key(self.s)
+    }
+}
+
+/// `ψ_S(G)`: least depth at which some node has a unique view. `None` if no node ever
+/// does (e.g. vertex-transitive port-symmetric graphs such as the symmetric ring).
+pub fn psi_s(g: &PortGraph) -> Option<usize> {
+    let r = Refinement::compute_until_unique(g);
+    psi_s_with(&r)
+}
+
+/// `ψ_S` given a precomputed refinement.
+pub fn psi_s_with(r: &Refinement) -> Option<usize> {
+    (0..=r.stable_depth().max(r.computed_depth())).find(|&h| !r.unique_nodes_at(h).is_empty())
+}
+
+/// For a fixed depth and candidate leader, the Port Election output assignment: one
+/// port per non-leader node, constant on view classes, such that every node's port is
+/// the first port of a simple path to the leader. `None` if no such assignment exists.
+pub fn pe_assignment(
+    g: &PortGraph,
+    r: &Refinement,
+    depth: usize,
+    leader: NodeId,
+) -> Option<Vec<Option<Port>>> {
+    let classes = r.classes_at(depth);
+    let mut out: Vec<Option<Port>> = vec![None; g.num_nodes()];
+    for class in classes {
+        if class.contains(&leader) {
+            // The leader's class must be the singleton {leader}; its output is "leader".
+            if class.len() > 1 {
+                return None;
+            }
+            continue;
+        }
+        let degree = g.degree(class[0]) as u32;
+        let valid_port = (0..degree)
+            .find(|&p| class.iter().all(|&v| pe_port_is_valid(g, v, p, leader)));
+        match valid_port {
+            Some(p) => {
+                for &v in &class {
+                    out[v as usize] = Some(p);
+                }
+            }
+            None => return None,
+        }
+    }
+    Some(out)
+}
+
+/// `ψ_PE(G)`: least depth at which some uniquely-identifiable node can serve as leader
+/// with a class-uniform valid port assignment for all other nodes.
+pub fn psi_pe(g: &PortGraph) -> Option<usize> {
+    let r = Refinement::compute(g, None);
+    for h in 0..=r.stable_depth() {
+        for leader in r.unique_nodes_at(h) {
+            if pe_assignment(g, &r, h, leader).is_some() {
+                return Some(h);
+            }
+        }
+    }
+    None
+}
+
+/// Candidate-sequence search shared by the PPE and CPPE assignments.
+fn common_sequence<T, F>(
+    g: &PortGraph,
+    class: &[NodeId],
+    leader: NodeId,
+    max_paths: usize,
+    extract: impl Fn(&PortGraph, &[NodeId]) -> T,
+    valid: F,
+) -> Result<Option<T>, IndexError>
+where
+    F: Fn(&PortGraph, NodeId, &T) -> bool,
+{
+    let enumeration = simple_paths(g, class[0], leader, max_paths);
+    let complete = enumeration.is_complete();
+    for path in enumeration.items() {
+        let candidate = extract(g, path);
+        if class.iter().all(|&v| valid(g, v, &candidate)) {
+            return Ok(Some(candidate));
+        }
+    }
+    if complete {
+        Ok(None)
+    } else {
+        Err(IndexError::PathBudgetExceeded { max_paths })
+    }
+}
+
+/// For a fixed depth and candidate leader, the Port Path Election output assignment:
+/// one outgoing-port sequence per non-leader node, constant on view classes, tracing a
+/// simple path to the leader from every member. `Ok(None)` if no assignment exists.
+pub fn ppe_assignment(
+    g: &PortGraph,
+    r: &Refinement,
+    depth: usize,
+    leader: NodeId,
+    max_paths: usize,
+) -> Result<Option<Vec<Option<Vec<Port>>>>, IndexError> {
+    let classes = r.classes_at(depth);
+    let mut out: Vec<Option<Vec<Port>>> = vec![None; g.num_nodes()];
+    for class in classes {
+        if class.contains(&leader) {
+            if class.len() > 1 {
+                return Ok(None);
+            }
+            continue;
+        }
+        let found = common_sequence(
+            g,
+            &class,
+            leader,
+            max_paths,
+            |g, path| g.outgoing_ports_of_path(path),
+            |g, v, seq: &Vec<Port>| ppe_sequence_is_valid(g, v, seq, leader),
+        )?;
+        match found {
+            Some(seq) => {
+                for &v in &class {
+                    out[v as usize] = Some(seq.clone());
+                }
+            }
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(out))
+}
+
+/// For a fixed depth and candidate leader, the Complete Port Path Election output
+/// assignment (pairs of ports per edge). `Ok(None)` if no assignment exists.
+pub fn cppe_assignment(
+    g: &PortGraph,
+    r: &Refinement,
+    depth: usize,
+    leader: NodeId,
+    max_paths: usize,
+) -> Result<Option<Vec<Option<Vec<(Port, Port)>>>>, IndexError> {
+    let classes = r.classes_at(depth);
+    let mut out: Vec<Option<Vec<(Port, Port)>>> = vec![None; g.num_nodes()];
+    for class in classes {
+        if class.contains(&leader) {
+            if class.len() > 1 {
+                return Ok(None);
+            }
+            continue;
+        }
+        let found = common_sequence(
+            g,
+            &class,
+            leader,
+            max_paths,
+            |g, path| g.full_ports_of_path(path),
+            |g, v, seq: &Vec<(Port, Port)>| cppe_sequence_is_valid(g, v, seq, leader),
+        )?;
+        match found {
+            Some(seq) => {
+                for &v in &class {
+                    out[v as usize] = Some(seq.clone());
+                }
+            }
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(out))
+}
+
+/// `ψ_PPE(G)`: exact Port Path Election index (for small graphs).
+pub fn psi_ppe(g: &PortGraph, max_paths: usize) -> Result<Option<usize>, IndexError> {
+    let r = Refinement::compute(g, None);
+    for h in 0..=r.stable_depth() {
+        for leader in r.unique_nodes_at(h) {
+            if ppe_assignment(g, &r, h, leader, max_paths)?.is_some() {
+                return Ok(Some(h));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// `ψ_CPPE(G)`: exact Complete Port Path Election index (for small graphs).
+pub fn psi_cppe(g: &PortGraph, max_paths: usize) -> Result<Option<usize>, IndexError> {
+    let r = Refinement::compute(g, None);
+    for h in 0..=r.stable_depth() {
+        for leader in r.unique_nodes_at(h) {
+            if cppe_assignment(g, &r, h, leader, max_paths)?.is_some() {
+                return Ok(Some(h));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Compute all four election indices (exact; intended for small graphs).
+pub fn compute_all(g: &PortGraph, max_paths: usize) -> Result<ElectionIndices, IndexError> {
+    Ok(ElectionIndices {
+        s: psi_s(g),
+        pe: psi_pe(g),
+        ppe: psi_ppe(g, max_paths)?,
+        cppe: psi_cppe(g, max_paths)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators;
+
+    #[test]
+    fn symmetric_ring_is_infeasible_for_everything() {
+        let g = generators::symmetric_ring(4).unwrap();
+        let f = feasibility(&g);
+        assert!(!f.feasible);
+        assert_eq!(f.stable_classes, 1);
+        let idx = compute_all(&g, 1000).unwrap();
+        assert_eq!(
+            idx,
+            ElectionIndices {
+                s: None,
+                pe: None,
+                ppe: None,
+                cppe: None
+            }
+        );
+        assert!(idx.satisfies_hierarchy());
+    }
+
+    #[test]
+    fn star_has_selection_index_zero() {
+        // The centre has unique degree, so ψ_S = 0 — the paper's own example of
+        // "ψ_S(G) = 0 iff G contains a node whose degree is unique".
+        let g = generators::star(3).unwrap();
+        assert_eq!(psi_s(&g), Some(0));
+        // The star is feasible: the leaves are distinguished by the far-end port of
+        // their unique edge (the augmented view records both port numbers).
+        let f = feasibility(&g);
+        assert!(f.feasible);
+        // PE is solvable in 0 rounds: every leaf's only port leads to the centre.
+        assert_eq!(psi_pe(&g), Some(0));
+    }
+
+    #[test]
+    fn paper_three_node_line_cppe_index_is_one() {
+        // Quoted in Section 1: for the 3-node line with ports 0,0,1,0, ψ_CPPE(G) = 1.
+        // (PPE, by contrast, is solvable in 0 rounds on this graph: both endpoints
+        // output the outgoing-port sequence (0), which is a simple path to the centre
+        // from either of them; CPPE needs 1 round because the centre-side port of the
+        // two pendant edges differs.)
+        let g = generators::paper_three_node_line();
+        let idx = compute_all(&g, 1000).unwrap();
+        assert_eq!(idx.cppe, Some(1));
+        assert_eq!(idx.ppe, Some(0));
+        assert_eq!(idx.pe, Some(0));
+        // The centre has unique degree: ψ_S = 0.
+        assert_eq!(idx.s, Some(0));
+        assert!(idx.satisfies_hierarchy());
+    }
+
+    #[test]
+    fn feasible_oriented_ring_indices() {
+        let g = generators::oriented_ring(&[true, true, false, true, false]).unwrap();
+        let f = feasibility(&g);
+        assert!(f.feasible);
+        assert_eq!(f.stable_classes, 5);
+        let idx = compute_all(&g, 1000).unwrap();
+        assert!(idx.s.is_some());
+        assert!(idx.cppe.is_some());
+        assert!(idx.satisfies_hierarchy());
+        // All nodes have degree 2, so no node is unique at depth 0.
+        assert!(idx.s.unwrap() >= 1);
+    }
+
+    #[test]
+    fn hierarchy_holds_on_random_graphs() {
+        for seed in 0..8u64 {
+            let g = generators::random_connected(10, 4, 3, seed).unwrap();
+            let idx = compute_all(&g, 20_000).unwrap();
+            assert!(idx.satisfies_hierarchy(), "seed {seed}: {idx:?}");
+        }
+    }
+
+    #[test]
+    fn pe_assignment_is_class_uniform_and_valid() {
+        let g = generators::oriented_ring(&[true, true, false, true, false]).unwrap();
+        let r = Refinement::compute(&g, None);
+        let h = psi_pe(&g).unwrap();
+        let leader = r
+            .unique_nodes_at(h)
+            .into_iter()
+            .find(|&u| pe_assignment(&g, &r, h, u).is_some())
+            .unwrap();
+        let assignment = pe_assignment(&g, &r, h, leader).unwrap();
+        for v in g.nodes() {
+            if v == leader {
+                assert!(assignment[v as usize].is_none());
+            } else {
+                let p = assignment[v as usize].unwrap();
+                assert!(pe_port_is_valid(&g, v, p, leader));
+            }
+        }
+        // Uniform on classes.
+        for class in r.classes_at(h) {
+            let vals: Vec<_> = class.iter().map(|&v| assignment[v as usize]).collect();
+            assert!(vals.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn ppe_and_cppe_assignments_trace_simple_paths() {
+        let g = generators::oriented_ring(&[true, true, false, true, false]).unwrap();
+        let r = Refinement::compute(&g, None);
+        let h = psi_cppe(&g, 1000).unwrap().unwrap();
+        let leader = r
+            .unique_nodes_at(h)
+            .into_iter()
+            .find(|&u| cppe_assignment(&g, &r, h, u, 1000).unwrap().is_some())
+            .unwrap();
+        let ppe = ppe_assignment(&g, &r, h, leader, 1000).unwrap().unwrap();
+        let cppe = cppe_assignment(&g, &r, h, leader, 1000).unwrap().unwrap();
+        for v in g.nodes() {
+            if v == leader {
+                continue;
+            }
+            assert!(ppe_sequence_is_valid(
+                &g,
+                v,
+                ppe[v as usize].as_ref().unwrap(),
+                leader
+            ));
+            assert!(cppe_sequence_is_valid(
+                &g,
+                v,
+                cppe[v as usize].as_ref().unwrap(),
+                leader
+            ));
+        }
+    }
+
+    #[test]
+    fn path_budget_error_is_reported() {
+        // A 4-cycle with a pendant node: at depth 0 the three degree-2 cycle nodes form
+        // one class, and with a path cap of 1 the single path enumerated from the first
+        // member fails for the others, so the computation must refuse to conclude.
+        use anet_graph::GraphBuilder;
+        let mut b = GraphBuilder::with_nodes(5);
+        for i in 0..4u32 {
+            b.add_edge(i, 0, (i + 1) % 4, 1).unwrap();
+        }
+        b.add_edge(0, 2, 4, 0).unwrap();
+        let g = b.build().unwrap();
+        let r = Refinement::compute(&g, None);
+        let res = ppe_assignment(&g, &r, 0, 0, 1);
+        assert_eq!(res, Err(IndexError::PathBudgetExceeded { max_paths: 1 }));
+        // With a generous budget the computation terminates with a definite answer.
+        assert!(ppe_assignment(&g, &r, 0, 0, 10_000).is_ok());
+        assert!(psi_ppe(&g, 10_000).is_ok());
+    }
+
+    #[test]
+    fn feasibility_depth_is_minimal() {
+        let g = generators::oriented_ring(&[true, true, false, true, false]).unwrap();
+        let f = feasibility(&g);
+        let d = f.views_distinct_at.unwrap();
+        let r = Refinement::compute(&g, None);
+        assert_eq!(r.num_classes_at(d), g.num_nodes());
+        if d > 0 {
+            assert!(r.num_classes_at(d - 1) < g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn index_error_displays_cap() {
+        let e = IndexError::PathBudgetExceeded { max_paths: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+}

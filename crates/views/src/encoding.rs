@@ -1,0 +1,210 @@
+//! Binary encoding of augmented truncated views.
+//!
+//! Theorem 2.2 of the paper gives an oracle whose advice is a single encoded view
+//! `B^{ψ_S(G)}(u)`, using `O((Δ−1)^{ψ_S(G)} log Δ)` bits: the view has at most
+//! `Δ·(Δ−1)^{ψ_S−1}` edges and the two port numbers of an edge take `O(log Δ)` bits.
+//! This module provides exactly such an encoding, together with a decoder, so the
+//! distributed Selection algorithm can recover the view (and in particular its height,
+//! which tells every node how many rounds to run).
+//!
+//! ## Format
+//!
+//! * 6 bits: `w` — the field width used for every subsequent integer
+//!   (`w = max(width(Δ), width(h))`, where `Δ` is the largest degree and `h` the height
+//!   appearing in the view),
+//! * `w` bits: the height `h` of the encoded view,
+//! * then the tree in pre-order: for every tree node, its degree (`w` bits); for every
+//!   non-leaf-level tree node additionally, for each of its `degree` children in port
+//!   order, the far-end port `q` (`w` bits) followed by the child's encoding. The
+//!   outgoing port `p` is *not* stored: children appear in port order, so `p` is
+//!   implied — this saves a factor close to 2 and matches the paper's accounting of
+//!   "each edge's two port numbers" (the implied one is free).
+//!
+//! The encoding length is therefore `6 + w·(1 + #tree nodes + #tree edges)`, i.e.
+//! `O((Δ−1)^h log Δ)` as in the paper.
+
+use crate::bits::{BitReader, BitString};
+use crate::view_tree::ViewTree;
+
+/// Errors produced while decoding an encoded view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bit string ended before the view was complete.
+    Truncated,
+    /// The header declared an invalid field width.
+    BadWidth,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "bit string too short for the declared view"),
+            DecodeError::BadWidth => write!(f, "invalid field width in view encoding header"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode an augmented truncated view of the given height into a [`BitString`].
+///
+/// `height` must be the truncation depth the view was built with (it cannot always be
+/// recovered from the tree itself: a view that happens to hit only degree-1 nodes stops
+/// branching early).
+pub fn encode_view(view: &ViewTree, height: usize) -> BitString {
+    let max_val = u64::from(view.max_degree())
+        .max(view.max_port().map(u64::from).unwrap_or(0))
+        .max(height as u64);
+    let w = BitString::width_for(max_val);
+    assert!(w <= 63, "view values too large to encode");
+    let mut bits = BitString::new();
+    bits.push_uint(w as u64, 6);
+    bits.push_uint(height as u64, w);
+    encode_node(view, height, w, &mut bits);
+    bits
+}
+
+fn encode_node(node: &ViewTree, remaining: usize, w: usize, bits: &mut BitString) {
+    bits.push_uint(u64::from(node.degree), w);
+    if remaining == 0 {
+        return;
+    }
+    debug_assert_eq!(
+        node.children.len(),
+        node.degree as usize,
+        "non-leaf view nodes have one child per port"
+    );
+    for (_, q, child) in &node.children {
+        bits.push_uint(u64::from(*q), w);
+        encode_node(child, remaining - 1, w, bits);
+    }
+}
+
+/// Decode a view previously produced by [`encode_view`]; returns the view and its
+/// height.
+pub fn decode_view(bits: &BitString) -> Result<(ViewTree, usize), DecodeError> {
+    let mut r = bits.reader();
+    let w = r.read_uint(6).ok_or(DecodeError::Truncated)? as usize;
+    if w == 0 || w > 63 {
+        return Err(DecodeError::BadWidth);
+    }
+    let height = r.read_uint(w).ok_or(DecodeError::Truncated)? as usize;
+    let tree = decode_node(&mut r, height, w)?;
+    Ok((tree, height))
+}
+
+fn decode_node(r: &mut BitReader<'_>, remaining: usize, w: usize) -> Result<ViewTree, DecodeError> {
+    let degree = r.read_uint(w).ok_or(DecodeError::Truncated)? as u32;
+    let mut children = Vec::new();
+    if remaining > 0 {
+        children.reserve(degree as usize);
+        for p in 0..degree {
+            let q = r.read_uint(w).ok_or(DecodeError::Truncated)? as u32;
+            let child = decode_node(r, remaining - 1, w)?;
+            children.push((p, q, child));
+        }
+    }
+    Ok(ViewTree { degree, children })
+}
+
+/// Number of advice bits used to encode the given view at the given height — a
+/// convenience for experiments that only need the size.
+pub fn encoded_size_bits(view: &ViewTree, height: usize) -> usize {
+    encode_view(view, height).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators;
+
+    #[test]
+    fn round_trip_on_line_views() {
+        let g = generators::paper_three_node_line();
+        for v in g.nodes() {
+            for h in 0..=3usize {
+                let view = ViewTree::build(&g, v, h);
+                let bits = encode_view(&view, h);
+                let (decoded, dh) = decode_view(&bits).unwrap();
+                assert_eq!(dh, h);
+                assert_eq!(decoded, view);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_on_random_graphs() {
+        for seed in 0..5u64 {
+            let g = generators::random_connected(18, 5, 7, seed).unwrap();
+            for v in [0u32, 7, 17] {
+                for h in 0..=3usize {
+                    let view = ViewTree::build(&g, v, h);
+                    let bits = encode_view(&view, h);
+                    let (decoded, dh) = decode_view(&bits).unwrap();
+                    assert_eq!((decoded, dh), (view, h));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_size_is_within_paper_bound() {
+        // Theorem 2.2: O((Δ−1)^h log Δ) bits. We check against the explicit count
+        // (1 + nodes + edges)·⌈log₂(Δ+1)⌉ + 6 with a small constant slack.
+        let (g, root) = generators::full_tree(4, 3).unwrap();
+        let delta = g.max_degree() as u64;
+        for h in 1..=3usize {
+            let view = ViewTree::build(&g, root, h);
+            let bits = encode_view(&view, h);
+            let w = BitString::width_for(delta.max(h as u64));
+            let exact = 6 + w * (1 + view.size() + view.num_edges());
+            assert_eq!(bits.len(), exact);
+            let asymptotic = 4 * (delta as usize) * (delta as usize - 1).pow(h as u32 - 1) * w;
+            assert!(bits.len() <= asymptotic + 6 + w);
+        }
+    }
+
+    #[test]
+    fn truncated_bitstring_reports_error() {
+        let g = generators::star(3).unwrap();
+        let view = ViewTree::build(&g, 0, 2);
+        let bits = encode_view(&view, 2);
+        let short = BitString::from_binary_string(
+            &bits.to_binary_string()[..bits.len() - 5],
+        )
+        .unwrap();
+        assert_eq!(decode_view(&short), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn empty_bitstring_is_truncated() {
+        assert_eq!(decode_view(&BitString::new()), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_width_detected() {
+        let mut bits = BitString::new();
+        bits.push_uint(0, 6); // width 0 is invalid
+        bits.push_uint(0, 8);
+        assert_eq!(decode_view(&bits), Err(DecodeError::BadWidth));
+    }
+
+    #[test]
+    fn distinct_views_have_distinct_encodings() {
+        let g = generators::oriented_ring(&[true, true, false, true, false]).unwrap();
+        let views: Vec<_> = g.nodes().map(|v| ViewTree::build(&g, v, 3)).collect();
+        let encs: Vec<_> = views.iter().map(|v| encode_view(v, 3)).collect();
+        for i in 0..views.len() {
+            for j in 0..views.len() {
+                assert_eq!(views[i] == views[j], encs[i] == encs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn size_helper_matches_encoding() {
+        let g = generators::star(4).unwrap();
+        let view = ViewTree::build(&g, 0, 2);
+        assert_eq!(encoded_size_bits(&view, 2), encode_view(&view, 2).len());
+    }
+}

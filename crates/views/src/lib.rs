@@ -1,0 +1,36 @@
+//! # anet-views — views of anonymous networks and election indices
+//!
+//! The central notion in the study of anonymous networks is the **view** of a node
+//! (Yamashita–Kameda): the infinite tree of all finite paths starting at the node,
+//! coded by port numbers. What a node can learn in `r` rounds of the LOCAL model is
+//! exactly its **augmented truncated view** `B^r(v)` — the view truncated at depth `r`
+//! with leaves labelled by their degrees (Section 1 of the paper).
+//!
+//! This crate implements:
+//!
+//! * [`view_tree`] — explicit `B^h(v)` trees, canonical encodings, lexicographic order,
+//! * [`refinement`] — *port colour refinement*, an `O(h·m)` computation of the
+//!   equivalence classes "`B^h(u) = B^h(v)`" for every depth `h` simultaneously
+//!   (within one graph or jointly across several graphs, as needed by the paper's
+//!   cross-graph indistinguishability lemmas),
+//! * [`bits`] — exact-length bit strings (the unit in which advice size is measured),
+//! * [`encoding`] — the binary encoding of augmented truncated views used by the
+//!   Theorem 2.2 oracle, and its decoder,
+//! * [`paths`] — simple-path utilities underlying the PE / PPE / CPPE verifiers,
+//! * [`election_index`] — feasibility (all views distinct) and the election indices
+//!   `ψ_S`, `ψ_PE`, `ψ_PPE`, `ψ_CPPE` of the four shades of leader election.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod election_index;
+pub mod encoding;
+pub mod paths;
+pub mod refinement;
+pub mod view_tree;
+
+pub use bits::BitString;
+pub use election_index::{ElectionIndices, Feasibility};
+pub use refinement::{JointRefinement, Refinement};
+pub use view_tree::ViewTree;

@@ -1,0 +1,243 @@
+//! Simple-path utilities used by the election-task verifiers and the exact
+//! election-index computations.
+//!
+//! The three "strong" election tasks are all phrased in terms of *simple paths to the
+//! leader*:
+//!
+//! * `PE` — a node's output port is correct iff it is the first port of **some** simple
+//!   path from the node to the leader;
+//! * `PPE` — the output port sequence, followed from the node, must trace a simple path
+//!   ending at the leader;
+//! * `CPPE` — ditto, and every traversed edge's far-end port must match the output.
+//!
+//! The first condition reduces to reachability of the leader in `G − v` from the chosen
+//! neighbour; the other two are direct walks. The exact `ψ_PPE` / `ψ_CPPE` computations
+//! additionally need to *enumerate* candidate simple paths, which is done here with an
+//! explicit cap so it is only used on small graphs.
+
+use anet_graph::{NodeId, Port, PortGraph};
+
+/// Is `target` reachable from `from` in the graph with node `avoid` deleted?
+/// (`from == target` counts as reachable provided `from != avoid`.)
+pub fn reaches_avoiding(g: &PortGraph, from: NodeId, target: NodeId, avoid: NodeId) -> bool {
+    if from == avoid || target == avoid {
+        return false;
+    }
+    g.bfs_distances_avoiding(from, Some(avoid))[target as usize].is_some()
+}
+
+/// Is port `p` at node `v` the first port of some simple path from `v` to `leader`?
+/// This is the per-node correctness condition of the Port Election task.
+pub fn pe_port_is_valid(g: &PortGraph, v: NodeId, p: Port, leader: NodeId) -> bool {
+    if v == leader {
+        return false;
+    }
+    match g.neighbor(v, p) {
+        None => false,
+        Some((u, _)) => u == leader || reaches_avoiding(g, u, leader, v),
+    }
+}
+
+/// Does the outgoing-port sequence `ports`, followed from `v`, trace a *simple* path
+/// that ends at `leader`? This is the per-node correctness condition of PPE.
+pub fn ppe_sequence_is_valid(g: &PortGraph, v: NodeId, ports: &[Port], leader: NodeId) -> bool {
+    if v == leader {
+        return false;
+    }
+    match g.follow_outgoing_ports(v, ports) {
+        None => false,
+        Some(nodes) => {
+            PortGraph::is_simple_node_sequence(&nodes) && nodes.last() == Some(&leader)
+        }
+    }
+}
+
+/// Does the `(outgoing, incoming)` port-pair sequence, followed from `v`, trace a
+/// simple path ending at `leader` with every incoming port matching? This is the
+/// per-node correctness condition of CPPE.
+pub fn cppe_sequence_is_valid(
+    g: &PortGraph,
+    v: NodeId,
+    ports: &[(Port, Port)],
+    leader: NodeId,
+) -> bool {
+    if v == leader {
+        return false;
+    }
+    match g.follow_full_ports(v, ports) {
+        None => false,
+        Some(nodes) => {
+            PortGraph::is_simple_node_sequence(&nodes) && nodes.last() == Some(&leader)
+        }
+    }
+}
+
+/// Result of a capped enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Enumeration<T> {
+    /// All objects were enumerated.
+    Complete(Vec<T>),
+    /// The cap was hit; the enumeration is incomplete.
+    Truncated(Vec<T>),
+}
+
+impl<T> Enumeration<T> {
+    /// The enumerated items, regardless of completeness.
+    pub fn items(&self) -> &[T] {
+        match self {
+            Enumeration::Complete(v) | Enumeration::Truncated(v) => v,
+        }
+    }
+
+    /// Was the enumeration complete?
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Enumeration::Complete(_))
+    }
+}
+
+/// Enumerate simple paths from `from` to `to` (as node sequences including both
+/// endpoints), depth-first in increasing port order, up to `max_paths` paths.
+pub fn simple_paths(
+    g: &PortGraph,
+    from: NodeId,
+    to: NodeId,
+    max_paths: usize,
+) -> Enumeration<Vec<NodeId>> {
+    let mut found = Vec::new();
+    let mut on_path = vec![false; g.num_nodes()];
+    let mut path = vec![from];
+    on_path[from as usize] = true;
+    let truncated = dfs(g, from, to, max_paths, &mut on_path, &mut path, &mut found);
+    if truncated {
+        Enumeration::Truncated(found)
+    } else {
+        Enumeration::Complete(found)
+    }
+}
+
+fn dfs(
+    g: &PortGraph,
+    cur: NodeId,
+    to: NodeId,
+    max_paths: usize,
+    on_path: &mut Vec<bool>,
+    path: &mut Vec<NodeId>,
+    found: &mut Vec<Vec<NodeId>>,
+) -> bool {
+    if cur == to {
+        found.push(path.clone());
+        return found.len() >= max_paths;
+    }
+    for (_, u, _) in g.ports(cur) {
+        if on_path[u as usize] {
+            continue;
+        }
+        on_path[u as usize] = true;
+        path.push(u);
+        let full = dfs(g, u, to, max_paths, on_path, path, found);
+        path.pop();
+        on_path[u as usize] = false;
+        if full {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators;
+
+    #[test]
+    fn pe_validity_on_the_line() {
+        let g = generators::paper_three_node_line();
+        // Leader = node 2 (right end). Node 0 must use port 0; node 1 must use port 1.
+        assert!(pe_port_is_valid(&g, 0, 0, 2));
+        assert!(!pe_port_is_valid(&g, 0, 1, 2)); // port does not exist
+        assert!(pe_port_is_valid(&g, 1, 1, 2));
+        assert!(!pe_port_is_valid(&g, 1, 0, 2)); // leads away, dead end
+        assert!(!pe_port_is_valid(&g, 2, 0, 2)); // the leader itself has no valid port
+    }
+
+    #[test]
+    fn pe_validity_on_a_cycle_allows_both_directions() {
+        let g = generators::symmetric_ring(5).unwrap();
+        // On a cycle every non-leader node can go either way.
+        for v in 1..5u32 {
+            assert!(pe_port_is_valid(&g, v, 0, 0));
+            assert!(pe_port_is_valid(&g, v, 1, 0));
+        }
+    }
+
+    #[test]
+    fn ppe_validity_checks_simplicity_and_endpoint() {
+        let g = generators::symmetric_ring(4).unwrap();
+        // Port 0 is "clockwise": 1 -> 2 -> 3 -> 0.
+        assert!(ppe_sequence_is_valid(&g, 1, &[0, 0, 0], 0));
+        // Counter-clockwise single step 1 -> 0.
+        assert!(ppe_sequence_is_valid(&g, 1, &[1], 0));
+        // Wrong endpoint.
+        assert!(!ppe_sequence_is_valid(&g, 1, &[0], 0));
+        // Non-simple walk (forward then back then forward …).
+        assert!(!ppe_sequence_is_valid(&g, 1, &[0, 1, 0, 0, 0], 0));
+        // Nonexistent port.
+        assert!(!ppe_sequence_is_valid(&g, 1, &[7], 0));
+        // The leader itself never outputs a path.
+        assert!(!ppe_sequence_is_valid(&g, 0, &[], 0));
+    }
+
+    #[test]
+    fn cppe_validity_checks_far_ports_too() {
+        let g = generators::paper_three_node_line();
+        // Path 0 -> 1 -> 2 has port pairs (0,0) then (1,0).
+        assert!(cppe_sequence_is_valid(&g, 0, &[(0, 0), (1, 0)], 2));
+        assert!(!cppe_sequence_is_valid(&g, 0, &[(0, 1), (1, 0)], 2));
+        assert!(!cppe_sequence_is_valid(&g, 0, &[(0, 0)], 2));
+    }
+
+    #[test]
+    fn simple_path_enumeration_on_cycle() {
+        let g = generators::symmetric_ring(5).unwrap();
+        let e = simple_paths(&g, 1, 3, 100);
+        assert!(e.is_complete());
+        // On a cycle there are exactly two simple paths between any two nodes.
+        assert_eq!(e.items().len(), 2);
+        for p in e.items() {
+            assert!(PortGraph::is_simple_node_sequence(p));
+            assert_eq!(*p.first().unwrap(), 1);
+            assert_eq!(*p.last().unwrap(), 3);
+        }
+    }
+
+    #[test]
+    fn simple_path_enumeration_respects_cap() {
+        let g = generators::complete(6).unwrap();
+        let capped = simple_paths(&g, 0, 5, 3);
+        assert!(!capped.is_complete());
+        assert_eq!(capped.items().len(), 3);
+
+        let full = simple_paths(&g, 0, 5, 10_000);
+        assert!(full.is_complete());
+        // Number of simple paths from a fixed source to a fixed target in K_6:
+        // sum over subsets of the other 4 nodes ordered: 1 + 4 + 4·3 + 4·3·2 + 4! = 65.
+        assert_eq!(full.items().len(), 65);
+    }
+
+    #[test]
+    fn path_from_node_to_itself_is_the_trivial_path() {
+        let g = generators::star(3).unwrap();
+        let e = simple_paths(&g, 2, 2, 10);
+        assert!(e.is_complete());
+        assert_eq!(e.items(), &[vec![2]]);
+    }
+
+    #[test]
+    fn reaches_avoiding_blocks_cut_vertices() {
+        let g = generators::star(3).unwrap();
+        assert!(reaches_avoiding(&g, 1, 0, 2));
+        assert!(!reaches_avoiding(&g, 1, 2, 0)); // centre removed: leaves separated
+        assert!(!reaches_avoiding(&g, 1, 2, 1));
+        assert!(!reaches_avoiding(&g, 1, 2, 2));
+    }
+}

@@ -1,0 +1,497 @@
+//! Port colour refinement: view-equivalence classes at every depth.
+//!
+//! Building explicit view trees costs `Θ(Δ^h)` per node. For questions of the form
+//! "which nodes have equal `B^h`?" — which is what every lemma of the paper asks —
+//! a partition-refinement computation is exponentially cheaper:
+//!
+//! * depth 0: the class of `v` is its degree;
+//! * depth `h+1`: the class of `v` is determined by the ordered list, over the ports
+//!   `p = 0..deg(v)`, of pairs `(q_p, class_h(u_p))`, where `(u_p, q_p)` is the edge at
+//!   port `p`.
+//!
+//! Because the children of the root of `B^{h+1}(v)` are exactly the trees `B^h(u_p)`
+//! attached with port pair `(p, q_p)`, two nodes get the same class at depth `h` **iff**
+//! their augmented truncated views at depth `h` are isomorphic (equal). The classes are
+//! therefore a faithful, compact representative of view equality; the property tests in
+//! this module check the equivalence against explicit [`crate::ViewTree`]s.
+//!
+//! The same computation run on several graphs *jointly* answers the paper's cross-graph
+//! questions ("`B^k(r_{j,b})` in `G_α` equals `B^k(r_{j',b'})` in `G_β`", Lemma 2.5,
+//! Lemma 2.8, Lemma 4.10(1), …): see [`JointRefinement`].
+
+use anet_graph::{NodeId, PortGraph};
+use std::collections::HashMap;
+
+/// Identifier of a node inside a [`JointRefinement`]: which graph, and which node.
+pub type JointNode = (usize, NodeId);
+
+/// View-equivalence classes at every depth for a *collection* of graphs considered
+/// together (equivalently: for their disjoint union).
+#[derive(Debug, Clone)]
+pub struct JointRefinement {
+    /// Number of nodes of each graph, in order.
+    sizes: Vec<usize>,
+    /// Prefix sums of `sizes` (flat indexing).
+    offsets: Vec<usize>,
+    /// `classes[h][flat(v)]` = dense class id of `v` at depth `h`, for `h ≤ computed_depth`.
+    classes: Vec<Vec<u32>>,
+    /// Number of distinct classes at each computed depth.
+    counts: Vec<usize>,
+    /// First depth at which the partition stopped refining (classes at any larger depth
+    /// equal the classes at this depth).
+    stable_depth: usize,
+}
+
+impl JointRefinement {
+    /// Run refinement on `graphs` up to `max_depth`, stopping early when the partition
+    /// stabilises. `max_depth = None` means "until stable".
+    pub fn compute(graphs: &[&PortGraph], max_depth: Option<usize>) -> JointRefinement {
+        Self::compute_with_options(graphs, max_depth, false)
+    }
+
+    /// Like [`JointRefinement::compute`], but when `stop_on_unique` is set the
+    /// computation additionally stops at the first depth at which some node's class is
+    /// a singleton. This is what `ψ_S`-style computations need: on graphs of large
+    /// diameter, running refinement to stability would cost `Θ(diameter · m)` even
+    /// though the answer is known after `ψ_S + 1` levels.
+    pub fn compute_with_options(
+        graphs: &[&PortGraph],
+        max_depth: Option<usize>,
+        stop_on_unique: bool,
+    ) -> JointRefinement {
+        assert!(!graphs.is_empty(), "at least one graph is required");
+        let sizes: Vec<usize> = graphs.iter().map(|g| g.num_nodes()).collect();
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut total = 0usize;
+        for &s in &sizes {
+            offsets.push(total);
+            total += s;
+        }
+
+        // Depth 0: classes by degree.
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        let mut current = vec![0u32; total];
+        {
+            let mut ids: HashMap<usize, u32> = HashMap::new();
+            for (gi, g) in graphs.iter().enumerate() {
+                for v in g.nodes() {
+                    let deg = g.degree(v);
+                    let next = ids.len() as u32;
+                    let id = *ids.entry(deg).or_insert(next);
+                    current[offsets[gi] + v as usize] = id;
+                }
+            }
+            counts.push(ids.len());
+        }
+        classes.push(current.clone());
+
+        // Is some class at the given level a singleton?
+        let has_singleton = |row: &[u32], num_classes: usize| -> bool {
+            let mut freq = vec![0u32; num_classes];
+            for &c in row {
+                freq[c as usize] += 1;
+            }
+            freq.iter().any(|&f| f == 1)
+        };
+
+        let mut stable_depth = 0usize;
+        let hard_cap = max_depth.unwrap_or(total.max(1));
+        let mut depth = 0usize;
+        if stop_on_unique && has_singleton(&current, counts[0]) {
+            // ψ_S = 0: the degree sequence already singles a node out.
+            return JointRefinement {
+                sizes,
+                offsets,
+                classes,
+                counts,
+                stable_depth,
+            };
+        }
+        while depth < hard_cap {
+            depth += 1;
+            // Signature of v: (previous class of v is implied; include it anyway to be
+            // robust) + per-port (far port, previous class of neighbour).
+            let mut ids: HashMap<Vec<u32>, u32> = HashMap::new();
+            let mut next = vec![0u32; total];
+            for (gi, g) in graphs.iter().enumerate() {
+                for v in g.nodes() {
+                    let flat = offsets[gi] + v as usize;
+                    let mut sig = Vec::with_capacity(2 + 2 * g.degree(v));
+                    sig.push(current[flat]);
+                    for (_, u, q) in g.ports(v) {
+                        sig.push(q);
+                        sig.push(current[offsets[gi] + u as usize]);
+                    }
+                    let fresh = ids.len() as u32;
+                    let id = *ids.entry(sig).or_insert(fresh);
+                    next[flat] = id;
+                }
+            }
+            let count = ids.len();
+            let stabilised = count == *counts.last().expect("non-empty");
+            counts.push(count);
+            classes.push(next.clone());
+            current = next;
+            if stabilised {
+                stable_depth = depth - 1;
+                // The partition at `depth` equals the one at `depth − 1`; anything
+                // deeper is identical too, so we can stop.
+                // Keep the extra level so callers asking for `depth` get an answer
+                // without clamping surprises.
+                break;
+            }
+            stable_depth = depth;
+            if stop_on_unique && has_singleton(&current, count) {
+                // A unique view exists at this depth; callers that set this flag only
+                // need the partition up to here. NOTE: in this mode `stable_depth()` is
+                // merely the deepest computed level, not the true stabilisation depth.
+                break;
+            }
+        }
+
+        JointRefinement {
+            sizes,
+            offsets,
+            classes,
+            counts,
+            stable_depth,
+        }
+    }
+
+    /// Refinement of a single graph.
+    pub fn compute_single(g: &PortGraph, max_depth: Option<usize>) -> JointRefinement {
+        JointRefinement::compute(&[g], max_depth)
+    }
+
+    fn flat(&self, (gi, v): JointNode) -> usize {
+        assert!(gi < self.sizes.len(), "graph index out of range");
+        assert!((v as usize) < self.sizes[gi], "node index out of range");
+        self.offsets[gi] + v as usize
+    }
+
+    /// The largest depth that was explicitly computed.
+    pub fn computed_depth(&self) -> usize {
+        self.classes.len() - 1
+    }
+
+    /// Depth at which the partition became stable (no further refinement happens at
+    /// larger depths). If `max_depth` cut the computation short, this is the last
+    /// depth at which refinement was still observed.
+    pub fn stable_depth(&self) -> usize {
+        self.stable_depth
+    }
+
+    /// Class id of a node at a given depth. Depths beyond the computed range return the
+    /// class at the deepest computed level (correct once the partition is stable).
+    pub fn class_at(&self, node: JointNode, depth: usize) -> u32 {
+        let d = depth.min(self.computed_depth());
+        self.classes[d][self.flat(node)]
+    }
+
+    /// Number of distinct classes at a depth (clamped like [`Self::class_at`]).
+    pub fn num_classes_at(&self, depth: usize) -> usize {
+        let d = depth.min(self.computed_depth());
+        self.counts[d]
+    }
+
+    /// Are the augmented truncated views of two nodes equal at the given depth?
+    pub fn same_view(&self, a: JointNode, b: JointNode, depth: usize) -> bool {
+        self.class_at(a, depth) == self.class_at(b, depth)
+    }
+
+    /// Number of nodes (across all graphs) sharing the class of `node` at `depth`.
+    pub fn multiplicity(&self, node: JointNode, depth: usize) -> usize {
+        let c = self.class_at(node, depth);
+        let d = depth.min(self.computed_depth());
+        self.classes[d].iter().filter(|&&x| x == c).count()
+    }
+
+    /// Is the view of `node` at `depth` unique across all graphs of the collection?
+    pub fn is_unique(&self, node: JointNode, depth: usize) -> bool {
+        self.multiplicity(node, depth) == 1
+    }
+
+    /// All nodes (as [`JointNode`]) whose class at `depth` is a singleton.
+    pub fn unique_nodes_at(&self, depth: usize) -> Vec<JointNode> {
+        let d = depth.min(self.computed_depth());
+        let row = &self.classes[d];
+        let mut freq: HashMap<u32, usize> = HashMap::new();
+        for &c in row {
+            *freq.entry(c).or_insert(0) += 1;
+        }
+        let mut out = Vec::new();
+        for (gi, &size) in self.sizes.iter().enumerate() {
+            for v in 0..size {
+                let c = row[self.offsets[gi] + v];
+                if freq[&c] == 1 {
+                    out.push((gi, v as NodeId));
+                }
+            }
+        }
+        out
+    }
+
+    /// Group the nodes of graph `gi` by class at `depth`, returning the classes as
+    /// lists of node ids (order of classes unspecified but deterministic).
+    pub fn classes_of_graph(&self, gi: usize, depth: usize) -> Vec<Vec<NodeId>> {
+        let d = depth.min(self.computed_depth());
+        let row = &self.classes[d];
+        let mut map: HashMap<u32, Vec<NodeId>> = HashMap::new();
+        for v in 0..self.sizes[gi] {
+            map.entry(row[self.offsets[gi] + v])
+                .or_default()
+                .push(v as NodeId);
+        }
+        let mut keys: Vec<u32> = map.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter().map(|k| map.remove(&k).unwrap()).collect()
+    }
+}
+
+/// View-equivalence classes of a single graph — a thin convenience wrapper around
+/// [`JointRefinement`] with node-id (rather than `(graph, node)`) accessors.
+#[derive(Debug, Clone)]
+pub struct Refinement {
+    inner: JointRefinement,
+}
+
+impl Refinement {
+    /// Run refinement on one graph (see [`JointRefinement::compute`]).
+    pub fn compute(g: &PortGraph, max_depth: Option<usize>) -> Refinement {
+        Refinement {
+            inner: JointRefinement::compute(&[g], max_depth),
+        }
+    }
+
+    /// Run refinement, stopping at the first depth at which some node's view is unique
+    /// (see [`JointRefinement::compute_with_options`]). In this mode
+    /// [`Refinement::stable_depth`] is merely the deepest level computed. Intended for
+    /// `ψ_S`-style computations on graphs of large diameter.
+    pub fn compute_until_unique(g: &PortGraph) -> Refinement {
+        Refinement {
+            inner: JointRefinement::compute_with_options(&[g], None, true),
+        }
+    }
+
+    /// Depth at which the partition became stable.
+    pub fn stable_depth(&self) -> usize {
+        self.inner.stable_depth()
+    }
+
+    /// The largest depth explicitly computed.
+    pub fn computed_depth(&self) -> usize {
+        self.inner.computed_depth()
+    }
+
+    /// Class id of `v` at `depth`.
+    pub fn class_at(&self, v: NodeId, depth: usize) -> u32 {
+        self.inner.class_at((0, v), depth)
+    }
+
+    /// Number of distinct view classes at `depth`.
+    pub fn num_classes_at(&self, depth: usize) -> usize {
+        self.inner.num_classes_at(depth)
+    }
+
+    /// `B^depth(u) = B^depth(v)`?
+    pub fn same_view(&self, u: NodeId, v: NodeId, depth: usize) -> bool {
+        self.inner.same_view((0, u), (0, v), depth)
+    }
+
+    /// Number of nodes sharing `v`'s view at `depth`.
+    pub fn multiplicity(&self, v: NodeId, depth: usize) -> usize {
+        self.inner.multiplicity((0, v), depth)
+    }
+
+    /// Does `v` have a unique view at `depth`?
+    pub fn is_unique(&self, v: NodeId, depth: usize) -> bool {
+        self.inner.is_unique((0, v), depth)
+    }
+
+    /// Nodes with a unique view at `depth`.
+    pub fn unique_nodes_at(&self, depth: usize) -> Vec<NodeId> {
+        self.inner
+            .unique_nodes_at(depth)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect()
+    }
+
+    /// Partition of the node set into view classes at `depth`.
+    pub fn classes_at(&self, depth: usize) -> Vec<Vec<NodeId>> {
+        self.inner.classes_of_graph(0, depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view_tree::ViewTree;
+    use anet_graph::generators;
+
+    /// Refinement classes must coincide with explicit view-tree equality at every depth.
+    fn assert_matches_view_trees(g: &PortGraph, max_depth: usize) {
+        let r = Refinement::compute(g, Some(max_depth));
+        for h in 0..=max_depth {
+            let views: Vec<ViewTree> = g.nodes().map(|v| ViewTree::build(g, v, h)).collect();
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(
+                        r.same_view(u, v, h),
+                        views[u as usize] == views[v as usize],
+                        "depth {h}, nodes {u} and {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_explicit_views_on_line_star_and_random() {
+        assert_matches_view_trees(&generators::paper_three_node_line(), 3);
+        assert_matches_view_trees(&generators::star(4).unwrap(), 3);
+        assert_matches_view_trees(&generators::random_connected(14, 4, 5, 77).unwrap(), 4);
+    }
+
+    #[test]
+    fn symmetric_ring_never_refines() {
+        let g = generators::symmetric_ring(6).unwrap();
+        let r = Refinement::compute(&g, None);
+        assert_eq!(r.num_classes_at(0), 1);
+        assert_eq!(r.num_classes_at(r.stable_depth()), 1);
+        assert!(r.unique_nodes_at(10).is_empty());
+        assert_eq!(r.multiplicity(0, 5), 6);
+    }
+
+    #[test]
+    fn hypercube_is_fully_symmetric() {
+        let g = generators::hypercube(3).unwrap();
+        let r = Refinement::compute(&g, None);
+        assert_eq!(r.num_classes_at(r.stable_depth() + 3), 1);
+    }
+
+    #[test]
+    fn star_centre_is_unique_at_depth_zero() {
+        let g = generators::star(3).unwrap();
+        let r = Refinement::compute(&g, None);
+        assert!(r.is_unique(0, 0));
+        assert!(!r.is_unique(1, 0));
+        assert_eq!(r.unique_nodes_at(0), vec![0]);
+        assert_eq!(r.classes_at(0).len(), 2);
+    }
+
+    #[test]
+    fn oriented_ring_becomes_fully_separated() {
+        // A ring with an asymmetric orientation pattern is feasible: all views distinct.
+        let g = generators::oriented_ring(&[true, true, false, true, false]).unwrap();
+        let r = Refinement::compute(&g, None);
+        let d = r.stable_depth();
+        assert_eq!(r.num_classes_at(d), g.num_nodes());
+        assert!(g.nodes().all(|v| r.is_unique(v, d)));
+    }
+
+    #[test]
+    fn stability_means_no_further_refinement() {
+        let g = generators::random_connected(20, 4, 8, 5).unwrap();
+        let r = Refinement::compute(&g, None);
+        let d = r.stable_depth();
+        // Ask far beyond the computed depth: counts must not change.
+        assert_eq!(r.num_classes_at(d), r.num_classes_at(d + 50));
+        for v in g.nodes() {
+            assert_eq!(r.class_at(v, d), r.class_at(v, d + 50));
+        }
+    }
+
+    #[test]
+    fn classes_partition_the_node_set() {
+        let g = generators::random_connected(25, 5, 10, 9).unwrap();
+        let r = Refinement::compute(&g, None);
+        for h in [0, 1, 2, r.stable_depth()] {
+            let classes = r.classes_at(h);
+            let total: usize = classes.iter().map(Vec::len).sum();
+            assert_eq!(total, g.num_nodes());
+            assert_eq!(classes.len(), r.num_classes_at(h));
+        }
+    }
+
+    #[test]
+    fn joint_refinement_agrees_with_per_graph_views_across_graphs() {
+        // Two different oriented rings: check cross-graph view equality against
+        // explicit trees.
+        let g1 = generators::oriented_ring(&[true, true, false, true]).unwrap();
+        let g2 = generators::oriented_ring(&[true, false, true, true]).unwrap();
+        let joint = JointRefinement::compute(&[&g1, &g2], Some(4));
+        for h in 0..=4usize {
+            for u in g1.nodes() {
+                for v in g2.nodes() {
+                    let t1 = ViewTree::build(&g1, u, h);
+                    let t2 = ViewTree::build(&g2, v, h);
+                    assert_eq!(
+                        joint.same_view((0, u), (1, v), h),
+                        t1 == t2,
+                        "depth {h}, nodes {u}@g1 and {v}@g2"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn joint_refinement_identical_graphs_pair_up() {
+        let g = generators::oriented_ring(&[true, true, false, true, false]).unwrap();
+        let joint = JointRefinement::compute(&[&g, &g], None);
+        // Every node's view is shared with its copy in the other graph, so nothing is
+        // unique, and each multiplicity is exactly 2 at the stable depth.
+        let d = joint.stable_depth() + 2;
+        assert!(joint.unique_nodes_at(d).is_empty());
+        for v in g.nodes() {
+            assert_eq!(joint.multiplicity((0, v), d), 2);
+            assert!(joint.same_view((0, v), (1, v), d));
+        }
+    }
+
+    #[test]
+    fn stop_on_unique_finds_the_same_first_depth() {
+        // The early-stopping mode must agree with the full computation about the first
+        // depth at which a unique view exists.
+        for seed in 0..5u64 {
+            let g = generators::random_connected(18, 4, 6, seed).unwrap();
+            let full = Refinement::compute(&g, None);
+            let fast = Refinement::compute_until_unique(&g);
+            let first_full =
+                (0..=full.stable_depth()).find(|&h| !full.unique_nodes_at(h).is_empty());
+            let first_fast =
+                (0..=fast.computed_depth()).find(|&h| !fast.unique_nodes_at(h).is_empty());
+            assert_eq!(first_full, first_fast, "seed {seed}");
+            if let Some(d) = first_fast {
+                assert_eq!(
+                    full.unique_nodes_at(d),
+                    fast.unique_nodes_at(d),
+                    "seed {seed}"
+                );
+            }
+        }
+        // On a fully symmetric graph the early-stopping mode still terminates (at
+        // stability) and reports no unique nodes.
+        let ring = generators::symmetric_ring(6).unwrap();
+        let fast = Refinement::compute_until_unique(&ring);
+        assert!(fast.unique_nodes_at(fast.computed_depth()).is_empty());
+    }
+
+    #[test]
+    fn stop_on_unique_handles_depth_zero() {
+        let g = generators::star(3).unwrap();
+        let fast = Refinement::compute_until_unique(&g);
+        assert_eq!(fast.computed_depth(), 0);
+        assert_eq!(fast.unique_nodes_at(0), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "graph index out of range")]
+    fn joint_refinement_rejects_bad_graph_index() {
+        let g = generators::star(3).unwrap();
+        let joint = JointRefinement::compute(&[&g], None);
+        joint.class_at((1, 0), 0);
+    }
+}

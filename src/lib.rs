@@ -1,0 +1,23 @@
+//! # four-shades — umbrella crate
+//!
+//! Reproduction of *"Four Shades of Deterministic Leader Election in Anonymous
+//! Networks"* (Gorain, Miller, Pelc — SPAA 2021). This crate re-exports the public API
+//! of the workspace so that examples and downstream users can depend on a single crate:
+//!
+//! * [`graph`] — anonymous port-numbered network graphs,
+//! * [`views`] — augmented truncated views, refinement, election indices,
+//! * [`sim`] — the synchronous LOCAL-model simulator,
+//! * [`election`] — the four election tasks, advice framework and algorithms,
+//! * [`constructions`] — the paper's lower-bound graph families and figures.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for the mapping
+//! between the paper's results and the code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use anet_constructions as constructions;
+pub use anet_election as election;
+pub use anet_graph as graph;
+pub use anet_sim as sim;
+pub use anet_views as views;

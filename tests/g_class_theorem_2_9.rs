@@ -1,0 +1,112 @@
+//! Experiment E3 as a test: the structural ingredients of Theorem 2.9 on the fully
+//! instantiated class `G_{4,1}` (all 9 members) and on single members of larger
+//! parameters, including an explicit "fooling" run showing that reusing one member's
+//! advice on another member elects two leaders.
+
+use four_shades::constructions::GClass;
+use four_shades::election::advice::{run_with_advice, FnOracle, Oracle};
+use four_shades::election::selection::{SelectionAlgorithm, SelectionOracle};
+use four_shades::election::tasks::{verify, Task, TaskError};
+use four_shades::views::{JointRefinement, Refinement};
+
+#[test]
+fn every_member_of_g_4_1_has_selection_index_k() {
+    let class = GClass::new(4, 1).unwrap();
+    for i in 1..=class.size().unwrap() {
+        let m = class.member(i).unwrap();
+        let r = Refinement::compute(&m.labeled.graph, Some(2));
+        assert!(
+            r.unique_nodes_at(0).is_empty(),
+            "G_{i}: no node may have a unique view at depth k−1 = 0"
+        );
+        assert!(
+            r.unique_nodes_at(1).contains(&m.special_root()),
+            "G_{i}: r_{{i,2}} must be unique at depth k = 1"
+        );
+    }
+}
+
+#[test]
+fn lemma_2_6_unique_node_is_exactly_the_special_root_for_i_at_least_2() {
+    let class = GClass::new(4, 1).unwrap();
+    for i in 2..=class.size().unwrap() {
+        let m = class.member(i).unwrap();
+        let r = Refinement::compute(&m.labeled.graph, Some(1));
+        assert_eq!(
+            r.unique_nodes_at(1),
+            vec![m.special_root()],
+            "G_{i}: exactly one unique view at depth k"
+        );
+    }
+}
+
+#[test]
+fn lemma_2_8_roots_indistinguishable_across_members() {
+    let class = GClass::new(4, 1).unwrap();
+    let k = class.k;
+    for (alpha, beta) in [(2u64, 3u64), (2, 7), (5, 9)] {
+        let ga = class.member(alpha).unwrap();
+        let gb = class.member(beta).unwrap();
+        let joint = JointRefinement::compute(&[&ga.labeled.graph, &gb.labeled.graph], Some(k));
+        for j in 1..=alpha {
+            for b in [1u8, 2] {
+                assert!(
+                    joint.same_view(
+                        (0, ga.root(j, b, 1).unwrap()),
+                        (1, gb.root(j, b, 1).unwrap()),
+                        k
+                    ),
+                    "α={alpha}, β={beta}, j={j}, b={b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reusing_advice_across_members_elects_two_leaders_theorem_2_9_mechanism() {
+    // The pigeonhole step of Theorem 2.9 made concrete: give G_β the advice computed
+    // for G_α (α < β). The Theorem 2.2 algorithm then sees, in G_β, two copies of the
+    // node whose view the advice encodes (the two copies of T_{α,2}), so it elects two
+    // leaders and fails — exactly the contradiction of the proof.
+    let class = GClass::new(4, 1).unwrap();
+    let (alpha, beta) = (3u64, 6u64);
+    let ga = class.member(alpha).unwrap();
+    let gb = class.member(beta).unwrap();
+
+    let advice_for_alpha = SelectionOracle.advise(&ga.labeled.graph);
+    let borrowed_oracle = FnOracle(move |_: &four_shades::graph::PortGraph| advice_for_alpha.clone());
+
+    // On G_α the advice works.
+    let on_alpha = run_with_advice(&ga.labeled.graph, &SelectionOracle, &SelectionAlgorithm);
+    verify(Task::Selection, &ga.labeled.graph, &on_alpha.outputs).expect("solves G_α");
+
+    // On G_β the borrowed advice elects both copies of r_{α,2}.
+    let on_beta = run_with_advice(&gb.labeled.graph, &borrowed_oracle, &SelectionAlgorithm);
+    match verify(Task::Selection, &gb.labeled.graph, &on_beta.outputs) {
+        Err(TaskError::MultipleLeaders { leaders }) => {
+            let expected = [
+                gb.root(alpha, 2, 1).unwrap(),
+                gb.root(alpha, 2, 2).unwrap(),
+            ];
+            for l in &leaders {
+                assert!(expected.contains(l), "unexpected leader {l}");
+            }
+            assert_eq!(leaders.len(), 2);
+        }
+        other => panic!("expected exactly the two-copies failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn larger_parameters_single_members_have_index_k() {
+    for (delta, k, i) in [(5usize, 1usize, 11u64), (6, 1, 30), (4, 2, 5)] {
+        let class = GClass::new(delta, k).unwrap();
+        let m = class.member(i).unwrap();
+        let r = Refinement::compute(&m.labeled.graph, Some(k));
+        for h in 0..k {
+            assert!(r.unique_nodes_at(h).is_empty(), "Δ={delta}, k={k}, depth {h}");
+        }
+        assert!(r.unique_nodes_at(k).contains(&m.special_root()));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests (proptest) on the core data structures and invariants:
+//! random port-numbered graphs, views, refinement, encodings, port permutations,
+//! the LOCAL simulator, and the election verifiers.
+
+use four_shades::election::map_algorithms::solve_with_map;
+use four_shades::election::selection::solve_selection_min_time;
+use four_shades::election::tasks::{verify, weaken_outputs, Task};
+use four_shades::graph::{generators, permute, PortGraph};
+use four_shades::sim::{run, ViewCollectorFactory};
+use four_shades::views::election_index::{compute_all, feasibility, psi_s};
+use four_shades::views::encoding::{decode_view, encode_view};
+use four_shades::views::{Refinement, ViewTree};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Strategy: parameters of a random connected port-numbered graph.
+fn graph_params() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    (4usize..18, 3usize..6, 0usize..8, any::<u64>())
+}
+
+fn build(params: (usize, usize, usize, u64)) -> PortGraph {
+    let (n, max_deg, extra, seed) = params;
+    generators::random_connected(n, max_deg, extra, seed).expect("generator produces valid graphs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generator must always satisfy the model invariants (they are re-validated by
+    /// `PortGraph::from_adjacency`, so re-building from the raw adjacency must succeed).
+    #[test]
+    fn generated_graphs_are_valid((n, d, e, s) in graph_params()) {
+        let g = build((n, d, e, s));
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert!(g.max_degree() <= d);
+        let rebuilt = PortGraph::from_adjacency(g.clone().into_adjacency()).unwrap();
+        prop_assert_eq!(rebuilt, g);
+    }
+
+    /// Refinement classes coincide with explicit view-tree equality at every depth.
+    #[test]
+    fn refinement_equals_view_tree_equality(params in graph_params(), depth in 0usize..4) {
+        let g = build(params);
+        let r = Refinement::compute(&g, Some(depth));
+        let views: Vec<ViewTree> = g.nodes().map(|v| ViewTree::build(&g, v, depth)).collect();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(
+                    r.same_view(u, v, depth),
+                    views[u as usize] == views[v as usize],
+                    "nodes {} and {} at depth {}", u, v, depth
+                );
+            }
+        }
+    }
+
+    /// View encoding round-trips for every node and depth.
+    #[test]
+    fn view_encoding_round_trips(params in graph_params(), depth in 0usize..4) {
+        let g = build(params);
+        for v in g.nodes() {
+            let view = ViewTree::build(&g, v, depth);
+            let bits = encode_view(&view, depth);
+            let (decoded, h) = decode_view(&bits).unwrap();
+            prop_assert_eq!(h, depth);
+            prop_assert_eq!(decoded, view);
+        }
+    }
+
+    /// Relabelling nodes (a port-preserving isomorphism) changes nothing an anonymous
+    /// algorithm can observe: feasibility, ψ_S and the multiset of view classes.
+    #[test]
+    fn node_relabelling_is_invisible(params in graph_params()) {
+        let g = build(params);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(params.3 ^ 0xABCD);
+        let mut perm: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        perm.shuffle(&mut rng);
+        let h = permute::relabel_nodes(&g, &perm).unwrap();
+        prop_assert!(permute::is_port_isomorphism(&g, &h, &perm));
+        prop_assert_eq!(psi_s(&g), psi_s(&h));
+        prop_assert_eq!(feasibility(&g).feasible, feasibility(&h).feasible);
+        let rg = Refinement::compute(&g, Some(2));
+        let rh = Refinement::compute(&h, Some(2));
+        prop_assert_eq!(rg.num_classes_at(2), rh.num_classes_at(2));
+    }
+
+    /// The LOCAL simulator's full-information collector assembles exactly `B^r(v)`.
+    #[test]
+    fn simulator_collects_exact_views(params in graph_params(), rounds in 0usize..3) {
+        let g = build(params);
+        let outcome = run(&g, &ViewCollectorFactory, rounds);
+        for v in g.nodes() {
+            prop_assert_eq!(
+                &outcome.outputs[v as usize],
+                &ViewTree::build(&g, v, rounds)
+            );
+        }
+    }
+
+    /// Fact 1.1 (the hierarchy) holds on random graphs, and all four tasks, when
+    /// solvable, are solved correctly by the map-based baseline in exactly their index.
+    #[test]
+    fn hierarchy_and_map_baseline_agree(params in graph_params()) {
+        let g = build(params);
+        let idx = compute_all(&g, 50_000).unwrap();
+        prop_assert!(idx.satisfies_hierarchy());
+        for (task, expected) in [
+            (Task::Selection, idx.s),
+            (Task::PortElection, idx.pe),
+            (Task::PortPathElection, idx.ppe),
+            (Task::CompletePortPathElection, idx.cppe),
+        ] {
+            match solve_with_map(&g, task, 50_000) {
+                Ok(run) => {
+                    prop_assert_eq!(Some(run.rounds), expected);
+                    prop_assert!(verify(task, &g, &run.outputs).is_ok());
+                }
+                Err(_) => prop_assert_eq!(expected, None),
+            }
+        }
+    }
+
+    /// A correct CPPE solution, weakened per Fact 1.1, stays correct for every weaker
+    /// task.
+    #[test]
+    fn weakenings_preserve_correctness(params in graph_params()) {
+        let g = build(params);
+        if let Ok(run) = solve_with_map(&g, Task::CompletePortPathElection, 50_000) {
+            for task in [Task::PortPathElection, Task::PortElection, Task::Selection] {
+                let weak = weaken_outputs(&run.outputs, task).unwrap();
+                prop_assert!(verify(task, &g, &weak).is_ok());
+            }
+        }
+    }
+
+    /// Theorem 2.2 end to end on random graphs: whenever ψ_S is finite, the oracle and
+    /// algorithm solve Selection in exactly ψ_S rounds.
+    #[test]
+    fn selection_with_advice_on_random_graphs(params in graph_params()) {
+        let g = build(params);
+        if let Some(psi) = psi_s(&g) {
+            let run = solve_selection_min_time(&g);
+            prop_assert_eq!(run.rounds, psi);
+            prop_assert!(verify(Task::Selection, &g, &run.outputs).is_ok());
+        }
+    }
+
+    /// Swapping two ports at a node and swapping them back restores the original graph.
+    #[test]
+    fn port_swaps_are_involutions(params in graph_params(), node_pick in any::<u32>(), p1 in 0u32..6, p2 in 0u32..6) {
+        let g = build(params);
+        let v = node_pick % g.num_nodes() as u32;
+        let deg = g.degree(v) as u32;
+        if deg >= 2 {
+            let (a, b) = (p1 % deg, p2 % deg);
+            let once = permute::swap_ports(&g, v, a, b).unwrap();
+            let twice = permute::swap_ports(&once, v, a, b).unwrap();
+            prop_assert_eq!(twice, g);
+        }
+    }
+}
