@@ -1,65 +1,41 @@
 //! P1 — cost of building the paper's graph families (the substrate of experiments
 //! E3, E4, E5 and of the figure regeneration).
+//!
+//! Run with `cargo bench -p anet-bench --bench bench_constructions`.
 
+use anet_bench::Harness;
 use anet_constructions::{layers, GClass, JClass, UClass};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_g_class(c: &mut Criterion) {
-    let mut group = c.benchmark_group("build_G_delta_k_member");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("constructions");
     for (delta, k, i) in [(4usize, 1usize, 5u64), (5, 1, 20), (4, 2, 3)] {
         let class = GClass::new(delta, k).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("d{delta}_k{k}_i{i}")),
-            &(class, i),
-            |b, (class, i)| b.iter(|| class.member(*i).unwrap().labeled.graph.num_nodes()),
-        );
+        h.bench(&format!("build_G_d{delta}_k{k}_i{i}"), 20, || {
+            class.member(i).unwrap().labeled.graph.num_nodes()
+        });
     }
-    group.finish();
-}
-
-fn bench_u_class(c: &mut Criterion) {
-    let mut group = c.benchmark_group("build_U_delta_k_member");
-    group.sample_size(10);
     for (delta, k) in [(4usize, 1usize), (5, 1)] {
         let class = UClass::new(delta, k).unwrap();
         let sigma: Vec<u32> = (0..class.y()).map(|j| (j % 3) as u32 + 1).collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("d{delta}_k{k}")),
-            &(class, sigma),
-            |b, (class, sigma)| b.iter(|| class.member(sigma).unwrap().labeled.graph.num_nodes()),
-        );
+        h.bench(&format!("build_U_d{delta}_k{k}"), 10, || {
+            class.member(&sigma).unwrap().labeled.graph.num_nodes()
+        });
     }
-    group.finish();
-}
-
-fn bench_j_chain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("build_J_mu_k_chain");
-    group.sample_size(10);
     let class = JClass::new(2, 4).unwrap();
     for gadgets in [8usize, 32, 128] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(gadgets),
-            &gadgets,
-            |b, &gadgets| {
-                b.iter(|| class.template(Some(gadgets)).unwrap().labeled.graph.num_nodes())
-            },
-        );
+        h.bench(&format!("build_J_chain_{gadgets}"), 10, || {
+            class
+                .template(Some(gadgets))
+                .unwrap()
+                .labeled
+                .graph
+                .num_nodes()
+        });
     }
-    group.finish();
-}
-
-fn bench_layers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("build_layer_graph");
     for (mu, m) in [(3usize, 4usize), (3, 5), (4, 6)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("mu{mu}_m{m}")),
-            &(mu, m),
-            |b, &(mu, m)| b.iter(|| layers::layer_graph(mu, m).unwrap().0.num_nodes()),
-        );
+        h.bench(&format!("build_layer_mu{mu}_m{m}"), 10, || {
+            layers::layer_graph(mu, m).unwrap().0.num_nodes()
+        });
     }
-    group.finish();
+    h.report();
 }
-
-criterion_group!(benches, bench_g_class, bench_u_class, bench_j_chain, bench_layers);
-criterion_main!(benches);

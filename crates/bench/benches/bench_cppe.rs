@@ -1,26 +1,31 @@
 //! E5 — the Lemma 4.8 CPPE algorithm on chains of gadgets from `J_{μ,k}`.
+//!
+//! Times `Solver::solve` directly (the engine's solver interface) rather than
+//! `Election::run`, so the measurement covers the algorithm alone — the CPPE
+//! verifier walks Θ(n²) path output and would otherwise dominate.
+//!
+//! Run with `cargo bench -p anet-bench --bench bench_cppe`.
 
+use anet_bench::Harness;
 use anet_constructions::JClass;
-use anet_election::cppe::solve_cppe_on_j;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use anet_election::engine::{Backend, CppeSolver, Solver};
+use anet_election::tasks::Task;
 
-fn bench_cppe_on_j(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cppe_on_J_chain");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("cppe_on_J_chain");
     let class = JClass::new(2, 4).unwrap();
     for gadgets in [4usize, 16, 48] {
         let member = class.template(Some(gadgets)).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!(
-                "gadgets{gadgets}_n{}",
-                member.labeled.graph.num_nodes()
-            )),
-            &member,
-            |b, member| b.iter(|| solve_cppe_on_j(member, 4).unwrap().outputs.len()),
-        );
+        let graph = member.labeled.graph.clone();
+        let n = graph.num_nodes();
+        let solver = CppeSolver::new(member, class.k);
+        h.bench(&format!("gadgets{gadgets}_n{n}"), 10, || {
+            solver
+                .solve(&graph, Task::CompletePortPathElection, Backend::Sequential)
+                .unwrap()
+                .outputs
+                .len()
+        });
     }
-    group.finish();
+    h.report();
 }
-
-criterion_group!(benches, bench_cppe_on_j);
-criterion_main!(benches);

@@ -1,20 +1,16 @@
 //! E1 — cost of computing all four election indices exactly on small graphs.
+//!
+//! Run with `cargo bench -p anet-bench --bench bench_hierarchy`.
 
+use anet_bench::Harness;
 use anet_graph::generators;
 use anet_views::election_index::compute_all;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_exact_indices(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exact_election_indices");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("exact_election_indices");
     for n in [8usize, 12, 16] {
         let g = generators::random_connected(n, 4, 3, n as u64).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| compute_all(g, 50_000).unwrap())
-        });
+        h.bench(&format!("n{n}"), 10, || compute_all(&g, 50_000).unwrap());
     }
-    group.finish();
+    h.report();
 }
-
-criterion_group!(benches, bench_exact_indices);
-criterion_main!(benches);

@@ -1,29 +1,33 @@
 //! E4 — the Lemma 3.9 Port Election algorithm on members of `U_{Δ,k}`.
+//!
+//! Times `Solver::solve` directly (the engine's solver interface) rather than
+//! `Election::run`, so the measurement covers the algorithm alone, not the PE
+//! verifier's per-node path checks.
+//!
+//! Run with `cargo bench -p anet-bench --bench bench_port_election`.
 
+use anet_bench::Harness;
 use anet_constructions::UClass;
-use anet_election::port_election::solve_port_election_on_u;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use anet_election::engine::{Backend, PortElectionSolver, Solver};
+use anet_election::tasks::Task;
 
-fn bench_pe_on_u(c: &mut Criterion) {
-    let mut group = c.benchmark_group("port_election_on_U");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("port_election_on_U");
     for (delta, k) in [(4usize, 1usize), (5, 1)] {
         let class = UClass::new(delta, k).unwrap();
         let sigma: Vec<u32> = (0..class.y())
             .map(|j| (j % (delta as u64 - 1)) as u32 + 1)
             .collect();
         let member = class.member(&sigma).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!(
-                "d{delta}_k{k}_n{}",
-                member.labeled.graph.num_nodes()
-            )),
-            &member.labeled.graph,
-            |b, g| b.iter(|| solve_port_election_on_u(g, k).unwrap().outputs.len()),
-        );
+        let g = member.labeled.graph;
+        let solver = PortElectionSolver::new(k);
+        h.bench(&format!("d{delta}_k{k}_n{}", g.num_nodes()), 10, || {
+            solver
+                .solve(&g, Task::PortElection, Backend::Sequential)
+                .unwrap()
+                .outputs
+                .len()
+        });
     }
-    group.finish();
+    h.report();
 }
-
-criterion_group!(benches, bench_pe_on_u);
-criterion_main!(benches);

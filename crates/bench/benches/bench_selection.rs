@@ -1,39 +1,40 @@
-//! E2/E3 — the Theorem 2.2 Selection oracle/algorithm pair: end-to-end solve time and
-//! advice size on random graphs and on members of `G_{Δ,k}`.
+//! E2/E3 — the Theorem 2.2 Selection oracle/algorithm pair: end-to-end solve time
+//! and advice size on random graphs and on `G_{Δ,k}` members.
+//!
+//! Times `Solver::solve` directly (the engine's solver interface) rather than
+//! `Election::run`, so the measurement covers oracle + simulation + decision, not
+//! the Selection verifier.
+//!
+//! Run with `cargo bench -p anet-bench --bench bench_selection`.
 
+use anet_bench::Harness;
 use anet_constructions::GClass;
-use anet_election::selection::solve_selection_min_time;
+use anet_election::engine::{AdviceSolver, Backend, Solver};
+use anet_election::tasks::Task;
 use anet_graph::generators;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_selection_random(c: &mut Criterion) {
-    let mut group = c.benchmark_group("selection_min_time_random");
-    group.sample_size(20);
+fn solve(g: &anet_graph::PortGraph) -> usize {
+    AdviceSolver::theorem_2_2()
+        .solve(g, Task::Selection, Backend::Sequential)
+        .unwrap()
+        .advice_bits
+        .unwrap()
+}
+
+fn main() {
+    let mut h = Harness::new("selection_min_time");
     for n in [30usize, 100, 300] {
         let g = (0..50u64)
             .map(|s| generators::random_connected(n, 5, n / 2, s).unwrap())
             .find(|g| anet_views::election_index::psi_s(g).is_some())
             .expect("some random graph of this size is solvable");
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| solve_selection_min_time(g).advice_bits())
-        });
+        h.bench(&format!("random_n{n}"), 20, || solve(&g));
     }
-    group.finish();
-}
-
-fn bench_selection_on_g_class(c: &mut Criterion) {
-    let mut group = c.benchmark_group("selection_min_time_G_class");
-    group.sample_size(10);
     for (delta, k, i) in [(4usize, 1usize, 5u64), (5, 1, 20)] {
         let member = GClass::new(delta, k).unwrap().member(i).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("d{delta}_k{k}_i{i}")),
-            &member.labeled.graph,
-            |b, g| b.iter(|| solve_selection_min_time(g).advice_bits()),
-        );
+        h.bench(&format!("G_d{delta}_k{k}_i{i}"), 10, || {
+            solve(&member.labeled.graph)
+        });
     }
-    group.finish();
+    h.report();
 }
-
-criterion_group!(benches, bench_selection_random, bench_selection_on_g_class);
-criterion_main!(benches);

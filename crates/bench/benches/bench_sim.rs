@@ -1,30 +1,21 @@
 //! P1 — LOCAL-simulator round throughput: the full-information view collector,
-//! sequential versus crossbeam-parallel execution.
+//! sequential versus parallel backends.
+//!
+//! Run with `cargo bench -p anet-bench --bench bench_sim`.
 
+use anet_bench::Harness;
 use anet_graph::generators;
-use anet_sim::{run, run_parallel, ViewCollectorFactory};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use anet_sim::{Backend, ViewCollectorFactory};
 
-fn bench_full_information(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_information_rounds");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("full_information_rounds");
     for (n, rounds) in [(200usize, 3usize), (1000, 3), (1000, 4)] {
         let g = generators::random_connected(n, 4, n / 2, 3).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("seq_n{n}_r{rounds}")),
-            &(g.clone(), rounds),
-            |b, (g, rounds)| b.iter(|| run(g, &ViewCollectorFactory, *rounds).outputs.len()),
-        );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("par4_n{n}_r{rounds}")),
-            &(g, rounds),
-            |b, (g, rounds)| {
-                b.iter(|| run_parallel(g, &ViewCollectorFactory, *rounds, 4).outputs.len())
-            },
-        );
+        for backend in [Backend::Sequential, Backend::Parallel { threads: 4 }] {
+            h.bench(&format!("{backend}_n{n}_r{rounds}"), 10, || {
+                backend.run(&g, &ViewCollectorFactory, rounds).outputs.len()
+            });
+        }
     }
-    group.finish();
+    h.report();
 }
-
-criterion_group!(benches, bench_full_information);
-criterion_main!(benches);

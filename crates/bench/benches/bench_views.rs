@@ -1,63 +1,41 @@
 //! P1 — performance of the views machinery: refinement, explicit view trees, and the
 //! advice encoding (Theorem 2.2's data path).
+//!
+//! Run with `cargo bench -p anet-bench --bench bench_views`.
 
 use anet_bench::suite::scaling_suite;
+use anet_bench::Harness;
 use anet_views::encoding::{decode_view, encode_view};
 use anet_views::{Refinement, ViewTree};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_refinement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("refinement_to_stability");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("views");
     for item in scaling_suite(&[50, 200, 800]) {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(item.graph.num_nodes()),
-            &item.graph,
-            |b, g| b.iter(|| Refinement::compute(g, None).stable_depth()),
+        let g = item.graph;
+        h.bench(
+            &format!("refinement_to_stability_n{}", g.num_nodes()),
+            20,
+            || Refinement::compute(&g, None).stable_depth(),
         );
     }
-    group.finish();
-}
-
-fn bench_refinement_until_unique(c: &mut Criterion) {
-    let mut group = c.benchmark_group("refinement_until_unique");
-    group.sample_size(20);
     for item in scaling_suite(&[200, 800, 2000]) {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(item.graph.num_nodes()),
-            &item.graph,
-            |b, g| b.iter(|| Refinement::compute_until_unique(g).computed_depth()),
+        let g = item.graph;
+        h.bench(
+            &format!("refinement_until_unique_n{}", g.num_nodes()),
+            20,
+            || Refinement::compute_until_unique(&g).computed_depth(),
         );
     }
-    group.finish();
-}
-
-fn bench_view_tree_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("view_tree_build");
     let g = anet_graph::generators::random_connected(500, 5, 300, 7).unwrap();
     for depth in [1usize, 2, 3, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
-            b.iter(|| ViewTree::build(&g, 0, d).size())
+        h.bench(&format!("view_tree_build_depth{depth}"), 10, || {
+            ViewTree::build(&g, 0, depth).size()
         });
     }
-    group.finish();
-}
-
-fn bench_view_encoding(c: &mut Criterion) {
     let g = anet_graph::generators::random_connected(200, 5, 100, 9).unwrap();
     let view = ViewTree::build(&g, 0, 3);
     let encoded = encode_view(&view, 3);
-    let mut group = c.benchmark_group("view_encoding");
-    group.bench_function("encode_depth3", |b| b.iter(|| encode_view(&view, 3).len()));
-    group.bench_function("decode_depth3", |b| b.iter(|| decode_view(&encoded).unwrap().1));
-    group.finish();
+    h.bench("encode_depth3", 20, || encode_view(&view, 3).len());
+    h.bench("decode_depth3", 20, || decode_view(&encoded).unwrap().1);
+    h.report();
 }
-
-criterion_group!(
-    benches,
-    bench_refinement,
-    bench_refinement_until_unique,
-    bench_view_tree_build,
-    bench_view_encoding
-);
-criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Experiment E7: the `ElectionEngine` matrix — task shade × solver × execution
+//! backend × graph family, all through the facade.
+//!
+//! Usage: `cargo run --release -p anet-bench --bin exp_engine [--threads N]`
+
+use anet_election::engine::Backend;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut threads = 4usize;
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            threads = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threads takes a number");
+        }
+    }
+    let backends = [Backend::Sequential, Backend::Parallel { threads }];
+    println!("{}", anet_bench::experiments::e7_engine_matrix(&backends));
+    println!(
+        "Every row is one `Election::task(…).solver(…).backend(…).run(&graph)` call; the\n\
+         sequential and parallel halves of the table must agree on rounds, messages and\n\
+         advice bits (backends change wall time only). Weaker shades on the J rows are\n\
+         served by the CPPE solver through the engine's automatic Fact 1.1 weakening."
+    );
+}

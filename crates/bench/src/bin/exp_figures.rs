@@ -47,12 +47,14 @@ fn main() {
     reports.push(figures::figure8().expect("figure 8"));
     reports.push(figures::figure9().expect("figure 9"));
     reports.push(figures::figure10());
-    reports.push(
-        figures::figure11(if full11 { None } else { Some(8) }).expect("figure 11"),
-    );
+    reports.push(figures::figure11(if full11 { None } else { Some(8) }).expect("figure 11"));
 
     for r in &reports {
         emit(r, dir);
     }
-    println!("{} figures regenerated; DOT files in {}/", reports.len(), dir.display());
+    println!(
+        "{} figures regenerated; DOT files in {}/",
+        reports.len(),
+        dir.display()
+    );
 }

@@ -1,15 +1,21 @@
-//! Experiment implementations E1–E6 (see `DESIGN.md` §4 and `EXPERIMENTS.md`).
+//! Experiment implementations E1–E7 (see `DESIGN.md` §4 and `EXPERIMENTS.md`).
 //!
 //! Each function measures what the corresponding table of `EXPERIMENTS.md` reports and
 //! returns it as a [`Table`]; the `exp_*` binaries print the tables, and the
 //! integration tests assert the key claims on the returned values.
+//!
+//! All election runs go through the [`ElectionEngine` facade](anet_election::engine):
+//! `Election::task(…).solver(…).backend(…).run(&graph)`.
 
-use crate::suite::small_suite;
+use crate::suite::{small_suite, SuiteFamily};
 use crate::table::{fmt_f64, Table};
 use anet_constructions::{GClass, JClass, UClass};
-use anet_election::map_algorithms::measured_indices;
-use anet_election::selection::{solve_selection_min_time, SelectionOracle};
-use anet_election::tasks::{verify, NodeOutput, Task};
+use anet_election::engine::{
+    AdviceSolver, Backend, BatchRow, BatchRunner, CppeSolver, Election, EngineError, MapSolver,
+    PortElectionSolver,
+};
+use anet_election::selection::SelectionOracle;
+use anet_election::tasks::{NodeOutput, Task};
 use anet_election::{bounds, Oracle};
 use anet_graph::{NodeId, PortGraph};
 use anet_views::election_index::{psi_s, psi_s_with};
@@ -19,22 +25,49 @@ fn opt(x: Option<usize>) -> String {
     x.map(|v| v.to_string()).unwrap_or_else(|| "∞".to_string())
 }
 
+/// The election indices measured by running the map-based minimum-time solver for
+/// every task through the engine (`None` = unsolvable on this graph). Only genuine
+/// infeasibility maps to `None`; any other solver failure (e.g. the simple-path
+/// enumeration budget) panics, matching `measured_indices`'s loud error path.
+fn engine_measured_indices(g: &PortGraph) -> [Option<usize>; 4] {
+    let mut out = [None; 4];
+    for (slot, task) in Task::ALL.iter().enumerate() {
+        out[slot] = match Election::task(*task).solver(MapSolver::default()).run(g) {
+            Ok(r) if r.solved() => Some(r.rounds),
+            Ok(r) => panic!(
+                "map solver produced invalid {task} outputs: {:?}",
+                r.verdict
+            ),
+            Err(EngineError::Solver { message, .. }) if message.contains("unsolvable") => None,
+            Err(e) => panic!("path budget: {e}"),
+        };
+    }
+    out
+}
+
 /// E1 — the election-index hierarchy (Fact 1.1) over the small-graph suite, with the
 /// indices both computed combinatorially and measured by running the map-based
-/// minimum-time algorithms.
+/// minimum-time algorithms through the engine.
 pub fn e1_hierarchy() -> Table {
     let mut table = Table::new(
         "E1 — election indices ψ_S ≤ ψ_PE ≤ ψ_PPE ≤ ψ_CPPE (Fact 1.1)",
         &[
-            "graph", "n", "Δ", "ψ_S", "ψ_PE", "ψ_PPE", "ψ_CPPE", "hierarchy", "measured=computed",
+            "graph",
+            "n",
+            "Δ",
+            "ψ_S",
+            "ψ_PE",
+            "ψ_PPE",
+            "ψ_CPPE",
+            "hierarchy",
+            "measured=computed",
         ],
     );
     for item in small_suite() {
         let g = &item.graph;
         let computed = anet_views::election_index::compute_all(g, 50_000).expect("path budget");
-        let measured = measured_indices(g, 50_000).expect("path budget");
-        let agree = measured
-            == [computed.s, computed.pe, computed.ppe, computed.cppe];
+        let measured = engine_measured_indices(g);
+        let agree = measured == [computed.s, computed.pe, computed.ppe, computed.cppe];
         table.push_row(vec![
             item.name.clone(),
             g.num_nodes().to_string(),
@@ -68,16 +101,18 @@ pub fn e2_selection_advice() -> Table {
     for item in small_suite() {
         let g = &item.graph;
         let Some(psi) = psi_s(g) else { continue };
-        let run = solve_selection_min_time(g);
-        let solved = verify(Task::Selection, g, &run.outputs).is_ok();
+        let report = Election::task(Task::Selection)
+            .solver(AdviceSolver::theorem_2_2())
+            .run(g)
+            .expect("advice solver ran");
         table.push_row(vec![
             item.name.clone(),
             g.max_degree().to_string(),
             psi.to_string(),
-            run.rounds.to_string(),
-            run.advice_bits().to_string(),
+            report.rounds.to_string(),
+            report.advice_bits.expect("advice solver").to_string(),
             fmt_f64(bounds::theorem_2_2_upper_form(g.max_degree(), psi)),
-            solved.to_string(),
+            report.solved().to_string(),
         ]);
     }
     table
@@ -108,7 +143,9 @@ pub fn e3_g_class(params: &[(usize, usize)]) -> Table {
         let size = class.size().ok();
         // Pick a mid-sized member (and a larger one for the cross-member check).
         let alpha = size.map(|s| (s / 3).max(2)).unwrap_or(2);
-        let beta = size.map(|s| (2 * s / 3).max(alpha + 1)).unwrap_or(alpha + 1);
+        let beta = size
+            .map(|s| (2 * s / 3).max(alpha + 1))
+            .unwrap_or(alpha + 1);
         let ga = class.member(alpha).expect("member");
         let gb = class.member(beta).expect("member");
 
@@ -133,8 +170,10 @@ pub fn e3_g_class(params: &[(usize, usize)]) -> Table {
             )
         };
 
-        let run = solve_selection_min_time(&ga.labeled.graph);
-        let solved = verify(Task::Selection, &ga.labeled.graph, &run.outputs).is_ok();
+        let report = Election::task(Task::Selection)
+            .solver(AdviceSolver::theorem_2_2())
+            .run(&ga.labeled.graph)
+            .expect("advice solver ran");
 
         table.push_row(vec![
             delta.to_string(),
@@ -145,14 +184,17 @@ pub fn e3_g_class(params: &[(usize, usize)]) -> Table {
             opt(psi),
             unique_is_special.to_string(),
             lemma_2_8.to_string(),
-            format!("{} (solved={solved})", run.advice_bits()),
+            format!(
+                "{} (solved={})",
+                report.advice_bits.expect("advice solver"),
+                report.solved()
+            ),
             fmt_f64(bounds::theorem_2_9_lower_bits(delta, k)),
             fmt_f64(bounds::theorem_2_2_upper_form(delta, k)),
         ]);
     }
     table
 }
-
 
 /// E3b — the measured form of the Theorem 2.9 pigeonhole on a fully instantiated
 /// class: pairwise advice-sharing conflicts between all members of `G_{Δ,k}`.
@@ -232,13 +274,20 @@ pub fn e4_u_class(params: &[(usize, usize)]) -> Table {
             .into_iter()
             .all(|root| r.is_unique(root, k));
 
-        let pe = anet_election::port_election::solve_port_election_on_u(g, k).expect("PE run");
-        let pe_ok = pe.rounds == k && verify(Task::PortElection, g, &pe.outputs).is_ok();
+        let pe = Election::task(Task::PortElection)
+            .solver(PortElectionSolver::new(k))
+            .run(g)
+            .expect("PE run");
+        let pe_ok = pe.rounds == k && pe.solved();
 
-        let s_run = solve_selection_min_time(g);
-        let s_ok = verify(Task::Selection, g, &s_run.outputs).is_ok();
+        let s_run = Election::task(Task::Selection)
+            .solver(AdviceSolver::theorem_2_2())
+            .run(g)
+            .expect("advice solver ran");
+        let s_ok = s_run.solved();
+        let s_bits = s_run.advice_bits.expect("advice solver");
         let pe_lower = bounds::theorem_3_11_lower_bits(delta, k);
-        let separation = pe_lower / s_run.advice_bits() as f64;
+        let separation = pe_lower / s_bits as f64;
 
         table.push_row(vec![
             delta.to_string(),
@@ -249,7 +298,7 @@ pub fn e4_u_class(params: &[(usize, usize)]) -> Table {
             no_unique_below.to_string(),
             roots_unique.to_string(),
             pe_ok.to_string(),
-            format!("{} (solved={s_ok})", s_run.advice_bits()),
+            format!("{s_bits} (solved={s_ok})"),
             fmt_f64(pe_lower),
             fmt_f64(separation),
         ]);
@@ -329,8 +378,8 @@ pub fn e5_j_class(mu: usize, k: usize, gadget_caps: &[usize], include_full: bool
         let member = class.template(Some(cap)).expect("template chain");
         let g = &member.labeled.graph;
         let r = Refinement::compute(g, Some(k - 1));
-        let rho_equal = (1..member.num_gadgets())
-            .all(|i| r.same_view(member.rho(0), member.rho(i), k - 1));
+        let rho_equal =
+            (1..member.num_gadgets()).all(|i| r.same_view(member.rho(0), member.rho(i), k - 1));
         // Lemma 4.6 is a statement about the full template; on capped chains the
         // boundary gadgets may contain unique views, so we only report it there.
         let no_unique = if is_full {
@@ -342,12 +391,17 @@ pub fn e5_j_class(mu: usize, k: usize, gadget_caps: &[usize], include_full: bool
 
         // The CPPE algorithm (full verification for small chains, sampled for large).
         let (cppe_cell, checked) = if member.num_gadgets() <= 64 {
-            let run = anet_election::cppe::solve_cppe_on_j(&member, k).expect("CPPE run");
-            let ok = run.rounds == k
-                && verify(Task::CompletePortPathElection, g, &run.outputs).is_ok();
+            let report = Election::task(Task::CompletePortPathElection)
+                .solver(CppeSolver::new(member.clone(), k))
+                .run(g)
+                .expect("CPPE run");
+            let ok = report.rounds == k && report.solved();
             (ok.to_string(), g.num_nodes())
         } else {
-            ("skipped (output size is Θ(n²) on long chains)".to_string(), 0)
+            (
+                "skipped (output size is Θ(n²) on long chains)".to_string(),
+                0,
+            )
         };
 
         // Selection on the same graph, for the separation column.
@@ -429,6 +483,108 @@ pub fn e6_class_sizes() -> Table {
     table
 }
 
+fn push_batch_rows(table: &mut Table, rows: &[BatchRow], backend: Backend) {
+    for row in rows {
+        let (solver, rounds, messages, bits, solved, wall) = match &row.report {
+            Ok(r) => (
+                r.solver.clone(),
+                r.rounds.to_string(),
+                r.messages_delivered.to_string(),
+                r.advice_bits
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                r.solved().to_string(),
+                format!("{:.2}ms", r.wall_time.as_secs_f64() * 1e3),
+            ),
+            Err(e) => (
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                format!("false ({e})"),
+                "-".into(),
+            ),
+        };
+        table.push_row(vec![
+            row.family.clone(),
+            row.instance.clone(),
+            row.nodes.to_string(),
+            row.task.to_string(),
+            solver,
+            backend.label(),
+            rounds,
+            messages,
+            bits,
+            solved,
+            wall,
+        ]);
+    }
+}
+
+/// E7 — the engine configuration matrix: task shade × solver × execution backend ×
+/// graph family, all through the `ElectionEngine` facade. One sweep per family:
+///
+/// * `G_{4,1}` members × all four shades × the map-based minimum-time solver,
+/// * `U_{4,1}` members × {S, PE} × the Lemma 3.9 Port Election solver,
+/// * `J_{2,4}` capped chains × all four shades × the Lemma 4.8 CPPE solver (its CPPE
+///   outputs are weakened per Fact 1.1 for the weaker shades),
+/// * the small-graph suite × S × the map solver (including infeasible graphs, which
+///   report as unsolved rather than failing the sweep).
+///
+/// Every sweep is run on every backend; outputs and message counts are
+/// backend-invariant, so the matrix doubles as an engine-equivalence check for the
+/// simulation-backed rows (the `J` rows use the analytic Lemma 4.8 solver, which runs
+/// no simulation and ignores the backend by design).
+pub fn e7_engine_matrix(backends: &[Backend]) -> Table {
+    let mut table = Table::new(
+        "E7 — ElectionEngine matrix: task × solver × backend × family",
+        &[
+            "family",
+            "instance",
+            "n",
+            "task",
+            "solver",
+            "backend",
+            "rounds",
+            "messages",
+            "advice bits",
+            "solved",
+            "wall",
+        ],
+    );
+    for &backend in backends {
+        let runner = BatchRunner::new(backend).max_instances(2);
+
+        let g_class = GClass::new(4, 1).expect("parameters");
+        let rows = runner.sweep_tasks(&g_class, &Task::ALL, |_| Box::new(MapSolver::default()));
+        push_batch_rows(&mut table, &rows, backend);
+
+        let u_class = UClass::new(4, 1).expect("parameters");
+        let rows = runner.sweep_tasks(&u_class, &[Task::Selection, Task::PortElection], |_| {
+            Box::new(PortElectionSolver::new(u_class.k))
+        });
+        push_batch_rows(&mut table, &rows, backend);
+
+        let j_class = JClass::new(2, 4).expect("parameters");
+        let rows = runner.sweep_tasks(&j_class, &Task::ALL, |instance| {
+            let member = j_class
+                .template(Some(instance.param as usize))
+                .expect("param is the chain cap");
+            Box::new(CppeSolver::new(member, j_class.k))
+        });
+        push_batch_rows(&mut table, &rows, backend);
+
+        let rows =
+            BatchRunner::new(backend)
+                .max_instances(6)
+                .sweep(&SuiteFamily, Task::Selection, |_| {
+                    Box::new(MapSolver::default())
+                });
+        push_batch_rows(&mut table, &rows, backend);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,6 +650,51 @@ mod tests {
         for row in 0..2 {
             assert_eq!(t.cell(row, "ρ views equal < k (Prop 4.4)"), Some("true"));
             assert_eq!(t.cell(row, "CPPE ok (k rounds)"), Some("true"));
+        }
+    }
+
+    #[test]
+    fn e7_matrix_solves_every_family_row_on_every_backend() {
+        let backends = [Backend::Sequential, Backend::Parallel { threads: 4 }];
+        let t = e7_engine_matrix(&backends);
+        // Per backend: 2 G members × 4 tasks + 2 U members × 2 tasks + 2 J chains × 4
+        // tasks + 6 suite graphs.
+        assert_eq!(t.num_rows(), backends.len() * (8 + 4 + 8 + 6));
+        for row in 0..t.num_rows() {
+            let family = t.cell(row, "family").unwrap();
+            let solved = t.cell(row, "solved").unwrap();
+            if family == "small-suite" {
+                // The suite deliberately contains infeasible graphs; they must be
+                // reported, not crash the sweep.
+                assert!(solved == "true" || solved.starts_with("false"), "{solved}");
+            } else {
+                assert_eq!(solved, "true", "row {row} ({family})");
+            }
+        }
+        // Backend-invariance: the two halves of the table agree on everything but the
+        // backend label and wall time.
+        let half = t.num_rows() / 2;
+        for row in 0..half {
+            for col in [
+                "family",
+                "instance",
+                "n",
+                "task",
+                "rounds",
+                "messages",
+                "advice bits",
+            ] {
+                assert_eq!(
+                    t.cell(row, col),
+                    t.cell(row + half, col),
+                    "row {row}, {col}"
+                );
+            }
+            assert_ne!(
+                t.cell(row, "backend"),
+                t.cell(row + half, "backend"),
+                "row {row}"
+            );
         }
     }
 

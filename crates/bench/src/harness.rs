@@ -1,0 +1,127 @@
+//! A minimal timing harness for the `benches/` targets.
+//!
+//! The build environment has no external crates, so the Criterion framework is not
+//! available; this module provides the small subset the benches need: named
+//! measurements, a warm-up iteration, a configurable sample count, and an aligned
+//! report. Each bench target is an ordinary binary (`harness = false`) whose `main`
+//! drives a [`Harness`].
+//!
+//! Sample counts can be overridden globally with the `ANET_BENCH_SAMPLES` environment
+//! variable (useful for CI smoke runs: `ANET_BENCH_SAMPLES=1 cargo bench`).
+
+use crate::table::Table;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimisation barrier, so benches don't need to reach
+/// into `std::hint` themselves.
+pub use std::hint::black_box;
+
+/// One named measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Bench id (e.g. `seq_n1000_r3`).
+    pub id: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Mean per-iteration time.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+}
+
+/// A collection of measurements for one bench target.
+#[derive(Debug, Default)]
+pub struct Harness {
+    name: String,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// A harness for the bench target `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Harness {
+            name: name.into(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Sample count actually used: `requested`, unless `ANET_BENCH_SAMPLES` overrides.
+    fn effective_samples(requested: usize) -> usize {
+        std::env::var("ANET_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(requested)
+            .max(1)
+    }
+
+    /// Time `f` (`samples` samples after one warm-up call) and record the result
+    /// under `id`. The closure's return value is passed through [`black_box`] so the
+    /// computation cannot be optimised away.
+    pub fn bench<R>(&mut self, id: &str, samples: usize, mut f: impl FnMut() -> R) {
+        let samples = Self::effective_samples(samples);
+        black_box(f()); // warm-up
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        let total: Duration = times.iter().sum();
+        self.results.push(Measurement {
+            id: id.to_string(),
+            samples,
+            mean: total / samples as u32,
+            min: times.iter().min().copied().unwrap_or_default(),
+            max: times.iter().max().copied().unwrap_or_default(),
+        });
+    }
+
+    /// The measurements recorded so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Render the measurements as an aligned table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!("bench {}", self.name),
+            &["id", "samples", "mean", "min", "max"],
+        );
+        for m in &self.results {
+            t.push_row(vec![
+                m.id.clone(),
+                m.samples.to_string(),
+                format!("{:?}", m.mean),
+                format!("{:?}", m.min),
+                format!("{:?}", m.max),
+            ]);
+        }
+        t
+    }
+
+    /// Print the report to stdout (call at the end of each bench `main`).
+    pub fn report(&self) {
+        println!("{}", self.table());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_records_named_measurements() {
+        let mut h = Harness::new("demo");
+        h.bench("sum", 3, || (0..1000u64).sum::<u64>());
+        h.bench("product", 3, || (1..20u64).product::<u64>());
+        assert_eq!(h.results().len(), 2);
+        assert_eq!(h.results()[0].id, "sum");
+        assert_eq!(h.results()[0].samples, 3);
+        assert!(h.results()[0].min <= h.results()[0].max);
+        let rendered = h.table().render();
+        assert!(rendered.contains("bench demo"));
+        assert!(rendered.contains("product"));
+    }
+}

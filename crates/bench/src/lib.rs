@@ -1,16 +1,20 @@
 //! # anet-bench — experiment harness
 //!
-//! Shared machinery for the experiment binaries (`src/bin/exp_*.rs`) and the Criterion
-//! benches (`benches/`): a plain-text table type, a standard suite of small graphs, and
-//! the experiment implementations E1–E6 (one per "table" of `EXPERIMENTS.md`). The
-//! binaries only parse arguments and print; all measurement logic lives here so that
-//! integration tests can call it too.
+//! Shared machinery for the experiment binaries (`src/bin/exp_*.rs`) and the timing
+//! benches (`benches/`): a plain-text table type, a small timing [`harness`], a
+//! standard suite of small graphs, and the experiment implementations E1–E7 (one per
+//! "table" of `EXPERIMENTS.md`, plus the `ElectionEngine` matrix E7). The binaries
+//! only parse arguments and print; all measurement logic lives here so that
+//! integration tests can call it too. Election runs go through the `ElectionEngine`
+//! facade of `anet-core`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod suite;
 pub mod table;
 
+pub use harness::Harness;
 pub use table::Table;

@@ -1,5 +1,6 @@
 //! The standard suite of small graphs used by experiment E1 and several benches.
 
+use anet_constructions::{FamilyInstance, GraphFamily};
 use anet_graph::{generators, PortGraph};
 
 /// A named graph of the evaluation suite.
@@ -50,6 +51,30 @@ pub fn small_suite() -> Vec<SuiteGraph> {
     out
 }
 
+/// The small-graph suite as a [`GraphFamily`], so the `ElectionEngine` batch runner
+/// and the engine experiments can sweep it like any of the paper's classes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SuiteFamily;
+
+impl GraphFamily for SuiteFamily {
+    fn family_name(&self) -> String {
+        "small-suite".to_string()
+    }
+
+    fn instances(&self, max_instances: usize) -> Vec<FamilyInstance> {
+        small_suite()
+            .into_iter()
+            .take(max_instances)
+            .enumerate()
+            .map(|(i, item)| FamilyInstance {
+                name: item.name,
+                param: i as u64,
+                graph: item.graph,
+            })
+            .collect()
+    }
+}
+
 /// Graphs for the scaling benches: random connected graphs of increasing size.
 pub fn scaling_suite(sizes: &[usize]) -> Vec<SuiteGraph> {
     sizes
@@ -75,6 +100,17 @@ mod tests {
         assert_eq!(names.len(), suite.len(), "names must be unique");
         for s in &suite {
             assert!(s.graph.num_nodes() >= 3);
+        }
+    }
+
+    #[test]
+    fn suite_family_mirrors_the_suite() {
+        let instances = SuiteFamily.instances(4);
+        assert_eq!(instances.len(), 4);
+        let suite = small_suite();
+        for (i, inst) in instances.iter().enumerate() {
+            assert_eq!(inst.name, suite[i].name);
+            assert_eq!(inst.graph, suite[i].graph);
         }
     }
 

@@ -330,11 +330,7 @@ mod tests {
     /// is appended, port Δ−1 until the enclosing construction attaches the root), so we
     /// hang a throwaway pendant node on each listed free root port and let `build()`
     /// validate everything else.
-    fn finish(
-        mut b: GraphBuilder,
-        root: NodeId,
-        free_root_ports: &[u32],
-    ) -> anet_graph::PortGraph {
+    fn finish(mut b: GraphBuilder, root: NodeId, free_root_ports: &[u32]) -> anet_graph::PortGraph {
         for &p in free_root_ports {
             let extra = b.add_node();
             b.add_edge(root, p, extra, 0).unwrap();
@@ -451,10 +447,7 @@ mod tests {
             assert!(g.neighbor(leaf, 1).is_some());
             assert!(g.neighbor(leaf, x[i]).is_some());
         }
-        assert_eq!(
-            tx.nodes.len(),
-            9 + x.iter().sum::<u32>() as usize
-        );
+        assert_eq!(tx.nodes.len(), 9 + x.iter().sum::<u32>() as usize);
     }
 
     #[test]

@@ -232,7 +232,7 @@ fn connect_layers(
         }
     }
 
-    if m % 2 == 0 {
+    if m.is_multiple_of(2) {
         // Case 1: m even. Each middle node of L_m (|σ| = m/2) is connected to its two
         // corresponding middle nodes of L_{m+1}: ports 3 and 4 if m = 2, else 4 and 5,
         // at the L_m node; port 2 at both L_{m+1} nodes.
@@ -329,8 +329,8 @@ mod tests {
     fn component_builds_and_has_the_right_size() {
         let (g, h) = component_h(2, 4).unwrap();
         // |H| = Σ_{m=0}^{k−1} |L_m| + 2|L_k| = 1+2+4+6 + 2·10 = 33 for μ=2, k=4.
-        let expected: u64 = (0..4).map(|m| layer_size(2, m).unwrap()).sum::<u64>()
-            + 2 * layer_size(2, 4).unwrap();
+        let expected: u64 =
+            (0..4).map(|m| layer_size(2, m).unwrap()).sum::<u64>() + 2 * layer_size(2, 4).unwrap();
         assert_eq!(g.num_nodes() as u64, expected);
         assert_eq!(expected, 33);
         assert_eq!(h.z(), 10);
@@ -347,8 +347,8 @@ mod tests {
     #[test]
     fn component_mu3_builds_too() {
         let (g, h) = component_h(3, 4).unwrap();
-        let expected: u64 = (0..4).map(|m| layer_size(3, m).unwrap()).sum::<u64>()
-            + 2 * layer_size(3, 4).unwrap();
+        let expected: u64 =
+            (0..4).map(|m| layer_size(3, m).unwrap()).sum::<u64>() + 2 * layer_size(3, 4).unwrap();
         assert_eq!(g.num_nodes() as u64, expected);
         assert_eq!(h.z(), layer_size(3, 4).unwrap() as usize);
     }
@@ -408,7 +408,7 @@ mod tests {
             let first_port = (side.index() * 2) as u32;
             let (l1_node, far) = g.neighbor(gad.rho, first_port).unwrap();
             assert_eq!(far, 1); // μ−1 = 1 at the L_1 node
-            // That node belongs to this side's component.
+                                // That node belongs to this side's component.
             assert!(comp.layer(1).all.contains(&l1_node));
         }
         // Components other than ρ are pairwise disjoint.

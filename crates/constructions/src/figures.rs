@@ -59,7 +59,12 @@ fn report(
 
 /// Build `T_{X,b}` as a standalone graph (valid on its own: the root's ports are
 /// `0..Δ−1` except `Δ−1`, which is only added by the enclosing constructions).
-fn standalone_tree_xb(delta: usize, k: usize, x: &[u32], variant: PathVariant) -> Result<(PortGraph, NodeId)> {
+fn standalone_tree_xb(
+    delta: usize,
+    k: usize,
+    x: &[u32],
+    variant: PathVariant,
+) -> Result<(PortGraph, NodeId)> {
     let mut b = GraphBuilder::new();
     let t = blocks::append_tree_xb(&mut b, delta, k, x, variant)?;
     Ok((b.build()?, t.root))
@@ -80,11 +85,11 @@ pub fn figure1() -> Result<Vec<FigureReport>> {
             &g,
             Some(&labels),
             vec![
-                ("pendant (degree-1) nodes".into(), g.degree_histogram()[1].to_string()),
                 (
-                    "sum of X".into(),
-                    x.iter().sum::<u32>().to_string(),
+                    "pendant (degree-1) nodes".into(),
+                    g.degree_histogram()[1].to_string(),
                 ),
+                ("sum of X".into(), x.iter().sum::<u32>().to_string()),
             ],
         ));
     }
@@ -135,7 +140,14 @@ pub fn figure4() -> Result<Vec<FigureReport>> {
             "Layer graph for μ = 3",
             &g,
             None,
-            vec![("diameter".into(), if m == 0 { "0".into() } else { g.diameter().to_string() })],
+            vec![(
+                "diameter".into(),
+                if m == 0 {
+                    "0".into()
+                } else {
+                    g.diameter().to_string()
+                },
+            )],
         ));
     }
     Ok(out)
@@ -147,7 +159,11 @@ fn induced_dot(g: &PortGraph, keep: &[NodeId], name: &str) -> String {
     use std::fmt::Write as _;
     let keep_set: std::collections::HashSet<NodeId> = keep.iter().copied().collect();
     let mut out = String::new();
-    let _ = writeln!(out, "graph {} {{", name.replace(|c: char| !c.is_alphanumeric(), "_"));
+    let _ = writeln!(
+        out,
+        "graph {} {{",
+        name.replace(|c: char| !c.is_alphanumeric(), "_")
+    );
     for &v in keep {
         let _ = writeln!(out, "  n{v} [label=\"\"];");
     }
@@ -236,7 +252,9 @@ pub fn figure9() -> Result<FigureReport> {
     let z = j.z;
     // Count the border edges incident to gadget 5's T/L components and gadget 4's B/R.
     let i = 5usize;
-    let ones = (1..=z).filter(|&q| crate::j_class::bit_of(i as u64, q, z)).count();
+    let ones = (1..=z)
+        .filter(|&q| crate::j_class::bit_of(i as u64, q, z))
+        .count();
     Ok(report(
         "Figure 9: border edges between gadgets 4 and 5",
         "Each set bit of the index adds 4 border edges (HB of the previous gadget, HT of the next, and two crossing HR–HL edges)",
@@ -257,9 +275,7 @@ pub fn figure9() -> Result<FigureReport> {
 /// gadget). Returns a textual report (no graph is drawn in addition to Figure 8's).
 pub fn figure10() -> FigureReport {
     let mu = 2usize;
-    let block = |from: usize| -> String {
-        format!("{}..{}", from * mu, (from + 1) * mu - 1)
-    };
+    let block = |from: usize| -> String { format!("{}..{}", from * mu, (from + 1) * mu - 1) };
     FigureReport {
         name: "Figure 10: port swaps at ρ_i".to_string(),
         description: "The three outcomes of Part 5 of the construction".to_string(),
@@ -315,7 +331,8 @@ pub fn figure11(max_gadgets: Option<usize>) -> Result<FigureReport> {
     Ok(FigureReport {
         name: "Figure 11: J_Y with Y = (1,0,…,0)".to_string(),
         description: if max_gadgets.is_none() {
-            "Full template with the R/B blocks of ρ_0 and the L/T blocks of ρ_{2^z−1} swapped".into()
+            "Full template with the R/B blocks of ρ_0 and the L/T blocks of ρ_{2^z−1} swapped"
+                .into()
         } else {
             "Capped chain (template only): the swapped end gadgets require the full template".into()
         },
@@ -349,12 +366,20 @@ mod tests {
     fn figure2_and_3_build() {
         let f2 = figure2().unwrap();
         assert_eq!(
-            f2.stats.iter().find(|(k, _)| k == "cycle length").unwrap().1,
+            f2.stats
+                .iter()
+                .find(|(k, _)| k == "cycle length")
+                .unwrap()
+                .1,
             "11"
         );
         let f3 = figure3().unwrap();
         assert_eq!(
-            f3.stats.iter().find(|(k, _)| k == "y = |T_{Δ,k}|").unwrap().1,
+            f3.stats
+                .iter()
+                .find(|(k, _)| k == "y = |T_{Δ,k}|")
+                .unwrap()
+                .1,
             "9"
         );
     }
@@ -362,10 +387,7 @@ mod tests {
     #[test]
     fn figure4_layer_sizes_match_fact_4_1() {
         let reports = figure4().unwrap();
-        let sizes: Vec<&str> = reports
-            .iter()
-            .map(|r| r.stats[0].1.as_str())
-            .collect();
+        let sizes: Vec<&str> = reports.iter().map(|r| r.stats[0].1.as_str()).collect();
         assert_eq!(sizes, vec!["1", "3", "5", "8", "17", "26"]);
     }
 
@@ -383,12 +405,13 @@ mod tests {
     #[test]
     fn figure8_port_blocks() {
         let f8 = figure8().unwrap();
+        assert_eq!(f8.stats.iter().find(|(k, _)| k == "deg(ρ)").unwrap().1, "8");
         assert_eq!(
-            f8.stats.iter().find(|(k, _)| k == "deg(ρ)").unwrap().1,
-            "8"
-        );
-        assert_eq!(
-            f8.stats.iter().find(|(k, _)| k == "ports of H_B").unwrap().1,
+            f8.stats
+                .iter()
+                .find(|(k, _)| k == "ports of H_B")
+                .unwrap()
+                .1,
             "6,7"
         );
     }
@@ -398,7 +421,11 @@ mod tests {
         let f9 = figure9().unwrap();
         // 5 = 0000000101 in 10 bits: two set bits.
         assert_eq!(
-            f9.stats.iter().find(|(k, _)| k == "set bits of 5").unwrap().1,
+            f9.stats
+                .iter()
+                .find(|(k, _)| k == "set bits of 5")
+                .unwrap()
+                .1,
             "2"
         );
         let f10 = figure10();
@@ -410,7 +437,11 @@ mod tests {
     fn figure11_capped_chain() {
         let f11 = figure11(Some(4)).unwrap();
         assert_eq!(
-            f11.stats.iter().find(|(k, _)| k == "gadgets built").unwrap().1,
+            f11.stats
+                .iter()
+                .find(|(k, _)| k == "gadgets built")
+                .unwrap()
+                .1,
             "4"
         );
     }

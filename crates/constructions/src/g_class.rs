@@ -102,11 +102,11 @@ impl GClass {
 
         // Helper appending one tree copy and attaching it to a cycle node.
         let attach_tree = |b: &mut GraphBuilder,
-                               labels: &mut Labeling,
-                               j: u64,
-                               variant: PathVariant,
-                               copy: usize,
-                               cycle_node: NodeId|
+                           labels: &mut Labeling,
+                           j: u64,
+                           variant: PathVariant,
+                           copy: usize,
+                           cycle_node: NodeId|
          -> Result<()> {
             let x = blocks::x_sequence(delta, k, j)?;
             let tree = blocks::append_tree_xb(b, delta, k, &x, variant)?;
@@ -303,19 +303,14 @@ mod tests {
         let (alpha, beta) = (2u64, 4u64);
         let ga = class.member(alpha).unwrap();
         let gb = class.member(beta).unwrap();
-        let joint = JointRefinement::compute(
-            &[&ga.labeled.graph, &gb.labeled.graph],
-            Some(class.k),
-        );
+        let joint =
+            JointRefinement::compute(&[&ga.labeled.graph, &gb.labeled.graph], Some(class.k));
         // For every j ≤ α and b, copy 1: same view at depth k in G_α and G_β.
         for j in 1..=alpha {
             for bb in [1u8, 2] {
                 let va = ga.root(j, bb, 1).unwrap();
                 let vb = gb.root(j, bb, 1).unwrap();
-                assert!(
-                    joint.same_view((0, va), (1, vb), class.k),
-                    "j={j}, b={bb}"
-                );
+                assert!(joint.same_view((0, va), (1, vb), class.k), "j={j}, b={bb}");
             }
         }
         // And the two copies of T_{α,2} inside G_β are twins (used at the end of the

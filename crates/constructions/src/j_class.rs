@@ -295,10 +295,7 @@ mod tests {
         // connect to both copies of L_k and have degree 2μ+5, which exceeds 4μ only in
         // the μ = 2 corner case used by this test (Theorem 4.11 takes μ = ⌈Δ/4⌉ ≥ 4,
         // where 4μ dominates). So the expected maximum is max(4μ, 2μ+5).
-        assert_eq!(
-            g.max_degree(),
-            usize::max(4 * class.mu, 2 * class.mu + 5)
-        );
+        assert_eq!(g.max_degree(), usize::max(4 * class.mu, 2 * class.mu + 5));
     }
 
     #[test]

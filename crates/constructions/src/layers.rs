@@ -34,7 +34,7 @@ pub fn layer_size(mu: usize, m: usize) -> Result<u64> {
         1 => mu64,
         _ => {
             let j = (m / 2) as u32;
-            if m % 2 == 0 {
+            if m.is_multiple_of(2) {
                 // (μ^{j+1} + μ^j − 2) / (μ − 1)
                 (mu64.pow(j + 1) + mu64.pow(j) - 2) / (mu64 - 1)
             } else {
@@ -67,7 +67,7 @@ impl AppendedLayer {
     pub fn node(&self, b: u8, sigma: &[u8]) -> Option<NodeId> {
         self.map.get(&(b, sigma.to_vec())).copied().or_else(|| {
             // For even layers, the middle node can be addressed from either side.
-            if self.m >= 2 && self.m % 2 == 0 && sigma.len() == self.m / 2 {
+            if self.m >= 2 && self.m.is_multiple_of(2) && sigma.len() == self.m / 2 {
                 self.map.get(&(1 - b, sigma.to_vec())).copied()
             } else {
                 None
@@ -151,7 +151,7 @@ pub fn append_layer(b: &mut GraphBuilder, mu: usize, m: usize) -> Result<Appende
         }
         _ => {
             let j = m / 2;
-            let even = m % 2 == 0;
+            let even = m.is_multiple_of(2);
             // Build the two trees T^j_0 and T^j_1 level by level.
             for side in 0..2u8 {
                 let root = b.add_node();

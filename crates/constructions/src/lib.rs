@@ -14,7 +14,9 @@
 //! * [`j_class`] — the template `J` (Part 4) and the class `J_{μ,k}` (Part 5) used for
 //!   the PPE / CPPE advice lower bounds (Theorems 4.11 and 4.12);
 //! * [`figures`] — exact instances of the graphs drawn in Figures 1–11 of the paper,
-//!   with DOT export, for the figure-regeneration experiment.
+//!   with DOT export, for the figure-regeneration experiment;
+//! * [`family`] — the [`GraphFamily`] abstraction turning each class into an iterable
+//!   workload for the `ElectionEngine` batch runner and the experiment sweeps.
 //!
 //! Every builder returns a [`anet_graph::LabeledGraph`]: the anonymous network plus
 //! role names (`r_{j,b}`, `c_m`, `ρ_i`, `w_{q,b}`, …) used by tests, oracles and the
@@ -27,12 +29,14 @@
 
 pub mod blocks;
 pub mod component;
+pub mod family;
 pub mod figures;
 pub mod g_class;
 pub mod j_class;
 pub mod layers;
 pub mod u_class;
 
+pub use family::{FamilyInstance, GraphFamily};
 pub use g_class::GClass;
 pub use j_class::JClass;
 pub use u_class::UClass;

@@ -421,7 +421,8 @@ mod tests {
         sb[4] = 3; // the two members differ (only) in s_5
         let ga = class.member(&sa).unwrap();
         let gb = class.member(&sb).unwrap();
-        let joint = JointRefinement::compute(&[&ga.labeled.graph, &gb.labeled.graph], Some(class.k));
+        let joint =
+            JointRefinement::compute(&[&ga.labeled.graph, &gb.labeled.graph], Some(class.k));
         for j in 1..=class.y() {
             for c in [1u8, 2] {
                 let va = ga.heavy_root(j, c);

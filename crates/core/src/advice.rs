@@ -15,6 +15,7 @@
 
 use crate::tasks::NodeOutput;
 use anet_graph::PortGraph;
+use anet_sim::Backend;
 use anet_views::{BitString, ViewTree};
 
 /// An oracle: sees the whole network, produces one advice string for all nodes.
@@ -55,15 +56,36 @@ impl AdviceRun {
 }
 
 /// Execute `oracle` and `algorithm` on `graph` through the LOCAL simulator.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_with_advice_on(graph, oracle, algorithm, Backend::Sequential)` or the `ElectionEngine` facade (`Election::task(..).solver(AdviceSolver::new(..)).run(graph)`)"
+)]
 pub fn run_with_advice<O, A>(graph: &PortGraph, oracle: &O, algorithm: &A) -> AdviceRun
+where
+    O: Oracle,
+    A: AdviceAlgorithm,
+{
+    run_with_advice_on(graph, oracle, algorithm, Backend::Sequential)
+}
+
+/// Execute `oracle` and `algorithm` on `graph` through the LOCAL simulator, on an
+/// explicit execution [`Backend`]. The backend only changes how rounds are scheduled;
+/// advice, outputs and message accounting are backend-independent.
+pub fn run_with_advice_on<O, A>(
+    graph: &PortGraph,
+    oracle: &O,
+    algorithm: &A,
+    backend: Backend,
+) -> AdviceRun
 where
     O: Oracle,
     A: AdviceAlgorithm,
 {
     let advice = oracle.advise(graph);
     let rounds = algorithm.rounds(&advice);
-    let (outputs, report) =
-        anet_sim::run_full_information(graph, rounds, |view| algorithm.decide(&advice, view));
+    let (outputs, report) = anet_sim::run_full_information_on(graph, rounds, backend, |view| {
+        algorithm.decide(&advice, view)
+    });
     AdviceRun {
         advice,
         rounds,
@@ -128,7 +150,7 @@ mod tests {
                 }
             },
         };
-        let run = run_with_advice(&g, &oracle, &algo);
+        let run = run_with_advice_on(&g, &oracle, &algo, Backend::Sequential);
         assert_eq!(run.advice_bits(), 0);
         assert_eq!(run.rounds, 0);
         assert_eq!(run.messages_delivered, 0);
@@ -147,7 +169,7 @@ mod tests {
             rounds: |advice: &BitString| advice.reader().read_uint(4).unwrap() as usize,
             decide: |_: &BitString, _: &ViewTree| NodeOutput::NonLeader,
         };
-        let run = run_with_advice(&g, &oracle, &algo);
+        let run = run_with_advice_on(&g, &oracle, &algo, Backend::Sequential);
         assert_eq!(run.rounds, 3);
         assert_eq!(run.advice_bits(), 4);
         // 6 nodes × 2 ports × 3 rounds messages.
@@ -167,7 +189,7 @@ mod tests {
             rounds: |_: &BitString| 2usize,
             decide: |_: &BitString, view: &ViewTree| NodeOutput::FirstPort(view.degree % 2),
         };
-        let run = run_with_advice(&g, &oracle, &algo);
+        let run = run_with_advice_on(&g, &oracle, &algo, Backend::Sequential);
         assert!(run.outputs.windows(2).all(|w| w[0] == w[1]));
     }
 }

@@ -49,7 +49,7 @@ pub fn fact_4_1_layer_size(mu: usize, m: usize) -> f64 {
         1 => mu,
         _ => {
             let j = (m / 2) as i32;
-            if m % 2 == 0 {
+            if m.is_multiple_of(2) {
                 (mu.powi(j + 1) + mu.powi(j) - 2.0) / (mu - 1.0)
             } else {
                 2.0 * (mu.powi(j + 1) - 1.0) / (mu - 1.0)
@@ -172,7 +172,8 @@ mod tests {
         // exponential-in-Δ vs polynomial-in-Δ, so it emerges for Δ beyond ≈40 at k=6,
         // and the ratio keeps growing).
         assert!(theorem_4_11_lower_bits(48, 6) > theorem_2_2_upper_form(48, 6));
-        let ratio = |d: usize| theorem_4_11_lower_bits(d, 6).log2() - theorem_2_2_upper_form(d, 6).log2();
+        let ratio =
+            |d: usize| theorem_4_11_lower_bits(d, 6).log2() - theorem_2_2_upper_form(d, 6).log2();
         assert!(ratio(64) > ratio(48) && ratio(48) > ratio(32));
     }
 }

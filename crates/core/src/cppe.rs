@@ -42,7 +42,7 @@ pub fn solve_cppe_on_j(member: &JMember, k: usize) -> Result<MapRun> {
             }
         }
     }
-    if gadget_of.iter().any(|&g| g == usize::MAX) {
+    if gadget_of.contains(&usize::MAX) {
         return Err(GraphError::invalid("some node belongs to no gadget"));
     }
 

@@ -1,0 +1,184 @@
+//! Sweeping one engine configuration across a family of graphs.
+//!
+//! The paper's experiments all have the same shape: fix a task and an algorithm, walk
+//! a family of graphs (`G_{Δ,k}` members, `U_{Δ,k}` members, `J_{μ,k}` chains, or an
+//! ad-hoc suite), and tabulate measured quantities next to the paper's closed-form
+//! bounds. [`BatchRunner`] is that loop, factored out once: it drives the
+//! [`Election`](super::Election) builder over every instance of a
+//! [`GraphFamily`] and collects uniform [`BatchRow`]s that `anet-bench` renders as
+//! paper-bound-vs-measured tables.
+
+use super::{Backend, Election, ElectionReport, EngineError, Solver};
+use crate::tasks::Task;
+use anet_constructions::{FamilyInstance, GraphFamily};
+
+/// The result of one engine run inside a sweep.
+#[derive(Debug)]
+pub struct BatchRow {
+    /// The family's display name.
+    pub family: String,
+    /// The instance's display name.
+    pub instance: String,
+    /// The family-specific instance parameter (member index / chain cap).
+    pub param: u64,
+    /// Number of nodes of the instance graph.
+    pub nodes: usize,
+    /// Maximum degree of the instance graph.
+    pub max_degree: usize,
+    /// The task that was run.
+    pub task: Task,
+    /// The engine report, or the engine error for this instance.
+    pub report: Result<ElectionReport, EngineError>,
+}
+
+impl BatchRow {
+    /// Did this instance solve the task?
+    pub fn solved(&self) -> bool {
+        self.report.as_ref().map(|r| r.solved()).unwrap_or(false)
+    }
+
+    /// Rounds used, if the run produced a report.
+    pub fn rounds(&self) -> Option<usize> {
+        self.report.as_ref().ok().map(|r| r.rounds)
+    }
+
+    /// Advice bits, if the run produced a report from an advice-based solver.
+    pub fn advice_bits(&self) -> Option<usize> {
+        self.report.as_ref().ok().and_then(|r| r.advice_bits)
+    }
+}
+
+/// Sweeps an election configuration across the instances of a [`GraphFamily`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRunner {
+    backend: Backend,
+    max_instances: usize,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::new(Backend::Sequential)
+    }
+}
+
+impl BatchRunner {
+    /// A runner executing every instance on `backend`, visiting at most 8 instances
+    /// per family (override with [`BatchRunner::max_instances`]).
+    pub fn new(backend: Backend) -> Self {
+        BatchRunner {
+            backend,
+            max_instances: 8,
+        }
+    }
+
+    /// Cap the number of instances visited per family.
+    pub fn max_instances(mut self, n: usize) -> Self {
+        self.max_instances = n;
+        self
+    }
+
+    /// Run `task` with a per-instance solver over up to
+    /// [`max_instances`](BatchRunner::max_instances) members of `family`.
+    ///
+    /// `make_solver` builds the solver for each instance — families whose solvers
+    /// need per-instance data (the Lemma 4.8 CPPE solver needs the `JMember` map, the
+    /// Lemma 3.9 solver needs `k`) rebuild it from [`FamilyInstance::param`].
+    pub fn sweep<F>(&self, family: &dyn GraphFamily, task: Task, make_solver: F) -> Vec<BatchRow>
+    where
+        F: Fn(&FamilyInstance) -> Box<dyn Solver>,
+    {
+        family
+            .instances(self.max_instances)
+            .into_iter()
+            .map(|instance| {
+                let report = Election::task(task)
+                    .solver_boxed(make_solver(&instance))
+                    .backend(self.backend)
+                    .run(&instance.graph);
+                BatchRow {
+                    family: family.family_name(),
+                    instance: instance.name,
+                    param: instance.param,
+                    nodes: instance.graph.num_nodes(),
+                    max_degree: instance.graph.max_degree(),
+                    task,
+                    report,
+                }
+            })
+            .collect()
+    }
+
+    /// [`sweep`](BatchRunner::sweep) over several tasks (rows grouped by task).
+    pub fn sweep_tasks<F>(
+        &self,
+        family: &dyn GraphFamily,
+        tasks: &[Task],
+        make_solver: F,
+    ) -> Vec<BatchRow>
+    where
+        F: Fn(&FamilyInstance) -> Box<dyn Solver>,
+    {
+        tasks
+            .iter()
+            .flat_map(|&task| self.sweep(family, task, &make_solver))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{AdviceSolver, CppeSolver, MapSolver};
+    use anet_constructions::{GClass, JClass};
+
+    #[test]
+    fn map_sweep_over_g_family_solves_every_task() {
+        let class = GClass::new(4, 1).unwrap();
+        let runner = BatchRunner::default().max_instances(2);
+        let rows = runner.sweep_tasks(&class, &Task::ALL, |_| Box::new(MapSolver::default()));
+        assert_eq!(rows.len(), 2 * Task::ALL.len());
+        for row in &rows {
+            assert!(row.solved(), "{} {} failed", row.instance, row.task);
+            assert!(row.rounds().is_some());
+            assert!(row.advice_bits().is_none(), "map solver reports no bits");
+        }
+        // The hierarchy of Fact 1.1 shows up in the measured rounds per instance:
+        // rows are grouped by task (weakest first), two instances per task.
+        for instance in 0..2 {
+            let per_task: Vec<usize> = (0..Task::ALL.len())
+                .map(|t| rows[t * 2 + instance].rounds().unwrap())
+                .collect();
+            assert!(per_task.windows(2).all(|w| w[0] <= w[1]), "{per_task:?}");
+        }
+    }
+
+    #[test]
+    fn advice_sweep_records_bits() {
+        let class = GClass::new(4, 1).unwrap();
+        let runner = BatchRunner::new(Backend::Parallel { threads: 2 }).max_instances(2);
+        let rows = runner.sweep(&class, Task::Selection, |_| {
+            Box::new(AdviceSolver::theorem_2_2())
+        });
+        for row in &rows {
+            assert!(row.solved());
+            assert!(row.advice_bits().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn cppe_sweep_rebuilds_members_from_params() {
+        let class = JClass::new(2, 4).unwrap();
+        let runner = BatchRunner::default().max_instances(2);
+        let rows = runner.sweep(&class, Task::CompletePortPathElection, |instance| {
+            let member = class
+                .template(Some(instance.param as usize))
+                .expect("param is the chain cap");
+            Box::new(CppeSolver::new(member, class.k))
+        });
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.solved(), "{}", row.instance);
+            assert_eq!(row.rounds(), Some(class.k));
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! # The `ElectionEngine` facade
+//!
+//! One fluent, composable surface over everything this workspace can do: pick a task
+//! shade × pick a solver × pick an execution backend × run on a graph.
+//!
+//! ```no_run
+//! use anet_election::engine::{Backend, Election, MapSolver};
+//! use anet_election::tasks::Task;
+//! # let graph = anet_graph::generators::paper_three_node_line();
+//!
+//! let report = Election::task(Task::CompletePortPathElection)
+//!     .solver(MapSolver::default())
+//!     .backend(Backend::Parallel { threads: 4 })
+//!     .run(&graph)
+//!     .expect("solver ran");
+//! assert!(report.solved());
+//! println!("{} rounds, {} messages", report.rounds, report.messages_delivered);
+//! ```
+//!
+//! The engine replaces the three historical, disconnected entry points
+//! (`anet_sim::run`, `anet_sim::run_parallel`, `anet_election::advice::run_with_advice`)
+//! plus the per-task free functions (`solve_with_map`, `solve_port_election_on_u`,
+//! `solve_cppe_on_j`, `solve_selection_min_time`) behind a single builder:
+//!
+//! * the **task** is one of the paper's four shades ([`Task`]);
+//! * the **solver** is any [`Solver`] — the map-based minimum-time baseline
+//!   ([`MapSolver`]), the Theorem 2.2 oracle/algorithm pair or any other
+//!   advice pair ([`AdviceSolver`]), the Lemma 3.9 Port Election algorithm
+//!   ([`PortElectionSolver`]), or the Lemma 4.8 CPPE algorithm ([`CppeSolver`]);
+//! * the **backend** is an `anet-sim` execution strategy ([`Backend`]) — every
+//!   backend yields identical outputs and message accounting, so the choice is purely
+//!   about wall-clock performance;
+//! * the result is a uniform [`ElectionReport`]: advice bits, rounds, messages,
+//!   per-node outputs, the verifier's verdict, and wall time.
+//!
+//! A solver may produce outputs for a *stronger* shade than requested; the engine then
+//! applies the paper's Fact 1.1 weakening automatically (a CPPE solution, run with
+//! `Task::Selection`, is weakened to a Selection solution before verification). This
+//! mirrors the hierarchy `CPPE ⇒ PPE ⇒ PE ⇒ S` exactly as the paper uses it.
+//!
+//! For sweeping one configuration across a whole family of graphs (the paper's
+//! `G`/`U`/`J` constructions, or any [`GraphFamily`]), see [`BatchRunner`].
+
+mod batch;
+mod solvers;
+
+pub use anet_sim::{Backend, Simulator};
+pub use batch::{BatchRow, BatchRunner};
+pub use solvers::{AdviceSolver, CppeSolver, MapSolver, PortElectionSolver};
+
+use crate::tasks::{self, ElectionOutcome, NodeOutput, Task, TaskError};
+use anet_graph::{NodeId, PortGraph};
+use std::time::{Duration, Instant};
+
+/// Errors of the election engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// `run` was called on a builder with no solver configured.
+    MissingSolver,
+    /// The configured solver failed on this graph.
+    Solver {
+        /// The solver's display name.
+        solver: String,
+        /// The solver-specific failure message.
+        message: String,
+    },
+}
+
+impl EngineError {
+    pub(crate) fn solver(name: impl Into<String>, err: impl std::fmt::Display) -> Self {
+        EngineError::Solver {
+            solver: name.into(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::MissingSolver => {
+                write!(f, "no solver configured (call `.solver(…)` before `.run`)")
+            }
+            EngineError::Solver { solver, message } => write!(f, "solver {solver}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// What a [`Solver`] hands back to the engine: the raw run, before verification.
+#[derive(Debug, Clone)]
+pub struct SolverRun {
+    /// Communication rounds used.
+    pub rounds: usize,
+    /// Per-node outputs, indexed by node.
+    pub outputs: Vec<NodeOutput>,
+    /// Messages delivered by the underlying simulation.
+    pub messages_delivered: usize,
+    /// Size of oracle advice in bits, for advice-based solvers (`None` for map-based
+    /// solvers, whose "advice" is the whole map and is not measured in bits).
+    pub advice_bits: Option<usize>,
+}
+
+/// A leader-election solver: anything that can produce per-node outputs for a task on
+/// a graph, running its communication on a given [`Backend`].
+///
+/// Implementations in this crate: [`MapSolver`] (minimum-time, knows the map),
+/// [`AdviceSolver`] (oracle/algorithm pairs, e.g. Theorem 2.2), [`PortElectionSolver`]
+/// (Lemma 3.9 on `U_{Δ,k}`), [`CppeSolver`] (Lemma 4.8 on `J_{μ,k}`).
+pub trait Solver {
+    /// Display name used in reports and tables.
+    fn name(&self) -> String;
+
+    /// Solve (or attempt) `task` on `graph`, executing rounds on `backend`.
+    ///
+    /// A solver may ignore `task` and return outputs for the strongest shade it knows
+    /// how to produce; the engine weakens them to the requested task per Fact 1.1.
+    fn solve(
+        &self,
+        graph: &PortGraph,
+        task: Task,
+        backend: Backend,
+    ) -> Result<SolverRun, EngineError>;
+}
+
+/// Entry point of the facade: `Election::task(…)` starts a builder.
+#[derive(Debug, Clone, Copy)]
+pub struct Election;
+
+impl Election {
+    /// Start configuring an election for one of the four shades.
+    pub fn task(task: Task) -> ElectionBuilder {
+        ElectionBuilder {
+            task,
+            solver: None,
+            backend: Backend::Sequential,
+        }
+    }
+}
+
+/// Builder for a configured election run. Construct with [`Election::task`], then
+/// chain [`solver`](ElectionBuilder::solver) and optionally
+/// [`backend`](ElectionBuilder::backend), and execute with
+/// [`run`](ElectionBuilder::run). The builder is reusable: `run` borrows it, so one
+/// configuration can be applied to many graphs (this is what [`BatchRunner`] does).
+pub struct ElectionBuilder {
+    task: Task,
+    solver: Option<Box<dyn Solver>>,
+    backend: Backend,
+}
+
+impl ElectionBuilder {
+    /// Choose the solver.
+    pub fn solver(mut self, solver: impl Solver + 'static) -> Self {
+        self.solver = Some(Box::new(solver));
+        self
+    }
+
+    /// Choose the solver, boxed (for dynamically chosen solvers).
+    pub fn solver_boxed(mut self, solver: Box<dyn Solver>) -> Self {
+        self.solver = Some(solver);
+        self
+    }
+
+    /// Choose the execution backend (default: [`Backend::Sequential`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured task.
+    pub fn task_ref(&self) -> Task {
+        self.task
+    }
+
+    /// Execute the configured election on `graph` and verify the outputs.
+    pub fn run(&self, graph: &PortGraph) -> Result<ElectionReport, EngineError> {
+        let solver = self.solver.as_ref().ok_or(EngineError::MissingSolver)?;
+        let start = Instant::now();
+        let run = solver.solve(graph, self.task, self.backend)?;
+        // Fact 1.1: adapt outputs of a stronger shade to the requested task. If the
+        // shapes neither match nor weaken, keep the raw outputs and let the verifier
+        // report `WrongShape`.
+        let matches_task = run
+            .outputs
+            .iter()
+            .all(|o| o.task().is_none_or(|t| t == self.task));
+        let outputs = if matches_task {
+            run.outputs
+        } else {
+            tasks::weaken_outputs(&run.outputs, self.task).unwrap_or(run.outputs)
+        };
+        // Wall time covers the solve (and Fact 1.1 adaptation) only; verification can
+        // dominate on large graphs and is not part of the algorithm being measured.
+        let wall_time = start.elapsed();
+        let verdict = tasks::verify(self.task, graph, &outputs);
+        Ok(ElectionReport {
+            task: self.task,
+            solver: solver.name(),
+            backend: self.backend,
+            advice_bits: run.advice_bits,
+            rounds: run.rounds,
+            messages_delivered: run.messages_delivered,
+            outputs,
+            verdict,
+            wall_time,
+        })
+    }
+}
+
+impl std::fmt::Debug for ElectionBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElectionBuilder")
+            .field("task", &self.task)
+            .field("solver", &self.solver.as_ref().map(|s| s.name()))
+            .field("backend", &self.backend)
+            .finish()
+    }
+}
+
+/// The uniform result of an engine run: everything the paper's tables are about, in
+/// one place.
+#[derive(Debug, Clone)]
+pub struct ElectionReport {
+    /// The task that was requested (and verified).
+    pub task: Task,
+    /// Display name of the solver that ran.
+    pub solver: String,
+    /// The execution backend the engine was configured with. Simulation-backed
+    /// solvers run their rounds on it; solvers that compute outputs analytically
+    /// from the map (e.g. [`CppeSolver`]) perform no simulation and ignore it.
+    pub backend: Backend,
+    /// Oracle advice size in bits, if the solver is advice-based.
+    pub advice_bits: Option<usize>,
+    /// Communication rounds used.
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub messages_delivered: usize,
+    /// Per-node outputs (already weakened to `task` if the solver produced a stronger
+    /// shade).
+    pub outputs: Vec<NodeOutput>,
+    /// The verifier's verdict on the outputs.
+    pub verdict: Result<ElectionOutcome, TaskError>,
+    /// Wall-clock time of the solve (oracle + simulation + decision), excluding
+    /// verification.
+    pub wall_time: Duration,
+}
+
+impl ElectionReport {
+    /// Did the run solve the task?
+    pub fn solved(&self) -> bool {
+        self.verdict.is_ok()
+    }
+
+    /// The elected leader, if the task was solved.
+    pub fn leader(&self) -> Option<NodeId> {
+        self.verdict.as_ref().ok().map(|o| o.leader)
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let advice = match self.advice_bits {
+            Some(bits) => format!(", {bits} advice bits"),
+            None => String::new(),
+        };
+        match &self.verdict {
+            Ok(outcome) => format!(
+                "{} via {} on {}: leader {} in {} rounds, {} messages{advice} ({:?})",
+                self.task,
+                self.solver,
+                self.backend,
+                outcome.leader,
+                self.rounds,
+                self.messages_delivered,
+                self.wall_time,
+            ),
+            Err(e) => format!(
+                "{} via {} on {}: UNSOLVED ({e}) after {} rounds{advice}",
+                self.task, self.solver, self.backend, self.rounds,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advice::{FnAlgorithm, FnOracle};
+    use anet_graph::generators;
+    use anet_views::{BitString, ViewTree};
+
+    #[test]
+    fn builder_without_solver_errors() {
+        let g = generators::paper_three_node_line();
+        let err = Election::task(Task::Selection).run(&g).unwrap_err();
+        assert_eq!(err, EngineError::MissingSolver);
+    }
+
+    #[test]
+    fn map_solver_through_the_engine_solves_every_shade() {
+        let g = generators::oriented_ring(&[true, true, false, true, false]).unwrap();
+        for task in Task::ALL {
+            let report = Election::task(task)
+                .solver(MapSolver::default())
+                .run(&g)
+                .expect("solvable ring");
+            assert!(report.solved(), "{task}: {}", report.summary());
+            assert_eq!(report.advice_bits, None);
+            assert_eq!(report.outputs.len(), g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn advice_solver_reports_bits_and_verdict() {
+        let g = generators::star(5).unwrap();
+        let report = Election::task(Task::Selection)
+            .solver(AdviceSolver::theorem_2_2())
+            .run(&g)
+            .unwrap();
+        assert!(report.solved());
+        assert!(report.advice_bits.unwrap() > 0);
+        assert_eq!(report.rounds, 0, "ψ_S(star) = 0");
+        assert_eq!(report.messages_delivered, 0);
+    }
+
+    #[test]
+    fn engine_weakens_stronger_outputs_per_fact_1_1() {
+        // A custom advice solver that always answers the CPPE shade on the 3-node
+        // line; requesting weaker shades must succeed via automatic weakening.
+        let g = generators::paper_three_node_line();
+        let make = || {
+            AdviceSolver::new(
+                "hardwired-cppe",
+                FnOracle(|_: &PortGraph| BitString::new()),
+                FnAlgorithm {
+                    rounds: |_: &BitString| 1usize,
+                    decide: |_: &BitString, view: &ViewTree| {
+                        if view.degree == 2 {
+                            NodeOutput::Leader
+                        } else {
+                            // Both leaves: their single edge leads to the centre.
+                            let far = view.children[0].1;
+                            NodeOutput::FullPath(vec![(0, far)])
+                        }
+                    },
+                },
+            )
+        };
+        for task in Task::ALL {
+            let report = Election::task(task).solver(make()).run(&g).unwrap();
+            assert!(report.solved(), "{task}: {}", report.summary());
+            // The stored outputs have been weakened to the requested shade.
+            for out in &report.outputs {
+                assert!(out.task().is_none_or(|t| t == task), "{task}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsolvable_graphs_yield_reports_with_failed_verdicts() {
+        let g = generators::symmetric_ring(6).unwrap();
+        let report = Election::task(Task::Selection)
+            .solver(MapSolver::default())
+            .run(&g);
+        // The map solver refuses outright on infeasible graphs.
+        assert!(matches!(report, Err(EngineError::Solver { .. })));
+    }
+
+    #[test]
+    fn backends_produce_identical_reports() {
+        let g = generators::random_connected(40, 4, 12, 77).unwrap();
+        let builder = Election::task(Task::Selection).solver(MapSolver::default());
+        let seq = builder.run(&g).unwrap();
+        for backend in Backend::smoke_set() {
+            let report = Election::task(Task::Selection)
+                .solver(MapSolver::default())
+                .backend(backend)
+                .run(&g)
+                .unwrap();
+            assert_eq!(report.outputs, seq.outputs, "{backend}");
+            assert_eq!(report.rounds, seq.rounds, "{backend}");
+            assert_eq!(
+                report.messages_delivered, seq.messages_delivered,
+                "{backend}"
+            );
+            assert_eq!(report.leader(), seq.leader(), "{backend}");
+        }
+    }
+
+    #[test]
+    fn report_summary_is_informative() {
+        let g = generators::star(4).unwrap();
+        let report = Election::task(Task::Selection)
+            .solver(AdviceSolver::theorem_2_2())
+            .backend(Backend::Parallel { threads: 2 })
+            .run(&g)
+            .unwrap();
+        let s = report.summary();
+        assert!(s.contains("S via"), "{s}");
+        assert!(s.contains("par2"), "{s}");
+        assert!(s.contains("advice bits"), "{s}");
+    }
+}

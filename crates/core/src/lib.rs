@@ -21,7 +21,11 @@
 //!   in `k` rounds on every member of `J_{μ,k}` given the map;
 //! * [`bounds`] — closed-form calculators for every advice bound stated in the paper
 //!   (Theorems 2.2, 2.9, 3.11, 4.11, 4.12 and Facts 2.3, 3.1, 4.1, 4.2), used by the
-//!   experiment binaries to print paper-vs-measured tables.
+//!   experiment binaries to print paper-vs-measured tables;
+//! * [`engine`] — the **`ElectionEngine` facade**: one builder-style API
+//!   (`Election::task(…).solver(…).backend(…).run(&graph)`) over the four shades, all
+//!   of the solvers above, and all `anet-sim` execution backends, plus a
+//!   [`engine::BatchRunner`] for sweeping configurations across graph families.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,11 +33,16 @@
 pub mod advice;
 pub mod bounds;
 pub mod cppe;
-pub mod map_algorithms;
+pub mod engine;
 pub mod lower_bound_witness;
+pub mod map_algorithms;
 pub mod port_election;
 pub mod selection;
 pub mod tasks;
 
 pub use advice::{AdviceAlgorithm, AdviceRun, Oracle};
+pub use engine::{
+    AdviceSolver, Backend, BatchRow, BatchRunner, CppeSolver, Election, ElectionBuilder,
+    ElectionReport, EngineError, MapSolver, PortElectionSolver, Solver, SolverRun,
+};
 pub use tasks::{ElectionOutcome, NodeOutput, Task, TaskError};

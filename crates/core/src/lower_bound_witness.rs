@@ -137,10 +137,10 @@ pub fn selection_conflict_census(members: &[&PortGraph], k: usize) -> ConflictCe
 /// BFS path towards the nearest degree-`Δ+2` node.
 pub fn pe_conflict_on_u(ga: &PortGraph, gb: &PortGraph, k: usize) -> bool {
     let max_deg = ga.max_degree();
-    if max_deg != gb.max_degree() || max_deg < 7 || max_deg % 2 == 0 {
+    if max_deg != gb.max_degree() || max_deg < 7 || max_deg.is_multiple_of(2) {
         return false;
     }
-    let delta = (max_deg + 1) / 2;
+    let delta = max_deg.div_ceil(2);
     let heavy = 2 * delta - 1;
     let medium = delta + 2;
     let joint = JointRefinement::compute(&[ga, gb], Some(k));
@@ -221,7 +221,11 @@ mod tests {
             }
         }
         // A member does not conflict with itself.
-        assert!(!pe_conflict_on_u(&ga.labeled.graph, &ga.labeled.graph, class.k));
+        assert!(!pe_conflict_on_u(
+            &ga.labeled.graph,
+            &ga.labeled.graph,
+            class.k
+        ));
     }
 
     #[test]

@@ -14,9 +14,8 @@
 
 use crate::tasks::{NodeOutput, Task};
 use anet_graph::PortGraph;
-use anet_views::election_index::{
-    cppe_assignment, pe_assignment, ppe_assignment, IndexError,
-};
+use anet_sim::Backend;
+use anet_views::election_index::{cppe_assignment, pe_assignment, ppe_assignment, IndexError};
 use anet_views::{Refinement, ViewTree};
 use std::collections::HashMap;
 
@@ -44,7 +43,10 @@ impl std::fmt::Display for MapSolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MapSolveError::Unsolvable(task) => {
-                write!(f, "task {task} is unsolvable on this graph (even knowing the map)")
+                write!(
+                    f,
+                    "task {task} is unsolvable on this graph (even knowing the map)"
+                )
             }
             MapSolveError::Budget(e) => write!(f, "{e}"),
         }
@@ -61,10 +63,24 @@ impl From<IndexError> for MapSolveError {
 
 /// Solve `task` on `graph` in minimum time, assuming every node knows the map.
 /// `max_paths` bounds the simple-path enumeration used for PPE / CPPE.
+///
+/// Convenience wrapper over [`solve_with_map_on`] with the sequential backend.
 pub fn solve_with_map(
     graph: &PortGraph,
     task: Task,
     max_paths: usize,
+) -> Result<MapRun, MapSolveError> {
+    solve_with_map_on(graph, task, max_paths, Backend::Sequential)
+}
+
+/// [`solve_with_map`] on an explicit execution [`Backend`]: the full-information
+/// simulation that realises the decision function runs on the chosen backend. Outputs,
+/// rounds and message accounting are backend-independent.
+pub fn solve_with_map_on(
+    graph: &PortGraph,
+    task: Task,
+    max_paths: usize,
+    backend: Backend,
 ) -> Result<MapRun, MapSolveError> {
     let refinement = Refinement::compute(graph, None);
 
@@ -135,7 +151,7 @@ pub fn solve_with_map(
         let tokens = ViewTree::build(graph, v, rounds).tokens();
         by_view.insert(tokens, per_node[v as usize].clone());
     }
-    let (outputs, report) = anet_sim::run_full_information(graph, rounds, |view| {
+    let (outputs, report) = anet_sim::run_full_information_on(graph, rounds, backend, |view| {
         by_view
             .get(&view.tokens())
             .cloned()
@@ -185,9 +201,7 @@ mod tests {
                     let expected = match task {
                         Task::Selection => election_index::psi_s(graph),
                         Task::PortElection => election_index::psi_pe(graph),
-                        Task::PortPathElection => {
-                            election_index::psi_ppe(graph, 20_000).unwrap()
-                        }
+                        Task::PortPathElection => election_index::psi_ppe(graph, 20_000).unwrap(),
                         Task::CompletePortPathElection => {
                             election_index::psi_cppe(graph, 20_000).unwrap()
                         }
@@ -199,9 +213,7 @@ mod tests {
                     let expected = match task {
                         Task::Selection => election_index::psi_s(graph),
                         Task::PortElection => election_index::psi_pe(graph),
-                        Task::PortPathElection => {
-                            election_index::psi_ppe(graph, 20_000).unwrap()
-                        }
+                        Task::PortPathElection => election_index::psi_ppe(graph, 20_000).unwrap(),
                         Task::CompletePortPathElection => {
                             election_index::psi_cppe(graph, 20_000).unwrap()
                         }

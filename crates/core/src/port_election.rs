@@ -22,6 +22,7 @@
 use crate::map_algorithms::MapRun;
 use crate::tasks::NodeOutput;
 use anet_graph::{GraphError, NodeId, PortGraph};
+use anet_sim::Backend;
 use anet_views::ViewTree;
 use std::collections::HashMap;
 
@@ -29,14 +30,26 @@ use std::collections::HashMap;
 ///
 /// `graph` must be (port-isomorphic to) a member of `U_{Δ,k}`; `k` is the class
 /// parameter (equal to `ψ_S = ψ_PE` of the graph, Lemma 3.9).
+///
+/// Convenience wrapper over [`solve_port_election_on_u_with`] with the sequential
+/// backend.
 pub fn solve_port_election_on_u(graph: &PortGraph, k: usize) -> Result<MapRun, GraphError> {
+    solve_port_election_on_u_with(graph, k, Backend::Sequential)
+}
+
+/// [`solve_port_election_on_u`] on an explicit execution [`Backend`].
+pub fn solve_port_election_on_u_with(
+    graph: &PortGraph,
+    k: usize,
+    backend: Backend,
+) -> Result<MapRun, GraphError> {
     let max_deg = graph.max_degree();
-    if max_deg < 7 || max_deg % 2 == 0 {
+    if max_deg < 7 || max_deg.is_multiple_of(2) {
         return Err(GraphError::invalid(
             "the map does not look like a member of U_{Δ,k} (maximum degree must be 2Δ−1 ≥ 7)",
         ));
     }
-    let delta = (max_deg + 1) / 2;
+    let delta = max_deg.div_ceil(2);
     let medium_degree = delta + 2;
     let heavy_degree = 2 * delta - 1;
 
@@ -47,7 +60,9 @@ pub fn solve_port_election_on_u(graph: &PortGraph, k: usize) -> Result<MapRun, G
         .filter(|&v| graph.degree(v) == medium_degree)
         .collect();
     if medium_nodes.is_empty() {
-        return Err(GraphError::invalid("no cycle (degree Δ+2) nodes in the map"));
+        return Err(GraphError::invalid(
+            "no cycle (degree Δ+2) nodes in the map",
+        ));
     }
     let r_min_view = medium_nodes
         .iter()
@@ -58,9 +73,8 @@ pub fn solve_port_election_on_u(graph: &PortGraph, k: usize) -> Result<MapRun, G
     // Heavy nodes: view → first port of a simple path towards the closest medium node.
     let mut heavy_port: HashMap<Vec<u32>, u32> = HashMap::new();
     for v in graph.nodes().filter(|&v| graph.degree(v) == heavy_degree) {
-        let port = first_port_towards_degree(graph, v, medium_degree).ok_or_else(|| {
-            GraphError::invalid("a heavy node cannot reach the cycle in the map")
-        })?;
+        let port = first_port_towards_degree(graph, v, medium_degree)
+            .ok_or_else(|| GraphError::invalid("a heavy node cannot reach the cycle in the map"))?;
         let tokens = ViewTree::build(graph, v, k).tokens();
         if let Some(&existing) = heavy_port.get(&tokens) {
             // Lemma 3.9 (Claim 1): the only other node with this view is the twin
@@ -101,7 +115,7 @@ pub fn solve_port_election_on_u(graph: &PortGraph, k: usize) -> Result<MapRun, G
         )
     };
 
-    let (outputs, report) = anet_sim::run_full_information(graph, k, decide);
+    let (outputs, report) = anet_sim::run_full_information_on(graph, k, backend, decide);
     Ok(MapRun {
         rounds: k,
         outputs,
@@ -156,7 +170,11 @@ mod tests {
     #[test]
     fn solves_pe_in_exactly_k_rounds_on_u_members() {
         let class = UClass::new(4, 1).unwrap();
-        for sigma in [vec![1u32; 9], vec![3u32; 9], vec![1, 2, 3, 1, 2, 3, 1, 2, 3]] {
+        for sigma in [
+            vec![1u32; 9],
+            vec![3u32; 9],
+            vec![1, 2, 3, 1, 2, 3, 1, 2, 3],
+        ] {
             let member = class.member(&sigma).unwrap();
             let g = &member.labeled.graph;
             let run = solve_port_election_on_u(g, class.k).unwrap();
@@ -173,7 +191,7 @@ mod tests {
     #[test]
     fn pe_solution_weakens_to_a_selection_solution() {
         let class = UClass::new(4, 1).unwrap();
-        let member = class.member(&vec![2u32; 9]).unwrap();
+        let member = class.member(&[2u32; 9]).unwrap();
         let g = &member.labeled.graph;
         let run = solve_port_election_on_u(g, class.k).unwrap();
         let s = weaken_outputs(&run.outputs, Task::Selection).unwrap();
@@ -189,7 +207,7 @@ mod tests {
     #[test]
     fn leader_is_deterministic_across_reruns() {
         let class = UClass::new(4, 1).unwrap();
-        let member = class.member(&vec![1u32; 9]).unwrap();
+        let member = class.member(&[1u32; 9]).unwrap();
         let g = &member.labeled.graph;
         let a = solve_port_election_on_u(g, class.k).unwrap();
         let b = solve_port_election_on_u(g, class.k).unwrap();

@@ -10,6 +10,7 @@
 use crate::advice::{AdviceAlgorithm, AdviceRun, Oracle};
 use crate::tasks::NodeOutput;
 use anet_graph::PortGraph;
+use anet_sim::Backend;
 use anet_views::election_index::psi_s_with;
 use anet_views::encoding::{decode_view, encode_view};
 use anet_views::{BitString, Refinement, ViewTree};
@@ -54,9 +55,14 @@ impl AdviceAlgorithm for SelectionAlgorithm {
     }
 }
 
-/// Convenience: run the Theorem 2.2 pair on a graph.
+/// Convenience: run the Theorem 2.2 pair on a graph (sequential backend).
 pub fn solve_selection_min_time(graph: &PortGraph) -> AdviceRun {
-    crate::advice::run_with_advice(graph, &SelectionOracle, &SelectionAlgorithm)
+    solve_selection_min_time_on(graph, Backend::Sequential)
+}
+
+/// Run the Theorem 2.2 pair on a graph, on an explicit execution [`Backend`].
+pub fn solve_selection_min_time_on(graph: &PortGraph, backend: Backend) -> AdviceRun {
+    crate::advice::run_with_advice_on(graph, &SelectionOracle, &SelectionAlgorithm, backend)
 }
 
 /// The paper's bound on the advice used by this oracle, in bits (Theorem 2.2 statement

@@ -53,10 +53,7 @@ impl GraphBuilder {
 
     /// Current degree of a node (number of ports already assigned).
     pub fn degree(&self, v: NodeId) -> usize {
-        self.ports
-            .get(v as usize)
-            .map(|m| m.len())
-            .unwrap_or(0)
+        self.ports.get(v as usize).map(|m| m.len()).unwrap_or(0)
     }
 
     /// Smallest port number not yet used at `v`.
@@ -124,10 +121,8 @@ impl GraphBuilder {
     pub fn append_disjoint(&mut self, other: &GraphBuilder) -> NodeId {
         let offset = self.ports.len() as NodeId;
         for m in &other.ports {
-            let shifted: BTreeMap<Port, (NodeId, Port)> = m
-                .iter()
-                .map(|(&p, &(u, q))| (p, (u + offset, q)))
-                .collect();
+            let shifted: BTreeMap<Port, (NodeId, Port)> =
+                m.iter().map(|(&p, &(u, q))| (p, (u + offset, q))).collect();
             self.ports.push(shifted);
         }
         offset
@@ -137,10 +132,8 @@ impl GraphBuilder {
     pub fn append_graph(&mut self, g: &PortGraph) -> NodeId {
         let offset = self.ports.len() as NodeId;
         for v in g.nodes() {
-            let m: BTreeMap<Port, (NodeId, Port)> = g
-                .ports(v)
-                .map(|(p, u, q)| (p, (u + offset, q)))
-                .collect();
+            let m: BTreeMap<Port, (NodeId, Port)> =
+                g.ports(v).map(|(p, u, q)| (p, (u + offset, q))).collect();
             self.ports.push(m);
         }
         offset

@@ -35,8 +35,13 @@ pub fn to_dot(g: &PortGraph, labels: Option<&Labeling>, opts: &DotOptions) -> St
     let _ = writeln!(out, "graph {} {{", sanitize(&opts.name));
     let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
     for v in g.nodes() {
-        let role = labels
-            .and_then(|l| if opts.show_role_names { l.name_of(v) } else { None });
+        let role = labels.and_then(|l| {
+            if opts.show_role_names {
+                l.name_of(v)
+            } else {
+                None
+            }
+        });
         match role {
             Some(name) => {
                 let _ = writeln!(out, "  n{v} [label=\"{}\"];", escape(name));
@@ -69,7 +74,13 @@ pub fn to_dot_simple(g: &PortGraph) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         "G".to_string()

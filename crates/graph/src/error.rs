@@ -97,7 +97,10 @@ impl fmt::Display for GraphError {
             ),
             GraphError::Empty => write!(f, "graph has no nodes"),
             GraphError::UnknownPort { node, port, degree } => {
-                write!(f, "node {node} has degree {degree}, port {port} does not exist")
+                write!(
+                    f,
+                    "node {node} has degree {degree}, port {port} does not exist"
+                )
             }
             GraphError::DuplicateLabel { label } => {
                 write!(f, "label {label:?} attached to more than one node")

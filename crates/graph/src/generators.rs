@@ -8,10 +8,8 @@
 use crate::builder::GraphBuilder;
 use crate::error::GraphError;
 use crate::graph::{NodeId, PortGraph};
+use crate::rng::Rng;
 use crate::Result;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// Path on `n ≥ 1` nodes. Interior nodes use port 0 towards the lower-indexed
 /// neighbour and port 1 towards the higher-indexed one; the end nodes use port 0.
@@ -197,14 +195,14 @@ pub fn random_connected(
             "random_connected requires max_degree >= 2",
         ));
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed(seed);
     let mut b = GraphBuilder::with_nodes(n);
     let mut degree = vec![0usize; n];
 
     // Random spanning tree: attach node i to a uniformly random earlier node with
     // spare degree. Node ids are first shuffled so the tree shape is not biased by id.
     let mut order: Vec<usize> = (0..n).collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     for idx in 1..n {
         let v = order[idx];
         // Candidates: earlier nodes in the order with spare capacity.
@@ -227,7 +225,7 @@ pub fn random_connected(
                 "max_degree too small to build a connected graph of this size",
             ));
         }
-        let u = candidates[rng.gen_range(0..candidates.len())];
+        let u = candidates[rng.below(candidates.len())];
         b.add_edge_auto(u as NodeId, v as NodeId)?;
         degree[u] += 1;
         degree[v] += 1;
@@ -238,8 +236,8 @@ pub fn random_connected(
     let mut attempts = 0usize;
     while added < extra_edges && attempts < 50 * (extra_edges + 1) {
         attempts += 1;
-        let u = rng.gen_range(0..n);
-        let v = rng.gen_range(0..n);
+        let u = rng.below(n);
+        let v = rng.below(n);
         if u == v || degree[u] >= max_degree || degree[v] >= max_degree {
             continue;
         }
@@ -259,7 +257,7 @@ pub fn random_connected(
         .map(|v| {
             let d = g.degree(v);
             let mut p: Vec<u32> = (0..d as u32).collect();
-            p.shuffle(&mut rng);
+            rng.shuffle(&mut p);
             p
         })
         .collect();
@@ -384,7 +382,10 @@ mod tests {
         assert!(g1.num_edges() >= 39);
 
         let g3 = random_connected(40, 5, 15, 43).unwrap();
-        assert_ne!(g1, g3, "different seeds should differ (overwhelmingly likely)");
+        assert_ne!(
+            g1, g3,
+            "different seeds should differ (overwhelmingly likely)"
+        );
     }
 
     #[test]

@@ -95,7 +95,7 @@ impl PortGraph {
                 }
             }
         }
-        debug_assert!(num_edges % 2 == 0);
+        debug_assert!(num_edges.is_multiple_of(2));
         let g = PortGraph {
             adj,
             num_edges: num_edges / 2,
@@ -175,9 +175,7 @@ impl PortGraph {
 
     /// The port at `v` of the edge `{v, u}`, if such an edge exists.
     pub fn port_towards(&self, v: NodeId, u: NodeId) -> Option<Port> {
-        self.ports(v)
-            .find(|&(_, w, _)| w == u)
-            .map(|(p, _, _)| p)
+        self.ports(v).find(|&(_, w, _)| w == u).map(|(p, _, _)| p)
     }
 
     /// BFS distances from `source`; `None` for unreachable nodes (cannot happen in a
@@ -189,7 +187,11 @@ impl PortGraph {
     /// BFS distances from `source` in the graph with the node `avoid` (if any) removed.
     /// Used by the Port Election verifier: a simple path from `v`'s neighbour to the
     /// leader avoiding `v` exists iff the leader is reachable in `G − v`.
-    pub fn bfs_distances_avoiding(&self, source: NodeId, avoid: Option<NodeId>) -> Vec<Option<u32>> {
+    pub fn bfs_distances_avoiding(
+        &self,
+        source: NodeId,
+        avoid: Option<NodeId>,
+    ) -> Vec<Option<u32>> {
         let n = self.num_nodes();
         let mut dist = vec![None; n];
         if Some(source) == avoid {
@@ -230,7 +232,10 @@ impl PortGraph {
     /// Diameter of the graph (maximum eccentricity). `O(n·m)`; fine for the graph sizes
     /// used in tests and experiments.
     pub fn diameter(&self) -> u32 {
-        self.nodes().map(|v| self.eccentricity(v)).max().unwrap_or(0)
+        self.nodes()
+            .map(|v| self.eccentricity(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// One shortest path from `u` to `v` as a list of nodes (including both endpoints).
@@ -429,7 +434,10 @@ mod tests {
         let g = three_node_line();
         assert_eq!(g.follow_outgoing_ports(0, &[0, 1]), Some(vec![0, 1, 2]));
         assert_eq!(g.follow_outgoing_ports(0, &[1]), None);
-        assert_eq!(g.follow_full_ports(0, &[(0, 0), (1, 0)]), Some(vec![0, 1, 2]));
+        assert_eq!(
+            g.follow_full_ports(0, &[(0, 0), (1, 0)]),
+            Some(vec![0, 1, 2])
+        );
         // Wrong incoming port is rejected.
         assert_eq!(g.follow_full_ports(0, &[(0, 1)]), None);
     }
@@ -461,12 +469,7 @@ mod tests {
         ));
 
         // Two disjoint edges: 0-1 and 2-3.
-        let adj = vec![
-            vec![(1, 0)],
-            vec![(0, 0)],
-            vec![(3, 0)],
-            vec![(2, 0)],
-        ];
+        let adj = vec![vec![(1, 0)], vec![(0, 0)], vec![(3, 0)], vec![(2, 0)]];
         assert!(matches!(
             PortGraph::from_adjacency(adj),
             Err(GraphError::Disconnected { .. })

@@ -62,10 +62,7 @@ impl Labeling {
 
     /// All nodes in a group, in insertion order. Empty if the group does not exist.
     pub fn group(&self, group: &str) -> &[NodeId] {
-        self.groups
-            .get(group)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.groups.get(group).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Is the node a member of the given group?

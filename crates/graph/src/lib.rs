@@ -34,6 +34,7 @@ pub mod generators;
 pub mod graph;
 pub mod labeling;
 pub mod permute;
+pub mod rng;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;

@@ -73,7 +73,8 @@ pub fn permute_ports(g: &PortGraph, perms: &[Vec<Port>]) -> Result<PortGraph> {
         ));
     }
     let n = g.num_nodes();
-    let mut adj: Vec<Vec<(NodeId, Port)>> = (0..n).map(|v| vec![(0, 0); g.degree(v as u32)]).collect();
+    let mut adj: Vec<Vec<(NodeId, Port)>> =
+        (0..n).map(|v| vec![(0, 0); g.degree(v as u32)]).collect();
     for v in g.nodes() {
         let perm = &perms[v as usize];
         if perm.len() != g.degree(v) {
@@ -107,7 +108,9 @@ pub fn permute_ports(g: &PortGraph, perms: &[Vec<Port>]) -> Result<PortGraph> {
 pub fn relabel_nodes(g: &PortGraph, perm: &[NodeId]) -> Result<PortGraph> {
     let n = g.num_nodes();
     if perm.len() != n {
-        return Err(GraphError::invalid("relabel_nodes: wrong permutation length"));
+        return Err(GraphError::invalid(
+            "relabel_nodes: wrong permutation length",
+        ));
     }
     let mut seen = vec![false; n];
     for &p in perm {
@@ -119,10 +122,7 @@ pub fn relabel_nodes(g: &PortGraph, perm: &[NodeId]) -> Result<PortGraph> {
     let mut adj: Vec<Vec<(NodeId, Port)>> = vec![Vec::new(); n];
     for v in g.nodes() {
         let nv = perm[v as usize] as usize;
-        adj[nv] = g
-            .ports(v)
-            .map(|(_, u, q)| (perm[u as usize], q))
-            .collect();
+        adj[nv] = g.ports(v).map(|(_, u, q)| (perm[u as usize], q)).collect();
     }
     PortGraph::from_adjacency(adj)
 }
@@ -136,7 +136,7 @@ pub fn is_port_isomorphism(a: &PortGraph, b: &PortGraph, map: &[NodeId]) -> bool
     }
     for v in a.nodes() {
         let bv = map[v as usize];
-        if a.degree(v) != b.degree(bv) as usize {
+        if a.degree(v) != b.degree(bv) {
             return false;
         }
         for (p, u, q) in a.ports(v) {
@@ -189,7 +189,11 @@ mod tests {
         let g = square();
         assert!(matches!(
             swap_ports(&g, 0, 0, 5).unwrap_err(),
-            GraphError::UnknownPort { node: 0, port: 5, .. }
+            GraphError::UnknownPort {
+                node: 0,
+                port: 5,
+                ..
+            }
         ));
     }
 
@@ -204,7 +208,10 @@ mod tests {
     #[test]
     fn permute_ports_identity_and_reversal() {
         let g = square();
-        let id: Vec<Vec<u32>> = g.nodes().map(|v| (0..g.degree(v) as u32).collect()).collect();
+        let id: Vec<Vec<u32>> = g
+            .nodes()
+            .map(|v| (0..g.degree(v) as u32).collect())
+            .collect();
         assert_eq!(permute_ports(&g, &id).unwrap(), g);
 
         let rev: Vec<Vec<u32>> = g

@@ -1,0 +1,222 @@
+//! Execution backends: one round engine, several execution strategies.
+//!
+//! Historically the crate exposed two separate entry points, `run` (sequential) and
+//! `run_parallel` (multi-threaded), with the routing phase copy-pasted between them.
+//! [`Backend`] unifies them: a backend is a *strategy for executing the send and
+//! receive phases* of the synchronous round loop, while the round structure itself —
+//! send, route, receive — is implemented exactly once ([`Backend::run`]). The
+//! [`Simulator`] trait abstracts over backends so higher layers (the `ElectionEngine`
+//! facade in `anet-core`) can be written against "something that can execute a
+//! distributed algorithm" without caring how rounds are scheduled.
+//!
+//! Message accounting is backend-independent by construction: the routing phase is the
+//! single shared [`route_messages`] helper, so every backend delivers the same
+//! messages in the same order and reports identical [`RunReport`]s.
+
+use crate::model::{AlgorithmFactory, NodeAlgorithm};
+use crate::runner::{RunOutcome, RunReport};
+use anet_graph::PortGraph;
+
+/// How the synchronous round loop executes the per-node send/receive phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Single-threaded reference execution.
+    #[default]
+    Sequential,
+    /// Send and receive phases split across `threads` OS threads (scoped threads from
+    /// the standard library); the routing phase stays sequential, as it is cheap
+    /// pointer shuffling. Semantically identical to [`Backend::Sequential`].
+    Parallel {
+        /// Number of worker threads (clamped to at least 1).
+        threads: usize,
+    },
+}
+
+impl Backend {
+    /// A short human-readable label (`seq`, `par4`, …) for reports and tables.
+    pub fn label(&self) -> String {
+        match self {
+            Backend::Sequential => "seq".to_string(),
+            Backend::Parallel { threads } => format!("par{threads}"),
+        }
+    }
+
+    /// A representative set of backends, used by equivalence tests and sweeps.
+    pub fn smoke_set() -> Vec<Backend> {
+        vec![
+            Backend::Sequential,
+            Backend::Parallel { threads: 1 },
+            Backend::Parallel { threads: 2 },
+            Backend::Parallel { threads: 4 },
+            Backend::Parallel { threads: 7 },
+        ]
+    }
+
+    /// Run `factory`'s algorithm on `graph` for `rounds` synchronous rounds.
+    ///
+    /// This is the *only* round loop in the crate: every public entry point
+    /// (the deprecated `run` / `run_parallel` free functions, the full-information
+    /// collector, the `ElectionEngine` facade) funnels through here.
+    pub fn run<F>(
+        &self,
+        graph: &PortGraph,
+        factory: &F,
+        rounds: usize,
+    ) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
+    where
+        F: AlgorithmFactory,
+    {
+        let n = graph.num_nodes();
+        let threads = match self {
+            Backend::Sequential => 1,
+            Backend::Parallel { threads } => (*threads).max(1),
+        };
+        let chunk_size = n.div_ceil(threads.max(1)).max(1);
+        let mut nodes: Vec<F::Algo> = graph
+            .nodes()
+            .map(|v| factory.create(graph.degree(v)))
+            .collect();
+        let mut messages_delivered = 0usize;
+
+        for round in 1..=rounds {
+            // Send phase.
+            let outboxes = if threads == 1 {
+                nodes.iter_mut().map(|node| node.send(round)).collect()
+            } else {
+                parallel_send(&mut nodes, round, chunk_size)
+            };
+            // Routing phase (shared by every backend; see the module docs).
+            let inboxes = route_messages(graph, &outboxes, &mut messages_delivered);
+            // Receive phase.
+            if threads == 1 {
+                for (v, inbox) in inboxes.into_iter().enumerate().take(n) {
+                    nodes[v].receive(round, inbox);
+                }
+            } else {
+                parallel_receive(&mut nodes, inboxes, round, chunk_size);
+            }
+        }
+
+        RunOutcome {
+            outputs: nodes.iter().map(|n| n.output()).collect(),
+            report: RunReport {
+                rounds,
+                messages_delivered,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Anything that can execute a distributed algorithm on a graph for a number of
+/// rounds. Implemented by [`Backend`]; higher layers accept `&impl Simulator` when
+/// they only need "some way to run rounds".
+pub trait Simulator {
+    /// Execute `factory`'s algorithm on `graph` for `rounds` synchronous rounds.
+    fn execute<F>(
+        &self,
+        graph: &PortGraph,
+        factory: &F,
+        rounds: usize,
+    ) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
+    where
+        F: AlgorithmFactory;
+}
+
+impl Simulator for Backend {
+    fn execute<F>(
+        &self,
+        graph: &PortGraph,
+        factory: &F,
+        rounds: usize,
+    ) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
+    where
+        F: AlgorithmFactory,
+    {
+        self.run(graph, factory, rounds)
+    }
+}
+
+/// The routing phase, shared by every backend: `inbox[u][q] = outbox[v][p]` whenever
+/// `(u, q)` is across port `p` of `v`. Increments `messages_delivered` once per
+/// delivered message. Exactly the loop that used to be copy-pasted between `run` and
+/// `run_parallel`.
+pub(crate) fn route_messages<M: Clone>(
+    graph: &PortGraph,
+    outboxes: &[Vec<Option<M>>],
+    messages_delivered: &mut usize,
+) -> Vec<Vec<Option<M>>> {
+    let mut inboxes: Vec<Vec<Option<M>>> =
+        graph.nodes().map(|v| vec![None; graph.degree(v)]).collect();
+    for v in graph.nodes() {
+        for (p, msg) in outboxes[v as usize].iter().enumerate() {
+            if let Some(msg) = msg {
+                if let Some((u, q)) = graph.neighbor(v, p as u32) {
+                    inboxes[u as usize][q as usize] = Some(msg.clone());
+                    *messages_delivered += 1;
+                }
+            }
+        }
+    }
+    inboxes
+}
+
+/// Send phase split over scoped worker threads; outboxes are reassembled in node order.
+fn parallel_send<A: NodeAlgorithm>(
+    nodes: &mut [A],
+    round: usize,
+    chunk_size: usize,
+) -> Vec<Vec<Option<A::Message>>> {
+    let mut outboxes = Vec::with_capacity(nodes.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = nodes
+            .chunks_mut(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter_mut()
+                        .map(|node| node.send(round))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            outboxes.extend(h.join().expect("send worker panicked"));
+        }
+    });
+    outboxes
+}
+
+/// Receive phase split over scoped worker threads, chunked identically to the send
+/// phase so each node's inbox travels with its algorithm instance.
+fn parallel_receive<A: NodeAlgorithm>(
+    nodes: &mut [A],
+    inboxes: Vec<Vec<Option<A::Message>>>,
+    round: usize,
+    chunk_size: usize,
+) {
+    std::thread::scope(|scope| {
+        let mut rest_nodes = &mut nodes[..];
+        let mut rest_inboxes = inboxes;
+        let mut handles = Vec::new();
+        while !rest_nodes.is_empty() {
+            let take = chunk_size.min(rest_nodes.len());
+            let (node_chunk, nr) = rest_nodes.split_at_mut(take);
+            rest_nodes = nr;
+            let inbox_chunk: Vec<_> = rest_inboxes.drain(..take).collect();
+            handles.push(scope.spawn(move || {
+                for (node, inbox) in node_chunk.iter_mut().zip(inbox_chunk) {
+                    node.receive(round, inbox);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("receive worker panicked");
+        }
+    });
+}

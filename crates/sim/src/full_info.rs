@@ -13,8 +13,9 @@
 //! `B^r(v)` (the paper's formulation) while still being executable as genuine
 //! message-passing algorithms.
 
+use crate::backend::Backend;
 use crate::model::{AlgorithmFactory, NodeAlgorithm};
-use crate::runner::{run, RunOutcome};
+use crate::runner::RunOutcome;
 use anet_graph::{Port, PortGraph};
 use anet_views::ViewTree;
 
@@ -97,6 +98,8 @@ impl AlgorithmFactory for ViewCollectorFactory {
 /// collect `B^rounds(v)` by message passing, then apply `decide` — an arbitrary
 /// function of the augmented truncated view — at every node. Returns the per-node
 /// outputs (and the run report via the second element).
+///
+/// Convenience wrapper over [`run_full_information_on`] with the sequential backend.
 pub fn run_full_information<O, D>(
     graph: &PortGraph,
     rounds: usize,
@@ -106,8 +109,24 @@ where
     O: Clone + Send,
     D: Fn(&ViewTree) -> O,
 {
-    let RunOutcome { outputs, report } = run(graph, &ViewCollectorFactory, rounds);
-    let decisions = outputs.iter().map(|view| decide(view)).collect();
+    run_full_information_on(graph, rounds, Backend::Sequential, decide)
+}
+
+/// [`run_full_information`] on an explicit execution [`Backend`]: the view-collection
+/// phase (the entire communication cost) runs on the chosen backend; the decision map
+/// is applied afterwards. Every backend produces identical outputs and reports.
+pub fn run_full_information_on<O, D>(
+    graph: &PortGraph,
+    rounds: usize,
+    backend: Backend,
+    decide: D,
+) -> (Vec<O>, crate::runner::RunReport)
+where
+    O: Clone + Send,
+    D: Fn(&ViewTree) -> O,
+{
+    let RunOutcome { outputs, report } = backend.run(graph, &ViewCollectorFactory, rounds);
+    let decisions = outputs.iter().map(decide).collect();
     (decisions, report)
 }
 
@@ -116,8 +135,20 @@ mod tests {
     use super::*;
     use anet_graph::generators;
 
+    #[test]
+    fn backends_collect_identical_views() {
+        let g = generators::random_connected(24, 4, 8, 5).unwrap();
+        let (seq, seq_report) =
+            run_full_information_on(&g, 3, Backend::Sequential, |view| view.clone());
+        for backend in Backend::smoke_set() {
+            let (views, report) = run_full_information_on(&g, 3, backend, |view| view.clone());
+            assert_eq!(views, seq, "{backend}");
+            assert_eq!(report, seq_report, "{backend}");
+        }
+    }
+
     fn assert_views_match(g: &PortGraph, rounds: usize) {
-        let outcome = run(g, &ViewCollectorFactory, rounds);
+        let outcome = Backend::Sequential.run(g, &ViewCollectorFactory, rounds);
         for v in g.nodes() {
             let expected = ViewTree::build(g, v, rounds);
             assert_eq!(
@@ -163,7 +194,7 @@ mod tests {
     fn message_count_of_full_information_is_2m_per_round() {
         let g = generators::random_connected(20, 4, 5, 3).unwrap();
         let rounds = 3;
-        let outcome = run(&g, &ViewCollectorFactory, rounds);
+        let outcome = Backend::Sequential.run(&g, &ViewCollectorFactory, rounds);
         assert_eq!(
             outcome.report.messages_delivered,
             2 * g.num_edges() * rounds

@@ -10,22 +10,31 @@
 //!
 //! * [`model`] — the [`model::NodeAlgorithm`] / [`model::AlgorithmFactory`] traits that
 //!   distributed algorithms implement,
-//! * [`runner`] — the synchronous round engine (sequential and multi-threaded via
-//!   crossbeam scoped threads), with message-count accounting,
+//! * [`backend`] — the execution backends: [`Backend::Sequential`] and
+//!   [`Backend::Parallel`] share one round engine (send → route → receive) and differ
+//!   only in how the per-node phases are scheduled; the [`Simulator`] trait abstracts
+//!   over them for higher layers such as the `ElectionEngine` facade in `anet-core`,
+//! * [`runner`] — run reports plus the deprecated free-function entry points `run` /
+//!   `run_parallel` (shims over [`Backend`]),
 //! * [`full_info`] — the *full-information* algorithm in which every node forwards
 //!   everything it knows each round; after `r` rounds its knowledge is exactly the
 //!   augmented truncated view `B^r(v)`, which is the information-theoretic ceiling the
-//!   paper's model assumes. The helper [`full_info::run_full_information`] runs it and
-//!   applies an arbitrary decision function of `B^r(v)` — precisely the paper's notion
-//!   of a deterministic algorithm with allotted time `r`.
+//!   paper's model assumes. The helper [`full_info::run_full_information_on`] runs it
+//!   on any backend and applies an arbitrary decision function of `B^r(v)` — precisely
+//!   the paper's notion of a deterministic algorithm with allotted time `r`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod full_info;
 pub mod model;
 pub mod runner;
 
-pub use full_info::{run_full_information, ViewCollector, ViewCollectorFactory};
+pub use backend::{Backend, Simulator};
+pub use full_info::{
+    run_full_information, run_full_information_on, ViewCollector, ViewCollectorFactory,
+};
 pub use model::{AlgorithmFactory, NodeAlgorithm};
-pub use runner::{run, run_parallel, RunReport};
+#[allow(deprecated)]
+pub use runner::{run, run_parallel, RunOutcome, RunReport};

@@ -1,5 +1,10 @@
-//! The synchronous round engine.
+//! Run reports and the legacy free-function entry points.
+//!
+//! The synchronous round engine itself lives in [`crate::backend`]; the free
+//! functions [`run`] and [`run_parallel`] are kept as deprecated shims delegating to
+//! [`Backend`](crate::Backend) so existing callers migrate incrementally.
 
+use crate::backend::Backend;
 use crate::model::{AlgorithmFactory, NodeAlgorithm};
 use anet_graph::PortGraph;
 
@@ -23,56 +28,27 @@ pub struct RunOutcome<O> {
 }
 
 /// Run `factory`'s algorithm on `graph` for `rounds` synchronous rounds, sequentially.
-pub fn run<F>(graph: &PortGraph, factory: &F, rounds: usize) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Backend::Sequential.run(graph, factory, rounds)` (or the `ElectionEngine` facade in anet-core)"
+)]
+pub fn run<F>(
+    graph: &PortGraph,
+    factory: &F,
+    rounds: usize,
+) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
 where
     F: AlgorithmFactory,
 {
-    let n = graph.num_nodes();
-    let mut nodes: Vec<F::Algo> = graph
-        .nodes()
-        .map(|v| factory.create(graph.degree(v)))
-        .collect();
-    let mut messages_delivered = 0usize;
-
-    for round in 1..=rounds {
-        // Send phase.
-        let outboxes: Vec<Vec<Option<<F::Algo as NodeAlgorithm>::Message>>> = nodes
-            .iter_mut()
-            .map(|node| node.send(round))
-            .collect();
-        // Routing phase: inbox[u][q] = outbox[v][p] where (u, q) is across port p of v.
-        let mut inboxes: Vec<Vec<Option<<F::Algo as NodeAlgorithm>::Message>>> = graph
-            .nodes()
-            .map(|v| vec![None; graph.degree(v)])
-            .collect();
-        for v in graph.nodes() {
-            for (p, msg) in outboxes[v as usize].iter().enumerate() {
-                if let Some(msg) = msg {
-                    if let Some((u, q)) = graph.neighbor(v, p as u32) {
-                        inboxes[u as usize][q as usize] = Some(msg.clone());
-                        messages_delivered += 1;
-                    }
-                }
-            }
-        }
-        // Receive phase.
-        for (v, inbox) in inboxes.into_iter().enumerate().take(n) {
-            nodes[v].receive(round, inbox);
-        }
-    }
-
-    RunOutcome {
-        outputs: nodes.iter().map(|n| n.output()).collect(),
-        report: RunReport {
-            rounds,
-            messages_delivered,
-        },
-    }
+    Backend::Sequential.run(graph, factory, rounds)
 }
 
 /// Run the algorithm with the send/receive phases parallelised across `threads`
-/// worker threads (crossbeam scoped threads). Semantically identical to [`run`]; used
-/// by the performance benches on the larger constructions.
+/// worker threads. Semantically identical to [`run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Backend::Parallel { threads }.run(graph, factory, rounds)` (or the `ElectionEngine` facade in anet-core)"
+)]
 pub fn run_parallel<F>(
     graph: &PortGraph,
     factory: &F,
@@ -84,84 +60,7 @@ where
     F::Algo: Send,
     <F::Algo as NodeAlgorithm>::Message: Sync,
 {
-    let threads = threads.max(1);
-    let n = graph.num_nodes();
-    let mut nodes: Vec<F::Algo> = graph
-        .nodes()
-        .map(|v| factory.create(graph.degree(v)))
-        .collect();
-    let mut messages_delivered = 0usize;
-
-    let chunk_size = n.div_ceil(threads);
-
-    for round in 1..=rounds {
-        // Send phase (parallel over node chunks).
-        let mut outboxes: Vec<Vec<Option<<F::Algo as NodeAlgorithm>::Message>>> =
-            Vec::with_capacity(n);
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = nodes
-                .chunks_mut(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        chunk
-                            .iter_mut()
-                            .map(|node| node.send(round))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                outboxes.extend(h.join().expect("send worker panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
-
-        // Routing phase (sequential: cheap pointer shuffling).
-        let mut inboxes: Vec<Vec<Option<<F::Algo as NodeAlgorithm>::Message>>> = graph
-            .nodes()
-            .map(|v| vec![None; graph.degree(v)])
-            .collect();
-        for v in graph.nodes() {
-            for (p, msg) in outboxes[v as usize].iter().enumerate() {
-                if let Some(msg) = msg {
-                    if let Some((u, q)) = graph.neighbor(v, p as u32) {
-                        inboxes[u as usize][q as usize] = Some(msg.clone());
-                        messages_delivered += 1;
-                    }
-                }
-            }
-        }
-
-        // Receive phase (parallel over node chunks).
-        crossbeam::thread::scope(|scope| {
-            let mut rest_nodes = &mut nodes[..];
-            let mut rest_inboxes = inboxes;
-            let mut handles = Vec::new();
-            while !rest_nodes.is_empty() {
-                let take = chunk_size.min(rest_nodes.len());
-                let (node_chunk, nr) = rest_nodes.split_at_mut(take);
-                rest_nodes = nr;
-                let inbox_chunk: Vec<_> = rest_inboxes.drain(..take).collect();
-                handles.push(scope.spawn(move |_| {
-                    for (node, inbox) in node_chunk.iter_mut().zip(inbox_chunk) {
-                        node.receive(round, inbox);
-                    }
-                }));
-            }
-            for h in handles {
-                h.join().expect("receive worker panicked");
-            }
-        })
-        .expect("crossbeam scope failed");
-    }
-
-    RunOutcome {
-        outputs: nodes.iter().map(|n| n.output()).collect(),
-        report: RunReport {
-            rounds,
-            messages_delivered,
-        },
-    }
+    Backend::Parallel { threads }.run(graph, factory, rounds)
 }
 
 #[cfg(test)]
@@ -207,7 +106,7 @@ mod tests {
     #[test]
     fn flooding_converges_after_diameter_rounds() {
         let g = generators::star(4).unwrap();
-        let out = run(&g, &flood_factory, 2);
+        let out = Backend::Sequential.run(&g, &flood_factory, 2);
         assert!(out.outputs.iter().all(|&b| b == 4));
 
         // A "broom": a path 0-1-2-3-4 with two extra leaves on node 0, so node 0 has
@@ -220,39 +119,57 @@ mod tests {
         b.add_edge(0, 1, 5, 0).unwrap();
         b.add_edge(0, 2, 6, 0).unwrap();
         let broom = b.build().unwrap();
-        let out_short = run(&broom, &flood_factory, 1);
+        let out_short = Backend::Sequential.run(&broom, &flood_factory, 1);
         assert!(out_short.outputs.iter().any(|&b| b != 3));
-        let out_full = run(&broom, &flood_factory, broom.diameter() as usize);
+        let out_full = Backend::Sequential.run(&broom, &flood_factory, broom.diameter() as usize);
         assert!(out_full.outputs.iter().all(|&b| b == 3));
     }
 
     #[test]
     fn message_accounting_counts_deliveries() {
+        // The routing phase is shared by every backend, so the accounting must be
+        // byte-identical across them: 5 nodes × 2 ports × 3 rounds deliveries.
         let g = generators::symmetric_ring(5).unwrap();
-        let out = run(&g, &flood_factory, 3);
-        // Every node sends on both ports every round: 5 nodes × 2 ports × 3 rounds.
-        assert_eq!(out.report.messages_delivered, 30);
-        assert_eq!(out.report.rounds, 3);
+        for backend in Backend::smoke_set() {
+            let out = backend.run(&g, &flood_factory, 3);
+            assert_eq!(out.report.messages_delivered, 30, "{backend}");
+            assert_eq!(out.report.rounds, 3, "{backend}");
+        }
     }
 
     #[test]
     fn zero_rounds_returns_initial_outputs() {
         let g = generators::star(3).unwrap();
-        let out = run(&g, &flood_factory, 0);
+        let out = Backend::Sequential.run(&g, &flood_factory, 0);
         assert_eq!(out.outputs, vec![3, 1, 1, 1]);
         assert_eq!(out.report.messages_delivered, 0);
     }
 
     #[test]
     fn parallel_run_matches_sequential() {
+        // Engine-equivalence: every backend must produce identical outputs *and*
+        // identical reports for the same algorithm on the same graph.
         let g = generators::random_connected(60, 5, 30, 123).unwrap();
         let rounds = 4;
-        let seq = run(&g, &flood_factory, rounds);
-        for threads in [1, 2, 4, 7] {
-            let par = run_parallel(&g, &flood_factory, rounds, threads);
-            assert_eq!(par.outputs, seq.outputs, "threads = {threads}");
-            assert_eq!(par.report, seq.report);
+        let seq = Backend::Sequential.run(&g, &flood_factory, rounds);
+        for backend in Backend::smoke_set() {
+            let out = backend.run(&g, &flood_factory, rounds);
+            assert_eq!(out.outputs, seq.outputs, "{backend}");
+            assert_eq!(out.report, seq.report, "{backend}");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_backend_engine() {
+        let g = generators::symmetric_ring(5).unwrap();
+        let via_shim = run(&g, &flood_factory, 3);
+        let via_backend = Backend::Sequential.run(&g, &flood_factory, 3);
+        assert_eq!(via_shim.outputs, via_backend.outputs);
+        assert_eq!(via_shim.report, via_backend.report);
+        let par_shim = run_parallel(&g, &flood_factory, 3, 2);
+        assert_eq!(par_shim.outputs, via_backend.outputs);
+        assert_eq!(par_shim.report, via_backend.report);
     }
 
     /// An algorithm that echoes what it receives, used to check that port routing is
@@ -299,7 +216,7 @@ mod tests {
             log: Vec::new(),
             node_tag: counter.fetch_add(1, Ordering::SeqCst),
         };
-        let out = run(&g, &factory, 1);
+        let out = Backend::Sequential.run(&g, &factory, 1);
         // Node 1 (the centre, tag 1) must receive on port 0 the message node 0 sent on
         // its port 0, and on port 1 the message node 2 sent on its port 0.
         let centre_log = &out.outputs[1];

@@ -59,7 +59,10 @@ impl BitString {
 
     /// Render as a 0/1 string (for debugging and experiment output).
     pub fn to_binary_string(&self) -> String {
-        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+        self.bits
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
     }
 
     /// Parse from a 0/1 string.
@@ -168,10 +171,7 @@ mod tests {
         assert_eq!(b.to_binary_string(), "1011");
         assert_eq!(BitString::from_binary_string("1011"), Some(b));
         assert_eq!(BitString::from_binary_string("10x1"), None);
-        assert_eq!(
-            BitString::from_binary_string(""),
-            Some(BitString::new())
-        );
+        assert_eq!(BitString::from_binary_string(""), Some(BitString::new()));
     }
 
     #[test]

@@ -25,9 +25,7 @@
 //! their indices from the paper's own arguments (implemented in `anet-election` and the
 //! construction tests) rather than from this brute-force search.
 
-use crate::paths::{
-    cppe_sequence_is_valid, pe_port_is_valid, ppe_sequence_is_valid, simple_paths,
-};
+use crate::paths::{cppe_sequence_is_valid, pe_port_is_valid, ppe_sequence_is_valid, simple_paths};
 use crate::refinement::Refinement;
 use anet_graph::{NodeId, Port, PortGraph};
 
@@ -149,8 +147,8 @@ pub fn pe_assignment(
             continue;
         }
         let degree = g.degree(class[0]) as u32;
-        let valid_port = (0..degree)
-            .find(|&p| class.iter().all(|&v| pe_port_is_valid(g, v, p, leader)));
+        let valid_port =
+            (0..degree).find(|&p| class.iter().all(|&v| pe_port_is_valid(g, v, p, leader)));
         match valid_port {
             Some(p) => {
                 for &v in &class {
@@ -243,6 +241,10 @@ pub fn ppe_assignment(
     Ok(Some(out))
 }
 
+/// Per-node CPPE output assignment: `None` for the leader, the full (outgoing,
+/// incoming) port sequence of a simple path to the leader otherwise.
+pub type CppeAssignment = Vec<Option<Vec<(Port, Port)>>>;
+
 /// For a fixed depth and candidate leader, the Complete Port Path Election output
 /// assignment (pairs of ports per edge). `Ok(None)` if no assignment exists.
 pub fn cppe_assignment(
@@ -251,7 +253,7 @@ pub fn cppe_assignment(
     depth: usize,
     leader: NodeId,
     max_paths: usize,
-) -> Result<Option<Vec<Option<Vec<(Port, Port)>>>>, IndexError> {
+) -> Result<Option<CppeAssignment>, IndexError> {
     let classes = r.classes_at(depth);
     let mut out: Vec<Option<Vec<(Port, Port)>>> = vec![None; g.num_nodes()];
     for class in classes {

@@ -169,10 +169,8 @@ mod tests {
         let g = generators::star(3).unwrap();
         let view = ViewTree::build(&g, 0, 2);
         let bits = encode_view(&view, 2);
-        let short = BitString::from_binary_string(
-            &bits.to_binary_string()[..bits.len() - 5],
-        )
-        .unwrap();
+        let short =
+            BitString::from_binary_string(&bits.to_binary_string()[..bits.len() - 5]).unwrap();
         assert_eq!(decode_view(&short), Err(DecodeError::Truncated));
     }
 

@@ -46,9 +46,7 @@ pub fn ppe_sequence_is_valid(g: &PortGraph, v: NodeId, ports: &[Port], leader: N
     }
     match g.follow_outgoing_ports(v, ports) {
         None => false,
-        Some(nodes) => {
-            PortGraph::is_simple_node_sequence(&nodes) && nodes.last() == Some(&leader)
-        }
+        Some(nodes) => PortGraph::is_simple_node_sequence(&nodes) && nodes.last() == Some(&leader),
     }
 }
 
@@ -66,9 +64,7 @@ pub fn cppe_sequence_is_valid(
     }
     match g.follow_full_ports(v, ports) {
         None => false,
-        Some(nodes) => {
-            PortGraph::is_simple_node_sequence(&nodes) && nodes.last() == Some(&leader)
-        }
+        Some(nodes) => PortGraph::is_simple_node_sequence(&nodes) && nodes.last() == Some(&leader),
     }
 }
 

@@ -92,7 +92,7 @@ impl JointRefinement {
             for &c in row {
                 freq[c as usize] += 1;
             }
-            freq.iter().any(|&f| f == 1)
+            freq.contains(&1)
         };
 
         let mut stable_depth = 0usize;

@@ -5,10 +5,8 @@
 //! Run with `cargo run --release --example advice_separation`.
 
 use four_shades::constructions::UClass;
-use four_shades::election::port_election::solve_port_election_on_u;
-use four_shades::election::selection::solve_selection_min_time;
-use four_shades::election::tasks::{verify, Task};
 use four_shades::election::bounds;
+use four_shades::prelude::*;
 use four_shades::views::{JointRefinement, Refinement};
 
 fn main() {
@@ -16,7 +14,10 @@ fn main() {
     let class = UClass::new(delta, k).expect("parameters");
     println!(
         "class U_{{Δ={delta}, k={k}}}: {} members (log₂ = {:.1}), each of maximum degree {}",
-        class.size().map(|s| s.to_string()).unwrap_or_else(|_| "2^many".into()),
+        class
+            .size()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|_| "2^many".into()),
         class.log2_size(),
         2 * delta - 1
     );
@@ -33,17 +34,23 @@ fn main() {
     println!("ψ_S(G_σ) = ψ_PE(G_σ) = {k}");
 
     // Selection in minimum time: the Theorem 2.2 oracle needs only poly(Δ) bits.
-    let s_run = solve_selection_min_time(g);
-    verify(Task::Selection, g, &s_run.outputs).expect("selection solved");
+    let s_run = Election::task(Task::Selection)
+        .solver(AdviceSolver::theorem_2_2())
+        .run(g)
+        .expect("solver ran");
+    assert!(s_run.solved(), "selection solved");
+    let s_bits = s_run.advice_bits.expect("advice solver");
     println!(
-        "Selection in {k} round(s): {} advice bits suffice (Theorem 2.2 bound ≈ {:.0})",
-        s_run.advice_bits(),
+        "Selection in {k} round(s): {s_bits} advice bits suffice (Theorem 2.2 bound ≈ {:.0})",
         bounds::theorem_2_2_upper_form(delta, k),
     );
 
     // Port Election in minimum time: solvable with the map (Lemma 3.9)…
-    let pe_run = solve_port_election_on_u(g, k).expect("PE run");
-    verify(Task::PortElection, g, &pe_run.outputs).expect("PE solved");
+    let pe_run = Election::task(Task::PortElection)
+        .solver(PortElectionSolver::new(k))
+        .run(g)
+        .expect("PE run");
+    assert!(pe_run.solved(), "PE solved");
     println!("Port Election in {k} round(s) is solvable knowing the map (Lemma 3.9)…");
 
     // …but any *advice*-based algorithm needs exponentially many bits (Theorem 3.11):
@@ -51,7 +58,7 @@ fn main() {
     println!(
         "…while with advice it needs at least ¼·|T_{{Δ,k}}|·log₂Δ = {pe_lower:.1} bits on some member \
          — already {:.1}× the Selection advice at Δ = {delta}, and the ratio grows like (Δ−1)^{{(Δ−2)(Δ−1)^{{k−1}}−k}}.",
-        pe_lower / s_run.advice_bits() as f64
+        pe_lower / s_bits as f64
     );
 
     // The mechanism behind the lower bound: two members that differ only in one swap

@@ -15,7 +15,12 @@ fn main() {
     let member = g_class.member(3).expect("member");
     let g = &member.labeled.graph;
     println!("G_{{4,1}} member 3:");
-    println!("  {} nodes, cycle of {} nodes, {} attached trees", g.num_nodes(), member.cycle_len, member.roots().len());
+    println!(
+        "  {} nodes, cycle of {} nodes, {} attached trees",
+        g.num_nodes(),
+        member.cycle_len,
+        member.roots().len()
+    );
     let r = Refinement::compute(g, Some(2));
     println!(
         "  unique-view nodes at depth k−1 = 0: {:?}; at depth k = 1: {:?} (only r_{{i,2}})",
@@ -25,7 +30,7 @@ fn main() {
 
     // ---- U_{Δ,k} (Section 3): Port Election needs exponential advice. ---------------
     let u_class = UClass::new(4, 1).expect("parameters");
-    let u = u_class.member(&vec![2; 9]).expect("member");
+    let u = u_class.member(&[2; 9]).expect("member");
     let ug = &u.labeled.graph;
     println!("\nU_{{4,1}} member (σ = all 2):");
     println!(
@@ -42,7 +47,8 @@ fn main() {
 
     // ---- J_{μ,k} (Section 4): PPE/CPPE need doubly exponential advice. --------------
     let j_class = JClass::new(2, 4).expect("parameters");
-    println!("\nJ_{{2,4}}: z = {} (nodes of L_4), full template has {} gadgets",
+    println!(
+        "\nJ_{{2,4}}: z = {} (nodes of L_4), full template has {} gadgets",
         j_class.z(),
         j_class.num_gadgets().unwrap()
     );

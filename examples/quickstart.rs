@@ -1,11 +1,10 @@
-//! Quickstart: anonymous networks, views, election indices, and leader election with
-//! advice — the whole pipeline on a 10-line example.
+//! Quickstart: anonymous networks, views, election indices, and the `ElectionEngine`
+//! facade — the whole pipeline on a 10-line example.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use four_shades::election::selection::solve_selection_min_time;
-use four_shades::election::tasks::{verify, Task};
 use four_shades::graph::{GraphBuilder, PortGraph};
+use four_shades::prelude::*;
 use four_shades::views::election_index::{compute_all, feasibility};
 use four_shades::views::ViewTree;
 
@@ -49,16 +48,28 @@ fn main() {
         idx.s, idx.pe, idx.ppe, idx.cppe
     );
 
-    // 3. Selection in minimum time with advice (Theorem 2.2): an oracle that sees the
-    //    whole network broadcasts one binary string; every node then decides after
-    //    exactly ψ_S rounds.
-    let run = solve_selection_min_time(&g);
-    let outcome = verify(Task::Selection, &g, &run.outputs).expect("selection solved");
-    println!(
-        "selection with advice: {} bits of advice, {} rounds, leader = node {}",
-        run.advice_bits(),
-        run.rounds,
-        outcome.leader
-    );
-    println!("advice string: {}", run.advice.to_binary_string());
+    // 3. The ElectionEngine facade: pick a task shade × a solver × a backend, run,
+    //    and get a uniform report (rounds, messages, advice bits, verdict, wall time).
+    //    Selection with the Theorem 2.2 oracle/algorithm pair:
+    let report = Election::task(Task::Selection)
+        .solver(AdviceSolver::theorem_2_2())
+        .run(&g)
+        .expect("solver ran");
+    println!("{}", report.summary());
+
+    // 4. Any of the four shades via the map-based minimum-time solver, on the
+    //    parallel backend — same outputs, same accounting, different scheduling:
+    for task in Task::ALL {
+        let report = Election::task(task)
+            .solver(MapSolver::default())
+            .backend(Backend::Parallel { threads: 4 })
+            .run(&g)
+            .expect("feasible graph");
+        println!(
+            "{task}: leader {} after {} rounds ({} messages)",
+            report.leader().expect("solved"),
+            report.rounds,
+            report.messages_delivered,
+        );
+    }
 }

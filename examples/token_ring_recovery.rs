@@ -14,9 +14,9 @@
 //!
 //! Run with `cargo run --release --example token_ring_recovery`.
 
-use four_shades::election::map_algorithms::solve_with_map;
-use four_shades::election::tasks::{verify, weaken_outputs, NodeOutput, Task};
+use four_shades::election::tasks::{verify, weaken_outputs};
 use four_shades::graph::{generators, NodeId, PortGraph};
+use four_shades::prelude::*;
 
 /// Source-route one packet from `source` to the leader using the sender's own PPE
 /// output as the packet header: at every hop the next output port is read from the
@@ -44,17 +44,21 @@ fn main() {
 
     // The token is lost: elect a new owner and equip every station with a full path to
     // it (Port Path Election), in the minimum possible number of rounds for this ring.
-    let run = solve_with_map(&ring, Task::PortPathElection, 10_000).expect("PPE solvable");
-    let outcome = verify(Task::PortPathElection, &ring, &run.outputs).expect("PPE verified");
+    // One engine expression: task × solver × backend → verified report.
+    let run = Election::task(Task::PortPathElection)
+        .solver(MapSolver::new(10_000))
+        .run(&ring)
+        .expect("PPE solvable");
+    let leader = run.leader().expect("PPE verified");
     println!(
-        "new token owner elected in {} rounds (ψ_PPE of this ring): station {}",
-        run.rounds, outcome.leader
+        "new token owner elected in {} rounds (ψ_PPE of this ring): station {leader}",
+        run.rounds
     );
 
     // Every other station source-routes a "token request" to the owner using its own
     // output as the packet header.
     for source in ring.nodes() {
-        if source == outcome.leader {
+        if source == leader {
             continue;
         }
         let hops = source_route(&ring, &run.outputs, source);
@@ -77,10 +81,16 @@ fn main() {
             _ => unreachable!(),
         })
         .collect();
-    println!("per-station next-hop hints (PE outputs): {}", hints.join(", "));
+    println!(
+        "per-station next-hop hints (PE outputs): {}",
+        hints.join(", ")
+    );
 
     // Selection alone would have identified an owner but no routes at all.
-    let s_run = solve_with_map(&ring, Task::Selection, 10_000).expect("S solvable");
+    let s_run = Election::task(Task::Selection)
+        .solver(MapSolver::new(10_000))
+        .run(&ring)
+        .expect("S solvable");
     println!(
         "for comparison, Selection alone needs {} rounds on this ring and identifies no routes",
         s_run.rounds

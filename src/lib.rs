@@ -6,12 +6,25 @@
 //!
 //! * [`graph`] — anonymous port-numbered network graphs,
 //! * [`views`] — augmented truncated views, refinement, election indices,
-//! * [`sim`] — the synchronous LOCAL-model simulator,
-//! * [`election`] — the four election tasks, advice framework and algorithms,
+//! * [`sim`] — the synchronous LOCAL-model simulator and its execution backends,
+//! * [`election`] — the four election tasks, advice framework, algorithms, and the
+//!   **`ElectionEngine` facade** (`Election::task(…).solver(…).backend(…).run(&g)`),
 //! * [`constructions`] — the paper's lower-bound graph families and figures.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for the mapping
-//! between the paper's results and the code.
+//! The most common names are re-exported in the [`prelude`]:
+//!
+//! ```no_run
+//! use four_shades::prelude::*;
+//! # let graph = four_shades::graph::generators::paper_three_node_line();
+//! let report = Election::task(Task::Selection)
+//!     .solver(MapSolver::default())
+//!     .backend(Backend::Parallel { threads: 4 })
+//!     .run(&graph)
+//!     .expect("solvable graph");
+//! println!("{}", report.summary());
+//! ```
+//!
+//! See `README.md` for a quickstart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,3 +34,13 @@ pub use anet_election as election;
 pub use anet_graph as graph;
 pub use anet_sim as sim;
 pub use anet_views as views;
+
+/// The names needed for everyday use of the `ElectionEngine` facade.
+pub mod prelude {
+    pub use anet_constructions::{FamilyInstance, GraphFamily};
+    pub use anet_election::engine::{
+        AdviceSolver, Backend, BatchRow, BatchRunner, CppeSolver, Election, ElectionBuilder,
+        ElectionReport, EngineError, MapSolver, PortElectionSolver, Solver, SolverRun,
+    };
+    pub use anet_election::tasks::{ElectionOutcome, NodeOutput, Task, TaskError};
+}

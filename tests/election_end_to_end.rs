@@ -1,14 +1,13 @@
 //! Cross-crate integration tests: the four tasks solved end to end (oracle → advice →
 //! LOCAL simulation → outputs → verifier) on named graphs, members of the constructed
-//! families, and the map-based baselines.
+//! families, and the map-based baselines — all driven through the `ElectionEngine`
+//! facade.
 
 use four_shades::constructions::{GClass, JClass, UClass};
-use four_shades::election::cppe::solve_cppe_on_j;
-use four_shades::election::map_algorithms::{measured_indices, solve_with_map};
-use four_shades::election::port_election::solve_port_election_on_u;
-use four_shades::election::selection::solve_selection_min_time;
-use four_shades::election::tasks::{verify, weaken_outputs, Task};
+use four_shades::election::map_algorithms::measured_indices;
+use four_shades::election::tasks::{verify, weaken_outputs};
 use four_shades::graph::generators;
+use four_shades::prelude::*;
 use four_shades::views::election_index;
 
 #[test]
@@ -19,15 +18,23 @@ fn selection_with_advice_runs_in_minimum_time_on_the_suite() {
         generators::oriented_ring(&[true, true, false, true, false, false, true]).unwrap(),
         generators::random_connected(30, 5, 12, 4).unwrap(),
         GClass::new(4, 1).unwrap().member(4).unwrap().labeled.graph,
-        UClass::new(4, 1).unwrap().member(&vec![1; 9]).unwrap().labeled.graph,
+        UClass::new(4, 1)
+            .unwrap()
+            .member(&[1; 9])
+            .unwrap()
+            .labeled
+            .graph,
     ];
     for g in graphs {
         let Some(psi) = election_index::psi_s(&g) else {
             continue;
         };
-        let run = solve_selection_min_time(&g);
-        assert_eq!(run.rounds, psi);
-        verify(Task::Selection, &g, &run.outputs).expect("selection must be solved");
+        let report = Election::task(Task::Selection)
+            .solver(AdviceSolver::theorem_2_2())
+            .run(&g)
+            .unwrap();
+        assert_eq!(report.rounds, psi);
+        assert!(report.solved(), "selection must be solved");
     }
 }
 
@@ -54,14 +61,32 @@ fn map_baseline_agrees_with_combinatorial_indices_and_fact_1_1() {
             "{name}"
         );
         assert!(computed.satisfies_hierarchy(), "{name}");
+        // The engine's map solver measures the same indices.
+        for (task, expected) in [
+            (Task::Selection, computed.s),
+            (Task::PortElection, computed.pe),
+            (Task::PortPathElection, computed.ppe),
+            (Task::CompletePortPathElection, computed.cppe),
+        ] {
+            let via_engine = Election::task(task)
+                .solver(MapSolver::default())
+                .run(&g)
+                .ok()
+                .filter(|r| r.solved())
+                .map(|r| r.rounds);
+            assert_eq!(via_engine, expected, "{name} / {task}");
+        }
     }
 }
 
 #[test]
 fn every_task_weakens_downwards_on_a_solved_instance() {
     let g = generators::oriented_ring(&[true, true, false, true, false]).unwrap();
-    let run = solve_with_map(&g, Task::CompletePortPathElection, 50_000).expect("solvable");
-    verify(Task::CompletePortPathElection, &g, &run.outputs).expect("CPPE ok");
+    let run = Election::task(Task::CompletePortPathElection)
+        .solver(MapSolver::default())
+        .run(&g)
+        .expect("solvable");
+    assert!(run.solved(), "CPPE ok");
     for task in [Task::PortPathElection, Task::PortElection, Task::Selection] {
         let weak = weaken_outputs(&run.outputs, task).expect("weakening defined");
         verify(task, &g, &weak).expect("weakened outputs stay correct (Fact 1.1)");
@@ -72,16 +97,22 @@ fn every_task_weakens_downwards_on_a_solved_instance() {
 fn lemma_3_9_port_election_is_time_optimal_on_u_members() {
     let class = UClass::new(4, 1).unwrap();
     for fill in 1..=3u32 {
-        let member = class.member(&vec![fill; 9]).unwrap();
+        let member = class.member(&[fill; 9]).unwrap();
         let g = &member.labeled.graph;
         // Lower bound: ψ_PE ≥ ψ_S ≥ k because no view is unique below depth k.
         let r = four_shades::views::Refinement::compute(g, Some(class.k));
         assert!((0..class.k).all(|h| r.unique_nodes_at(h).is_empty()));
         // Upper bound: the Lemma 3.9 algorithm solves PE in exactly k rounds.
-        let run = solve_port_election_on_u(g, class.k).expect("run");
-        assert_eq!(run.rounds, class.k);
-        let outcome = verify(Task::PortElection, g, &run.outputs).expect("PE solved");
-        assert!(member.cycle_roots().contains(&outcome.leader), "Lemma 3.10");
+        let report = Election::task(Task::PortElection)
+            .solver(PortElectionSolver::new(class.k))
+            .run(g)
+            .expect("run");
+        assert_eq!(report.rounds, class.k);
+        assert!(report.solved(), "PE solved");
+        assert!(
+            member.cycle_roots().contains(&report.leader().unwrap()),
+            "Lemma 3.10"
+        );
     }
 }
 
@@ -90,16 +121,19 @@ fn lemma_4_8_cppe_solves_chains_of_every_tested_length() {
     let class = JClass::new(2, 4).unwrap();
     for gadgets in [2usize, 3, 8, 16] {
         let member = class.template(Some(gadgets)).unwrap();
-        let g = &member.labeled.graph;
-        let run = solve_cppe_on_j(&member, class.k).expect("run");
+        let g = member.labeled.graph.clone();
+        let rho0 = member.rho(0);
+        let run = Election::task(Task::CompletePortPathElection)
+            .solver(CppeSolver::new(member, class.k))
+            .run(&g)
+            .expect("run");
         assert_eq!(run.rounds, class.k);
-        let outcome =
-            verify(Task::CompletePortPathElection, g, &run.outputs).expect("CPPE solved");
-        assert_eq!(outcome.leader, member.rho(0), "the leader is ρ_0");
+        assert!(run.solved(), "CPPE solved");
+        assert_eq!(run.leader(), Some(rho0), "the leader is ρ_0");
         // Fact 1.1 in action: the same outputs, weakened, solve PPE, PE and S.
         for task in [Task::PortPathElection, Task::PortElection, Task::Selection] {
             let weak = weaken_outputs(&run.outputs, task).unwrap();
-            verify(task, g, &weak).unwrap_or_else(|e| panic!("{task} on {gadgets} gadgets: {e}"));
+            verify(task, &g, &weak).unwrap_or_else(|e| panic!("{task} on {gadgets} gadgets: {e}"));
         }
     }
 }
@@ -115,12 +149,15 @@ fn selection_advice_size_tracks_the_theorem_2_2_form() {
         let Some(psi) = election_index::psi_s(&g) else {
             continue;
         };
-        let run = solve_selection_min_time(&g);
+        let report = Election::task(Task::Selection)
+            .solver(AdviceSolver::theorem_2_2())
+            .run(&g)
+            .unwrap();
+        let bits = report.advice_bits.expect("advice solver");
         let form = theorem_2_2_upper_form(g.max_degree(), psi);
         assert!(
-            (run.advice_bits() as f64) <= 16.0 * form.max(8.0),
-            "seed {seed}: {} bits vs form {form}",
-            run.advice_bits()
+            (bits as f64) <= 16.0 * form.max(8.0),
+            "seed {seed}: {bits} bits vs form {form}"
         );
     }
 }

@@ -1,0 +1,184 @@
+//! End-to-end tests of the `ElectionEngine` facade: all four shades, every solver
+//! kind, and every execution backend, on one graph from each of the paper's
+//! construction families (`G_{Δ,k}`, `U_{Δ,k}`, `J_{μ,k}`).
+
+use four_shades::constructions::{GClass, JClass, UClass};
+use four_shades::prelude::*;
+
+/// All four shades solved through the engine on a `G_{4,1}` member, with the
+/// map-based minimum-time solver, on every backend.
+#[test]
+fn all_four_shades_on_a_g_member_via_the_engine() {
+    let member = GClass::new(4, 1).unwrap().member(4).unwrap();
+    let g = &member.labeled.graph;
+    for task in Task::ALL {
+        let seq = Election::task(task)
+            .solver(MapSolver::default())
+            .run(g)
+            .expect("G members are feasible");
+        assert!(seq.solved(), "{task}: {}", seq.summary());
+        for backend in Backend::smoke_set() {
+            let report = Election::task(task)
+                .solver(MapSolver::default())
+                .backend(backend)
+                .run(g)
+                .unwrap();
+            assert_eq!(report.outputs, seq.outputs, "{task} on {backend}");
+            assert_eq!(report.rounds, seq.rounds, "{task} on {backend}");
+            assert_eq!(
+                report.messages_delivered, seq.messages_delivered,
+                "{task} on {backend}"
+            );
+        }
+    }
+}
+
+/// Selection and Port Election through the engine on a `U_{4,1}` member: the Lemma
+/// 3.9 solver serves PE natively and S via the engine's Fact 1.1 weakening, in
+/// exactly `k` rounds either way.
+#[test]
+fn pe_and_s_on_a_u_member_via_the_engine() {
+    let class = UClass::new(4, 1).unwrap();
+    let member = class.member(&[2u32; 9]).unwrap();
+    let g = &member.labeled.graph;
+    for task in [Task::PortElection, Task::Selection] {
+        let report = Election::task(task)
+            .solver(PortElectionSolver::new(class.k))
+            .run(g)
+            .expect("U members are valid maps for Lemma 3.9");
+        assert!(report.solved(), "{task}: {}", report.summary());
+        assert_eq!(report.rounds, class.k, "{task}: time-optimal (Lemma 3.9)");
+        assert!(
+            member.cycle_roots().contains(&report.leader().unwrap()),
+            "{task}: the leader is a cycle root (Lemma 3.10)"
+        );
+    }
+    // The Theorem 2.2 advice pair solves Selection on the same member, with advice.
+    let advice = Election::task(Task::Selection)
+        .solver(AdviceSolver::theorem_2_2())
+        .run(g)
+        .unwrap();
+    assert!(advice.solved());
+    assert!(advice.advice_bits.unwrap() > 0);
+    assert_eq!(advice.rounds, class.k, "ψ_S = k on U members");
+}
+
+/// All four shades through the engine on a `J_{2,4}` chain: the Lemma 4.8 CPPE
+/// solver's outputs serve every weaker shade via the engine's automatic weakening —
+/// Fact 1.1 end to end.
+#[test]
+fn all_four_shades_on_a_j_chain_via_the_engine() {
+    let class = JClass::new(2, 4).unwrap();
+    let member = class.template(Some(4)).unwrap();
+    let g = member.labeled.graph.clone();
+    let rho0 = member.rho(0);
+    for task in Task::ALL {
+        let report = Election::task(task)
+            .solver(CppeSolver::new(class.template(Some(4)).unwrap(), class.k))
+            .run(&g)
+            .expect("the solver's member matches the graph");
+        assert!(report.solved(), "{task}: {}", report.summary());
+        assert_eq!(report.leader(), Some(rho0), "{task}: the leader is ρ_0");
+        assert_eq!(report.rounds, class.k, "{task}: k rounds (Lemma 4.8)");
+        // Outputs are stored in the requested shade.
+        for out in &report.outputs {
+            assert!(out.task().is_none_or(|t| t == task), "{task}");
+        }
+    }
+}
+
+/// Engine-equivalence property across backends: identical reports for identical
+/// configurations on every family and on random graphs, for both solver kinds.
+#[test]
+fn every_backend_produces_identical_election_reports() {
+    let graphs = vec![
+        GClass::new(4, 1).unwrap().member(3).unwrap().labeled.graph,
+        UClass::new(4, 1)
+            .unwrap()
+            .member(&[1u32; 9])
+            .unwrap()
+            .labeled
+            .graph,
+        JClass::new(2, 4)
+            .unwrap()
+            .template(Some(2))
+            .unwrap()
+            .labeled
+            .graph,
+        four_shades::graph::generators::random_connected(40, 5, 15, 9).unwrap(),
+    ];
+    for g in &graphs {
+        if four_shades::views::election_index::psi_s(g).is_none() {
+            continue; // infeasible graph: neither solver applies
+        }
+        for solver_kind in ["map", "advice"] {
+            let make = |kind: &str| -> Box<dyn Solver> {
+                match kind {
+                    "map" => Box::new(MapSolver::default()),
+                    _ => Box::new(AdviceSolver::theorem_2_2()),
+                }
+            };
+            let task = Task::Selection;
+            let seq = Election::task(task)
+                .solver_boxed(make(solver_kind))
+                .run(g)
+                .expect("feasible graph");
+            for backend in Backend::smoke_set() {
+                let report = Election::task(task)
+                    .solver_boxed(make(solver_kind))
+                    .backend(backend)
+                    .run(g)
+                    .unwrap();
+                assert_eq!(report.outputs, seq.outputs, "{solver_kind} on {backend}");
+                assert_eq!(report.rounds, seq.rounds, "{solver_kind} on {backend}");
+                assert_eq!(
+                    report.messages_delivered, seq.messages_delivered,
+                    "{solver_kind} on {backend}"
+                );
+                assert_eq!(report.leader(), seq.leader(), "{solver_kind} on {backend}");
+            }
+        }
+    }
+}
+
+/// The batch runner sweeps a family × task matrix and the measured rounds respect
+/// the paper's hierarchy (Fact 1.1) on every instance.
+#[test]
+fn batch_sweep_respects_the_hierarchy_on_g_members() {
+    let class = GClass::new(4, 1).unwrap();
+    let rows = BatchRunner::new(Backend::Parallel { threads: 2 })
+        .max_instances(3)
+        .sweep_tasks(&class, &Task::ALL, |_| Box::new(MapSolver::default()));
+    assert_eq!(rows.len(), 4 * 3);
+    for instance in 0..3 {
+        let rounds: Vec<usize> = (0..4)
+            .map(|t| rows[t * 3 + instance].rounds().expect("solved"))
+            .collect();
+        assert!(
+            rounds.windows(2).all(|w| w[0] <= w[1]),
+            "ψ_S ≤ ψ_PE ≤ ψ_PPE ≤ ψ_CPPE must hold, got {rounds:?}"
+        );
+    }
+    for row in &rows {
+        assert!(row.solved(), "{} {}", row.instance, row.task);
+    }
+}
+
+/// Deprecated entry points still work and agree with the engine.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_agree_with_the_engine() {
+    let g = four_shades::graph::generators::star(5).unwrap();
+    let old = four_shades::election::advice::run_with_advice(
+        &g,
+        &four_shades::election::selection::SelectionOracle,
+        &four_shades::election::selection::SelectionAlgorithm,
+    );
+    let new = Election::task(Task::Selection)
+        .solver(AdviceSolver::theorem_2_2())
+        .run(&g)
+        .unwrap();
+    assert_eq!(old.outputs, new.outputs);
+    assert_eq!(old.rounds, new.rounds);
+    assert_eq!(old.advice.len(), new.advice_bits.unwrap());
+}

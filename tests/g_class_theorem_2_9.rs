@@ -4,9 +4,10 @@
 //! advice on another member elects two leaders.
 
 use four_shades::constructions::GClass;
-use four_shades::election::advice::{run_with_advice, FnOracle, Oracle};
+use four_shades::election::advice::{FnOracle, Oracle};
 use four_shades::election::selection::{SelectionAlgorithm, SelectionOracle};
-use four_shades::election::tasks::{verify, Task, TaskError};
+use four_shades::election::tasks::TaskError;
+use four_shades::prelude::*;
 use four_shades::views::{JointRefinement, Refinement};
 
 #[test]
@@ -75,20 +76,28 @@ fn reusing_advice_across_members_elects_two_leaders_theorem_2_9_mechanism() {
     let gb = class.member(beta).unwrap();
 
     let advice_for_alpha = SelectionOracle.advise(&ga.labeled.graph);
-    let borrowed_oracle = FnOracle(move |_: &four_shades::graph::PortGraph| advice_for_alpha.clone());
+    let borrowed_oracle =
+        FnOracle(move |_: &four_shades::graph::PortGraph| advice_for_alpha.clone());
 
     // On G_α the advice works.
-    let on_alpha = run_with_advice(&ga.labeled.graph, &SelectionOracle, &SelectionAlgorithm);
-    verify(Task::Selection, &ga.labeled.graph, &on_alpha.outputs).expect("solves G_α");
+    let on_alpha = Election::task(Task::Selection)
+        .solver(AdviceSolver::theorem_2_2())
+        .run(&ga.labeled.graph)
+        .unwrap();
+    assert!(on_alpha.solved(), "solves G_α");
 
     // On G_β the borrowed advice elects both copies of r_{α,2}.
-    let on_beta = run_with_advice(&gb.labeled.graph, &borrowed_oracle, &SelectionAlgorithm);
-    match verify(Task::Selection, &gb.labeled.graph, &on_beta.outputs) {
+    let on_beta = Election::task(Task::Selection)
+        .solver(AdviceSolver::new(
+            "borrowed-advice",
+            borrowed_oracle,
+            SelectionAlgorithm,
+        ))
+        .run(&gb.labeled.graph)
+        .unwrap();
+    match on_beta.verdict {
         Err(TaskError::MultipleLeaders { leaders }) => {
-            let expected = [
-                gb.root(alpha, 2, 1).unwrap(),
-                gb.root(alpha, 2, 2).unwrap(),
-            ];
+            let expected = [gb.root(alpha, 2, 1).unwrap(), gb.root(alpha, 2, 2).unwrap()];
             for l in &leaders {
                 assert!(expected.contains(l), "unexpected leader {l}");
             }
@@ -105,7 +114,10 @@ fn larger_parameters_single_members_have_index_k() {
         let m = class.member(i).unwrap();
         let r = Refinement::compute(&m.labeled.graph, Some(k));
         for h in 0..k {
-            assert!(r.unique_nodes_at(h).is_empty(), "Δ={delta}, k={k}, depth {h}");
+            assert!(
+                r.unique_nodes_at(h).is_empty(),
+                "Δ={delta}, k={k}, depth {h}"
+            );
         }
         assert!(r.unique_nodes_at(k).contains(&m.special_root()));
     }

@@ -46,7 +46,10 @@ fn members_differ_as_graphs_but_corner_views_agree_lemma_4_10_part_1() {
     yb[5] = true;
     let ja = class.member(&ya, None).unwrap();
     let jb = class.member(&yb, None).unwrap();
-    assert_ne!(ja.labeled.graph, jb.labeled.graph, "different Y ⇒ different graphs");
+    assert_ne!(
+        ja.labeled.graph, jb.labeled.graph,
+        "different Y ⇒ different graphs"
+    );
 
     // Part 5 swaps really were applied where they should be.
     let ga = &ja.labeled.graph;

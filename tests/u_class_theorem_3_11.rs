@@ -47,7 +47,10 @@ fn heavy_twins_swap_consistently_and_need_member_specific_answers() {
     let joint = JointRefinement::compute(&[&ga.labeled.graph, &gb.labeled.graph], Some(class.k));
     let ha = ga.heavy_root(5, 1);
     let hb = gb.heavy_root(5, 1);
-    assert!(joint.same_view((0, ha), (1, hb), class.k), "identical views at depth k");
+    assert!(
+        joint.same_view((0, ha), (1, hb), class.k),
+        "identical views at depth k"
+    );
 
     // Run the map-based algorithm on both members and look at the outputs at that node.
     let run_a = solve_port_election_on_u(&ga.labeled.graph, class.k).unwrap();
@@ -79,7 +82,7 @@ fn heavy_twins_swap_consistently_and_need_member_specific_answers() {
 #[test]
 fn selection_advice_on_u_members_is_small_while_pe_lower_bound_is_large() {
     let class = class();
-    let member = class.member(&vec![2u32; 9]).unwrap();
+    let member = class.member(&[2u32; 9]).unwrap();
     let g = &member.labeled.graph;
     let s_run = solve_selection_min_time(g);
     verify(Task::Selection, g, &s_run.outputs).expect("S solved");
