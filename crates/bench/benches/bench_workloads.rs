@@ -1,0 +1,67 @@
+//! P3 — the workload subsystem: generation cost of the new graph families and the
+//! engine's end-to-end cost on them (the cells of the `sweep` driver's grid).
+//!
+//! Run with `cargo bench -p anet-bench --bench bench_workloads`.
+
+use anet_bench::Harness;
+use anet_constructions::GraphFamily;
+use anet_election::engine::{Backend, Election, MapSolver};
+use anet_election::tasks::Task;
+use anet_workloads::{CirculantFamily, HypercubeFamily, RandomRegularFamily, TorusFamily};
+
+fn main() {
+    let mut h = Harness::new("workloads");
+
+    // Generation: the retry-until-simple pairing model dominates family setup cost.
+    for n in [64usize, 256, 1024] {
+        let fam = RandomRegularFamily::new(3, vec![n], 0xA5EED);
+        h.bench(&format!("generate_random_regular_d3_n{n}"), 10, || {
+            fam.generate(n).num_edges()
+        });
+    }
+    h.bench("generate_torus_32x32", 10, || {
+        TorusFamily::generate(32, 32).num_edges()
+    });
+    h.bench("generate_circulant_n1024_t3", 10, || {
+        CirculantFamily::generate(1024, 3).num_edges()
+    });
+    h.bench("shuffled_hypercube_d10", 10, || {
+        HypercubeFamily::new(vec![10])
+            .shuffled(41)
+            .instances(1)
+            .remove(0)
+            .graph
+            .num_edges()
+    });
+
+    // Engine on workload instances: one Selection solve per family, seq vs parallel
+    // (the sweep grid's hot cell shape).
+    let instances: Vec<_> = [
+        Box::new(RandomRegularFamily::new(3, vec![64], 0xA5EED)) as Box<dyn GraphFamily>,
+        Box::new(TorusFamily::new(vec![(8, 8)]).shuffled(41)),
+        Box::new(CirculantFamily::powers_of_two(vec![64], 3).shuffled(41)),
+    ]
+    .iter()
+    .map(|f| f.instances(1).remove(0))
+    .collect();
+    for instance in &instances {
+        let short = instance
+            .name
+            .split([',', '('])
+            .next()
+            .unwrap()
+            .trim()
+            .to_string();
+        for backend in [Backend::Sequential, Backend::Parallel { threads: 4 }] {
+            h.bench(&format!("selection_{short}_n64_{backend}"), 10, || {
+                Election::task(Task::Selection)
+                    .solver(MapSolver::default())
+                    .backend(backend)
+                    .run(&instance.graph)
+                    .unwrap()
+                    .rounds
+            });
+        }
+    }
+    h.report();
+}

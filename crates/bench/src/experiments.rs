@@ -197,10 +197,12 @@ pub fn e3_g_class(params: &[(usize, usize)]) -> Table {
 }
 
 /// E3b — the measured form of the Theorem 2.9 pigeonhole on a fully instantiated
-/// class: pairwise advice-sharing conflicts between all members of `G_{Δ,k}`.
-/// Only classes small enough to instantiate completely are examined.
+/// class: pairwise advice-sharing conflicts between all members of `G_{Δ,k}`, placed
+/// next to an actual run of the Theorem 2.2 solver on every member (routed through the
+/// `Solver` trait, so any other solver can be substituted). Only classes small enough
+/// to instantiate completely are examined.
 pub fn e3b_conflict_census(params: &[(usize, usize)]) -> Table {
-    use anet_election::lower_bound_witness::selection_conflict_census;
+    use anet_election::lower_bound_witness::selection_census_with_solver;
     let mut table = Table::new(
         "E3b — measured advice lower bound: pairwise conflicts in G_{Δ,k}",
         &[
@@ -212,6 +214,9 @@ pub fn e3b_conflict_census(params: &[(usize, usize)]) -> Table {
             "min advice strings",
             "min advice bits (measured)",
             "Thm 2.9 lower bits (closed form)",
+            "solver",
+            "solved (min-time)",
+            "achieved bits (max)",
         ],
     );
     for &(delta, k) in params {
@@ -224,16 +229,21 @@ pub fn e3b_conflict_census(params: &[(usize, usize)]) -> Table {
             .map(|i| class.member(i).expect("member").labeled.graph)
             .collect();
         let refs: Vec<&PortGraph> = members.iter().collect();
-        let census = selection_conflict_census(&refs, k);
+        let sc = selection_census_with_solver(&refs, k, |_| Box::new(AdviceSolver::theorem_2_2()));
         table.push_row(vec![
             delta.to_string(),
             k.to_string(),
-            census.members.to_string(),
-            census.conflicting_pairs.to_string(),
-            census.all_conflict().to_string(),
-            census.min_advice_strings().to_string(),
-            census.min_advice_bits().to_string(),
+            sc.census.members.to_string(),
+            sc.census.conflicting_pairs.to_string(),
+            sc.census.all_conflict().to_string(),
+            sc.census.min_advice_strings().to_string(),
+            sc.census.min_advice_bits().to_string(),
             fmt_f64(bounds::theorem_2_9_lower_bits(delta, k)),
+            sc.solver.clone(),
+            format!("{} ({})", sc.solved, sc.min_time),
+            sc.max_advice_bits
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     table
@@ -632,6 +642,12 @@ mod tests {
         assert_eq!(t.cell(0, "all pairs conflict"), Some("true"));
         assert_eq!(t.cell(0, "min advice strings"), Some("9"));
         assert_eq!(t.cell(0, "min advice bits (measured)"), Some("4"));
+        // The census now also runs every member through the Solver trait: the
+        // Theorem 2.2 pair solves all 9 members, each in minimum time.
+        assert_eq!(t.cell(0, "solved (min-time)"), Some("9 (9)"));
+        assert!(t.cell(0, "solver").unwrap().contains("thm-2.2"));
+        let achieved: usize = t.cell(0, "achieved bits (max)").unwrap().parse().unwrap();
+        assert!(achieved >= 4, "upper bound must respect the lower bound");
     }
 
     #[test]

@@ -28,6 +28,17 @@ pub struct FamilyInstance {
     pub graph: PortGraph,
 }
 
+impl FamilyInstance {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, param: u64, graph: PortGraph) -> Self {
+        FamilyInstance {
+            name: name.into(),
+            param,
+            graph,
+        }
+    }
+}
+
 /// A family of anonymous networks that can enumerate (a bounded number of) members.
 pub trait GraphFamily {
     /// The family's display name (e.g. `G_{4,1}`).
@@ -35,6 +46,30 @@ pub trait GraphFamily {
 
     /// Up to `max_instances` members of the family, smallest parameters first.
     fn instances(&self, max_instances: usize) -> Vec<FamilyInstance>;
+}
+
+// Blanket impls so registries can hold `Box<dyn GraphFamily>` (or hand out `&dyn`
+// references) and still pass them wherever an `impl GraphFamily` is expected — e.g.
+// the scenario registry of `anet-workloads` stores families boxed and sweeps them
+// through `BatchRunner`.
+impl<T: GraphFamily + ?Sized> GraphFamily for &T {
+    fn family_name(&self) -> String {
+        (**self).family_name()
+    }
+
+    fn instances(&self, max_instances: usize) -> Vec<FamilyInstance> {
+        (**self).instances(max_instances)
+    }
+}
+
+impl<T: GraphFamily + ?Sized> GraphFamily for Box<T> {
+    fn family_name(&self) -> String {
+        (**self).family_name()
+    }
+
+    fn instances(&self, max_instances: usize) -> Vec<FamilyInstance> {
+        (**self).instances(max_instances)
+    }
 }
 
 impl GraphFamily for GClass {
@@ -147,6 +182,19 @@ mod tests {
             assert!(inst.graph.num_nodes() > 0);
             assert_eq!(inst.graph.max_degree(), 2 * class.delta - 1);
         }
+    }
+
+    #[test]
+    fn boxed_and_borrowed_families_delegate() {
+        let class = GClass::new(4, 1).unwrap();
+        let boxed: Box<dyn GraphFamily> = Box::new(GClass::new(4, 1).unwrap());
+        assert_eq!(boxed.family_name(), class.family_name());
+        assert_eq!(boxed.instances(2).len(), 2);
+        let borrowed: &dyn GraphFamily = &class;
+        assert_eq!(borrowed.family_name(), class.family_name());
+        let inst = FamilyInstance::new("x", 3, class.member(1).unwrap().labeled.graph);
+        assert_eq!(inst.name, "x");
+        assert_eq!(inst.param, 3);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! exactly as the theorems predict: `log₂ N = z·log₂(Δ−1)` for `G_{Δ,k}`, and
 //! `|T_{Δ,k}|·log₂(Δ−1)` for `U_{Δ,k}`.)
 
+use crate::engine::{Election, Solver};
 use crate::port_election::first_port_towards_degree;
+use crate::tasks::Task;
 use anet_graph::PortGraph;
 use anet_views::JointRefinement;
 
@@ -106,14 +108,17 @@ impl ConflictCensus {
     }
 }
 
-/// Pairwise Selection-conflict census over a collection of graphs that all have
-/// Selection index `k`.
-pub fn selection_conflict_census(members: &[&PortGraph], k: usize) -> ConflictCensus {
+/// The shared pairwise loop behind every census: count unordered pairs on which the
+/// given conflict predicate holds.
+fn pairwise_census(
+    members: &[&PortGraph],
+    mut conflict: impl FnMut(&PortGraph, &PortGraph) -> bool,
+) -> ConflictCensus {
     let n = members.len();
     let mut conflicting = 0usize;
     for a in 0..n {
         for b in (a + 1)..n {
-            if selection_conflict(members[a], members[b], k) {
+            if conflict(members[a], members[b]) {
                 conflicting += 1;
             }
         }
@@ -123,6 +128,122 @@ pub fn selection_conflict_census(members: &[&PortGraph], k: usize) -> ConflictCe
         conflicting_pairs: conflicting,
         total_pairs: n * (n - 1) / 2,
     }
+}
+
+/// Pairwise Selection-conflict census over a collection of graphs that all have
+/// Selection index `k`.
+pub fn selection_conflict_census(members: &[&PortGraph], k: usize) -> ConflictCensus {
+    pairwise_census(members, |a, b| selection_conflict(a, b, k))
+}
+
+/// A conflict census *paired with an actual solver run on every member*: the
+/// combinatorial pigeonhole bound (how many advice strings are needed) next to what a
+/// concrete [`Solver`] achieves on the same collection, both sides measured on the same
+/// graphs.
+///
+/// This is the engine-facing form of the census: instead of reaching into a solver's
+/// internals, the members are run through the [`Election`] facade, so *any* solver —
+/// the Theorem 2.2 advice pair, the map baseline, or a custom oracle/algorithm pair —
+/// can be placed next to the lower bound.
+#[derive(Debug, Clone)]
+pub struct SolverCensus {
+    /// The pairwise combinatorial census (the measured lower bound).
+    pub census: ConflictCensus,
+    /// The task the members were run on.
+    pub task: Task,
+    /// Display name of the solver (taken from the first member's run).
+    pub solver: String,
+    /// Members the solver solved (verifier accepted the outputs).
+    pub solved: usize,
+    /// Members solved in exactly `k` rounds (i.e. in minimum time, for members with
+    /// election index `k`).
+    pub min_time: usize,
+    /// Maximum advice bits the solver used over all members, if it is advice-based
+    /// (`None` for map-based solvers, or if no member produced a report).
+    pub max_advice_bits: Option<usize>,
+}
+
+impl SolverCensus {
+    /// Does the solver's measured advice usage respect the census lower bound?
+    /// (Only meaningful for advice-based solvers that solved every member.)
+    pub fn achieves_lower_bound(&self) -> bool {
+        match self.max_advice_bits {
+            Some(bits) => bits >= self.census.min_advice_bits(),
+            None => false,
+        }
+    }
+}
+
+fn run_members_through_solver<F>(
+    census: ConflictCensus,
+    members: &[&PortGraph],
+    k: usize,
+    task: Task,
+    mut make_solver: F,
+) -> SolverCensus
+where
+    F: FnMut(usize) -> Box<dyn Solver>,
+{
+    let mut solver_name = String::new();
+    let mut solved = 0usize;
+    let mut min_time = 0usize;
+    let mut max_advice_bits: Option<usize> = None;
+    for (i, g) in members.iter().enumerate() {
+        let report = Election::task(task).solver_boxed(make_solver(i)).run(g);
+        if let Ok(report) = report {
+            if solver_name.is_empty() {
+                solver_name = report.solver.clone();
+            }
+            if report.solved() {
+                solved += 1;
+                if report.rounds == k {
+                    min_time += 1;
+                }
+            }
+            if let Some(bits) = report.advice_bits {
+                max_advice_bits = Some(max_advice_bits.unwrap_or(0).max(bits));
+            }
+        }
+    }
+    SolverCensus {
+        census,
+        task,
+        solver: solver_name,
+        solved,
+        min_time,
+        max_advice_bits,
+    }
+}
+
+/// The Selection conflict census over `members` (all of Selection index `k`), with
+/// every member additionally run through `make_solver(member_index)` on the
+/// [`Election`] facade. See [`SolverCensus`].
+pub fn selection_census_with_solver<F>(
+    members: &[&PortGraph],
+    k: usize,
+    make_solver: F,
+) -> SolverCensus
+where
+    F: FnMut(usize) -> Box<dyn Solver>,
+{
+    let census = selection_conflict_census(members, k);
+    run_members_through_solver(census, members, k, Task::Selection, make_solver)
+}
+
+/// Pairwise Port-Election conflict census over members of `U_{Δ,k}`, with every member
+/// run through `make_solver(member_index)` on the [`Election`] facade (typically the
+/// Lemma 3.9 [`PortElectionSolver`](crate::engine::PortElectionSolver), but any
+/// [`Solver`] fits). See [`SolverCensus`].
+pub fn pe_census_on_u_with_solver<F>(
+    members: &[&PortGraph],
+    k: usize,
+    make_solver: F,
+) -> SolverCensus
+where
+    F: FnMut(usize) -> Box<dyn Solver>,
+{
+    let census = pairwise_census(members, |a, b| pe_conflict_on_u(a, b, k));
+    run_members_through_solver(census, members, k, Task::PortElection, make_solver)
 }
 
 /// Do two members of `U_{Δ,k}` conflict for minimum-time Port Election?
@@ -253,5 +374,65 @@ mod tests {
         let a = generators::star(4).unwrap();
         let b = generators::star(4).unwrap();
         assert!(!pe_conflict_on_u(&a, &b, 1));
+    }
+
+    #[test]
+    fn selection_census_runs_on_the_advice_solver() {
+        use crate::engine::AdviceSolver;
+        let class = GClass::new(4, 1).unwrap();
+        let members: Vec<_> = (1..=class.size().unwrap())
+            .map(|i| class.member(i).unwrap().labeled.graph)
+            .collect();
+        let refs: Vec<&PortGraph> = members.iter().collect();
+        let sc =
+            selection_census_with_solver(&refs, class.k, |_| Box::new(AdviceSolver::theorem_2_2()));
+        assert!(sc.census.all_conflict());
+        assert_eq!(sc.census.min_advice_bits(), 4);
+        assert_eq!(sc.solved, 9, "Theorem 2.2 solves every member");
+        assert_eq!(sc.min_time, 9, "…in exactly ψ_S = k rounds");
+        assert_eq!(sc.task, Task::Selection);
+        assert!(sc.solver.contains("thm-2.2"));
+        // The Theorem 2.2 pair must spend at least the pigeonhole number of bits on
+        // some member of this collection.
+        assert!(sc.achieves_lower_bound(), "{sc:?}");
+    }
+
+    #[test]
+    fn selection_census_runs_on_the_map_solver_too() {
+        use crate::engine::MapSolver;
+        let class = GClass::new(4, 1).unwrap();
+        let members: Vec<_> = (1..=3)
+            .map(|i| class.member(i).unwrap().labeled.graph)
+            .collect();
+        let refs: Vec<&PortGraph> = members.iter().collect();
+        let sc = selection_census_with_solver(&refs, class.k, |_| Box::new(MapSolver::default()));
+        assert_eq!(sc.solved, 3);
+        assert_eq!(sc.min_time, 3);
+        // Map-based solvers report no advice bits; the census still runs.
+        assert_eq!(sc.max_advice_bits, None);
+        assert!(!sc.achieves_lower_bound());
+    }
+
+    #[test]
+    fn pe_census_runs_on_the_port_election_solver() {
+        use crate::engine::PortElectionSolver;
+        let class = UClass::new(4, 1).unwrap();
+        let base = vec![1u32; 9];
+        let members: Vec<_> = [0usize, 4, 8]
+            .iter()
+            .map(|&j| {
+                let mut sigma = base.clone();
+                sigma[j] = 2;
+                class.member(&sigma).unwrap().labeled.graph
+            })
+            .collect();
+        let refs: Vec<&PortGraph> = members.iter().collect();
+        let sc = pe_census_on_u_with_solver(&refs, class.k, |_| {
+            Box::new(PortElectionSolver::new(class.k))
+        });
+        assert!(sc.census.all_conflict(), "{sc:?}");
+        assert_eq!(sc.solved, 3, "Lemma 3.9 solves every member");
+        assert_eq!(sc.min_time, 3);
+        assert_eq!(sc.task, Task::PortElection);
     }
 }

@@ -77,6 +77,12 @@ impl Backend {
             .map(|v| factory.create(graph.degree(v)))
             .collect();
         let mut messages_delivered = 0usize;
+        // Inbox buffers are allocated once, up front, and reused every round: the
+        // routing phase clears and refills the slots in place, so the routing hot path
+        // performs no per-round allocation (this matters at n ≳ 10⁵, where one
+        // `Vec` per node per round used to dominate).
+        let mut inboxes: Vec<Vec<Option<<F::Algo as NodeAlgorithm>::Message>>> =
+            graph.nodes().map(|v| vec![None; graph.degree(v)]).collect();
 
         for round in 1..=rounds {
             // Send phase.
@@ -86,14 +92,14 @@ impl Backend {
                 parallel_send(&mut nodes, round, chunk_size)
             };
             // Routing phase (shared by every backend; see the module docs).
-            let inboxes = route_messages(graph, &outboxes, &mut messages_delivered);
+            route_messages(graph, &outboxes, &mut inboxes, &mut messages_delivered);
             // Receive phase.
             if threads == 1 {
-                for (v, inbox) in inboxes.into_iter().enumerate().take(n) {
-                    nodes[v].receive(round, inbox);
+                for (node, inbox) in nodes.iter_mut().zip(inboxes.iter_mut()) {
+                    node.receive(round, inbox);
                 }
             } else {
-                parallel_receive(&mut nodes, inboxes, round, chunk_size);
+                parallel_receive(&mut nodes, &mut inboxes, round, chunk_size);
             }
         }
 
@@ -145,14 +151,23 @@ impl Simulator for Backend {
 /// The routing phase, shared by every backend: `inbox[u][q] = outbox[v][p]` whenever
 /// `(u, q)` is across port `p` of `v`. Increments `messages_delivered` once per
 /// delivered message. Exactly the loop that used to be copy-pasted between `run` and
-/// `run_parallel`.
+/// `run_parallel` — except that it now fills caller-owned inbox buffers in place
+/// instead of allocating fresh ones, so the round loop reuses one set of buffers for
+/// the whole run.
 pub(crate) fn route_messages<M: Clone>(
     graph: &PortGraph,
     outboxes: &[Vec<Option<M>>],
+    inboxes: &mut [Vec<Option<M>>],
     messages_delivered: &mut usize,
-) -> Vec<Vec<Option<M>>> {
-    let mut inboxes: Vec<Vec<Option<M>>> =
-        graph.nodes().map(|v| vec![None; graph.degree(v)]).collect();
+) {
+    // Clear every slot first: receivers may have left arbitrary residue (taken or
+    // untaken messages from the previous round), and a port that receives nothing
+    // this round must read `None`.
+    for inbox in inboxes.iter_mut() {
+        for slot in inbox.iter_mut() {
+            *slot = None;
+        }
+    }
     for v in graph.nodes() {
         for (p, msg) in outboxes[v as usize].iter().enumerate() {
             if let Some(msg) = msg {
@@ -163,7 +178,6 @@ pub(crate) fn route_messages<M: Clone>(
             }
         }
     }
-    inboxes
 }
 
 /// Send phase split over scoped worker threads; outboxes are reassembled in node order.
@@ -193,28 +207,25 @@ fn parallel_send<A: NodeAlgorithm>(
 }
 
 /// Receive phase split over scoped worker threads, chunked identically to the send
-/// phase so each node's inbox travels with its algorithm instance.
+/// phase so each node's inbox buffer travels with its algorithm instance.
 fn parallel_receive<A: NodeAlgorithm>(
     nodes: &mut [A],
-    inboxes: Vec<Vec<Option<A::Message>>>,
+    inboxes: &mut [Vec<Option<A::Message>>],
     round: usize,
     chunk_size: usize,
 ) {
     std::thread::scope(|scope| {
-        let mut rest_nodes = &mut nodes[..];
-        let mut rest_inboxes = inboxes;
-        let mut handles = Vec::new();
-        while !rest_nodes.is_empty() {
-            let take = chunk_size.min(rest_nodes.len());
-            let (node_chunk, nr) = rest_nodes.split_at_mut(take);
-            rest_nodes = nr;
-            let inbox_chunk: Vec<_> = rest_inboxes.drain(..take).collect();
-            handles.push(scope.spawn(move || {
-                for (node, inbox) in node_chunk.iter_mut().zip(inbox_chunk) {
-                    node.receive(round, inbox);
-                }
-            }));
-        }
+        let handles: Vec<_> = nodes
+            .chunks_mut(chunk_size)
+            .zip(inboxes.chunks_mut(chunk_size))
+            .map(|(node_chunk, inbox_chunk)| {
+                scope.spawn(move || {
+                    for (node, inbox) in node_chunk.iter_mut().zip(inbox_chunk.iter_mut()) {
+                        node.receive(round, inbox);
+                    }
+                })
+            })
+            .collect();
         for h in handles {
             h.join().expect("receive worker panicked");
         }

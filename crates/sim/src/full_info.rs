@@ -61,13 +61,14 @@ impl NodeAlgorithm for ViewCollector {
             .collect()
     }
 
-    fn receive(&mut self, _round: usize, inbox: Vec<Option<ViewMessage>>) {
+    fn receive(&mut self, _round: usize, inbox: &mut [Option<ViewMessage>]) {
         let children = inbox
-            .into_iter()
+            .iter_mut()
             .enumerate()
             .map(|(p, msg)| {
-                let (far_port, far_view) =
-                    msg.expect("full-information algorithm: every neighbour sends every round");
+                let (far_port, far_view) = msg
+                    .take()
+                    .expect("full-information algorithm: every neighbour sends every round");
                 (p as Port, far_port, far_view)
             })
             .collect();

@@ -21,8 +21,11 @@ pub trait NodeAlgorithm: Send {
     fn send(&mut self, round: usize) -> Vec<Option<Self::Message>>;
 
     /// Consume the messages delivered in round `round`; `inbox[p]` is the message that
-    /// arrived through local port `p`, if any.
-    fn receive(&mut self, round: usize, inbox: Vec<Option<Self::Message>>);
+    /// arrived through local port `p`, if any. The slice is a buffer owned by the
+    /// round engine and reused across rounds (so large runs do not reallocate one
+    /// `Vec` per node per round); take messages out with [`Option::take`] — whatever
+    /// is left in the slots is discarded when the engine refills them next round.
+    fn receive(&mut self, round: usize, inbox: &mut [Option<Self::Message>]);
 
     /// The node's output after the allotted rounds have elapsed.
     fn output(&self) -> Self::Output;
@@ -71,7 +74,7 @@ mod tests {
             Vec::new()
         }
 
-        fn receive(&mut self, _round: usize, _inbox: Vec<Option<()>>) {
+        fn receive(&mut self, _round: usize, _inbox: &mut [Option<()>]) {
             self.rounds_seen += 1;
         }
 
@@ -85,7 +88,7 @@ mod tests {
         let factory = |_degree: usize| Silent { rounds_seen: 0 };
         let mut node = factory.create(3);
         assert!(node.send(1).is_empty());
-        node.receive(1, vec![None, None, None]);
+        node.receive(1, &mut [None, None, None]);
         assert_eq!(node.output(), 1);
     }
 }

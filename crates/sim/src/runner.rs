@@ -85,8 +85,8 @@ mod tests {
             vec![Some(self.best); self.degree]
         }
 
-        fn receive(&mut self, _round: usize, inbox: Vec<Option<usize>>) {
-            for m in inbox.into_iter().flatten() {
+        fn receive(&mut self, _round: usize, inbox: &mut [Option<usize>]) {
+            for m in inbox.iter_mut().filter_map(Option::take) {
                 self.best = self.best.max(m);
             }
         }
@@ -191,9 +191,9 @@ mod tests {
                 .collect()
         }
 
-        fn receive(&mut self, round: usize, inbox: Vec<Option<(u32, u32)>>) {
-            for (p, m) in inbox.into_iter().enumerate() {
-                if let Some(m) = m {
+        fn receive(&mut self, round: usize, inbox: &mut [Option<(u32, u32)>]) {
+            for (p, m) in inbox.iter_mut().enumerate() {
+                if let Some(m) = m.take() {
                     self.log.push((round, p, m));
                 }
             }

@@ -1,0 +1,519 @@
+//! A tiny dependency-free JSON value type, writer and parser.
+//!
+//! The build environment has no external crates, so no serde: the sweep driver
+//! assembles a [`Json`] tree by hand and renders it with [`Json::render`]. The
+//! parser exists so tests (and future tooling) can check emitted files are
+//! well-formed and read individual fields back; it accepts exactly the JSON this
+//! module emits (standard JSON with no extensions).
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order (they are association lists, not
+/// maps — key order matters for readable diffs of emitted benchmark files).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept separate from floats so counts render without decimal points).
+    Int(i64),
+    /// A finite float. Non-finite values render as `null` (JSON has no NaN/∞).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, as an ordered association list.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value (convenience).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// `Int` from any unsigned count used in reports.
+    pub fn count(n: usize) -> Json {
+        Json::Int(n as i64)
+    }
+
+    /// An optional count: `null` when absent.
+    pub fn opt_count(n: Option<usize>) -> Json {
+        n.map(Json::count).unwrap_or(Json::Null)
+    }
+
+    /// Look up a key of an object (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array (`None` for non-arrays).
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The integer value (`None` for non-integers).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string value (`None` for non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Render with two-space indentation (the format the sweep driver emits).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    let s = format!("{x}");
+                    out.push_str(&s);
+                    // `{}` on a round f64 prints no decimal point; add one so the
+                    // value parses back as a float, not an integer.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
+    /// Parse a JSON document. Returns the value and rejects trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::at(pos, "trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    fn at(offset: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError::at(*pos, format!("expected '{}'", b as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError::at(*pos, "unexpected end of input")),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(JsonError::at(*pos, "expected ',' or ']'")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(JsonError::at(*pos, "expected ',' or '}'")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(JsonError::at(*pos, format!("expected '{literal}'")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError::at(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| JsonError::at(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| JsonError::at(*pos, "invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError::at(*pos, "invalid \\u escape"))?;
+                        // Surrogates are not emitted by the writer; reject them.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| JsonError::at(*pos, "invalid code point"))?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    _ => return Err(JsonError::at(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => {
+                return Err(JsonError::at(*pos, "raw control character in string"))
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries are valid).
+                let s = &bytes[*pos..];
+                let c_len = match s[0] {
+                    b if b < 0x80 => 1,
+                    b if b >= 0xF0 => 4,
+                    b if b >= 0xE0 => 3,
+                    _ => 2,
+                };
+                out.push_str(std::str::from_utf8(&s[..c_len]).expect("valid UTF-8 input"));
+                *pos += c_len;
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii");
+    if text.is_empty() || text == "-" {
+        return Err(JsonError::at(start, "expected a value"));
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| JsonError::at(start, "invalid number"))
+    } else {
+        text.parse::<i64>()
+            .map(Json::Int)
+            .map_err(|_| JsonError::at(start, "invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trips(value: Json) {
+        let compact = value.render();
+        assert_eq!(Json::parse(&compact).unwrap(), value, "{compact}");
+        let pretty = value.render_pretty();
+        assert_eq!(Json::parse(&pretty).unwrap(), value, "{pretty}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trips(Json::Null);
+        round_trips(Json::Bool(true));
+        round_trips(Json::Bool(false));
+        round_trips(Json::Int(0));
+        round_trips(Json::Int(-42));
+        round_trips(Json::Int(i64::MAX));
+        round_trips(Json::Float(1.5));
+        round_trips(Json::Float(-0.125));
+        round_trips(Json::str("hello"));
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        round_trips(Json::str("quote \" backslash \\ newline \n tab \t"));
+        round_trips(Json::str("unicode: Δ ψ × ρ"));
+        round_trips(Json::str("control \u{1}"));
+    }
+
+    #[test]
+    fn containers_round_trip_and_preserve_order() {
+        let value = Json::Object(vec![
+            ("b".into(), Json::Int(1)),
+            ("a".into(), Json::Array(vec![Json::Null, Json::Bool(true)])),
+            (
+                "nested".into(),
+                Json::Object(vec![("x".into(), Json::Float(2.5))]),
+            ),
+            ("empty_arr".into(), Json::Array(vec![])),
+            ("empty_obj".into(), Json::Object(vec![])),
+        ]);
+        round_trips(value.clone());
+        // Order preserved through parse.
+        if let Json::Object(fields) = Json::parse(&value.render()).unwrap() {
+            assert_eq!(fields[0].0, "b");
+            assert_eq!(fields[1].0, "a");
+        } else {
+            panic!("expected object");
+        }
+    }
+
+    #[test]
+    fn accessors_work() {
+        let value = Json::Object(vec![
+            ("n".into(), Json::Int(7)),
+            ("name".into(), Json::str("x")),
+            ("items".into(), Json::Array(vec![Json::Int(1)])),
+        ]);
+        assert_eq!(value.get("n").and_then(Json::as_int), Some(7));
+        assert_eq!(value.get("name").and_then(Json::as_str), Some("x"));
+        assert_eq!(
+            value.get("items").and_then(Json::as_array).unwrap().len(),
+            1
+        );
+        assert_eq!(value.get("missing"), None);
+        assert_eq!(Json::opt_count(None), Json::Null);
+        assert_eq!(Json::opt_count(Some(3)), Json::Int(3));
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn float_without_fraction_still_parses_as_float() {
+        let rendered = Json::Float(3.0).render();
+        assert_eq!(
+            Json::parse(&rendered).unwrap(),
+            Json::Float(3.0),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "[1],",
+            "nul",
+            "{\"a\":1,}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+}

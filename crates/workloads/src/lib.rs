@@ -1,0 +1,44 @@
+//! # anet-workloads — scenario generation and sweep orchestration
+//!
+//! The paper's constructions (`G`/`U`/`J`) exercise the four shades on adversarial
+//! instances; this crate opens the engine to *scenario diversity* beyond them:
+//!
+//! * [`families`] — extra [`GraphFamily`](anet_constructions::GraphFamily)
+//!   implementations spanning low and high diameter: random-regular graphs (pairing
+//!   model on the in-tree SplitMix64 PRNG, retried until simple and connected), 2D
+//!   tori, hypercubes, and circulant expanders, each with canonical or seed-shuffled
+//!   port labellings (shuffling typically breaks the symmetry that makes the
+//!   canonical labellings infeasible for election);
+//! * [`scenario`] — a [`Scenario`](scenario::Scenario) names one grid point
+//!   (family × task × solver × backend × instance cap) and resolves it through the
+//!   `ElectionEngine` facade; a [`ScenarioRegistry`](scenario::ScenarioRegistry)
+//!   holds a named grid and answers selections;
+//! * [`sweep`] — the driver behind the `sweep` binary: run a registry selection
+//!   through [`BatchRunner`](anet_election::engine::BatchRunner), collect the
+//!   reports, and emit a machine-readable `BENCH_*.json` so the perf trajectory of
+//!   the engine has data;
+//! * [`json`] — a tiny dependency-free JSON value type and writer (this workspace
+//!   has no external crates, so no serde).
+//!
+//! ```no_run
+//! use anet_workloads::scenario::ScenarioRegistry;
+//! use anet_workloads::sweep::{run_sweep, SweepConfig};
+//!
+//! let registry = ScenarioRegistry::smoke();
+//! let outcome = run_sweep(&registry, &SweepConfig::default()).unwrap();
+//! println!("{} cells -> {}", outcome.cells, outcome.json_path.display());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod families;
+pub mod json;
+pub mod scenario;
+pub mod sweep;
+
+pub use families::{
+    CirculantFamily, HypercubeFamily, PortLabeling, RandomRegularFamily, TorusFamily,
+};
+pub use scenario::{Scenario, ScenarioRegistry, SolverSpec};
+pub use sweep::{run_sweep, SweepConfig, SweepOutcome};

@@ -1,0 +1,457 @@
+//! Scenarios: named grid points over family × task × solver × backend.
+//!
+//! A [`Scenario`] is one cell of the benchmark grid — a [`GraphFamily`] to sweep, a
+//! [`Task`] shade, a [`SolverSpec`] describing which solver to run, and a [`Backend`]
+//! to execute on. It resolves to `Election` configurations through the PR-1 facade
+//! and runs via [`BatchRunner`]. A [`ScenarioRegistry`] holds a named grid, answers
+//! substring selections, and ships two built-in grids ([`ScenarioRegistry::smoke`]
+//! and [`ScenarioRegistry::standard`]).
+
+use crate::families::{CirculantFamily, HypercubeFamily, RandomRegularFamily, TorusFamily};
+use anet_constructions::GraphFamily;
+use anet_election::engine::{
+    AdviceSolver, Backend, BatchRow, BatchRunner, EngineError, MapSolver, Solver, SolverRun,
+};
+use anet_election::tasks::Task;
+use anet_graph::PortGraph;
+use anet_views::election_index::psi_s;
+
+/// Which solver a scenario runs. Kept as a spec (not a `Box<dyn Solver>`) so that the
+/// registry is cheap to build, scenarios are self-describing in reports, and a fresh
+/// solver can be built for every instance of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverSpec {
+    /// The map-based minimum-time baseline ([`MapSolver`]); refuses infeasible graphs
+    /// with a solver error, which the sweep records as an unsolved cell.
+    Map,
+    /// The Theorem 2.2 oracle/algorithm advice pair, guarded by a feasibility check
+    /// (the raw oracle panics on graphs with no finite Selection index; the guard
+    /// turns that into a reported solver error instead).
+    MinTimeAdvice,
+}
+
+impl SolverSpec {
+    /// Short label used in scenario names and JSON cells.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SolverSpec::Map => "map",
+            SolverSpec::MinTimeAdvice => "advice",
+        }
+    }
+
+    /// Build a fresh solver for one sweep instance.
+    pub fn build(&self) -> Box<dyn Solver> {
+        match self {
+            SolverSpec::Map => Box::new(MapSolver::default()),
+            SolverSpec::MinTimeAdvice => Box::new(GuardedAdviceSolver),
+        }
+    }
+}
+
+/// The Theorem 2.2 pair behind a feasibility guard: on graphs where no view class has
+/// multiplicity 1 (infinite Selection index) the oracle would panic; the guard answers
+/// with a regular [`EngineError::Solver`] so sweeps over symmetric workloads (canonical
+/// tori, hypercubes, …) record the cell as unsolved and continue.
+struct GuardedAdviceSolver;
+
+impl Solver for GuardedAdviceSolver {
+    fn name(&self) -> String {
+        "advice(thm-2.2, guarded)".to_string()
+    }
+
+    fn solve(
+        &self,
+        graph: &PortGraph,
+        task: Task,
+        backend: Backend,
+    ) -> Result<SolverRun, EngineError> {
+        if psi_s(graph).is_none() {
+            return Err(EngineError::Solver {
+                solver: self.name(),
+                message: "unsolvable: no view class of multiplicity 1 (infinite Selection index)"
+                    .to_string(),
+            });
+        }
+        AdviceSolver::theorem_2_2().solve(graph, task, backend)
+    }
+}
+
+/// One named grid point: family × task × solver × backend, plus an instance cap.
+pub struct Scenario {
+    name: String,
+    /// The graph family this scenario sweeps.
+    pub family: Box<dyn GraphFamily>,
+    /// The task shade to request.
+    pub task: Task,
+    /// The solver to run on every instance.
+    pub solver: SolverSpec,
+    /// The execution backend.
+    pub backend: Backend,
+    /// Maximum number of family instances visited.
+    pub max_instances: usize,
+}
+
+impl Scenario {
+    /// Create a scenario; the name is derived from its coordinates
+    /// (`family/task/solver/backend`), so equal grid points collide in the registry.
+    pub fn new(
+        family: impl GraphFamily + 'static,
+        task: Task,
+        solver: SolverSpec,
+        backend: Backend,
+        max_instances: usize,
+    ) -> Self {
+        Self::new_boxed(Box::new(family), task, solver, backend, max_instances)
+    }
+
+    /// [`new`](Scenario::new) for an already-boxed family (avoids a second layer of
+    /// boxing when the family is dynamically chosen, as in the built-in grids).
+    pub fn new_boxed(
+        family: Box<dyn GraphFamily>,
+        task: Task,
+        solver: SolverSpec,
+        backend: Backend,
+        max_instances: usize,
+    ) -> Self {
+        let name = format!(
+            "{}/{}/{}/{}",
+            family.family_name(),
+            task,
+            solver.label(),
+            backend.label()
+        );
+        Scenario {
+            name,
+            family,
+            task,
+            solver,
+            backend,
+            max_instances,
+        }
+    }
+
+    /// The scenario's unique name (`family/task/solver/backend`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Resolve and run: sweep the family through [`BatchRunner`] on the configured
+    /// task, solver and backend.
+    pub fn run(&self) -> Vec<BatchRow> {
+        BatchRunner::new(self.backend)
+            .max_instances(self.max_instances)
+            .sweep(&self.family, self.task, |_| self.solver.build())
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("task", &self.task)
+            .field("solver", &self.solver)
+            .field("backend", &self.backend)
+            .field("max_instances", &self.max_instances)
+            .finish()
+    }
+}
+
+/// Error registering a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A scenario with the same name is already registered.
+    Duplicate(
+        /// The colliding name.
+        String,
+    ),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Duplicate(name) => write!(f, "duplicate scenario name: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A named collection of scenarios — the benchmark grid.
+#[derive(Debug, Default)]
+pub struct ScenarioRegistry {
+    scenarios: Vec<Scenario>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ScenarioRegistry::default()
+    }
+
+    /// Register a scenario; rejects duplicate names (two scenarios with the same grid
+    /// coordinates would emit indistinguishable JSON cells).
+    pub fn register(&mut self, scenario: Scenario) -> Result<(), RegistryError> {
+        if self.get(scenario.name()).is_some() {
+            return Err(RegistryError::Duplicate(scenario.name().to_string()));
+        }
+        self.scenarios.push(scenario);
+        Ok(())
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// All scenario names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.scenarios.iter().map(|s| s.name()).collect()
+    }
+
+    /// Look up one scenario by exact name.
+    pub fn get(&self, name: &str) -> Option<&Scenario> {
+        self.scenarios.iter().find(|s| s.name() == name)
+    }
+
+    /// All scenarios whose name contains `filter` (case-insensitive); an empty filter
+    /// selects everything.
+    pub fn select(&self, filter: &str) -> Vec<&Scenario> {
+        let needle = filter.to_lowercase();
+        self.scenarios
+            .iter()
+            .filter(|s| s.name().to_lowercase().contains(&needle))
+            .collect()
+    }
+
+    /// Iterate over all scenarios in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Scenario> {
+        self.scenarios.iter()
+    }
+
+    /// Seed used by the built-in grids (fixed so emitted benchmarks are comparable
+    /// across runs and machines).
+    const GRID_SEED: u64 = 0xA5EED;
+    /// Port-shuffle seed for the symmetric families of the built-in grids.
+    const SHUFFLE_SEED: u64 = 41;
+
+    /// The four workload families at given sizes, seed-shuffled where the canonical
+    /// labelling would be symmetric. Shared by [`smoke`](ScenarioRegistry::smoke) and
+    /// [`standard`](ScenarioRegistry::standard).
+    fn grid_families(
+        rr_sizes: Vec<usize>,
+        torus_dims: Vec<(usize, usize)>,
+        cube_dims: Vec<usize>,
+        circ_sizes: Vec<usize>,
+    ) -> [Box<dyn GraphFamily>; 4] {
+        [
+            Box::new(RandomRegularFamily::new(3, rr_sizes, Self::GRID_SEED)),
+            Box::new(TorusFamily::new(torus_dims).shuffled(Self::SHUFFLE_SEED)),
+            Box::new(HypercubeFamily::new(cube_dims).shuffled(Self::SHUFFLE_SEED)),
+            Box::new(CirculantFamily::powers_of_two(circ_sizes, 3).shuffled(Self::SHUFFLE_SEED)),
+        ]
+    }
+
+    /// Family sizes are listed ascending, so per-scenario instance caps double as a
+    /// size cutoff: the weak shades (S, PE — view-based assignments, cheap) visit up
+    /// to `weak_cap` instances, while the strong shades (PPE, CPPE — the map solver
+    /// enumerates simple paths, which explodes beyond ~25 nodes on expander-like
+    /// topologies) stop after `strong_cap` small instances.
+    fn grid(
+        families: impl Fn() -> [Box<dyn GraphFamily>; 4],
+        backends: &[Backend],
+        weak_cap: usize,
+        strong_cap: usize,
+    ) -> Self {
+        let mut registry = ScenarioRegistry::new();
+        // Every family × every shade × the map baseline on the primary backend
+        // (`families()` rebuilds the cheap family specs per block).
+        for task in Task::ALL {
+            let cap = match task {
+                Task::Selection | Task::PortElection => weak_cap,
+                Task::PortPathElection | Task::CompletePortPathElection => strong_cap,
+            };
+            for family in families() {
+                registry
+                    .register(Scenario::new_boxed(
+                        family,
+                        task,
+                        SolverSpec::Map,
+                        backends[0],
+                        cap,
+                    ))
+                    .expect("built-in grid has unique names");
+            }
+        }
+        // Every family × Selection × the guarded Theorem 2.2 advice pair.
+        for family in families() {
+            registry
+                .register(Scenario::new_boxed(
+                    family,
+                    Task::Selection,
+                    SolverSpec::MinTimeAdvice,
+                    backends[0],
+                    weak_cap,
+                ))
+                .expect("built-in grid has unique names");
+        }
+        // Every family × Selection × map on the remaining backends (the backend axis;
+        // outputs must be backend-invariant, so one shade suffices).
+        for &backend in &backends[1..] {
+            for family in families() {
+                registry
+                    .register(Scenario::new_boxed(
+                        family,
+                        Task::Selection,
+                        SolverSpec::Map,
+                        backend,
+                        weak_cap,
+                    ))
+                    .expect("built-in grid has unique names");
+            }
+        }
+        registry
+    }
+
+    /// The smoke grid: all four families at small sizes × all four shades × the map
+    /// solver, plus the advice pair on Selection and a parallel-backend axis — 28
+    /// scenarios of ≤ 2 instances each, fast enough for CI.
+    pub fn smoke() -> Self {
+        Self::grid(
+            || Self::grid_families(vec![16, 24], vec![(3, 4), (4, 4)], vec![3, 4], vec![15, 24]),
+            &[
+                Backend::Sequential,
+                Backend::Parallel { threads: 2 },
+                Backend::Parallel { threads: 4 },
+            ],
+            2,
+            2,
+        )
+    }
+
+    /// The standard grid: the smoke sizes plus two larger steps per family, for
+    /// locally tracking the perf trajectory. The weak shades (S, PE) and the backend
+    /// axis climb to the large instances; the strong shades (PPE, CPPE) stop at the
+    /// small ones, where the map solver's simple-path enumeration stays inside its
+    /// 50 000-path soundness budget.
+    pub fn standard() -> Self {
+        Self::grid(
+            || {
+                Self::grid_families(
+                    vec![16, 24, 64, 128],
+                    vec![(3, 4), (4, 4), (8, 8), (11, 12)],
+                    vec![3, 4, 6, 7],
+                    vec![15, 24, 64, 128],
+                )
+            },
+            &[
+                Backend::Sequential,
+                Backend::Parallel { threads: 4 },
+                Backend::Parallel { threads: 8 },
+            ],
+            4,
+            2,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_encode_the_grid_point() {
+        let s = Scenario::new(
+            TorusFamily::new(vec![(3, 3)]),
+            Task::Selection,
+            SolverSpec::Map,
+            Backend::Sequential,
+            1,
+        );
+        assert_eq!(s.name(), "torus2d/S/map/seq");
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_and_selects_by_substring() {
+        let mut r = ScenarioRegistry::new();
+        r.register(Scenario::new(
+            TorusFamily::new(vec![(3, 3)]),
+            Task::Selection,
+            SolverSpec::Map,
+            Backend::Sequential,
+            1,
+        ))
+        .unwrap();
+        let dup = r.register(Scenario::new(
+            TorusFamily::new(vec![(4, 4)]),
+            Task::Selection,
+            SolverSpec::Map,
+            Backend::Sequential,
+            1,
+        ));
+        assert!(matches!(dup, Err(RegistryError::Duplicate(_))));
+        r.register(Scenario::new(
+            TorusFamily::new(vec![(3, 3)]),
+            Task::PortElection,
+            SolverSpec::Map,
+            Backend::Sequential,
+            1,
+        ))
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.select("torus").len(), 2);
+        assert_eq!(r.select("/PE/").len(), 1);
+        assert_eq!(r.select("").len(), 2);
+        assert!(r.get("torus2d/S/map/seq").is_some());
+        assert!(r.get("nope").is_none());
+    }
+
+    #[test]
+    fn smoke_grid_covers_all_families_shades_and_backends() {
+        let r = ScenarioRegistry::smoke();
+        let names = r.names().join("\n");
+        // All four families appear.
+        for fam in ["random-regular", "torus2d", "hypercube", "circulant"] {
+            assert!(names.contains(fam), "{fam} missing from\n{names}");
+        }
+        // All four shades appear in the map × shade block.
+        for task in ["S", "PE", "PPE", "CPPE"] {
+            assert!(names.contains(&format!("/{task}/map/seq")), "{task}");
+        }
+        // Backend and solver axes appear.
+        assert!(names.contains("/par2"));
+        assert!(names.contains("/par4"));
+        assert!(names.contains("/advice/"));
+        // 4 families × (4 map shades + 1 advice + 2 extra backends) = 28 scenarios.
+        assert_eq!(r.len(), 28);
+    }
+
+    #[test]
+    fn guarded_advice_solver_reports_instead_of_panicking_on_symmetric_graphs() {
+        let symmetric = TorusFamily::generate(3, 3);
+        let err = GuardedAdviceSolver
+            .solve(&symmetric, Task::Selection, Backend::Sequential)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Solver { .. }));
+    }
+
+    #[test]
+    fn scenario_run_produces_rows_for_each_instance() {
+        let s = Scenario::new(
+            RandomRegularFamily::new(3, vec![16, 24], 0xA5EED),
+            Task::Selection,
+            SolverSpec::Map,
+            Backend::Sequential,
+            2,
+        );
+        let rows = s.run();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.solved(), "{}: {:?}", row.instance, row.report);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The sweep driver: run a registry selection, collect reports, emit `BENCH_*.json`.
+//!
+//! Every cell of the emitted file is one engine run (scenario × family instance):
+//! rounds, messages, advice bits, wall time, verdict — the machine-readable form of
+//! the `ElectionReport`s the facade returns, so the perf trajectory of the engine can
+//! be tracked file-over-file. The schema is versioned (`anet-workloads/v1`); the
+//! in-tree [`Json`] parser reads the files back.
+
+use crate::json::Json;
+use crate::scenario::{Scenario, ScenarioRegistry};
+use anet_election::engine::BatchRow;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Configuration of one sweep run.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Directory the `BENCH_*.json` file is written to (created if missing).
+    pub out_dir: PathBuf,
+    /// Case-insensitive substring filter on scenario names (`None` = run everything).
+    pub filter: Option<String>,
+    /// Label baked into the file name (`BENCH_workloads_<label>.json`).
+    pub label: String,
+    /// Print one progress line per scenario to stdout.
+    pub verbose: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            out_dir: PathBuf::from("."),
+            filter: None,
+            label: "sweep".to_string(),
+            verbose: false,
+        }
+    }
+}
+
+/// Summary of a finished sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Path of the emitted JSON file.
+    pub json_path: PathBuf,
+    /// Scenarios run (after filtering).
+    pub scenarios: usize,
+    /// Total cells (scenario × instance runs).
+    pub cells: usize,
+    /// Cells whose verifier accepted the outputs.
+    pub solved: usize,
+    /// Cells that failed or errored (infeasible instances report here by design).
+    pub unsolved: usize,
+    /// Wall time of the whole sweep.
+    pub wall: Duration,
+}
+
+/// One cell rendered to JSON. Infeasible instances and solver refusals become cells
+/// with `"solved": false` and an `"error"` string — a sweep never aborts mid-grid.
+fn cell_json(scenario: &Scenario, row: &BatchRow) -> Json {
+    let mut fields = vec![
+        ("scenario".to_string(), Json::str(scenario.name())),
+        ("family".to_string(), Json::str(&row.family)),
+        ("instance".to_string(), Json::str(&row.instance)),
+        ("param".to_string(), Json::Int(row.param as i64)),
+        ("nodes".to_string(), Json::count(row.nodes)),
+        ("max_degree".to_string(), Json::count(row.max_degree)),
+        ("task".to_string(), Json::str(row.task.to_string())),
+        (
+            "solver".to_string(),
+            Json::str(scenario.solver.label().to_string()),
+        ),
+        ("backend".to_string(), Json::str(scenario.backend.label())),
+    ];
+    match &row.report {
+        Ok(report) => {
+            fields.push(("solved".to_string(), Json::Bool(report.solved())));
+            fields.push(("rounds".to_string(), Json::count(report.rounds)));
+            fields.push((
+                "messages".to_string(),
+                Json::count(report.messages_delivered),
+            ));
+            fields.push((
+                "advice_bits".to_string(),
+                Json::opt_count(report.advice_bits),
+            ));
+            fields.push((
+                "wall_ms".to_string(),
+                Json::Float(report.wall_time.as_secs_f64() * 1e3),
+            ));
+            fields.push((
+                "leader".to_string(),
+                match report.leader() {
+                    Some(v) => Json::Int(v as i64),
+                    None => Json::Null,
+                },
+            ));
+            fields.push((
+                "error".to_string(),
+                match &report.verdict {
+                    Ok(_) => Json::Null,
+                    Err(e) => Json::str(e.to_string()),
+                },
+            ));
+        }
+        Err(e) => {
+            fields.push(("solved".to_string(), Json::Bool(false)));
+            fields.push(("rounds".to_string(), Json::Null));
+            fields.push(("messages".to_string(), Json::Null));
+            fields.push(("advice_bits".to_string(), Json::Null));
+            fields.push(("wall_ms".to_string(), Json::Null));
+            fields.push(("leader".to_string(), Json::Null));
+            fields.push(("error".to_string(), Json::str(e.to_string())));
+        }
+    }
+    Json::Object(fields)
+}
+
+/// Run the selected scenarios of `registry` and write `BENCH_workloads_<label>.json`
+/// into `config.out_dir`. Returns the outcome summary; IO failures (only) are errors.
+pub fn run_sweep(
+    registry: &ScenarioRegistry,
+    config: &SweepConfig,
+) -> std::io::Result<SweepOutcome> {
+    let started = Instant::now();
+    let selected: Vec<&Scenario> = match &config.filter {
+        Some(f) => registry.select(f),
+        None => registry.iter().collect(),
+    };
+
+    let mut cells = Vec::new();
+    let mut solved = 0usize;
+    let mut unsolved = 0usize;
+    for scenario in &selected {
+        let rows = scenario.run();
+        let scenario_solved = rows.iter().filter(|r| r.solved()).count();
+        if config.verbose {
+            println!(
+                "  {:<60} {}/{} solved",
+                scenario.name(),
+                scenario_solved,
+                rows.len()
+            );
+        }
+        for row in &rows {
+            if row.solved() {
+                solved += 1;
+            } else {
+                unsolved += 1;
+            }
+            cells.push(cell_json(scenario, row));
+        }
+    }
+
+    let wall = started.elapsed();
+    let num_cells = cells.len();
+    let generated_unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as i64)
+        .unwrap_or(0);
+    let document = Json::Object(vec![
+        ("schema".to_string(), Json::str("anet-workloads/v1")),
+        ("label".to_string(), Json::str(&config.label)),
+        (
+            "generated_unix_ms".to_string(),
+            Json::Int(generated_unix_ms),
+        ),
+        ("scenarios".to_string(), Json::count(selected.len())),
+        (
+            "summary".to_string(),
+            Json::Object(vec![
+                ("cells".to_string(), Json::count(num_cells)),
+                ("solved".to_string(), Json::count(solved)),
+                ("unsolved".to_string(), Json::count(unsolved)),
+                (
+                    "total_wall_ms".to_string(),
+                    Json::Float(wall.as_secs_f64() * 1e3),
+                ),
+            ]),
+        ),
+        ("cells".to_string(), Json::Array(cells)),
+    ]);
+
+    std::fs::create_dir_all(&config.out_dir)?;
+    let json_path = config
+        .out_dir
+        .join(format!("BENCH_workloads_{}.json", sanitize(&config.label)));
+    std::fs::write(&json_path, document.render_pretty())?;
+
+    Ok(SweepOutcome {
+        json_path,
+        scenarios: selected.len(),
+        cells: num_cells,
+        solved,
+        unsolved,
+        wall,
+    })
+}
+
+/// Keep file names portable: labels become `[a-zA-Z0-9_-]` only.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Read an emitted `BENCH_*.json` back (used by tests and tooling to assert
+/// well-formedness without an external JSON library).
+pub fn read_bench_json(path: &Path) -> std::io::Result<Json> {
+    let text = std::fs::read_to_string(path)?;
+    Json::parse(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::RandomRegularFamily;
+    use crate::scenario::SolverSpec;
+    use anet_election::engine::Backend;
+    use anet_election::tasks::Task;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("anet-workloads-test-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sweep_emits_well_formed_versioned_json() {
+        let mut registry = ScenarioRegistry::new();
+        registry
+            .register(Scenario::new(
+                RandomRegularFamily::new(3, vec![16], 0xA5EED),
+                Task::Selection,
+                SolverSpec::Map,
+                Backend::Sequential,
+                1,
+            ))
+            .unwrap();
+        let config = SweepConfig {
+            out_dir: tmp_dir("emit"),
+            label: "unit test".to_string(),
+            ..SweepConfig::default()
+        };
+        let outcome = run_sweep(&registry, &config).unwrap();
+        assert_eq!(outcome.scenarios, 1);
+        assert_eq!(outcome.cells, 1);
+        assert_eq!(outcome.solved, 1);
+        // The label is sanitised into the file name.
+        assert!(outcome
+            .json_path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("BENCH_workloads_unit_test"));
+
+        let doc = read_bench_json(&outcome.json_path).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("anet-workloads/v1")
+        );
+        let cells = doc.get("cells").and_then(Json::as_array).unwrap();
+        assert_eq!(cells.len(), 1);
+        let cell = &cells[0];
+        assert_eq!(cell.get("nodes").and_then(Json::as_int), Some(16));
+        assert_eq!(cell.get("task").and_then(Json::as_str), Some("S"));
+        assert_eq!(cell.get("solved"), Some(&Json::Bool(true)));
+        assert_eq!(cell.get("error"), Some(&Json::Null));
+        let _ = std::fs::remove_dir_all(&config.out_dir);
+    }
+
+    #[test]
+    fn sweep_records_infeasible_cells_instead_of_failing() {
+        use crate::families::TorusFamily;
+        let mut registry = ScenarioRegistry::new();
+        // Canonical torus: fully symmetric, infeasible for election.
+        registry
+            .register(Scenario::new(
+                TorusFamily::new(vec![(3, 3)]),
+                Task::Selection,
+                SolverSpec::Map,
+                Backend::Sequential,
+                1,
+            ))
+            .unwrap();
+        let config = SweepConfig {
+            out_dir: tmp_dir("infeasible"),
+            label: "infeasible".to_string(),
+            ..SweepConfig::default()
+        };
+        let outcome = run_sweep(&registry, &config).unwrap();
+        assert_eq!(outcome.cells, 1);
+        assert_eq!(outcome.solved, 0);
+        assert_eq!(outcome.unsolved, 1);
+        let doc = read_bench_json(&outcome.json_path).unwrap();
+        let cell = &doc.get("cells").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(cell.get("solved"), Some(&Json::Bool(false)));
+        assert!(cell.get("error").and_then(Json::as_str).is_some());
+        let _ = std::fs::remove_dir_all(&config.out_dir);
+    }
+
+    #[test]
+    fn filter_narrows_the_selection() {
+        let registry = ScenarioRegistry::smoke();
+        // Filter on one exact scenario name taken from the registry itself.
+        let name = registry
+            .names()
+            .iter()
+            .find(|n| n.contains("hypercube") && n.ends_with("/S/map/seq"))
+            .unwrap()
+            .to_string();
+        let config = SweepConfig {
+            out_dir: tmp_dir("filter"),
+            filter: Some(name),
+            label: "filtered".to_string(),
+            ..SweepConfig::default()
+        };
+        let outcome = run_sweep(&registry, &config).unwrap();
+        assert_eq!(outcome.scenarios, 1);
+        assert!(outcome.cells >= 1);
+        let _ = std::fs::remove_dir_all(&config.out_dir);
+    }
+}

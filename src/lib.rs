@@ -9,7 +9,10 @@
 //! * [`sim`] — the synchronous LOCAL-model simulator and its execution backends,
 //! * [`election`] — the four election tasks, advice framework, algorithms, and the
 //!   **`ElectionEngine` facade** (`Election::task(…).solver(…).backend(…).run(&g)`),
-//! * [`constructions`] — the paper's lower-bound graph families and figures.
+//! * [`constructions`] — the paper's lower-bound graph families and figures,
+//! * [`workloads`] — scenario generation beyond the paper: extra graph families
+//!   (random-regular, torus, hypercube, circulant), the scenario registry, and the
+//!   JSON-emitting sweep driver behind the `sweep` binary.
 //!
 //! The most common names are re-exported in the [`prelude`]:
 //!
@@ -34,6 +37,7 @@ pub use anet_election as election;
 pub use anet_graph as graph;
 pub use anet_sim as sim;
 pub use anet_views as views;
+pub use anet_workloads as workloads;
 
 /// The names needed for everyday use of the `ElectionEngine` facade.
 pub mod prelude {
@@ -43,4 +47,5 @@ pub mod prelude {
         ElectionReport, EngineError, MapSolver, PortElectionSolver, Solver, SolverRun,
     };
     pub use anet_election::tasks::{ElectionOutcome, NodeOutput, Task, TaskError};
+    pub use anet_workloads::{Scenario, ScenarioRegistry, SolverSpec};
 }

@@ -1,0 +1,169 @@
+//! End-to-end tests of the `anet-workloads` subsystem against the engine facade:
+//! engine-equivalence across every backend on the new families, the smoke grid
+//! through the sweep driver, and the emitted `BENCH_*.json` read back with the
+//! in-tree parser.
+
+use four_shades::prelude::*;
+use four_shades::workloads::json::Json;
+use four_shades::workloads::sweep::{read_bench_json, run_sweep, SweepConfig};
+use four_shades::workloads::{CirculantFamily, HypercubeFamily, RandomRegularFamily, TorusFamily};
+
+/// One representative instance per new family (seed-shuffled where the canonical
+/// labelling is symmetric, so election is feasible).
+fn representative_instances() -> Vec<FamilyInstance> {
+    let families: Vec<Box<dyn GraphFamily>> = vec![
+        Box::new(RandomRegularFamily::new(3, vec![16], 0xA5EED)),
+        Box::new(TorusFamily::new(vec![(3, 4)]).shuffled(41)),
+        Box::new(HypercubeFamily::new(vec![3]).shuffled(41)),
+        Box::new(CirculantFamily::powers_of_two(vec![15], 3).shuffled(41)),
+    ];
+    families.iter().map(|f| f.instances(1).remove(0)).collect()
+}
+
+#[test]
+fn engine_equivalence_on_new_families_across_the_smoke_set() {
+    // Acceptance: on every new family, every backend of `Backend::smoke_set()` must
+    // produce identical outputs, rounds, messages and leader for every task shade.
+    for instance in representative_instances() {
+        let g = &instance.graph;
+        for task in Task::ALL {
+            let seq = Election::task(task)
+                .solver(MapSolver::default())
+                .backend(Backend::Sequential)
+                .run(g)
+                .unwrap_or_else(|e| panic!("{}: {task}: {e}", instance.name));
+            assert!(seq.solved(), "{}: {task}: {}", instance.name, seq.summary());
+            for backend in Backend::smoke_set() {
+                let report = Election::task(task)
+                    .solver(MapSolver::default())
+                    .backend(backend)
+                    .run(g)
+                    .unwrap();
+                assert_eq!(
+                    report.outputs, seq.outputs,
+                    "{}: {task} on {backend}",
+                    instance.name
+                );
+                assert_eq!(
+                    report.rounds, seq.rounds,
+                    "{}: {task} on {backend}",
+                    instance.name
+                );
+                assert_eq!(
+                    report.messages_delivered, seq.messages_delivered,
+                    "{}: {task} on {backend}",
+                    instance.name
+                );
+                assert_eq!(
+                    report.leader(),
+                    seq.leader(),
+                    "{}: {task} on {backend}",
+                    instance.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn smoke_grid_runs_all_four_shades_on_all_four_families_and_emits_json() {
+    // Acceptance: `sweep --smoke` runs all four shades on ≥ 4 new families and writes
+    // a well-formed BENCH_*.json. This is the same code path the binary takes.
+    let registry = ScenarioRegistry::smoke();
+    let out_dir = std::env::temp_dir().join("anet-workloads-e2e-smoke");
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let config = SweepConfig {
+        out_dir: out_dir.clone(),
+        label: "smoke".to_string(),
+        ..SweepConfig::default()
+    };
+    let outcome = run_sweep(&registry, &config).expect("sweep runs");
+    assert!(
+        outcome
+            .json_path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("BENCH_"),
+        "{:?}",
+        outcome.json_path
+    );
+
+    let doc = read_bench_json(&outcome.json_path).expect("emitted JSON is well-formed");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("anet-workloads/v1")
+    );
+    let cells = doc.get("cells").and_then(Json::as_array).expect("cells");
+    assert_eq!(cells.len(), outcome.cells);
+
+    // All four shades × all four families appear among the cells, and every cell of
+    // the smoke grid solves (the shuffled labellings are feasible by construction of
+    // the pinned seeds).
+    let mut seen: std::collections::BTreeSet<(String, String)> = Default::default();
+    for cell in cells {
+        let family = cell.get("family").and_then(Json::as_str).unwrap();
+        let task = cell.get("task").and_then(Json::as_str).unwrap();
+        assert_eq!(
+            cell.get("solved"),
+            Some(&Json::Bool(true)),
+            "{family}/{task}: {:?}",
+            cell.get("error")
+        );
+        let family_kind = family.split(['(', ',']).next().unwrap().to_string();
+        seen.insert((family_kind, task.to_string()));
+    }
+    let families: std::collections::BTreeSet<&str> = seen.iter().map(|(f, _)| f.as_str()).collect();
+    assert_eq!(families.len(), 4, "{families:?}");
+    for task in ["S", "PE", "PPE", "CPPE"] {
+        for family in &families {
+            assert!(
+                seen.contains(&(family.to_string(), task.to_string())),
+                "missing {family} × {task}"
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn sweep_cells_are_deterministic_across_runs() {
+    // Two runs of the same scenario produce identical measured quantities (wall time
+    // aside): families are seed-deterministic and the engine is deterministic.
+    let registry = ScenarioRegistry::smoke();
+    let scenario = registry
+        .select("/CPPE/map/seq")
+        .into_iter()
+        .next()
+        .expect("smoke grid has CPPE scenarios");
+    let a = scenario.run();
+    let b = scenario.run();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.instance, y.instance);
+        assert_eq!(x.rounds(), y.rounds());
+        let (rx, ry) = (x.report.as_ref().unwrap(), y.report.as_ref().unwrap());
+        assert_eq!(rx.outputs, ry.outputs);
+        assert_eq!(rx.messages_delivered, ry.messages_delivered);
+    }
+}
+
+#[test]
+fn prelude_exposes_the_workloads_surface() {
+    // Scenario/ScenarioRegistry/SolverSpec are one `use four_shades::prelude::*` away.
+    let mut registry = ScenarioRegistry::new();
+    registry
+        .register(Scenario::new(
+            RandomRegularFamily::new(4, vec![21], 3),
+            Task::PortElection,
+            SolverSpec::Map,
+            Backend::Parallel { threads: 2 },
+            1,
+        ))
+        .unwrap();
+    let rows = registry.iter().next().unwrap().run();
+    assert_eq!(rows.len(), 1);
+    assert!(rows[0].solved(), "{:?}", rows[0].report);
+}
