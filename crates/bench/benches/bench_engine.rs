@@ -18,7 +18,12 @@ fn main() {
             .map(|s| generators::random_connected(n, 4, n / 3, s).unwrap())
             .find(|g| anet_views::election_index::psi_s(g).is_some())
             .expect("some random graph of this size is solvable");
-        for backend in [Backend::Sequential, Backend::Parallel { threads: 4 }] {
+        for backend in [
+            Backend::Sequential,
+            Backend::parallel(4),
+            Backend::Batching,
+            Backend::AdaptiveParallel,
+        ] {
             h.bench(&format!("selection_map_{backend}_n{n}"), 10, || {
                 Election::task(Task::Selection)
                     .solver(MapSolver::default())

@@ -1,5 +1,6 @@
-//! P3 — the workload subsystem: generation cost of the new graph families and the
-//! engine's end-to-end cost on them (the cells of the `sweep` driver's grid).
+//! P3 — the workload subsystem: generation cost of the new graph families, the
+//! engine's end-to-end cost on them (the cells of the `sweep` driver's grid), and the
+//! routing phase at scale on a ≥ 10⁵-node torus across the execution backends.
 //!
 //! Run with `cargo bench -p anet-bench --bench bench_workloads`.
 
@@ -7,7 +8,39 @@ use anet_bench::Harness;
 use anet_constructions::GraphFamily;
 use anet_election::engine::{Backend, Election, MapSolver};
 use anet_election::tasks::Task;
+use anet_sim::NodeAlgorithm;
 use anet_workloads::{CirculantFamily, HypercubeFamily, RandomRegularFamily, TorusFamily};
+
+/// Constant-size ping: every node sends its round parity on every port. O(1) message
+/// handling isolates the engine's routing plumbing; `send_into` keeps the arena
+/// backends allocation-free.
+struct Ping {
+    degree: usize,
+    heard: usize,
+}
+
+impl NodeAlgorithm for Ping {
+    type Message = u8;
+    type Output = usize;
+
+    fn send(&mut self, round: usize) -> Vec<Option<u8>> {
+        vec![Some((round % 2) as u8); self.degree]
+    }
+
+    fn send_into(&mut self, round: usize, outbox: &mut [Option<u8>]) {
+        for slot in outbox.iter_mut() {
+            *slot = Some((round % 2) as u8);
+        }
+    }
+
+    fn receive(&mut self, _round: usize, inbox: &mut [Option<u8>]) {
+        self.heard += inbox.iter_mut().filter_map(Option::take).count();
+    }
+
+    fn output(&self) -> usize {
+        self.heard
+    }
+}
 
 fn main() {
     let mut h = Harness::new("workloads");
@@ -52,7 +85,12 @@ fn main() {
             .unwrap()
             .trim()
             .to_string();
-        for backend in [Backend::Sequential, Backend::Parallel { threads: 4 }] {
+        for backend in [
+            Backend::Sequential,
+            Backend::parallel(4),
+            Backend::Batching,
+            Backend::AdaptiveParallel,
+        ] {
             h.bench(&format!("selection_{short}_n64_{backend}"), 10, || {
                 Election::task(Task::Selection)
                     .solver(MapSolver::default())
@@ -63,5 +101,28 @@ fn main() {
             });
         }
     }
+
+    // Routing phase at scale: a 320×330 torus (105 600 nodes, degree 4) under
+    // constant-size pinging — the `seq` vs `batch` comparison on an n ≥ 10⁵ workload.
+    let torus = TorusFamily::generate(320, 330);
+    let n = torus.num_nodes();
+    let rounds = 4;
+    for backend in [
+        Backend::Sequential,
+        Backend::Batching,
+        Backend::AdaptiveParallel,
+    ] {
+        h.bench(
+            &format!("routing_torus_{backend}_n{n}_r{rounds}"),
+            5,
+            || {
+                backend
+                    .run(&torus, &|degree| Ping { degree, heard: 0 }, rounds)
+                    .report
+                    .messages_delivered
+            },
+        );
+    }
+
     h.report();
 }

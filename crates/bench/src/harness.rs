@@ -7,9 +7,13 @@
 //! drives a [`Harness`].
 //!
 //! Sample counts can be overridden globally with the `ANET_BENCH_SAMPLES` environment
-//! variable (useful for CI smoke runs: `ANET_BENCH_SAMPLES=1 cargo bench`).
+//! variable (useful for CI smoke runs: `ANET_BENCH_SAMPLES=1 cargo bench`), and
+//! setting `ANET_BENCH_JSON_DIR=<dir>` makes [`Harness::report`] also emit a
+//! machine-readable `BENCH_bench_<name>.json` (schema `anet-bench/v1`) next to the
+//! sweep driver's workload files, so perf trends are trackable file-over-file.
 
 use crate::table::Table;
+use anet_workloads::json::Json;
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard optimisation barrier, so benches don't need to reach
@@ -101,9 +105,52 @@ impl Harness {
         t
     }
 
-    /// Print the report to stdout (call at the end of each bench `main`).
+    /// The measurements as a versioned JSON document (schema `anet-bench/v1`),
+    /// mirroring the `BENCH_workloads_*.json` files the sweep driver emits so that
+    /// timing benches leave the same machine-readable artifact trail: per measurement
+    /// the id, sample count and mean/min/max nanoseconds.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("schema".to_string(), Json::str("anet-bench/v1")),
+            ("bench".to_string(), Json::str(&self.name)),
+            (
+                "measurements".to_string(),
+                Json::Array(
+                    self.results
+                        .iter()
+                        .map(|m| {
+                            Json::Object(vec![
+                                ("id".to_string(), Json::str(&m.id)),
+                                ("samples".to_string(), Json::count(m.samples)),
+                                ("mean_ns".to_string(), Json::Int(m.mean.as_nanos() as i64)),
+                                ("min_ns".to_string(), Json::Int(m.min.as_nanos() as i64)),
+                                ("max_ns".to_string(), Json::Int(m.max.as_nanos() as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Print the report to stdout (call at the end of each bench `main`), and — when
+    /// the `ANET_BENCH_JSON_DIR` environment variable is set — also write the
+    /// measurements to `<dir>/BENCH_bench_<name>.json` (schema `anet-bench/v1`), so CI
+    /// uploads timing benches next to the sweep driver's workload files.
     pub fn report(&self) {
         println!("{}", self.table());
+        if let Ok(dir) = std::env::var("ANET_BENCH_JSON_DIR") {
+            if !dir.is_empty() {
+                let dir = std::path::PathBuf::from(dir);
+                let path = dir.join(format!("BENCH_bench_{}.json", self.name));
+                let write = std::fs::create_dir_all(&dir)
+                    .and_then(|()| std::fs::write(&path, self.to_json().render_pretty()));
+                match write {
+                    Ok(()) => println!("bench: wrote {}", path.display()),
+                    Err(e) => eprintln!("bench: failed to write {}: {e}", path.display()),
+                }
+            }
+        }
     }
 }
 
@@ -123,5 +170,26 @@ mod tests {
         let rendered = h.table().render();
         assert!(rendered.contains("bench demo"));
         assert!(rendered.contains("product"));
+    }
+
+    #[test]
+    fn harness_json_is_versioned_and_parseable() {
+        let mut h = Harness::new("demo_json");
+        h.bench("sum", 2, || (0..100u64).sum::<u64>());
+        let doc = h.to_json();
+        // Round-trips through the in-tree parser.
+        let parsed = Json::parse(&doc.render_pretty()).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("anet-bench/v1")
+        );
+        assert_eq!(
+            parsed.get("bench").and_then(Json::as_str),
+            Some("demo_json")
+        );
+        let ms = parsed.get("measurements").and_then(Json::as_array).unwrap();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get("id").and_then(Json::as_str), Some("sum"));
+        assert!(ms[0].get("mean_ns").and_then(Json::as_int).is_some());
     }
 }

@@ -7,7 +7,7 @@
 //! pair (advice, `B^r(v)`) to the node's output: the augmented truncated view is
 //! everything a node can learn in `r` rounds.
 //!
-//! [`run_with_advice`] executes an (oracle, algorithm) pair end to end: the oracle
+//! [`run_with_advice_on`] executes an (oracle, algorithm) pair end to end: the oracle
 //! inspects the graph, the number of rounds is derived from the advice (the paper's
 //! algorithms all do this — e.g. the Theorem 2.2 algorithm reads the height of the
 //! encoded view), the LOCAL simulator's full-information collector gathers `B^r(v)` at
@@ -53,19 +53,6 @@ impl AdviceRun {
     pub fn advice_bits(&self) -> usize {
         self.advice.len()
     }
-}
-
-/// Execute `oracle` and `algorithm` on `graph` through the LOCAL simulator.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_with_advice_on(graph, oracle, algorithm, Backend::Sequential)` or the `ElectionEngine` facade (`Election::task(..).solver(AdviceSolver::new(..)).run(graph)`)"
-)]
-pub fn run_with_advice<O, A>(graph: &PortGraph, oracle: &O, algorithm: &A) -> AdviceRun
-where
-    O: Oracle,
-    A: AdviceAlgorithm,
-{
-    run_with_advice_on(graph, oracle, algorithm, Backend::Sequential)
 }
 
 /// Execute `oracle` and `algorithm` on `graph` through the LOCAL simulator, on an

@@ -17,19 +17,21 @@
 //! println!("{} rounds, {} messages", report.rounds, report.messages_delivered);
 //! ```
 //!
-//! The engine replaces the three historical, disconnected entry points
-//! (`anet_sim::run`, `anet_sim::run_parallel`, `anet_election::advice::run_with_advice`)
-//! plus the per-task free functions (`solve_with_map`, `solve_port_election_on_u`,
-//! `solve_cppe_on_j`, `solve_selection_min_time`) behind a single builder:
+//! The engine replaced the three historical, disconnected entry points
+//! (`anet_sim::run`, `anet_sim::run_parallel`, `anet_election::advice::run_with_advice`
+//! — all removed after their deprecation cycle) plus the per-task free functions
+//! (`solve_with_map`, `solve_port_election_on_u`, `solve_cppe_on_j`,
+//! `solve_selection_min_time`) behind a single builder:
 //!
 //! * the **task** is one of the paper's four shades ([`Task`]);
 //! * the **solver** is any [`Solver`] — the map-based minimum-time baseline
 //!   ([`MapSolver`]), the Theorem 2.2 oracle/algorithm pair or any other
 //!   advice pair ([`AdviceSolver`]), the Lemma 3.9 Port Election algorithm
 //!   ([`PortElectionSolver`]), or the Lemma 4.8 CPPE algorithm ([`CppeSolver`]);
-//! * the **backend** is an `anet-sim` execution strategy ([`Backend`]) — every
-//!   backend yields identical outputs and message accounting, so the choice is purely
-//!   about wall-clock performance;
+//! * the **backend** is an `anet-sim` execution strategy ([`Backend`]) — sequential,
+//!   fixed-thread parallel, arena-based message batching, or chunk-size-adaptive
+//!   parallel; every backend yields identical outputs and message accounting, so the
+//!   choice is purely about wall-clock performance;
 //! * the result is a uniform [`ElectionReport`]: advice bits, rounds, messages,
 //!   per-node outputs, the verifier's verdict, and wall time.
 //!

@@ -349,6 +349,45 @@ impl PortGraph {
         hist
     }
 
+    /// The port-offset table: `offsets[v]` is the index of `(v, port 0)` in a flat
+    /// array holding one slot per directed port, in node order; `offsets[n]` is the
+    /// total number of directed ports (`2m`). This is the CSR-style indexing the
+    /// batching execution backend uses to lay all per-round outboxes and inboxes out
+    /// in two flat arenas: the slot of `(v, p)` is `offsets[v] + p`.
+    pub fn port_offsets(&self) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(self.adj.len() + 1);
+        let mut total = 0usize;
+        for ports in &self.adj {
+            offsets.push(total);
+            total += ports.len();
+        }
+        offsets.push(total);
+        offsets
+    }
+
+    /// The flat routing table over the port-offset table: `route[offsets[v] + p] =
+    /// offsets[u] + q` where `(u, q)` is across port `p` of `v`. Routing a round of
+    /// messages becomes one linear pass over this permutation of `0..2m` (the table is
+    /// an involution, like the port map it flattens).
+    pub fn flat_route_table(&self) -> Vec<usize> {
+        self.flat_route_table_with(&self.port_offsets())
+    }
+
+    /// [`flat_route_table`](PortGraph::flat_route_table) against a caller-supplied
+    /// port-offset table (which must come from [`PortGraph::port_offsets`] on this
+    /// graph), so callers that already hold the offsets build both tables in one pass
+    /// each — the batching backend does this once per run.
+    pub fn flat_route_table_with(&self, offsets: &[usize]) -> Vec<usize> {
+        debug_assert_eq!(offsets.len(), self.adj.len() + 1);
+        let mut route = Vec::with_capacity(*offsets.last().expect("offsets non-empty"));
+        for ports in &self.adj {
+            for &(u, q) in ports {
+                route.push(offsets[u as usize] + q as usize);
+            }
+        }
+        route
+    }
+
     /// Access to the raw adjacency (read-only); used by the permutation utilities.
     pub(crate) fn adjacency(&self) -> &Vec<Vec<(NodeId, Port)>> {
         &self.adj
@@ -492,6 +531,30 @@ mod tests {
             PortGraph::from_adjacency(vec![]),
             Err(GraphError::Empty)
         ));
+    }
+
+    #[test]
+    fn port_offsets_are_degree_prefix_sums() {
+        let g = three_node_line();
+        assert_eq!(g.port_offsets(), vec![0, 1, 3, 4]);
+        let single = PortGraph::from_adjacency(vec![vec![]]).unwrap();
+        assert_eq!(single.port_offsets(), vec![0, 0]);
+    }
+
+    #[test]
+    fn flat_route_table_is_an_involution_matching_neighbor() {
+        let g = crate::generators::random_connected(30, 5, 12, 11).unwrap();
+        let offsets = g.port_offsets();
+        let route = g.flat_route_table();
+        assert_eq!(route.len(), 2 * g.num_edges());
+        for v in g.nodes() {
+            for (p, u, q) in g.ports(v) {
+                let slot = offsets[v as usize] + p as usize;
+                let far = offsets[u as usize] + q as usize;
+                assert_eq!(route[slot], far);
+                assert_eq!(route[far], slot, "routing is an involution");
+            }
+        }
     }
 
     #[test]

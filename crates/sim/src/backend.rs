@@ -2,20 +2,44 @@
 //!
 //! Historically the crate exposed two separate entry points, `run` (sequential) and
 //! `run_parallel` (multi-threaded), with the routing phase copy-pasted between them.
-//! [`Backend`] unifies them: a backend is a *strategy for executing the send and
-//! receive phases* of the synchronous round loop, while the round structure itself —
-//! send, route, receive — is implemented exactly once ([`Backend::run`]). The
-//! [`Simulator`] trait abstracts over backends so higher layers (the `ElectionEngine`
-//! facade in `anet-core`) can be written against "something that can execute a
-//! distributed algorithm" without caring how rounds are scheduled.
+//! [`Backend`] unifies them: a backend is a *strategy for executing the send, route
+//! and receive phases* of the synchronous round loop. The [`Simulator`] trait
+//! abstracts over backends so higher layers (the `ElectionEngine` facade in
+//! `anet-core`) can be written against "something that can execute a distributed
+//! algorithm" without caring how rounds are scheduled.
 //!
-//! Message accounting is backend-independent by construction: the routing phase is the
-//! single shared [`route_messages`] helper, so every backend delivers the same
-//! messages in the same order and reports identical [`RunReport`]s.
+//! Four strategies are available:
+//!
+//! * [`Backend::Sequential`] — the single-threaded reference implementation: fresh
+//!   per-node outbox vectors every round, routed by the shared [`route_messages`]
+//!   helper.
+//! * [`Backend::Parallel`] — send/receive split across a fixed number of scoped
+//!   threads in uniform node-count chunks; routing stays sequential.
+//! * [`Backend::Batching`] — the allocation-free hot path: all outboxes and inboxes
+//!   live in two flat per-run arenas indexed by the graph's port-offset table
+//!   ([`anet_graph::PortGraph::port_offsets`]), and the routing phase is one linear
+//!   pass over a precomputed flat route table
+//!   ([`anet_graph::PortGraph::flat_route_table`]). Nodes write their messages
+//!   directly into their arena slice via [`NodeAlgorithm::send_into`], so the
+//!   send → route → receive cycle performs zero per-round allocation (for algorithms
+//!   overriding `send_into`; the default falls back to [`NodeAlgorithm::send`] and
+//!   copies). Messages are *moved* from the outbox arena to the inbox arena, not
+//!   cloned.
+//! * [`Backend::AdaptiveParallel`] — chunk-size-adaptive parallelism: the worker
+//!   count is derived from the graph size, its degree sum and the machine's available
+//!   parallelism (tiny graphs run sequentially rather than spawning threads), and the
+//!   per-phase chunks are balanced by *degree sum* rather than node count, so
+//!   irregular-degree graphs don't leave straggler workers.
+//!
+//! Message accounting is backend-independent by construction: every backend delivers
+//! exactly the messages the port map prescribes, in a state-independent order, so all
+//! backends report bit-identical [`RunReport`]s and outputs. The equivalence is
+//! enforced by property tests over [`Backend::smoke_set`].
 
 use crate::model::{AlgorithmFactory, NodeAlgorithm};
 use crate::runner::{RunOutcome, RunReport};
 use anet_graph::PortGraph;
+use std::ops::Range;
 
 /// How the synchronous round loop executes the per-node send/receive phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -24,20 +48,63 @@ pub enum Backend {
     #[default]
     Sequential,
     /// Send and receive phases split across `threads` OS threads (scoped threads from
-    /// the standard library); the routing phase stays sequential, as it is cheap
-    /// pointer shuffling. Semantically identical to [`Backend::Sequential`].
+    /// the standard library) in uniform node-count chunks; the routing phase stays
+    /// sequential, as it is cheap pointer shuffling. Semantically identical to
+    /// [`Backend::Sequential`]. Prefer constructing via [`Backend::parallel`], which
+    /// normalizes the thread count; a raw `threads: 0` still executes with one thread
+    /// and reports itself as `par1`.
     Parallel {
-        /// Number of worker threads (clamped to at least 1).
+        /// Number of worker threads (clamped to at least 1 everywhere it is used).
         threads: usize,
     },
+    /// Message-batching execution: per-run flat outbox/inbox arenas indexed by the
+    /// graph's port-offset table, routed by one linear pass over a precomputed route
+    /// table. Zero per-round allocation; the fastest backend on routing-heavy
+    /// workloads (n ≳ 10⁵).
+    Batching,
+    /// Chunk-size-adaptive parallel execution: worker count chosen from the graph
+    /// size, degree sum and [`std::thread::available_parallelism`]; chunks balanced
+    /// by degree sum per phase. Falls back to sequential execution on graphs too
+    /// small to amortize thread spawning.
+    AdaptiveParallel,
 }
 
+/// Minimum number of port slots of work per adaptive worker: below this, spawning a
+/// thread costs more than the phase it would execute.
+const ADAPTIVE_MIN_PORTS_PER_WORKER: usize = 4096;
+
 impl Backend {
-    /// A short human-readable label (`seq`, `par4`, …) for reports and tables.
+    /// A parallel backend with a normalized thread count: `threads` is clamped to at
+    /// least 1, so the constructed value's [`label`](Backend::label) always agrees
+    /// with how it executes.
+    pub fn parallel(threads: usize) -> Backend {
+        Backend::Parallel {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The number of worker threads [`Backend::Parallel`] actually executes with
+    /// (`threads` clamped to at least 1); 1 for [`Backend::Sequential`] and
+    /// [`Backend::Batching`]. For [`Backend::AdaptiveParallel`] the count depends on
+    /// the graph, so this returns the machine ceiling
+    /// ([`std::thread::available_parallelism`]).
+    pub fn effective_threads(&self) -> usize {
+        match self {
+            Backend::Sequential | Backend::Batching => 1,
+            Backend::Parallel { threads } => (*threads).max(1),
+            Backend::AdaptiveParallel => available_parallelism(),
+        }
+    }
+
+    /// A short human-readable label (`seq`, `par4`, `batch`, `adaptive`) for reports
+    /// and tables. The label reflects *actual execution*: `Parallel { threads: 0 }`
+    /// runs with one thread and therefore labels itself `par1`.
     pub fn label(&self) -> String {
         match self {
             Backend::Sequential => "seq".to_string(),
-            Backend::Parallel { threads } => format!("par{threads}"),
+            Backend::Parallel { .. } => format!("par{}", self.effective_threads()),
+            Backend::Batching => "batch".to_string(),
+            Backend::AdaptiveParallel => "adaptive".to_string(),
         }
     }
 
@@ -45,18 +112,19 @@ impl Backend {
     pub fn smoke_set() -> Vec<Backend> {
         vec![
             Backend::Sequential,
-            Backend::Parallel { threads: 1 },
-            Backend::Parallel { threads: 2 },
-            Backend::Parallel { threads: 4 },
-            Backend::Parallel { threads: 7 },
+            Backend::parallel(1),
+            Backend::parallel(2),
+            Backend::parallel(4),
+            Backend::parallel(7),
+            Backend::Batching,
+            Backend::AdaptiveParallel,
         ]
     }
 
     /// Run `factory`'s algorithm on `graph` for `rounds` synchronous rounds.
     ///
-    /// This is the *only* round loop in the crate: every public entry point
-    /// (the deprecated `run` / `run_parallel` free functions, the full-information
-    /// collector, the `ElectionEngine` facade) funnels through here.
+    /// This is the *only* round loop in the crate: every public entry point (the
+    /// full-information collector, the `ElectionEngine` facade) funnels through here.
     pub fn run<F>(
         &self,
         graph: &PortGraph,
@@ -66,49 +134,28 @@ impl Backend {
     where
         F: AlgorithmFactory,
     {
-        let n = graph.num_nodes();
-        let threads = match self {
-            Backend::Sequential => 1,
-            Backend::Parallel { threads } => (*threads).max(1),
-        };
-        let chunk_size = n.div_ceil(threads.max(1)).max(1);
-        let mut nodes: Vec<F::Algo> = graph
-            .nodes()
-            .map(|v| factory.create(graph.degree(v)))
-            .collect();
-        let mut messages_delivered = 0usize;
-        // Inbox buffers are allocated once, up front, and reused every round: the
-        // routing phase clears and refills the slots in place, so the routing hot path
-        // performs no per-round allocation (this matters at n ≳ 10⁵, where one
-        // `Vec` per node per round used to dominate).
-        let mut inboxes: Vec<Vec<Option<<F::Algo as NodeAlgorithm>::Message>>> =
-            graph.nodes().map(|v| vec![None; graph.degree(v)]).collect();
-
-        for round in 1..=rounds {
-            // Send phase.
-            let outboxes = if threads == 1 {
-                nodes.iter_mut().map(|node| node.send(round)).collect()
-            } else {
-                parallel_send(&mut nodes, round, chunk_size)
-            };
-            // Routing phase (shared by every backend; see the module docs).
-            route_messages(graph, &outboxes, &mut inboxes, &mut messages_delivered);
-            // Receive phase.
-            if threads == 1 {
-                for (node, inbox) in nodes.iter_mut().zip(inboxes.iter_mut()) {
-                    node.receive(round, inbox);
-                }
-            } else {
-                parallel_receive(&mut nodes, &mut inboxes, round, chunk_size);
+        match self {
+            Backend::Batching => run_batched(graph, factory, rounds),
+            Backend::Sequential => run_chunked(graph, factory, rounds, Vec::new()),
+            Backend::Parallel { threads } => {
+                let threads = (*threads).max(1);
+                run_chunked(
+                    graph,
+                    factory,
+                    rounds,
+                    uniform_chunks(graph.num_nodes(), threads),
+                )
             }
-        }
-
-        RunOutcome {
-            outputs: nodes.iter().map(|n| n.output()).collect(),
-            report: RunReport {
-                rounds,
-                messages_delivered,
-            },
+            Backend::AdaptiveParallel => {
+                let offsets = graph.port_offsets();
+                let threads = adaptive_threads(graph.num_nodes(), offsets[graph.num_nodes()]);
+                run_chunked(
+                    graph,
+                    factory,
+                    rounds,
+                    degree_balanced_chunks(&offsets, threads),
+                )
+            }
         }
     }
 }
@@ -148,12 +195,185 @@ impl Simulator for Backend {
     }
 }
 
-/// The routing phase, shared by every backend: `inbox[u][q] = outbox[v][p]` whenever
+/// Hardware parallelism ceiling (1 when the platform cannot report it).
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Worker count for [`Backend::AdaptiveParallel`]: the machine ceiling, scaled down
+/// so every worker has at least [`ADAPTIVE_MIN_PORTS_PER_WORKER`] port slots of phase
+/// work (counting a node as at least one slot), and never more workers than nodes.
+/// Tiny graphs yield 1, i.e. a fully sequential run with no thread spawned.
+fn adaptive_threads(n: usize, total_ports: usize) -> usize {
+    let work = total_ports.max(n);
+    available_parallelism()
+        .min(work.div_ceil(ADAPTIVE_MIN_PORTS_PER_WORKER))
+        .clamp(1, n.max(1))
+}
+
+/// Uniform node-count chunks, exactly the historical `Parallel` chunking: `threads`
+/// ranges of `ceil(n / threads)` nodes (the last possibly shorter). A single chunk is
+/// returned as the empty plan, which the round loop runs inline.
+fn uniform_chunks(n: usize, threads: usize) -> Vec<Range<usize>> {
+    if threads <= 1 || n == 0 {
+        return Vec::new();
+    }
+    let chunk_size = n.div_ceil(threads).max(1);
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + chunk_size).min(n);
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+/// Chunks balanced by degree sum: consecutive node ranges each covering roughly
+/// `total_ports / threads` port slots, computed from the port-offset table. On
+/// irregular-degree graphs this keeps per-worker phase cost even where node-count
+/// chunking would not. Returns the empty plan (run inline) for a single chunk.
+fn degree_balanced_chunks(offsets: &[usize], threads: usize) -> Vec<Range<usize>> {
+    let n = offsets.len() - 1;
+    if threads <= 1 || n == 0 {
+        return Vec::new();
+    }
+    let total = offsets[n];
+    let target = total.div_ceil(threads).max(1);
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    let mut next_cut = target;
+    for v in 0..n {
+        if offsets[v + 1] >= next_cut && v + 1 > start {
+            ranges.push(start..v + 1);
+            start = v + 1;
+            next_cut = offsets[v + 1] + target;
+        }
+    }
+    if start < n {
+        ranges.push(start..n);
+    }
+    ranges
+}
+
+/// The chunked round loop shared by [`Backend::Sequential`], [`Backend::Parallel`]
+/// and [`Backend::AdaptiveParallel`]: an empty `chunks` plan runs every phase inline;
+/// otherwise send/receive are split over one scoped worker thread per range. Routing
+/// is always the sequential shared [`route_messages`] pass.
+fn run_chunked<F>(
+    graph: &PortGraph,
+    factory: &F,
+    rounds: usize,
+    chunks: Vec<Range<usize>>,
+) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
+where
+    F: AlgorithmFactory,
+{
+    let mut nodes: Vec<F::Algo> = graph
+        .nodes()
+        .map(|v| factory.create(graph.degree(v)))
+        .collect();
+    let mut messages_delivered = 0usize;
+    // Inbox buffers are allocated once, up front, and reused every round: the
+    // routing phase clears and refills the slots in place, so the routing hot path
+    // performs no per-round allocation (this matters at n ≳ 10⁵, where one
+    // `Vec` per node per round used to dominate).
+    let mut inboxes: Vec<Vec<Option<<F::Algo as NodeAlgorithm>::Message>>> =
+        graph.nodes().map(|v| vec![None; graph.degree(v)]).collect();
+
+    for round in 1..=rounds {
+        // Send phase.
+        let outboxes = if chunks.is_empty() {
+            nodes.iter_mut().map(|node| node.send(round)).collect()
+        } else {
+            parallel_send(&mut nodes, round, &chunks)
+        };
+        // Routing phase (shared by every chunked backend; see the module docs).
+        route_messages(graph, &outboxes, &mut inboxes, &mut messages_delivered);
+        // Receive phase.
+        if chunks.is_empty() {
+            for (node, inbox) in nodes.iter_mut().zip(inboxes.iter_mut()) {
+                node.receive(round, inbox);
+            }
+        } else {
+            parallel_receive(&mut nodes, &mut inboxes, round, &chunks);
+        }
+    }
+
+    RunOutcome {
+        outputs: nodes.iter().map(|n| n.output()).collect(),
+        report: RunReport {
+            rounds,
+            messages_delivered,
+        },
+    }
+}
+
+/// The [`Backend::Batching`] round loop: flat outbox/inbox arenas indexed by the
+/// port-offset table, routed in one linear pass over the flat route table. The only
+/// allocations are the two arenas and the tables, once per run; every round after
+/// that reuses them in place (provided the algorithm overrides
+/// [`NodeAlgorithm::send_into`]; the default writes through a temporary from
+/// [`NodeAlgorithm::send`]).
+fn run_batched<F>(
+    graph: &PortGraph,
+    factory: &F,
+    rounds: usize,
+) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
+where
+    F: AlgorithmFactory,
+{
+    let offsets = graph.port_offsets();
+    let route = graph.flat_route_table_with(&offsets);
+    let total = route.len();
+    let mut nodes: Vec<F::Algo> = graph
+        .nodes()
+        .map(|v| factory.create(graph.degree(v)))
+        .collect();
+    let mut out_arena: Vec<Option<<F::Algo as NodeAlgorithm>::Message>> = vec![None; total];
+    let mut in_arena: Vec<Option<<F::Algo as NodeAlgorithm>::Message>> = vec![None; total];
+    let mut messages_delivered = 0usize;
+
+    for round in 1..=rounds {
+        // Send phase: every node writes its arena slice directly.
+        for (node, window) in nodes.iter_mut().zip(offsets.windows(2)) {
+            node.send_into(round, &mut out_arena[window[0]..window[1]]);
+        }
+        // Routing phase: clear the inbox arena (receivers may have left residue and
+        // silent ports must read `None`), then move each message to the far end of
+        // its edge — a cache-friendly linear pass over one buffer.
+        for slot in in_arena.iter_mut() {
+            *slot = None;
+        }
+        for (slot, &dest) in out_arena.iter_mut().zip(route.iter()) {
+            if let Some(message) = slot.take() {
+                in_arena[dest] = Some(message);
+                messages_delivered += 1;
+            }
+        }
+        // Receive phase: every node reads its arena slice in place.
+        for (node, window) in nodes.iter_mut().zip(offsets.windows(2)) {
+            node.receive(round, &mut in_arena[window[0]..window[1]]);
+        }
+    }
+
+    RunOutcome {
+        outputs: nodes.iter().map(|n| n.output()).collect(),
+        report: RunReport {
+            rounds,
+            messages_delivered,
+        },
+    }
+}
+
+/// The routing phase of the chunked backends: `inbox[u][q] = outbox[v][p]` whenever
 /// `(u, q)` is across port `p` of `v`. Increments `messages_delivered` once per
-/// delivered message. Exactly the loop that used to be copy-pasted between `run` and
-/// `run_parallel` — except that it now fills caller-owned inbox buffers in place
-/// instead of allocating fresh ones, so the round loop reuses one set of buffers for
-/// the whole run.
+/// delivered message, and fills caller-owned inbox buffers in place instead of
+/// allocating fresh ones, so the round loop reuses one set of buffers for the whole
+/// run. ([`Backend::Batching`] performs the same routing as a linear pass over its
+/// flat arenas instead.)
 pub(crate) fn route_messages<M: Clone>(
     graph: &PortGraph,
     outboxes: &[Vec<Option<M>>],
@@ -180,16 +400,32 @@ pub(crate) fn route_messages<M: Clone>(
     }
 }
 
-/// Send phase split over scoped worker threads; outboxes are reassembled in node order.
+/// Split a mutable slice at the given contiguous ranges (which must cover
+/// `0..slice.len()` in order), yielding one sub-slice per range.
+fn split_by_ranges<'a, T>(mut slice: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&'a mut [T]> {
+    let mut parts = Vec::with_capacity(ranges.len());
+    let mut consumed = 0usize;
+    for range in ranges {
+        let (head, tail) = slice.split_at_mut(range.end - consumed);
+        consumed = range.end;
+        parts.push(head);
+        slice = tail;
+    }
+    debug_assert!(slice.is_empty(), "chunk plan must cover every node");
+    parts
+}
+
+/// Send phase split over scoped worker threads (one per chunk of the plan); outboxes
+/// are reassembled in node order.
 fn parallel_send<A: NodeAlgorithm>(
     nodes: &mut [A],
     round: usize,
-    chunk_size: usize,
+    chunks: &[Range<usize>],
 ) -> Vec<Vec<Option<A::Message>>> {
     let mut outboxes = Vec::with_capacity(nodes.len());
     std::thread::scope(|scope| {
-        let handles: Vec<_> = nodes
-            .chunks_mut(chunk_size)
+        let handles: Vec<_> = split_by_ranges(nodes, chunks)
+            .into_iter()
             .map(|chunk| {
                 scope.spawn(move || {
                     chunk
@@ -212,12 +448,12 @@ fn parallel_receive<A: NodeAlgorithm>(
     nodes: &mut [A],
     inboxes: &mut [Vec<Option<A::Message>>],
     round: usize,
-    chunk_size: usize,
+    chunks: &[Range<usize>],
 ) {
     std::thread::scope(|scope| {
-        let handles: Vec<_> = nodes
-            .chunks_mut(chunk_size)
-            .zip(inboxes.chunks_mut(chunk_size))
+        let handles: Vec<_> = split_by_ranges(nodes, chunks)
+            .into_iter()
+            .zip(split_by_ranges(inboxes, chunks))
             .map(|(node_chunk, inbox_chunk)| {
                 scope.spawn(move || {
                     for (node, inbox) in node_chunk.iter_mut().zip(inbox_chunk.iter_mut()) {
@@ -230,4 +466,83 @@ fn parallel_receive<A: NodeAlgorithm>(
             h.join().expect("receive worker panicked");
         }
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_constructor_normalizes_zero_threads() {
+        assert_eq!(Backend::parallel(0), Backend::Parallel { threads: 1 });
+        assert_eq!(Backend::parallel(3), Backend::Parallel { threads: 3 });
+    }
+
+    #[test]
+    fn labels_agree_with_execution_for_zero_threads() {
+        // Regression: `Parallel { threads: 0 }` is clamped to one thread inside the
+        // round loop, so its label must say `par1`, not `par0`.
+        let raw = Backend::Parallel { threads: 0 };
+        assert_eq!(raw.label(), "par1");
+        assert_eq!(raw.effective_threads(), 1);
+        assert_eq!(raw.label(), Backend::parallel(0).label());
+        assert_eq!(Backend::Parallel { threads: 4 }.label(), "par4");
+    }
+
+    #[test]
+    fn backend_labels_are_distinct_and_stable() {
+        assert_eq!(Backend::Sequential.label(), "seq");
+        assert_eq!(Backend::Batching.label(), "batch");
+        assert_eq!(Backend::AdaptiveParallel.label(), "adaptive");
+        let labels: Vec<String> = Backend::smoke_set().iter().map(|b| b.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "{labels:?}");
+    }
+
+    #[test]
+    fn smoke_set_includes_the_arena_backends() {
+        let set = Backend::smoke_set();
+        assert!(set.contains(&Backend::Batching));
+        assert!(set.contains(&Backend::AdaptiveParallel));
+        assert!(set.contains(&Backend::Sequential));
+    }
+
+    #[test]
+    fn uniform_chunks_cover_the_node_range() {
+        assert!(uniform_chunks(10, 1).is_empty());
+        assert!(uniform_chunks(0, 4).is_empty());
+        let chunks = uniform_chunks(10, 3);
+        assert_eq!(chunks, vec![0..4, 4..8, 8..10]);
+        let chunks = uniform_chunks(3, 7);
+        assert_eq!(chunks, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn degree_balanced_chunks_split_by_port_count() {
+        // A "heavy head": one node with 6 ports, then six nodes of 1 port. Node-count
+        // chunking would put half the ports in the first worker; degree-balanced
+        // chunking cuts after the heavy node.
+        let offsets = vec![0, 6, 7, 8, 9, 10, 11, 12];
+        let chunks = degree_balanced_chunks(&offsets, 2);
+        assert_eq!(chunks.first(), Some(&(0..1)));
+        let covered: usize = chunks.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 7);
+        assert!(chunks.windows(2).all(|w| w[0].end == w[1].start));
+        assert!(degree_balanced_chunks(&offsets, 1).is_empty());
+    }
+
+    #[test]
+    fn adaptive_threads_stay_sequential_on_tiny_graphs() {
+        assert_eq!(adaptive_threads(1, 0), 1);
+        assert_eq!(adaptive_threads(10, 30), 1);
+        // Huge work unlocks up to the machine ceiling, but never more than n.
+        let big = adaptive_threads(1 << 20, 1 << 22);
+        assert!(big >= 1 && big <= available_parallelism());
+        assert_eq!(
+            adaptive_threads(2, usize::MAX / 2),
+            2.min(available_parallelism()).max(1)
+        );
+    }
 }

@@ -61,6 +61,14 @@ impl NodeAlgorithm for ViewCollector {
             .collect()
     }
 
+    fn send_into(&mut self, _round: usize, outbox: &mut [Option<ViewMessage>]) {
+        // Arena-backend fast path: write the per-port messages straight into the
+        // engine-owned slots, skipping the intermediate vector of `send`.
+        for (p, slot) in outbox.iter_mut().enumerate() {
+            *slot = Some((p as Port, self.view.clone()));
+        }
+    }
+
     fn receive(&mut self, _round: usize, inbox: &mut [Option<ViewMessage>]) {
         let children = inbox
             .iter_mut()

@@ -10,12 +10,13 @@
 //!
 //! * [`model`] — the [`model::NodeAlgorithm`] / [`model::AlgorithmFactory`] traits that
 //!   distributed algorithms implement,
-//! * [`backend`] — the execution backends: [`Backend::Sequential`] and
-//!   [`Backend::Parallel`] share one round engine (send → route → receive) and differ
-//!   only in how the per-node phases are scheduled; the [`Simulator`] trait abstracts
-//!   over them for higher layers such as the `ElectionEngine` facade in `anet-core`,
-//! * [`runner`] — run reports plus the deprecated free-function entry points `run` /
-//!   `run_parallel` (shims over [`Backend`]),
+//! * [`backend`] — the execution backends: [`Backend::Sequential`],
+//!   [`Backend::Parallel`], the arena-based [`Backend::Batching`] and the
+//!   chunk-size-adaptive [`Backend::AdaptiveParallel`] share one round structure
+//!   (send → route → receive) and differ only in how the phases are scheduled and
+//!   where the message buffers live; the [`Simulator`] trait abstracts over them for
+//!   higher layers such as the `ElectionEngine` facade in `anet-core`,
+//! * [`runner`] — the [`runner::RunOutcome`] / [`runner::RunReport`] result types,
 //! * [`full_info`] — the *full-information* algorithm in which every node forwards
 //!   everything it knows each round; after `r` rounds its knowledge is exactly the
 //!   augmented truncated view `B^r(v)`, which is the information-theoretic ceiling the
@@ -36,5 +37,4 @@ pub use full_info::{
     run_full_information, run_full_information_on, ViewCollector, ViewCollectorFactory,
 };
 pub use model::{AlgorithmFactory, NodeAlgorithm};
-#[allow(deprecated)]
-pub use runner::{run, run_parallel, RunOutcome, RunReport};
+pub use runner::{RunOutcome, RunReport};

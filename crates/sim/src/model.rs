@@ -20,6 +20,27 @@ pub trait NodeAlgorithm: Send {
     /// remaining ports".
     fn send(&mut self, round: usize) -> Vec<Option<Self::Message>>;
 
+    /// Write the round-`round` messages directly into `outbox` (one slot per local
+    /// port, engine-owned and reused across rounds) instead of returning a fresh
+    /// vector. The arena-based backends ([`Backend::Batching`] and friends) call this
+    /// in their send phase; the default implementation delegates to
+    /// [`NodeAlgorithm::send`] and copies, so existing algorithms keep working —
+    /// override it to make the send phase allocation-free. Entries beyond
+    /// `outbox.len()` (i.e. beyond the node's degree) are dropped, exactly as the
+    /// routing phase drops them for [`NodeAlgorithm::send`].
+    ///
+    /// [`Backend::Batching`]: crate::Backend::Batching
+    fn send_into(&mut self, round: usize, outbox: &mut [Option<Self::Message>]) {
+        let mut messages = self.send(round);
+        let filled = messages.len().min(outbox.len());
+        for (slot, message) in outbox.iter_mut().zip(messages.drain(..filled)) {
+            *slot = message;
+        }
+        for slot in outbox[filled..].iter_mut() {
+            *slot = None;
+        }
+    }
+
     /// Consume the messages delivered in round `round`; `inbox[p]` is the message that
     /// arrived through local port `p`, if any. The slice is a buffer owned by the
     /// round engine and reused across rounds (so large runs do not reallocate one

@@ -1,12 +1,9 @@
-//! Run reports and the legacy free-function entry points.
+//! Run reports: the uniform result types of every backend.
 //!
-//! The synchronous round engine itself lives in [`crate::backend`]; the free
-//! functions [`run`] and [`run_parallel`] are kept as deprecated shims delegating to
-//! [`Backend`](crate::Backend) so existing callers migrate incrementally.
-
-use crate::backend::Backend;
-use crate::model::{AlgorithmFactory, NodeAlgorithm};
-use anet_graph::PortGraph;
+//! The synchronous round engine itself lives in [`crate::backend`]. The historical
+//! free-function entry points `run` / `run_parallel` went through a deprecation cycle
+//! and are gone; use [`Backend::run`](crate::Backend::run) (or the `ElectionEngine`
+//! facade in `anet-core`) instead.
 
 /// Statistics about a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,45 +24,9 @@ pub struct RunOutcome<O> {
     pub report: RunReport,
 }
 
-/// Run `factory`'s algorithm on `graph` for `rounds` synchronous rounds, sequentially.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Backend::Sequential.run(graph, factory, rounds)` (or the `ElectionEngine` facade in anet-core)"
-)]
-pub fn run<F>(
-    graph: &PortGraph,
-    factory: &F,
-    rounds: usize,
-) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
-where
-    F: AlgorithmFactory,
-{
-    Backend::Sequential.run(graph, factory, rounds)
-}
-
-/// Run the algorithm with the send/receive phases parallelised across `threads`
-/// worker threads. Semantically identical to [`run`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Backend::Parallel { threads }.run(graph, factory, rounds)` (or the `ElectionEngine` facade in anet-core)"
-)]
-pub fn run_parallel<F>(
-    graph: &PortGraph,
-    factory: &F,
-    rounds: usize,
-    threads: usize,
-) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
-where
-    F: AlgorithmFactory,
-    F::Algo: Send,
-    <F::Algo as NodeAlgorithm>::Message: Sync,
-{
-    Backend::Parallel { threads }.run(graph, factory, rounds)
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::backend::Backend;
     use crate::model::NodeAlgorithm;
     use anet_graph::generators;
 
@@ -157,19 +118,6 @@ mod tests {
             assert_eq!(out.outputs, seq.outputs, "{backend}");
             assert_eq!(out.report, seq.report, "{backend}");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_the_backend_engine() {
-        let g = generators::symmetric_ring(5).unwrap();
-        let via_shim = run(&g, &flood_factory, 3);
-        let via_backend = Backend::Sequential.run(&g, &flood_factory, 3);
-        assert_eq!(via_shim.outputs, via_backend.outputs);
-        assert_eq!(via_shim.report, via_backend.report);
-        let par_shim = run_parallel(&g, &flood_factory, 3, 2);
-        assert_eq!(par_shim.outputs, via_backend.outputs);
-        assert_eq!(par_shim.report, via_backend.report);
     }
 
     /// An algorithm that echoes what it receives, used to check that port routing is

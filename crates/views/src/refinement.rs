@@ -27,19 +27,57 @@ pub type JointNode = (usize, NodeId);
 
 /// View-equivalence classes at every depth for a *collection* of graphs considered
 /// together (equivalently: for their disjoint union).
+///
+/// # Arena layout
+///
+/// The per-depth class rows live in **one flat arena** (`classes`, depth-major with
+/// stride `total`), and the refinement loop builds each depth's signatures into one
+/// reused flat signature arena indexed by a port-offset table — node `v`'s signature
+/// occupies the slice `sig_offsets[v]..sig_offsets[v+1]` (length `1 + 2·deg(v)`).
+/// Dense class ids are assigned by sorting a reused index permutation by signature
+/// slice, so a refinement step performs **no per-node allocation** (the historical
+/// implementation allocated one signature `Vec` per node per depth plus a
+/// `HashMap<Vec<u32>, u32>` of owned keys, which dominated on the 132k-node `J`
+/// template).
 #[derive(Debug, Clone)]
 pub struct JointRefinement {
     /// Number of nodes of each graph, in order.
     sizes: Vec<usize>,
     /// Prefix sums of `sizes` (flat indexing).
     offsets: Vec<usize>,
-    /// `classes[h][flat(v)]` = dense class id of `v` at depth `h`, for `h ≤ computed_depth`.
-    classes: Vec<Vec<u32>>,
+    /// Total number of nodes across all graphs (the arena stride).
+    total: usize,
+    /// Flat class arena: the dense class id of flat node `v` at depth `h` is
+    /// `classes[h * total + v]`, for `h ≤ computed_depth`.
+    classes: Vec<u32>,
     /// Number of distinct classes at each computed depth.
     counts: Vec<usize>,
     /// First depth at which the partition stopped refining (classes at any larger depth
     /// equal the classes at this depth).
     stable_depth: usize,
+}
+
+/// Assign dense class ids to `0..row.len()` by their signature slices in `sig_arena`
+/// (node `i`'s signature is `sig_arena[sig_offsets[i]..sig_offsets[i + 1]]`): sort the
+/// reused `order` permutation by signature and number the runs of equal signatures.
+/// Returns the number of distinct classes. Ids are deterministic (signature-sorted
+/// order) but otherwise arbitrary, exactly like the insertion-order ids they replace.
+fn assign_dense_ids(
+    sig_arena: &[u32],
+    sig_offsets: &[usize],
+    order: &mut [u32],
+    row: &mut [u32],
+) -> usize {
+    let sig = |i: u32| &sig_arena[sig_offsets[i as usize]..sig_offsets[i as usize + 1]];
+    order.sort_unstable_by(|&a, &b| sig(a).cmp(sig(b)));
+    let mut next_id = 0u32;
+    for k in 0..order.len() {
+        if k > 0 && sig(order[k - 1]) != sig(order[k]) {
+            next_id += 1;
+        }
+        row[order[k] as usize] = next_id;
+    }
+    next_id as usize + 1
 }
 
 impl JointRefinement {
@@ -68,23 +106,47 @@ impl JointRefinement {
             total += s;
         }
 
-        // Depth 0: classes by degree.
-        let mut classes: Vec<Vec<u32>> = Vec::new();
+        // Per-node signature ranges in the flat signature arena: 1 slot for the
+        // node's previous class + 2 per port (far port, neighbour's previous class).
+        let mut sig_offsets = Vec::with_capacity(total + 1);
+        let mut sig_total = 0usize;
+        for g in graphs {
+            for v in g.nodes() {
+                sig_offsets.push(sig_total);
+                sig_total += 1 + 2 * g.degree(v);
+            }
+        }
+        sig_offsets.push(sig_total);
+
+        // All buffers of the refinement loop, allocated once for the whole run.
+        let mut sig_arena = vec![0u32; sig_total];
+        let mut order: Vec<u32> = (0..total as u32).collect();
+        let mut row = vec![0u32; total];
+        let mut classes: Vec<u32> = Vec::new();
         let mut counts: Vec<usize> = Vec::new();
-        let mut current = vec![0u32; total];
+
+        // Depth 0: classes by degree (a length-1 "signature" per node — write the
+        // degree into the first slot of each node's range and compare those).
         {
-            let mut ids: HashMap<usize, u32> = HashMap::new();
-            for (gi, g) in graphs.iter().enumerate() {
+            let mut flat = 0usize;
+            for g in graphs {
                 for v in g.nodes() {
-                    let deg = g.degree(v);
-                    let next = ids.len() as u32;
-                    let id = *ids.entry(deg).or_insert(next);
-                    current[offsets[gi] + v as usize] = id;
+                    sig_arena[sig_offsets[flat]] = g.degree(v) as u32;
+                    flat += 1;
                 }
             }
-            counts.push(ids.len());
+            let deg_of = |i: u32| sig_arena[sig_offsets[i as usize]];
+            order.sort_unstable_by_key(|&i| deg_of(i));
+            let mut next_id = 0u32;
+            for k in 0..order.len() {
+                if k > 0 && deg_of(order[k - 1]) != deg_of(order[k]) {
+                    next_id += 1;
+                }
+                row[order[k] as usize] = next_id;
+            }
+            counts.push(next_id as usize + 1);
+            classes.extend_from_slice(&row);
         }
-        classes.push(current.clone());
 
         // Is some class at the given level a singleton?
         let has_singleton = |row: &[u32], num_classes: usize| -> bool {
@@ -98,11 +160,12 @@ impl JointRefinement {
         let mut stable_depth = 0usize;
         let hard_cap = max_depth.unwrap_or(total.max(1));
         let mut depth = 0usize;
-        if stop_on_unique && has_singleton(&current, counts[0]) {
+        if stop_on_unique && has_singleton(&row, counts[0]) {
             // ψ_S = 0: the degree sequence already singles a node out.
             return JointRefinement {
                 sizes,
                 offsets,
+                total,
                 classes,
                 counts,
                 stable_depth,
@@ -111,28 +174,29 @@ impl JointRefinement {
         while depth < hard_cap {
             depth += 1;
             // Signature of v: (previous class of v is implied; include it anyway to be
-            // robust) + per-port (far port, previous class of neighbour).
-            let mut ids: HashMap<Vec<u32>, u32> = HashMap::new();
-            let mut next = vec![0u32; total];
-            for (gi, g) in graphs.iter().enumerate() {
-                for v in g.nodes() {
-                    let flat = offsets[gi] + v as usize;
-                    let mut sig = Vec::with_capacity(2 + 2 * g.degree(v));
-                    sig.push(current[flat]);
-                    for (_, u, q) in g.ports(v) {
-                        sig.push(q);
-                        sig.push(current[offsets[gi] + u as usize]);
+            // robust) + per-port (far port, previous class of neighbour) — written in
+            // place into the reused signature arena.
+            {
+                let current = &classes[(depth - 1) * total..depth * total];
+                let mut flat = 0usize;
+                for (gi, g) in graphs.iter().enumerate() {
+                    for v in g.nodes() {
+                        let mut slot = sig_offsets[flat];
+                        sig_arena[slot] = current[flat];
+                        slot += 1;
+                        for (_, u, q) in g.ports(v) {
+                            sig_arena[slot] = q;
+                            sig_arena[slot + 1] = current[offsets[gi] + u as usize];
+                            slot += 2;
+                        }
+                        flat += 1;
                     }
-                    let fresh = ids.len() as u32;
-                    let id = *ids.entry(sig).or_insert(fresh);
-                    next[flat] = id;
                 }
             }
-            let count = ids.len();
+            let count = assign_dense_ids(&sig_arena, &sig_offsets, &mut order, &mut row);
             let stabilised = count == *counts.last().expect("non-empty");
             counts.push(count);
-            classes.push(next.clone());
-            current = next;
+            classes.extend_from_slice(&row);
             if stabilised {
                 stable_depth = depth - 1;
                 // The partition at `depth` equals the one at `depth − 1`; anything
@@ -142,7 +206,7 @@ impl JointRefinement {
                 break;
             }
             stable_depth = depth;
-            if stop_on_unique && has_singleton(&current, count) {
+            if stop_on_unique && has_singleton(&row, count) {
                 // A unique view exists at this depth; callers that set this flag only
                 // need the partition up to here. NOTE: in this mode `stable_depth()` is
                 // merely the deepest computed level, not the true stabilisation depth.
@@ -153,6 +217,7 @@ impl JointRefinement {
         JointRefinement {
             sizes,
             offsets,
+            total,
             classes,
             counts,
             stable_depth,
@@ -170,9 +235,17 @@ impl JointRefinement {
         self.offsets[gi] + v as usize
     }
 
+    /// The class row of one depth in the flat arena (clamped to the computed range).
+    fn row(&self, depth: usize) -> &[u32] {
+        let d = depth.min(self.computed_depth());
+        &self.classes[d * self.total..(d + 1) * self.total]
+    }
+
     /// The largest depth that was explicitly computed.
     pub fn computed_depth(&self) -> usize {
-        self.classes.len() - 1
+        // `total ≥ 1` always (the collection is non-empty and `PortGraph` rejects
+        // empty graphs), so at least the depth-0 row exists; saturate anyway.
+        (self.classes.len() / self.total.max(1)).saturating_sub(1)
     }
 
     /// Depth at which the partition became stable (no further refinement happens at
@@ -185,8 +258,8 @@ impl JointRefinement {
     /// Class id of a node at a given depth. Depths beyond the computed range return the
     /// class at the deepest computed level (correct once the partition is stable).
     pub fn class_at(&self, node: JointNode, depth: usize) -> u32 {
-        let d = depth.min(self.computed_depth());
-        self.classes[d][self.flat(node)]
+        let flat = self.flat(node);
+        self.row(depth)[flat]
     }
 
     /// Number of distinct classes at a depth (clamped like [`Self::class_at`]).
@@ -203,8 +276,7 @@ impl JointRefinement {
     /// Number of nodes (across all graphs) sharing the class of `node` at `depth`.
     pub fn multiplicity(&self, node: JointNode, depth: usize) -> usize {
         let c = self.class_at(node, depth);
-        let d = depth.min(self.computed_depth());
-        self.classes[d].iter().filter(|&&x| x == c).count()
+        self.row(depth).iter().filter(|&&x| x == c).count()
     }
 
     /// Is the view of `node` at `depth` unique across all graphs of the collection?
@@ -214,8 +286,7 @@ impl JointRefinement {
 
     /// All nodes (as [`JointNode`]) whose class at `depth` is a singleton.
     pub fn unique_nodes_at(&self, depth: usize) -> Vec<JointNode> {
-        let d = depth.min(self.computed_depth());
-        let row = &self.classes[d];
+        let row = self.row(depth);
         let mut freq: HashMap<u32, usize> = HashMap::new();
         for &c in row {
             *freq.entry(c).or_insert(0) += 1;
@@ -235,8 +306,7 @@ impl JointRefinement {
     /// Group the nodes of graph `gi` by class at `depth`, returning the classes as
     /// lists of node ids (order of classes unspecified but deterministic).
     pub fn classes_of_graph(&self, gi: usize, depth: usize) -> Vec<Vec<NodeId>> {
-        let d = depth.min(self.computed_depth());
-        let row = &self.classes[d];
+        let row = self.row(depth);
         let mut map: HashMap<u32, Vec<NodeId>> = HashMap::new();
         for v in 0..self.sizes[gi] {
             map.entry(row[self.offsets[gi] + v])

@@ -344,18 +344,42 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| JsonError::at(*pos, "truncated \\u escape"))?;
-                        let hex = std::str::from_utf8(hex)
-                            .map_err(|_| JsonError::at(*pos, "invalid \\u escape"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| JsonError::at(*pos, "invalid \\u escape"))?;
-                        // Surrogates are not emitted by the writer; reject them.
-                        let c = char::from_u32(code)
-                            .ok_or_else(|| JsonError::at(*pos, "invalid code point"))?;
-                        out.push(c);
+                        let code = parse_hex4(bytes, *pos)?;
                         *pos += 4;
+                        let c = match code {
+                            // A high surrogate must be followed by `\uDC00..=\uDFFF`;
+                            // the pair combines into one supplementary-plane scalar.
+                            // (The writer emits such characters raw, but standard JSON
+                            // emitters escape them as pairs, and the parser must read
+                            // both spellings identically.)
+                            0xD800..=0xDBFF => {
+                                if bytes.get(*pos + 1) != Some(&b'\\')
+                                    || bytes.get(*pos + 2) != Some(&b'u')
+                                {
+                                    return Err(JsonError::at(
+                                        *pos,
+                                        "unpaired high surrogate (expected a \\uDC00..\\uDFFF low surrogate)",
+                                    ));
+                                }
+                                let low = parse_hex4(bytes, *pos + 2)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(JsonError::at(
+                                        *pos + 2,
+                                        "high surrogate followed by a non-low-surrogate escape",
+                                    ));
+                                }
+                                *pos += 6;
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .expect("surrogate pairs combine to valid scalars")
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(JsonError::at(*pos, "unpaired low surrogate"))
+                            }
+                            code => char::from_u32(code)
+                                .ok_or_else(|| JsonError::at(*pos, "invalid code point"))?,
+                        };
+                        out.push(c);
                     }
                     _ => return Err(JsonError::at(*pos, "invalid escape")),
                 }
@@ -378,6 +402,20 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
             }
         }
     }
+}
+
+/// Read the four hex digits of a `\uXXXX` escape; `u_pos` is the position of the `u`.
+/// All four bytes must be ASCII hex digits (`u32::from_str_radix` alone would also
+/// accept a leading `+`, which JSON forbids).
+fn parse_hex4(bytes: &[u8], u_pos: usize) -> Result<u32, JsonError> {
+    let hex = bytes
+        .get(u_pos + 1..u_pos + 5)
+        .ok_or_else(|| JsonError::at(u_pos, "truncated \\u escape"))?;
+    if !hex.iter().all(|b| b.is_ascii_hexdigit()) {
+        return Err(JsonError::at(u_pos, "invalid \\u escape"));
+    }
+    let hex = std::str::from_utf8(hex).expect("hex digits are ASCII");
+    u32::from_str_radix(hex, 16).map_err(|_| JsonError::at(u_pos, "invalid \\u escape"))
 }
 
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
@@ -440,6 +478,101 @@ mod tests {
         round_trips(Json::str("quote \" backslash \\ newline \n tab \t"));
         round_trips(Json::str("unicode: Δ ψ × ρ"));
         round_trips(Json::str("control \u{1}"));
+        // Supplementary-plane scalars (the writer emits them raw).
+        round_trips(Json::str("emoji \u{1F600} and music \u{1D11E}"));
+        round_trips(Json::str("\u{10FFFF}\u{0}\u{7f}"));
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_parse_to_supplementary_scalars() {
+        // Standard JSON emitters escape astral characters as surrogate pairs; the
+        // parser must read both spellings identically even though our writer emits
+        // such characters raw.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::str("\u{1F600}")
+        );
+        assert_eq!(
+            Json::parse("\"\\uD834\\uDD1E\"").unwrap(),
+            Json::str("\u{1D11E}")
+        );
+        // Mixed case, adjacent to ordinary content.
+        assert_eq!(
+            Json::parse("\"x\\uD83D\\uDE00y\\u0041\"").unwrap(),
+            Json::str("x\u{1F600}yA")
+        );
+        // Maximum code point U+10FFFF = D BFF / DFFF.
+        assert_eq!(
+            Json::parse("\"\\udbff\\udfff\"").unwrap(),
+            Json::str("\u{10FFFF}")
+        );
+    }
+
+    #[test]
+    fn lone_and_malformed_surrogates_are_rejected() {
+        for bad in [
+            "\"\\ud800\"",        // unpaired high surrogate at end of string
+            "\"\\ud800x\"",       // high surrogate followed by a plain char
+            "\"\\ud800\\n\"",     // high surrogate followed by a non-\u escape
+            "\"\\ud800\\ud800\"", // high followed by another high
+            "\"\\ude00\"",        // lone low surrogate
+            "\"\\ude00\\ud83d\"", // pair in the wrong order
+            "\"\\ud83d\\u0041\"", // high surrogate + non-surrogate escape
+            "\"\\u+123\"",        // sign is not a hex digit
+            "\"\\u12g4\"",        // non-hex digit
+            "\"\\u123\"",         // truncated
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    /// Deterministic adversarial string generator for the round-trip property test:
+    /// mixes every escape-relevant class (quotes, backslashes, control characters,
+    /// BMP text, astral scalars, `\u`-spelled literals) using the same SplitMix64
+    /// generator the graph crate uses.
+    fn adversarial_string(rng: &mut anet_graph::rng::Rng, len: usize) -> String {
+        let mut s = String::new();
+        for _ in 0..len {
+            match rng.below(10) {
+                0 => s.push('"'),
+                1 => s.push('\\'),
+                2 => s.push(char::from_u32(rng.below(0x20) as u32).unwrap()),
+                3 => s.push('\u{1F600}'),
+                4 => s.push('\u{10FFFF}'),
+                5 => s.push_str("\\u0041"), // literal backslash-u text, not an escape
+                6 => s.push('\u{7f}'),
+                7 => s.push(char::from_u32(0xD7FF).unwrap()), // last pre-surrogate BMP
+                8 => s.push('\u{E000}'),                      // first post-surrogate BMP
+                _ => {
+                    // A random valid scalar: skip the surrogate gap.
+                    let raw = rng.below(0x110000 - 0x800) as u32;
+                    let code = if raw >= 0xD800 { raw + 0x800 } else { raw };
+                    s.push(char::from_u32(code).expect("gap skipped"));
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn adversarial_strings_round_trip_through_write_then_parse() {
+        let mut rng = anet_graph::rng::Rng::seed(0x1057_AB1E);
+        for len in 0..64usize {
+            let s = adversarial_string(&mut rng, len);
+            let value = Json::str(s.clone());
+            let compact = value.render();
+            assert_eq!(
+                Json::parse(&compact).unwrap(),
+                value,
+                "len {len}: {compact:?}"
+            );
+            let pretty = Json::Object(vec![(s.clone(), value.clone())]).render_pretty();
+            assert_eq!(
+                Json::parse(&pretty).unwrap(),
+                Json::Object(vec![(s, value)]),
+                "len {len} as key"
+            );
+        }
     }
 
     #[test]

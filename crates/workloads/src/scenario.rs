@@ -318,15 +318,18 @@ impl ScenarioRegistry {
     }
 
     /// The smoke grid: all four families at small sizes × all four shades × the map
-    /// solver, plus the advice pair on Selection and a parallel-backend axis — 28
+    /// solver, plus the advice pair on Selection and a backend axis covering every
+    /// execution strategy (fixed-thread parallel, arena batching, adaptive) — 36
     /// scenarios of ≤ 2 instances each, fast enough for CI.
     pub fn smoke() -> Self {
         Self::grid(
             || Self::grid_families(vec![16, 24], vec![(3, 4), (4, 4)], vec![3, 4], vec![15, 24]),
             &[
                 Backend::Sequential,
-                Backend::Parallel { threads: 2 },
-                Backend::Parallel { threads: 4 },
+                Backend::parallel(2),
+                Backend::parallel(4),
+                Backend::Batching,
+                Backend::AdaptiveParallel,
             ],
             2,
             2,
@@ -350,8 +353,10 @@ impl ScenarioRegistry {
             },
             &[
                 Backend::Sequential,
-                Backend::Parallel { threads: 4 },
-                Backend::Parallel { threads: 8 },
+                Backend::parallel(4),
+                Backend::parallel(8),
+                Backend::Batching,
+                Backend::AdaptiveParallel,
             ],
             4,
             2,
@@ -422,12 +427,14 @@ mod tests {
         for task in ["S", "PE", "PPE", "CPPE"] {
             assert!(names.contains(&format!("/{task}/map/seq")), "{task}");
         }
-        // Backend and solver axes appear.
+        // Backend and solver axes appear, including the arena-based backends.
         assert!(names.contains("/par2"));
         assert!(names.contains("/par4"));
+        assert!(names.contains("/batch"));
+        assert!(names.contains("/adaptive"));
         assert!(names.contains("/advice/"));
-        // 4 families × (4 map shades + 1 advice + 2 extra backends) = 28 scenarios.
-        assert_eq!(r.len(), 28);
+        // 4 families × (4 map shades + 1 advice + 4 extra backends) = 36 scenarios.
+        assert_eq!(r.len(), 36);
     }
 
     #[test]

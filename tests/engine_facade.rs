@@ -164,21 +164,24 @@ fn batch_sweep_respects_the_hierarchy_on_g_members() {
     }
 }
 
-/// Deprecated entry points still work and agree with the engine.
+/// The advice framework's backend-explicit entry point agrees with the facade (the
+/// deprecated shims `anet_sim::run`, `anet_sim::run_parallel` and
+/// `advice::run_with_advice` are gone; `run_with_advice_on` is the remaining low-level
+/// way to run an oracle/algorithm pair outside the engine).
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_agree_with_the_engine() {
+fn advice_entry_point_agrees_with_the_engine() {
     let g = four_shades::graph::generators::star(5).unwrap();
-    let old = four_shades::election::advice::run_with_advice(
+    let low_level = four_shades::election::advice::run_with_advice_on(
         &g,
         &four_shades::election::selection::SelectionOracle,
         &four_shades::election::selection::SelectionAlgorithm,
+        Backend::Sequential,
     );
     let new = Election::task(Task::Selection)
         .solver(AdviceSolver::theorem_2_2())
         .run(&g)
         .unwrap();
-    assert_eq!(old.outputs, new.outputs);
-    assert_eq!(old.rounds, new.rounds);
-    assert_eq!(old.advice.len(), new.advice_bits.unwrap());
+    assert_eq!(low_level.outputs, new.outputs);
+    assert_eq!(low_level.rounds, new.rounds);
+    assert_eq!(low_level.advice.len(), new.advice_bits.unwrap());
 }
