@@ -1,12 +1,101 @@
-//! P1 — performance of the views machinery: refinement, explicit view trees, and the
+//! P1 — performance of the views machinery: refinement, view construction (owned vs
+//! interned/shared), full-information collection (owned vs shared messages), and the
 //! advice encoding (Theorem 2.2's data path).
 //!
-//! Run with `cargo bench -p anet-bench --bench bench_views`.
+//! The `full_info_{owned,shared}_*` pairs measure the PR-4 refactor directly: the
+//! owned collector is the seed's `ViewTree`-message implementation (deep clone per
+//! port per round, `Θ(m · Δ^r)` node copies), the shared collector is the production
+//! `ViewCollectorFactory` (an `Arc` bump per port, `O(deg)` graft per receive). Run
+//! at depth 3 on ≥10k-node symmetric workloads (2D torus, random 3-regular), where
+//! the owned clone traffic dominates.
+//!
+//! Run with `cargo bench -p anet-bench --bench bench_views`. Set
+//! `ANET_BENCH_JSON_DIR=<dir>` to also emit `BENCH_bench_views.json`
+//! (schema `anet-bench/v1`).
 
 use anet_bench::suite::scaling_suite;
 use anet_bench::Harness;
+use anet_constructions::GraphFamily;
+use anet_graph::{Port, PortGraph};
+use anet_sim::{AlgorithmFactory, Backend, NodeAlgorithm, ViewCollectorFactory};
 use anet_views::encoding::{decode_view, encode_view};
-use anet_views::{Refinement, ViewTree};
+use anet_views::{Refinement, ViewInterner, ViewTree};
+use anet_workloads::families::{RandomRegularFamily, TorusFamily};
+
+/// The seed's owned full-information collector, kept verbatim for the comparison:
+/// every send deep-clones the current `ViewTree` once per port.
+struct OwnedViewCollector {
+    degree: usize,
+    view: ViewTree,
+}
+
+impl NodeAlgorithm for OwnedViewCollector {
+    type Message = (Port, ViewTree);
+    type Output = usize;
+
+    fn send(&mut self, _round: usize) -> Vec<Option<(Port, ViewTree)>> {
+        (0..self.degree)
+            .map(|p| Some((p as Port, self.view.clone())))
+            .collect()
+    }
+
+    fn receive(&mut self, _round: usize, inbox: &mut [Option<(Port, ViewTree)>]) {
+        let children = inbox
+            .iter_mut()
+            .enumerate()
+            .map(|(p, msg)| {
+                let (far_port, far_view) = msg.take().expect("every neighbour sends");
+                (p as Port, far_port, far_view)
+            })
+            .collect();
+        self.view = ViewTree {
+            degree: self.degree as u32,
+            children,
+        };
+    }
+
+    fn output(&self) -> usize {
+        self.view.size()
+    }
+}
+
+struct OwnedViewCollectorFactory;
+
+impl AlgorithmFactory for OwnedViewCollectorFactory {
+    type Algo = OwnedViewCollector;
+
+    fn create(&self, degree: usize) -> OwnedViewCollector {
+        OwnedViewCollector {
+            degree,
+            view: ViewTree {
+                degree: degree as u32,
+                children: Vec::new(),
+            },
+        }
+    }
+}
+
+/// Owned-vs-shared full-information collection on one workload graph.
+fn bench_collection(h: &mut Harness, tag: &str, g: &PortGraph, depth: usize) {
+    h.bench(&format!("full_info_owned_{tag}_d{depth}"), 3, || {
+        Backend::Sequential
+            .run(g, &OwnedViewCollectorFactory, depth)
+            .outputs
+            .len()
+    });
+    h.bench(&format!("full_info_shared_{tag}_d{depth}"), 3, || {
+        Backend::Sequential
+            .run(g, &ViewCollectorFactory, depth)
+            .outputs
+            .len()
+    });
+    h.bench(&format!("full_info_shared_batch_{tag}_d{depth}"), 3, || {
+        Backend::Batching
+            .run(g, &ViewCollectorFactory, depth)
+            .outputs
+            .len()
+    });
+}
 
 fn main() {
     let mut h = Harness::new("views");
@@ -26,12 +115,32 @@ fn main() {
             || Refinement::compute_until_unique(&g).computed_depth(),
         );
     }
+
+    // Owned vs interned map-side construction: `ViewTree::build` materialises Δ^depth
+    // nodes for one root; `ViewInterner::build_all` produces the views of *all* nodes
+    // in O(n · depth · Δ) handle operations.
     let g = anet_graph::generators::random_connected(500, 5, 300, 7).unwrap();
     for depth in [1usize, 2, 3, 4] {
         h.bench(&format!("view_tree_build_depth{depth}"), 10, || {
             ViewTree::build(&g, 0, depth).size()
         });
+        h.bench(&format!("view_interned_build_all_depth{depth}"), 10, || {
+            ViewInterner::new().build_all(&g, depth).len()
+        });
     }
+
+    // The PR-4 comparison: full-information collection at depth 3 on ≥10k-node
+    // workloads — a 105×100 torus (10500 nodes, Δ = 4, seed-shuffled ports like the
+    // scenario grids) and a random 3-regular graph (10000 nodes).
+    let torus = TorusFamily::new(vec![(105, 100)])
+        .shuffled(41)
+        .instances(1)
+        .remove(0)
+        .graph;
+    bench_collection(&mut h, "torus105x100", &torus, 3);
+    let rr = RandomRegularFamily::new(3, vec![10_000], 0xA5EED).generate(10_000);
+    bench_collection(&mut h, "rr3_n10000", &rr, 3);
+
     let g = anet_graph::generators::random_connected(200, 5, 100, 9).unwrap();
     let view = ViewTree::build(&g, 0, 3);
     let encoded = encode_view(&view, 3);

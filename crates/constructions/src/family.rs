@@ -46,6 +46,18 @@ pub trait GraphFamily {
 
     /// Up to `max_instances` members of the family, smallest parameters first.
     fn instances(&self, max_instances: usize) -> Vec<FamilyInstance>;
+
+    /// A key under which [`instances`](GraphFamily::instances) results may be cached
+    /// and shared: two families with equal keys must enumerate identical instance
+    /// lists. Defaults to [`family_name`](GraphFamily::family_name), which is correct
+    /// whenever the name pins down every generation parameter (as for the paper's
+    /// `G`/`U`/`J` classes); families whose display name omits instance-selection
+    /// parameters (size or dimension lists, for example) must override this to
+    /// include them, or caches keyed on the name would silently serve one family's
+    /// graphs to another.
+    fn instance_cache_key(&self) -> String {
+        self.family_name()
+    }
 }
 
 // Blanket impls so registries can hold `Box<dyn GraphFamily>` (or hand out `&dyn`
@@ -60,6 +72,10 @@ impl<T: GraphFamily + ?Sized> GraphFamily for &T {
     fn instances(&self, max_instances: usize) -> Vec<FamilyInstance> {
         (**self).instances(max_instances)
     }
+
+    fn instance_cache_key(&self) -> String {
+        (**self).instance_cache_key()
+    }
 }
 
 impl<T: GraphFamily + ?Sized> GraphFamily for Box<T> {
@@ -69,6 +85,10 @@ impl<T: GraphFamily + ?Sized> GraphFamily for Box<T> {
 
     fn instances(&self, max_instances: usize) -> Vec<FamilyInstance> {
         (**self).instances(max_instances)
+    }
+
+    fn instance_cache_key(&self) -> String {
+        (**self).instance_cache_key()
     }
 }
 

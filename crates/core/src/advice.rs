@@ -16,7 +16,7 @@
 use crate::tasks::NodeOutput;
 use anet_graph::PortGraph;
 use anet_sim::Backend;
-use anet_views::{BitString, ViewTree};
+use anet_views::{BitString, View};
 
 /// An oracle: sees the whole network, produces one advice string for all nodes.
 pub trait Oracle {
@@ -31,8 +31,10 @@ pub trait AdviceAlgorithm {
     /// nodes must agree on this number without communicating).
     fn rounds(&self, advice: &BitString) -> usize;
 
-    /// The node's output as a function of the advice and its view `B^rounds(v)`.
-    fn decide(&self, advice: &BitString, view: &ViewTree) -> NodeOutput;
+    /// The node's output as a function of the advice and its view `B^rounds(v)`
+    /// (a shared [`View`] handle — the collector hands every node the same subtree
+    /// objects its neighbours assembled, so inspecting the view never copies it).
+    fn decide(&self, advice: &BitString, view: &View) -> NodeOutput;
 }
 
 /// The result of running an (oracle, algorithm) pair on a graph.
@@ -104,13 +106,13 @@ pub struct FnAlgorithm<R, D> {
 impl<R, D> AdviceAlgorithm for FnAlgorithm<R, D>
 where
     R: Fn(&BitString) -> usize,
-    D: Fn(&BitString, &ViewTree) -> NodeOutput,
+    D: Fn(&BitString, &View) -> NodeOutput,
 {
     fn rounds(&self, advice: &BitString) -> usize {
         (self.rounds)(advice)
     }
 
-    fn decide(&self, advice: &BitString, view: &ViewTree) -> NodeOutput {
+    fn decide(&self, advice: &BitString, view: &View) -> NodeOutput {
         (self.decide)(advice, view)
     }
 }
@@ -129,8 +131,8 @@ mod tests {
         let oracle = FnOracle(|_: &PortGraph| BitString::new());
         let algo = FnAlgorithm {
             rounds: |_: &BitString| 0usize,
-            decide: |_: &BitString, view: &ViewTree| {
-                if view.degree != 1 {
+            decide: |_: &BitString, view: &View| {
+                if view.degree() != 1 {
                     NodeOutput::Leader
                 } else {
                     NodeOutput::NonLeader
@@ -154,7 +156,7 @@ mod tests {
         });
         let algo = FnAlgorithm {
             rounds: |advice: &BitString| advice.reader().read_uint(4).unwrap() as usize,
-            decide: |_: &BitString, _: &ViewTree| NodeOutput::NonLeader,
+            decide: |_: &BitString, _: &View| NodeOutput::NonLeader,
         };
         let run = run_with_advice_on(&g, &oracle, &algo, Backend::Sequential);
         assert_eq!(run.rounds, 3);
@@ -174,7 +176,7 @@ mod tests {
         let oracle = FnOracle(|_: &PortGraph| BitString::new());
         let algo = FnAlgorithm {
             rounds: |_: &BitString| 2usize,
-            decide: |_: &BitString, view: &ViewTree| NodeOutput::FirstPort(view.degree % 2),
+            decide: |_: &BitString, view: &View| NodeOutput::FirstPort(view.degree() % 2),
         };
         let run = run_with_advice_on(&g, &oracle, &algo, Backend::Sequential);
         assert!(run.outputs.windows(2).all(|w| w[0] == w[1]));

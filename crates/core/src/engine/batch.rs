@@ -83,21 +83,43 @@ impl BatchRunner {
     /// `make_solver` builds the solver for each instance — families whose solvers
     /// need per-instance data (the Lemma 4.8 CPPE solver needs the `JMember` map, the
     /// Lemma 3.9 solver needs `k`) rebuild it from [`FamilyInstance::param`].
+    ///
+    /// Materialises the family's instances once and runs them borrowed; callers that
+    /// already hold materialised instances (several sweeps over one family) should use
+    /// [`sweep_instances`](BatchRunner::sweep_instances) directly.
     pub fn sweep<F>(&self, family: &dyn GraphFamily, task: Task, make_solver: F) -> Vec<BatchRow>
     where
         F: Fn(&FamilyInstance) -> Box<dyn Solver>,
     {
-        family
-            .instances(self.max_instances)
-            .into_iter()
+        let instances = family.instances(self.max_instances);
+        self.sweep_instances(&family.family_name(), &instances, task, make_solver)
+    }
+
+    /// [`sweep`](BatchRunner::sweep) over already-materialised, *borrowed* instances:
+    /// every engine run borrows `&instance.graph` directly, so sweeping the same
+    /// instances across many tasks or backends never regenerates or clones a graph.
+    /// At most [`max_instances`](BatchRunner::max_instances) instances are visited.
+    pub fn sweep_instances<F>(
+        &self,
+        family_name: &str,
+        instances: &[FamilyInstance],
+        task: Task,
+        make_solver: F,
+    ) -> Vec<BatchRow>
+    where
+        F: Fn(&FamilyInstance) -> Box<dyn Solver>,
+    {
+        instances
+            .iter()
+            .take(self.max_instances)
             .map(|instance| {
                 let report = Election::task(task)
-                    .solver_boxed(make_solver(&instance))
+                    .solver_boxed(make_solver(instance))
                     .backend(self.backend)
                     .run(&instance.graph);
                 BatchRow {
-                    family: family.family_name(),
-                    instance: instance.name,
+                    family: family_name.to_string(),
+                    instance: instance.name.clone(),
                     param: instance.param,
                     nodes: instance.graph.num_nodes(),
                     max_degree: instance.graph.max_degree(),
@@ -108,7 +130,8 @@ impl BatchRunner {
             .collect()
     }
 
-    /// [`sweep`](BatchRunner::sweep) over several tasks (rows grouped by task).
+    /// [`sweep`](BatchRunner::sweep) over several tasks (rows grouped by task). The
+    /// family's instances are materialised once and shared, borrowed, by every task.
     pub fn sweep_tasks<F>(
         &self,
         family: &dyn GraphFamily,
@@ -118,9 +141,11 @@ impl BatchRunner {
     where
         F: Fn(&FamilyInstance) -> Box<dyn Solver>,
     {
+        let instances = family.instances(self.max_instances);
+        let name = family.family_name();
         tasks
             .iter()
-            .flat_map(|&task| self.sweep(family, task, &make_solver))
+            .flat_map(|&task| self.sweep_instances(&name, &instances, task, &make_solver))
             .collect()
     }
 }
@@ -150,6 +175,38 @@ mod tests {
                 .collect();
             assert!(per_task.windows(2).all(|w| w[0] <= w[1]), "{per_task:?}");
         }
+    }
+
+    #[test]
+    fn sweep_over_borrowed_instances_matches_family_sweep() {
+        let class = GClass::new(4, 1).unwrap();
+        let runner = BatchRunner::default().max_instances(2);
+        let direct = runner.sweep(&class, Task::Selection, |_| Box::new(MapSolver::default()));
+        // Materialise once, sweep borrowed — same rows, graphs never rebuilt.
+        let instances = class.instances(2);
+        let borrowed =
+            runner.sweep_instances(&class.family_name(), &instances, Task::Selection, |_| {
+                Box::new(MapSolver::default())
+            });
+        assert_eq!(direct.len(), borrowed.len());
+        for (a, b) in direct.iter().zip(&borrowed) {
+            assert_eq!(a.family, b.family);
+            assert_eq!(a.instance, b.instance);
+            assert_eq!(a.param, b.param);
+            assert_eq!(a.rounds(), b.rounds());
+            assert_eq!(
+                a.report.as_ref().unwrap().outputs,
+                b.report.as_ref().unwrap().outputs
+            );
+        }
+        // The runner's cap still applies to an over-long borrowed slice.
+        let capped = BatchRunner::default().max_instances(1).sweep_instances(
+            &class.family_name(),
+            &instances,
+            Task::Selection,
+            |_| Box::new(MapSolver::default()),
+        );
+        assert_eq!(capped.len(), 1);
     }
 
     #[test]

@@ -290,7 +290,7 @@ mod tests {
     use super::*;
     use crate::advice::{FnAlgorithm, FnOracle};
     use anet_graph::generators;
-    use anet_views::{BitString, ViewTree};
+    use anet_views::{BitString, View};
 
     #[test]
     fn builder_without_solver_errors() {
@@ -337,12 +337,12 @@ mod tests {
                 FnOracle(|_: &PortGraph| BitString::new()),
                 FnAlgorithm {
                     rounds: |_: &BitString| 1usize,
-                    decide: |_: &BitString, view: &ViewTree| {
-                        if view.degree == 2 {
+                    decide: |_: &BitString, view: &View| {
+                        if view.degree() == 2 {
                             NodeOutput::Leader
                         } else {
                             // Both leaves: their single edge leads to the centre.
-                            let far = view.children[0].1;
+                            let far = view.children()[0].1;
                             NodeOutput::FullPath(vec![(0, far)])
                         }
                     },

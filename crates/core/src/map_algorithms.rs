@@ -16,7 +16,7 @@ use crate::tasks::{NodeOutput, Task};
 use anet_graph::PortGraph;
 use anet_sim::Backend;
 use anet_views::election_index::{cppe_assignment, pe_assignment, ppe_assignment, IndexError};
-use anet_views::{Refinement, ViewTree};
+use anet_views::{Refinement, View, ViewInterner};
 use std::collections::HashMap;
 
 /// Result of a map-based run.
@@ -145,15 +145,25 @@ pub fn solve_with_map_on(
 
     // Turn the per-node assignment into a genuine view-function and run it through the
     // simulator: the assignment is constant on view classes by construction, so the
-    // map from view (at depth `rounds`) to output is well-defined.
-    let mut by_view: HashMap<Vec<u32>, NodeOutput> = HashMap::new();
+    // map from view (at depth `rounds`) to output is well-defined. The map side is one
+    // shared `build_all` pass (hash-consed handles). Collected views are canonicalized
+    // through the *same* interner before lookup: interning costs the view's distinct
+    // nodes (the collector's output is a shared DAG), after which the table hit is
+    // pointer-equal — without this, a positive equality check would walk the full
+    // unfolded Θ(Δ^rounds) tree, since collector- and map-built views share no Arcs.
+    let mut interner = ViewInterner::new();
+    let views = interner.build_all(graph, rounds);
+    let mut by_view: HashMap<View, NodeOutput> = HashMap::new();
     for v in graph.nodes() {
-        let tokens = ViewTree::build(graph, v, rounds).tokens();
-        by_view.insert(tokens, per_node[v as usize].clone());
+        by_view.insert(views[v as usize].clone(), per_node[v as usize].clone());
     }
+    // The decision map is applied sequentially after the communication phase, so a
+    // RefCell suffices for the interner's interior mutability.
+    let interner = std::cell::RefCell::new(interner);
     let (outputs, report) = anet_sim::run_full_information_on(graph, rounds, backend, |view| {
+        let canonical = interner.borrow_mut().intern(view);
         by_view
-            .get(&view.tokens())
+            .get(&canonical)
             .cloned()
             .expect("every view observed in the run appears in the map")
     });

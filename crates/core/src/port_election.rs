@@ -23,7 +23,7 @@ use crate::map_algorithms::MapRun;
 use crate::tasks::NodeOutput;
 use anet_graph::{GraphError, NodeId, PortGraph};
 use anet_sim::Backend;
-use anet_views::ViewTree;
+use anet_views::{View, ViewInterner};
 use std::collections::HashMap;
 
 /// Solve Port Election on a member of `U_{Δ,k}` in `k` rounds, given the map.
@@ -64,41 +64,55 @@ pub fn solve_port_election_on_u_with(
             "no cycle (degree Δ+2) nodes in the map",
         ));
     }
+    // One shared pass builds every node's B^k (hash-consed, so on the highly
+    // repetitive U members most subtrees collapse to one representative each).
+    let mut interner = ViewInterner::new();
+    let views = interner.build_all(graph, k);
     let r_min_view = medium_nodes
         .iter()
-        .map(|&v| ViewTree::build(graph, v, k))
+        .map(|&v| views[v as usize].clone())
         .min()
         .expect("non-empty");
 
     // Heavy nodes: view → first port of a simple path towards the closest medium node.
-    let mut heavy_port: HashMap<Vec<u32>, u32> = HashMap::new();
+    // Keys are View handles: hashing is O(1) (precomputed structural hash) and a map
+    // entry holds a refcount, not a token vector.
+    let mut heavy_port: HashMap<View, u32> = HashMap::new();
     for v in graph.nodes().filter(|&v| graph.degree(v) == heavy_degree) {
         let port = first_port_towards_degree(graph, v, medium_degree)
             .ok_or_else(|| GraphError::invalid("a heavy node cannot reach the cycle in the map"))?;
-        let tokens = ViewTree::build(graph, v, k).tokens();
-        if let Some(&existing) = heavy_port.get(&tokens) {
+        let view = views[v as usize].clone();
+        if let Some(&existing) = heavy_port.get(&view) {
             // Lemma 3.9 (Claim 1): the only other node with this view is the twin
             // r_{j,1,2}, at which the same swap was applied, so the ports agree.
             debug_assert_eq!(existing, port, "twin heavy nodes must agree on the port");
         }
-        heavy_port.insert(tokens, port);
+        heavy_port.insert(view, port);
     }
 
-    let decide = move |view: &ViewTree| -> NodeOutput {
-        let degree = view.degree as usize;
+    // Canonicalize collected views through the same interner before comparing: the
+    // intern walk costs the view's distinct (shared) nodes, after which the r_min
+    // comparison and the heavy-port lookup are pointer-equal instead of unfolding
+    // Θ(Δ^k) walk-tree nodes. Decisions are applied sequentially after the run, so a
+    // RefCell provides the interior mutability.
+    let interner = std::cell::RefCell::new(interner);
+    let decide = move |view: &View| -> NodeOutput {
+        let degree = view.degree() as usize;
         if degree == 1 {
             return NodeOutput::FirstPort(0);
         }
         if degree == medium_degree {
-            return if *view == r_min_view {
+            let view = interner.borrow_mut().intern(view);
+            return if view == r_min_view {
                 NodeOutput::Leader
             } else {
                 NodeOutput::FirstPort(delta as u32 + 1)
             };
         }
         if degree == heavy_degree {
+            let view = interner.borrow_mut().intern(view);
             let port = heavy_port
-                .get(&view.tokens())
+                .get(&view)
                 .copied()
                 .expect("every heavy view appears in the map");
             return NodeOutput::FirstPort(port);

@@ -12,8 +12,8 @@ use crate::tasks::NodeOutput;
 use anet_graph::PortGraph;
 use anet_sim::Backend;
 use anet_views::election_index::psi_s_with;
-use anet_views::encoding::{decode_view, encode_view};
-use anet_views::{BitString, Refinement, ViewTree};
+use anet_views::encoding::{decode_view_interned, encode_view_interned};
+use anet_views::{BitString, Refinement, View, ViewInterner};
 
 /// The Theorem 2.2 oracle.
 #[derive(Debug, Clone, Copy, Default)]
@@ -26,12 +26,15 @@ impl Oracle for SelectionOracle {
             .expect("Selection oracle requires a graph with finite Selection index");
         let candidates = refinement.unique_nodes_at(psi);
         debug_assert!(!candidates.is_empty());
+        // Build the depth-ψ views of all nodes in one shared pass (O(n·ψ·Δ) handle
+        // operations) and pick the lexicographically smallest candidate view.
+        let views = ViewInterner::new().build_all(graph, psi);
         let chosen_view = candidates
             .into_iter()
-            .map(|v| ViewTree::build(graph, v, psi))
+            .map(|v| views[v as usize].clone())
             .min()
             .expect("at least one candidate");
-        encode_view(&chosen_view, psi)
+        encode_view_interned(&chosen_view, psi)
     }
 }
 
@@ -41,12 +44,12 @@ pub struct SelectionAlgorithm;
 
 impl AdviceAlgorithm for SelectionAlgorithm {
     fn rounds(&self, advice: &BitString) -> usize {
-        let (_, height) = decode_view(advice).expect("advice is an encoded view");
+        let (_, height) = decode_view_interned(advice).expect("advice is an encoded view");
         height
     }
 
-    fn decide(&self, advice: &BitString, view: &ViewTree) -> NodeOutput {
-        let (target, _) = decode_view(advice).expect("advice is an encoded view");
+    fn decide(&self, advice: &BitString, view: &View) -> NodeOutput {
+        let (target, _) = decode_view_interned(advice).expect("advice is an encoded view");
         if *view == target {
             NodeOutput::Leader
         } else {
@@ -87,6 +90,7 @@ mod tests {
     use crate::tasks::{verify, Task};
     use anet_graph::generators;
     use anet_views::election_index::psi_s;
+    use anet_views::encoding::decode_view;
 
     fn check_on(graph: &PortGraph) {
         let expected_rounds = psi_s(graph).expect("graph must have finite ψ_S");

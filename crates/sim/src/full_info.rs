@@ -7,29 +7,39 @@
 //! from the previous rounds) together with the local port it is sending through; on
 //! reception, the node assembles its augmented view of depth `r`.
 //!
-//! Tests check that the assembled tree is *identical* to `ViewTree::build(g, v, r)`,
-//! i.e. the simulator and the direct combinatorial definition agree. This is the bridge
-//! that lets the election algorithms in `anet-election` be defined as functions of
-//! `B^r(v)` (the paper's formulation) while still being executable as genuine
-//! message-passing algorithms.
+//! Views travel as structurally shared [`View`] handles: the subtree a node sends in
+//! round `r` *is* (by the definition of views) the `B^{r-1}` it assembled in round
+//! `r − 1`, so a send is an `Arc` reference-count bump per port instead of a deep
+//! clone of up to `Δ^{r-1}` tree nodes, and a receive grafts the `degree + children`
+//! root node in `O(deg)` ([`View::from_parts`]). One round therefore costs `O(m)`
+//! handle operations in total, independent of view size — the seed's owned
+//! [`ViewTree`](anet_views::ViewTree) representation cost `Θ(m · Δ^r)` node copies.
+//!
+//! Tests check that the assembled view is *identical* to the direct combinatorial
+//! construction (`View::build` / `ViewTree::build`), i.e. the simulator and the
+//! definition agree. This is the bridge that lets the election algorithms in
+//! `anet-core` be defined as functions of `B^r(v)` (the paper's formulation) while
+//! still being executable as genuine message-passing algorithms.
 
 use crate::backend::Backend;
 use crate::model::{AlgorithmFactory, NodeAlgorithm};
 use crate::runner::RunOutcome;
 use anet_graph::{Port, PortGraph};
-use anet_views::ViewTree;
+use anet_views::View;
 
-/// Message of the full-information algorithm: the sender's current view, tagged with
-/// the port the sender used (so the receiver learns the far-end port number of the
-/// connecting edge, which is part of the view encoding).
-pub type ViewMessage = (Port, ViewTree);
+/// Message of the full-information algorithm: a shared handle to the sender's current
+/// view, tagged with the port the sender used (so the receiver learns the far-end port
+/// number of the connecting edge, which is part of the view encoding). Cloning the
+/// message is an `Arc` bump, so the parallel and batching backends move it around for
+/// free.
+pub type ViewMessage = (Port, View);
 
 /// Per-node state of the full-information algorithm.
 #[derive(Debug, Clone)]
 pub struct ViewCollector {
     degree: usize,
     /// The view assembled so far; after `r` completed rounds this is `B^r(v)`.
-    view: ViewTree,
+    view: View,
 }
 
 impl ViewCollector {
@@ -38,22 +48,19 @@ impl ViewCollector {
     pub fn new(degree: usize) -> Self {
         ViewCollector {
             degree,
-            view: ViewTree {
-                degree: degree as u32,
-                children: Vec::new(),
-            },
+            view: View::leaf(degree as u32),
         }
     }
 
     /// The view assembled so far.
-    pub fn view(&self) -> &ViewTree {
+    pub fn view(&self) -> &View {
         &self.view
     }
 }
 
 impl NodeAlgorithm for ViewCollector {
     type Message = ViewMessage;
-    type Output = ViewTree;
+    type Output = View;
 
     fn send(&mut self, _round: usize) -> Vec<Option<ViewMessage>> {
         (0..self.degree)
@@ -80,13 +87,12 @@ impl NodeAlgorithm for ViewCollector {
                 (p as Port, far_port, far_view)
             })
             .collect();
-        self.view = ViewTree {
-            degree: self.degree as u32,
-            children,
-        };
+        // The graft: `B^r(v)` is one fresh root over the neighbours' shared `B^{r-1}`
+        // handles — O(deg) work, nothing below the root is copied.
+        self.view = View::from_parts(self.degree as u32, children);
     }
 
-    fn output(&self) -> ViewTree {
+    fn output(&self) -> View {
         self.view.clone()
     }
 }
@@ -116,7 +122,7 @@ pub fn run_full_information<O, D>(
 ) -> (Vec<O>, crate::runner::RunReport)
 where
     O: Clone + Send,
-    D: Fn(&ViewTree) -> O,
+    D: Fn(&View) -> O,
 {
     run_full_information_on(graph, rounds, Backend::Sequential, decide)
 }
@@ -132,7 +138,7 @@ pub fn run_full_information_on<O, D>(
 ) -> (Vec<O>, crate::runner::RunReport)
 where
     O: Clone + Send,
-    D: Fn(&ViewTree) -> O,
+    D: Fn(&View) -> O,
 {
     let RunOutcome { outputs, report } = backend.run(graph, &ViewCollectorFactory, rounds);
     let decisions = outputs.iter().map(decide).collect();
@@ -143,6 +149,7 @@ where
 mod tests {
     use super::*;
     use anet_graph::generators;
+    use anet_views::ViewTree;
 
     #[test]
     fn backends_collect_identical_views() {
@@ -161,8 +168,15 @@ mod tests {
         for v in g.nodes() {
             let expected = ViewTree::build(g, v, rounds);
             assert_eq!(
-                outcome.outputs[v as usize], expected,
+                outcome.outputs[v as usize].to_tree(),
+                expected,
                 "node {v} after {rounds} rounds"
+            );
+            // The handle form agrees too (same equality, independently built).
+            assert_eq!(
+                outcome.outputs[v as usize],
+                View::build(g, v, rounds),
+                "node {v} after {rounds} rounds (interned)"
             );
         }
     }
@@ -185,8 +199,45 @@ mod tests {
     #[test]
     fn view_collector_initial_state_is_depth_zero_view() {
         let c = ViewCollector::new(5);
-        assert_eq!(c.view().degree, 5);
-        assert!(c.view().children.is_empty());
+        assert_eq!(c.view().degree(), 5);
+        assert!(c.view().children().is_empty());
+    }
+
+    #[test]
+    fn collected_views_share_subtrees_across_ports() {
+        // The structural-sharing contract: after round r, the subtree under child p of
+        // B^r(v) is *the same object* the neighbour across port p sent — which is in
+        // turn the neighbour's whole B^{r-1}. Sends bump a refcount, they don't copy.
+        let g = generators::random_connected(12, 4, 4, 7).unwrap();
+        let rounds = 3;
+        let outcome = Backend::Sequential.run(&g, &ViewCollectorFactory, rounds);
+        for v in g.nodes() {
+            let view = &outcome.outputs[v as usize];
+            for (child, (_, u, _)) in view.children().iter().zip(g.ports(v)) {
+                // The neighbour's B^{r-1} is its own collected view truncated one
+                // level; equality (not just isomorphism) must hold.
+                assert_eq!(
+                    child.2,
+                    outcome.outputs[u as usize].truncated(rounds - 1),
+                    "child across port to {u}"
+                );
+                // And the sharing itself: every node adjacent to `u` holds the *same
+                // object* for `u`'s round-(r−1) view, because `u` sent one handle to
+                // all its ports. A collector that deep-cloned per send would pass the
+                // equality above but fail this pointer check.
+                for w in g.nodes().filter(|&w| w != v) {
+                    if let Some(p_back) = g.ports(w).position(|(_, x, _)| x == u) {
+                        assert!(
+                            View::ptr_eq(
+                                &child.2,
+                                &outcome.outputs[w as usize].children()[p_back].2
+                            ),
+                            "nodes {v} and {w} must share u={u}'s view object"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -194,7 +245,7 @@ mod tests {
         // Decide "leader" iff the view has a degree-3 node at the root — on a star this
         // elects exactly the centre after 0 rounds.
         let g = generators::star(3).unwrap();
-        let (decisions, report) = run_full_information(&g, 0, |view| view.degree == 3);
+        let (decisions, report) = run_full_information(&g, 0, |view| view.degree() == 3);
         assert_eq!(decisions, vec![true, false, false, false]);
         assert_eq!(report.rounds, 0);
     }

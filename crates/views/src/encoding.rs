@@ -24,6 +24,7 @@
 //! `O((Δ−1)^h log Δ)` as in the paper.
 
 use crate::bits::{BitReader, BitString};
+use crate::interned::View;
 use crate::view_tree::ViewTree;
 
 /// Errors produced while decoding an encoded view.
@@ -52,6 +53,26 @@ impl std::error::Error for DecodeError {}
 /// recovered from the tree itself: a view that happens to hit only degree-1 nodes stops
 /// branching early).
 pub fn encode_view(view: &ViewTree, height: usize) -> BitString {
+    encode_view_interned(&View::from_tree(view), height)
+}
+
+/// Decode a view previously produced by [`encode_view`]; returns the view and its
+/// height.
+pub fn decode_view(bits: &BitString) -> Result<(ViewTree, usize), DecodeError> {
+    decode_view_interned(bits).map(|(view, height)| (view.to_tree(), height))
+}
+
+/// Number of advice bits used to encode the given view at the given height — a
+/// convenience for experiments that only need the size.
+pub fn encoded_size_bits(view: &ViewTree, height: usize) -> usize {
+    encode_view(view, height).len()
+}
+
+/// [`encode_view`] for a shared [`View`] handle. This is the single implementation
+/// of the bit format (the owned entry points delegate through the lossless
+/// `View ↔ ViewTree` conversions, so the two forms cannot diverge); note the output
+/// is the *unfolded* tree either way — the format predates subtree sharing.
+pub fn encode_view_interned(view: &View, height: usize) -> BitString {
     let max_val = u64::from(view.max_degree())
         .max(view.max_port().map(u64::from).unwrap_or(0))
         .max(height as u64);
@@ -60,57 +81,55 @@ pub fn encode_view(view: &ViewTree, height: usize) -> BitString {
     let mut bits = BitString::new();
     bits.push_uint(w as u64, 6);
     bits.push_uint(height as u64, w);
-    encode_node(view, height, w, &mut bits);
+    encode_interned_node(view, height, w, &mut bits);
     bits
 }
 
-fn encode_node(node: &ViewTree, remaining: usize, w: usize, bits: &mut BitString) {
-    bits.push_uint(u64::from(node.degree), w);
+fn encode_interned_node(node: &View, remaining: usize, w: usize, bits: &mut BitString) {
+    bits.push_uint(u64::from(node.degree()), w);
     if remaining == 0 {
         return;
     }
     debug_assert_eq!(
-        node.children.len(),
-        node.degree as usize,
+        node.children().len(),
+        node.degree() as usize,
         "non-leaf view nodes have one child per port"
     );
-    for (_, q, child) in &node.children {
+    for (_, q, child) in node.children() {
         bits.push_uint(u64::from(*q), w);
-        encode_node(child, remaining - 1, w, bits);
+        encode_interned_node(child, remaining - 1, w, bits);
     }
 }
 
-/// Decode a view previously produced by [`encode_view`]; returns the view and its
-/// height.
-pub fn decode_view(bits: &BitString) -> Result<(ViewTree, usize), DecodeError> {
+/// [`decode_view`] producing a shared [`View`] handle (unshared internally — run it
+/// through [`crate::ViewInterner::intern`] to collapse repeated subtrees).
+pub fn decode_view_interned(bits: &BitString) -> Result<(View, usize), DecodeError> {
     let mut r = bits.reader();
     let w = r.read_uint(6).ok_or(DecodeError::Truncated)? as usize;
     if w == 0 || w > 63 {
         return Err(DecodeError::BadWidth);
     }
     let height = r.read_uint(w).ok_or(DecodeError::Truncated)? as usize;
-    let tree = decode_node(&mut r, height, w)?;
-    Ok((tree, height))
+    let view = decode_interned_node(&mut r, height, w)?;
+    Ok((view, height))
 }
 
-fn decode_node(r: &mut BitReader<'_>, remaining: usize, w: usize) -> Result<ViewTree, DecodeError> {
+fn decode_interned_node(
+    r: &mut BitReader<'_>,
+    remaining: usize,
+    w: usize,
+) -> Result<View, DecodeError> {
     let degree = r.read_uint(w).ok_or(DecodeError::Truncated)? as u32;
     let mut children = Vec::new();
     if remaining > 0 {
         children.reserve(degree as usize);
         for p in 0..degree {
             let q = r.read_uint(w).ok_or(DecodeError::Truncated)? as u32;
-            let child = decode_node(r, remaining - 1, w)?;
+            let child = decode_interned_node(r, remaining - 1, w)?;
             children.push((p, q, child));
         }
     }
-    Ok(ViewTree { degree, children })
-}
-
-/// Number of advice bits used to encode the given view at the given height — a
-/// convenience for experiments that only need the size.
-pub fn encoded_size_bits(view: &ViewTree, height: usize) -> usize {
-    encode_view(view, height).len()
+    Ok(View::from_parts(degree, children))
 }
 
 #[cfg(test)]
@@ -204,5 +223,24 @@ mod tests {
         let g = generators::star(4).unwrap();
         let view = ViewTree::build(&g, 0, 2);
         assert_eq!(encoded_size_bits(&view, 2), encode_view(&view, 2).len());
+    }
+
+    #[test]
+    fn interned_encoding_is_bit_identical_to_owned() {
+        for seed in 0..4u64 {
+            let g = generators::random_connected(14, 5, 6, seed).unwrap();
+            for v in [0u32, 5, 13] {
+                for h in 0..=3usize {
+                    let owned = ViewTree::build(&g, v, h);
+                    let shared = View::build(&g, v, h);
+                    let owned_bits = encode_view(&owned, h);
+                    assert_eq!(encode_view_interned(&shared, h), owned_bits);
+                    let (decoded, dh) = decode_view_interned(&owned_bits).unwrap();
+                    assert_eq!(dh, h);
+                    assert_eq!(decoded, shared);
+                    assert_eq!(decoded.to_tree(), owned);
+                }
+            }
+        }
     }
 }

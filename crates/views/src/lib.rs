@@ -8,7 +8,11 @@
 //!
 //! This crate implements:
 //!
-//! * [`view_tree`] — explicit `B^h(v)` trees, canonical encodings, lexicographic order,
+//! * [`view_tree`] — explicit owned `B^h(v)` trees (the test / interop form),
+//! * [`interned`] — structurally shared [`View`] handles and the hash-consing
+//!   [`ViewInterner`]: the representation every hot path (the full-information
+//!   collector, the solvers) works on — cloning is an `Arc` bump, equality and
+//!   lexicographic order short-circuit on shared subtrees,
 //! * [`refinement`] — *port colour refinement*, an `O(h·m)` computation of the
 //!   equivalence classes "`B^h(u) = B^h(v)`" for every depth `h` simultaneously
 //!   (within one graph or jointly across several graphs, as needed by the paper's
@@ -26,11 +30,14 @@
 pub mod bits;
 pub mod election_index;
 pub mod encoding;
+pub mod interned;
 pub mod paths;
 pub mod refinement;
+mod search;
 pub mod view_tree;
 
 pub use bits::BitString;
 pub use election_index::{ElectionIndices, Feasibility};
+pub use interned::{View, ViewInterner};
 pub use refinement::{JointRefinement, Refinement};
 pub use view_tree::ViewTree;

@@ -1,0 +1,210 @@
+//! Traversals shared by the owned ([`crate::ViewTree`]) and interned
+//! ([`crate::View`]) view forms, generic over the node representation (a stable `id`,
+//! a `degree` accessor, and a `children` iterator), so outputs that must stay
+//! byte-identical between the two forms — token sequences, encoder field widths,
+//! degree searches — have exactly one implementation.
+//!
+//! Every search here deduplicates on the node `id`, so on shared views (where one
+//! subtree object occurs at exponentially many unfolded positions) the cost is linear
+//! in *distinct* nodes, not the unfolded walk tree. This is result-preserving: BFS
+//! processes levels in order and each level in port order, so the first time a shared
+//! subtree is reached is at its minimal level through its lexicographically smallest
+//! path — any match under a later occurrence corresponds to an earlier-scanned match
+//! under the first one. For the owned form every node is a distinct allocation, so
+//! the dedup is a semantic no-op. (`tokens` is the exception — its output *is* the
+//! unfolded sequence by definition — and `truncated` is not here at all: the interned
+//! form short-circuits on its precomputed height per level to preserve sharing, which
+//! has no owned counterpart; the two implementations are kept equivalent by the
+//! owned-vs-interned equivalence tests.)
+
+use anet_graph::Port;
+use std::collections::HashSet;
+
+/// Canonical token sequence, appended to `out` — pre-order `[degree, #children]`
+/// then, per child in port order, `[p, q]` and the child's tokens. No dedup: the
+/// token sequence is defined on the unfolded tree.
+pub(crate) fn write_tokens_by<N, I>(
+    node: N,
+    degree: impl Fn(N) -> u32 + Copy,
+    children: impl Fn(N) -> I + Copy,
+    out: &mut Vec<u32>,
+) where
+    N: Copy,
+    I: ExactSizeIterator<Item = (Port, Port, N)>,
+{
+    out.push(degree(node));
+    let kids = children(node);
+    out.push(kids.len() as u32);
+    for (p, q, c) in kids {
+        out.push(p);
+        out.push(q);
+        write_tokens_by(c, degree, children, out);
+    }
+}
+
+/// The maximum port number mentioned anywhere in the view, or `None` for a bare
+/// single node. Each distinct subtree is visited once.
+pub(crate) fn max_port_by<N, I>(
+    node: N,
+    id: impl Fn(N) -> usize + Copy,
+    children: impl Fn(N) -> I + Copy,
+) -> Option<u32>
+where
+    N: Copy,
+    I: Iterator<Item = (Port, Port, N)>,
+{
+    fn rec<N, I>(
+        node: N,
+        id: impl Fn(N) -> usize + Copy,
+        children: impl Fn(N) -> I + Copy,
+        seen: &mut HashSet<usize>,
+    ) -> Option<u32>
+    where
+        N: Copy,
+        I: Iterator<Item = (Port, Port, N)>,
+    {
+        children(node)
+            .flat_map(|(p, q, c)| {
+                let sub = if seen.insert(id(c)) {
+                    rec(c, id, children, seen)
+                } else {
+                    None // already accounted at its first occurrence
+                };
+                [Some(p), Some(q), sub]
+            })
+            .flatten()
+            .max()
+    }
+    let mut seen = HashSet::new();
+    seen.insert(id(node));
+    rec(node, id, children, &mut seen)
+}
+
+/// The maximum degree mentioned anywhere in the view. Each distinct subtree is
+/// visited once.
+pub(crate) fn max_degree_by<N, I>(
+    node: N,
+    id: impl Fn(N) -> usize + Copy,
+    degree: impl Fn(N) -> u32 + Copy,
+    children: impl Fn(N) -> I + Copy,
+) -> u32
+where
+    N: Copy,
+    I: Iterator<Item = (Port, Port, N)>,
+{
+    fn rec<N, I>(
+        node: N,
+        id: impl Fn(N) -> usize + Copy,
+        degree: impl Fn(N) -> u32 + Copy,
+        children: impl Fn(N) -> I + Copy,
+        seen: &mut HashSet<usize>,
+    ) -> u32
+    where
+        N: Copy,
+        I: Iterator<Item = (Port, Port, N)>,
+    {
+        children(node)
+            .map(|(_, _, c)| {
+                if seen.insert(id(c)) {
+                    rec(c, id, degree, children, seen)
+                } else {
+                    0 // already accounted at its first occurrence
+                }
+            })
+            .max()
+            .unwrap_or(0)
+            .max(degree(node))
+    }
+    let mut seen = HashSet::new();
+    seen.insert(id(node));
+    rec(node, id, degree, children, &mut seen)
+}
+
+/// Does the view contain (at any tree node, root included) a node of the given graph
+/// degree? Each distinct subtree is visited once.
+pub(crate) fn contains_degree_by<N, I>(
+    node: N,
+    target: u32,
+    id: impl Fn(N) -> usize + Copy,
+    degree: impl Fn(N) -> u32 + Copy,
+    children: impl Fn(N) -> I + Copy,
+) -> bool
+where
+    N: Copy,
+    I: Iterator<Item = (Port, Port, N)>,
+{
+    fn rec<N, I>(
+        node: N,
+        target: u32,
+        id: impl Fn(N) -> usize + Copy,
+        degree: impl Fn(N) -> u32 + Copy,
+        children: impl Fn(N) -> I + Copy,
+        seen: &mut HashSet<usize>,
+    ) -> bool
+    where
+        N: Copy,
+        I: Iterator<Item = (Port, Port, N)>,
+    {
+        degree(node) == target
+            || children(node)
+                .any(|(_, _, c)| seen.insert(id(c)) && rec(c, target, id, degree, children, seen))
+    }
+    let mut seen = HashSet::new();
+    seen.insert(id(node));
+    rec(node, target, id, degree, children, &mut seen)
+}
+
+/// The port sequence (outgoing ports only) of the lexicographically smallest shortest
+/// root-to-node path reaching a tree node of the given degree, or `None` if no such
+/// node exists.
+///
+/// Breadth-first in port order: `visited[i]` records (parent index in `visited` or
+/// `usize::MAX` for the root, port taken from the parent, node), each level is fully
+/// scanned for a match before the next is expanded, and only the single returned path
+/// is reconstructed (through the parent links, not by cloning prefix paths per
+/// frontier node). A shared subtree is enqueued only at its first occurrence, which
+/// the level-order/port-order scan reaches through the lexicographically smallest
+/// shortest path — so dedup never changes the returned path, it only keeps `visited`
+/// linear in distinct nodes.
+pub(crate) fn shortest_path_to_degree_by<N, I>(
+    root: N,
+    target: u32,
+    id: impl Fn(N) -> usize + Copy,
+    degree: impl Fn(N) -> u32,
+    children: impl Fn(N) -> I,
+) -> Option<Vec<Port>>
+where
+    N: Copy,
+    I: Iterator<Item = (Port, Port, N)>,
+{
+    let mut seen: HashSet<usize> = HashSet::new();
+    seen.insert(id(root));
+    let mut visited: Vec<(usize, Port, N)> = vec![(usize::MAX, 0, root)];
+    let mut level_start = 0usize;
+    loop {
+        if level_start == visited.len() {
+            return None;
+        }
+        let level_end = visited.len();
+        for i in level_start..level_end {
+            if degree(visited[i].2) == target {
+                let mut path = Vec::new();
+                let mut cur = i;
+                while visited[cur].0 != usize::MAX {
+                    path.push(visited[cur].1);
+                    cur = visited[cur].0;
+                }
+                path.reverse();
+                return Some(path);
+            }
+        }
+        for i in level_start..level_end {
+            for (p, _, c) in children(visited[i].2) {
+                if seen.insert(id(c)) {
+                    visited.push((i, p, c));
+                }
+            }
+        }
+        level_start = level_end;
+    }
+}

@@ -152,6 +152,11 @@ impl GraphFamily for RandomRegularFamily {
         format!("random-regular(d={}, seed={})", self.degree, self.seed)
     }
 
+    fn instance_cache_key(&self) -> String {
+        // The display name omits the size list, so it alone must not key a cache.
+        format!("{} sizes={:?}", self.family_name(), self.sizes)
+    }
+
     fn instances(&self, max_instances: usize) -> Vec<FamilyInstance> {
         self.sizes
             .iter()
@@ -218,6 +223,11 @@ impl GraphFamily for TorusFamily {
         format!("torus2d{}", self.labeling.tag())
     }
 
+    fn instance_cache_key(&self) -> String {
+        // The display name omits the dimension list, so it alone must not key a cache.
+        format!("{} dims={:?}", self.family_name(), self.dims)
+    }
+
     fn instances(&self, max_instances: usize) -> Vec<FamilyInstance> {
         self.dims
             .iter()
@@ -261,6 +271,11 @@ impl HypercubeFamily {
 impl GraphFamily for HypercubeFamily {
     fn family_name(&self) -> String {
         format!("hypercube{}", self.labeling.tag())
+    }
+
+    fn instance_cache_key(&self) -> String {
+        // The display name omits the dimension list, so it alone must not key a cache.
+        format!("{} dims={:?}", self.family_name(), self.dims)
     }
 
     fn instances(&self, max_instances: usize) -> Vec<FamilyInstance> {
@@ -342,6 +357,11 @@ impl GraphFamily for CirculantFamily {
             self.num_offsets,
             self.labeling.tag()
         )
+    }
+
+    fn instance_cache_key(&self) -> String {
+        // The display name omits the size list, so it alone must not key a cache.
+        format!("{} sizes={:?}", self.family_name(), self.sizes)
     }
 
     fn instances(&self, max_instances: usize) -> Vec<FamilyInstance> {

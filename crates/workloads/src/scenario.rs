@@ -8,7 +8,7 @@
 //! and [`ScenarioRegistry::standard`]).
 
 use crate::families::{CirculantFamily, HypercubeFamily, RandomRegularFamily, TorusFamily};
-use anet_constructions::GraphFamily;
+use anet_constructions::{FamilyInstance, GraphFamily};
 use anet_election::engine::{
     AdviceSolver, Backend, BatchRow, BatchRunner, EngineError, MapSolver, Solver, SolverRun,
 };
@@ -135,12 +135,32 @@ impl Scenario {
         &self.name
     }
 
+    /// Materialise the family instances this scenario sweeps (up to
+    /// [`max_instances`](Scenario::max_instances)). Several scenarios over the same
+    /// family coordinates can share one materialisation via
+    /// [`run_on`](Scenario::run_on) — the sweep driver does exactly that.
+    pub fn materialize(&self) -> Vec<FamilyInstance> {
+        self.family.instances(self.max_instances)
+    }
+
+    /// Run the scenario against already-materialised, borrowed instances: every
+    /// engine run borrows `&instance.graph`, nothing is regenerated or cloned. The
+    /// instances must come from this scenario's family (same generator, same seed)
+    /// with a cap of at least [`max_instances`](Scenario::max_instances) — in
+    /// practice, from [`materialize`](Scenario::materialize) of a scenario sharing
+    /// the family coordinates.
+    pub fn run_on(&self, instances: &[FamilyInstance]) -> Vec<BatchRow> {
+        BatchRunner::new(self.backend)
+            .max_instances(self.max_instances)
+            .sweep_instances(&self.family.family_name(), instances, self.task, |_| {
+                self.solver.build()
+            })
+    }
+
     /// Resolve and run: sweep the family through [`BatchRunner`] on the configured
     /// task, solver and backend.
     pub fn run(&self) -> Vec<BatchRow> {
-        BatchRunner::new(self.backend)
-            .max_instances(self.max_instances)
-            .sweep(&self.family, self.task, |_| self.solver.build())
+        self.run_on(&self.materialize())
     }
 }
 
@@ -459,6 +479,35 @@ mod tests {
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert!(row.solved(), "{}: {:?}", row.instance, row.report);
+        }
+    }
+
+    #[test]
+    fn scenarios_share_materialised_instances_across_grid_points() {
+        // Two scenarios over the same family coordinates (different tasks) must agree
+        // when run against one shared materialisation — this is what the sweep
+        // driver's per-family instance cache relies on.
+        let family = || RandomRegularFamily::new(3, vec![16, 24], 0xA5EED);
+        let s1 = Scenario::new(
+            family(),
+            Task::Selection,
+            SolverSpec::Map,
+            Backend::Sequential,
+            2,
+        );
+        let s2 = Scenario::new(
+            family(),
+            Task::PortElection,
+            SolverSpec::Map,
+            Backend::Sequential,
+            2,
+        );
+        let instances = s1.materialize();
+        assert_eq!(instances.len(), 2);
+        for (shared, fresh) in s2.run_on(&instances).iter().zip(s2.run()) {
+            assert_eq!(shared.instance, fresh.instance);
+            assert_eq!(shared.rounds(), fresh.rounds());
+            assert_eq!(shared.solved(), fresh.solved());
         }
     }
 }

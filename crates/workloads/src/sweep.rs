@@ -9,6 +9,7 @@
 use crate::json::Json;
 use crate::scenario::{Scenario, ScenarioRegistry};
 use anet_election::engine::BatchRow;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -126,11 +127,25 @@ pub fn run_sweep(
         None => registry.iter().collect(),
     };
 
+    // Scenarios are grid points over a small set of family coordinates: the built-in
+    // grids revisit each family once per task, solver and backend. Materialise each
+    // family's instances once per (family, cap) coordinate and run every scenario
+    // against the borrowed instances, instead of regenerating (and re-shuffling) the
+    // graphs per scenario. The family half of the key is `instance_cache_key` (which
+    // pins down every generation parameter, unlike the display name); the cap is part
+    // of the key because some families (e.g. `UClass`) *spread* member indices across
+    // the class, so different caps select different — not merely fewer — members.
+    let mut instance_cache: HashMap<(String, usize), Vec<anet_constructions::FamilyInstance>> =
+        HashMap::new();
     let mut cells = Vec::new();
     let mut solved = 0usize;
     let mut unsolved = 0usize;
     for scenario in &selected {
-        let rows = scenario.run();
+        let key = (scenario.family.instance_cache_key(), scenario.max_instances);
+        let instances = instance_cache
+            .entry(key)
+            .or_insert_with(|| scenario.materialize());
+        let rows = scenario.run_on(instances);
         let scenario_solved = rows.iter().filter(|r| r.solved()).count();
         if config.verbose {
             println!(
@@ -302,6 +317,48 @@ mod tests {
         let cell = &doc.get("cells").and_then(Json::as_array).unwrap()[0];
         assert_eq!(cell.get("solved"), Some(&Json::Bool(false)));
         assert!(cell.get("error").and_then(Json::as_str).is_some());
+        let _ = std::fs::remove_dir_all(&config.out_dir);
+    }
+
+    #[test]
+    fn instance_cache_distinguishes_same_named_families_with_different_sizes() {
+        // Two RandomRegular families share a display name (it omits the size list)
+        // but generate different graphs; the sweep's instance cache must key on
+        // `instance_cache_key`, not the name, or the second scenario would silently
+        // run the first scenario's graphs.
+        let mut registry = ScenarioRegistry::new();
+        registry
+            .register(Scenario::new(
+                RandomRegularFamily::new(3, vec![16], 0xA5EED),
+                Task::Selection,
+                SolverSpec::Map,
+                Backend::Sequential,
+                1,
+            ))
+            .unwrap();
+        registry
+            .register(Scenario::new(
+                RandomRegularFamily::new(3, vec![24], 0xA5EED),
+                Task::PortElection,
+                SolverSpec::Map,
+                Backend::Sequential,
+                1,
+            ))
+            .unwrap();
+        let config = SweepConfig {
+            out_dir: tmp_dir("cache-key"),
+            label: "cache key".to_string(),
+            ..SweepConfig::default()
+        };
+        let outcome = run_sweep(&registry, &config).unwrap();
+        assert_eq!(outcome.cells, 2);
+        let doc = read_bench_json(&outcome.json_path).unwrap();
+        let cells = doc.get("cells").and_then(Json::as_array).unwrap();
+        let nodes: Vec<i64> = cells
+            .iter()
+            .map(|c| c.get("nodes").and_then(Json::as_int).unwrap())
+            .collect();
+        assert_eq!(nodes, vec![16, 24]);
         let _ = std::fs::remove_dir_all(&config.out_dir);
     }
 

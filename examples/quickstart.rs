@@ -6,7 +6,7 @@
 use four_shades::graph::{GraphBuilder, PortGraph};
 use four_shades::prelude::*;
 use four_shades::views::election_index::{compute_all, feasibility};
-use four_shades::views::ViewTree;
+use four_shades::views::{View, ViewInterner};
 
 /// Build a small anonymous network by hand: a 5-cycle with one pendant node, with every
 /// port number chosen explicitly (the pair of numbers per edge is what breaks symmetry
@@ -32,11 +32,20 @@ fn main() {
     );
 
     // 1. Views: what a node can learn in r rounds is its augmented truncated view B^r.
-    let view = ViewTree::build(&g, 5, 2);
+    //    `View` handles are structurally shared: one interner pass builds the views of
+    //    *all* nodes, and equal subtrees collapse to one canonical object.
+    let view = View::build(&g, 5, 2);
     println!(
         "B^2 of the pendant node: {} tree nodes, height {}",
         view.size(),
         view.height()
+    );
+    let mut interner = ViewInterner::new();
+    let views = interner.build_all(&g, 2);
+    println!(
+        "all {} views at depth 2 share {} distinct subtrees",
+        views.len(),
+        interner.len()
     );
 
     // 2. Feasibility and the four election indices (minimum time knowing the map).

@@ -1,0 +1,157 @@
+//! Shared-view integration tests across the workload families: the interned `View`
+//! layer must agree with the owned `ViewTree` form on every `anet-workloads` graph
+//! family (and the paper's constructions), and the refactored full-information
+//! collector must stay bit-identical across the whole `Backend::smoke_set()`.
+
+use four_shades::graph::PortGraph;
+use four_shades::prelude::*;
+use four_shades::sim::{Backend, ViewCollectorFactory};
+use four_shades::views::{View, ViewInterner, ViewTree};
+use four_shades::workloads::families::{
+    CirculantFamily, HypercubeFamily, RandomRegularFamily, TorusFamily,
+};
+
+/// One small instance of every workload family (canonical and shuffled labellings)
+/// plus a paper construction — the same topology spectrum the scenario grids sweep.
+fn family_graphs() -> Vec<(String, PortGraph)> {
+    let mut graphs: Vec<(String, PortGraph)> = Vec::new();
+    let families: Vec<Box<dyn GraphFamily>> = vec![
+        Box::new(RandomRegularFamily::new(3, vec![16], 0xA5EED)),
+        Box::new(TorusFamily::new(vec![(3, 4)])),
+        Box::new(TorusFamily::new(vec![(3, 4)]).shuffled(41)),
+        Box::new(HypercubeFamily::new(vec![3])),
+        Box::new(HypercubeFamily::new(vec![4]).shuffled(41)),
+        Box::new(CirculantFamily::powers_of_two(vec![15], 3)),
+        Box::new(CirculantFamily::powers_of_two(vec![15], 3).shuffled(41)),
+        Box::new(four_shades::constructions::GClass::new(4, 1).unwrap()),
+        Box::new(four_shades::constructions::UClass::new(4, 1).unwrap()),
+    ];
+    for family in families {
+        for instance in family.instances(1) {
+            graphs.push((instance.name, instance.graph));
+        }
+    }
+    graphs
+}
+
+/// Owned and interned construction agree (structure, tokens, lexicographic order) on
+/// every family.
+#[test]
+fn owned_and_interned_views_agree_on_all_families() {
+    for (name, g) in family_graphs() {
+        for depth in 0..=3usize {
+            let shared = ViewInterner::new().build_all(&g, depth);
+            let owned: Vec<ViewTree> = g.nodes().map(|v| ViewTree::build(&g, v, depth)).collect();
+            for v in g.nodes().step_by(1 + g.num_nodes() / 12) {
+                let (s, o) = (&shared[v as usize], &owned[v as usize]);
+                assert_eq!(s.to_tree(), *o, "{name}, node {v}, depth {depth}");
+                assert_eq!(s.tokens(), o.tokens(), "{name}, node {v}, depth {depth}");
+                for u in g.nodes().step_by(1 + g.num_nodes() / 8) {
+                    assert_eq!(
+                        s.lex_cmp(&shared[u as usize]),
+                        o.lex_cmp(&owned[u as usize]),
+                        "{name}: nodes {v} vs {u} at depth {depth}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Interner canonicalness on every family: equal subtrees are one shared object, and
+/// the fully symmetric canonical labellings collapse to one representative per depth.
+#[test]
+fn interner_collapses_equal_views_on_all_families() {
+    for (name, g) in family_graphs() {
+        let mut interner = ViewInterner::new();
+        let views = interner.build_all(&g, 3);
+        for (i, a) in views.iter().enumerate() {
+            for b in &views[i..] {
+                assert_eq!(a == b, View::ptr_eq(a, b), "{name}: equal ⇔ same pointer");
+            }
+        }
+    }
+    // Canonical (unshuffled) torus / hypercube / circulant: every node has the same
+    // view, so the whole level is one object and the interner stays O(depth).
+    for (name, g) in [
+        ("torus", TorusFamily::generate(3, 4)),
+        (
+            "hypercube",
+            four_shades::graph::generators::hypercube(3).unwrap(),
+        ),
+        ("circulant", CirculantFamily::generate(15, 3)),
+    ] {
+        let mut interner = ViewInterner::new();
+        let views = interner.build_all(&g, 4);
+        assert!(
+            views.windows(2).all(|w| View::ptr_eq(&w[0], &w[1])),
+            "{name}: symmetric family must collapse"
+        );
+        assert_eq!(interner.len(), 5, "{name}: one subtree per depth 0..=4");
+    }
+}
+
+/// The refactored collector is backend-invariant on every family: identical views
+/// (as structural equality of handles) and identical reports across the smoke set,
+/// and identical to the direct combinatorial construction.
+#[test]
+fn collector_is_backend_invariant_on_all_families() {
+    for (name, g) in family_graphs() {
+        let rounds = 2;
+        let seq = Backend::Sequential.run(&g, &ViewCollectorFactory, rounds);
+        for v in g.nodes().step_by(1 + g.num_nodes() / 10) {
+            assert_eq!(
+                seq.outputs[v as usize],
+                View::build(&g, v, rounds),
+                "{name}, node {v}"
+            );
+        }
+        for backend in Backend::smoke_set() {
+            let out = backend.run(&g, &ViewCollectorFactory, rounds);
+            assert_eq!(out.outputs, seq.outputs, "{name} on {backend}");
+            assert_eq!(out.report, seq.report, "{name} on {backend}");
+        }
+    }
+}
+
+/// Engine runs stay bit-identical to sequential across the smoke set now that view
+/// messages are shared handles (outputs, rounds, messages, leader).
+#[test]
+fn engine_reports_stay_backend_invariant_with_shared_views() {
+    for (name, g) in family_graphs() {
+        let seq = match Election::task(Task::PortElection)
+            .solver(MapSolver::default())
+            .run(&g)
+        {
+            Ok(report) => report,
+            // Infeasible (symmetric) instances refuse identically on every backend.
+            Err(_) => {
+                for backend in Backend::smoke_set() {
+                    assert!(
+                        Election::task(Task::PortElection)
+                            .solver(MapSolver::default())
+                            .backend(backend)
+                            .run(&g)
+                            .is_err(),
+                        "{name} on {backend}"
+                    );
+                }
+                continue;
+            }
+        };
+        for backend in Backend::smoke_set() {
+            let report = Election::task(Task::PortElection)
+                .solver(MapSolver::default())
+                .backend(backend)
+                .run(&g)
+                .unwrap();
+            assert_eq!(report.outputs, seq.outputs, "{name} on {backend}");
+            assert_eq!(report.rounds, seq.rounds, "{name} on {backend}");
+            assert_eq!(
+                report.messages_delivered, seq.messages_delivered,
+                "{name} on {backend}"
+            );
+            assert_eq!(report.leader(), seq.leader(), "{name} on {backend}");
+        }
+    }
+}

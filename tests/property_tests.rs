@@ -106,19 +106,20 @@ fn node_relabelling_is_invisible() {
     }
 }
 
-/// The LOCAL simulator's full-information collector assembles exactly `B^r(v)`, on
-/// every execution backend.
+/// The LOCAL simulator's full-information collector assembles exactly `B^r(v)` — as a
+/// shared `View` handle structurally identical to the owned construction — on every
+/// execution backend.
 #[test]
 fn simulator_collects_exact_views() {
     for case in 0..CASES / 2 {
         let g = build(case);
         let rounds = (case % 3) as usize;
-        for backend in [Backend::Sequential, Backend::Parallel { threads: 3 }] {
+        for backend in Backend::smoke_set() {
             let outcome = backend.run(&g, &ViewCollectorFactory, rounds);
             for v in g.nodes() {
                 assert_eq!(
-                    &outcome.outputs[v as usize],
-                    &ViewTree::build(&g, v, rounds),
+                    outcome.outputs[v as usize].to_tree(),
+                    ViewTree::build(&g, v, rounds),
                     "case {case}, node {v}, backend {backend}"
                 );
             }
