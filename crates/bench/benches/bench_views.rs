@@ -1,6 +1,9 @@
 //! P1 — performance of the views machinery: refinement, view construction (owned vs
 //! interned/shared), full-information collection (owned vs shared messages), and the
-//! advice encoding (Theorem 2.2's data path).
+//! two advice encodings (Theorem 2.2's data path): the unfolded-tree codec and the
+//! shared-DAG codec, timed side by side and with their sizes recorded as metrics
+//! (`tree_bits_*` / `dag_bits_*`) so the `Θ(Δ^h)` → `O(distinct subtrees)` advice
+//! collapse shows up in the artifact trail.
 //!
 //! The `full_info_{owned,shared}_*` pairs measure the PR-4 refactor directly: the
 //! owned collector is the seed's `ViewTree`-message implementation (deep clone per
@@ -18,8 +21,9 @@ use anet_bench::Harness;
 use anet_constructions::GraphFamily;
 use anet_graph::{Port, PortGraph};
 use anet_sim::{AlgorithmFactory, Backend, NodeAlgorithm, ViewCollectorFactory};
-use anet_views::encoding::{decode_view, encode_view};
-use anet_views::{Refinement, ViewInterner, ViewTree};
+use anet_views::dag_encoding::{decode_view_dag, encode_view_dag};
+use anet_views::encoding::{decode_view, encode_view, encode_view_interned};
+use anet_views::{Refinement, View, ViewInterner, ViewTree};
 use anet_workloads::families::{RandomRegularFamily, TorusFamily};
 
 /// The seed's owned full-information collector, kept verbatim for the comparison:
@@ -146,5 +150,37 @@ fn main() {
     let encoded = encode_view(&view, 3);
     h.bench("encode_depth3", 20, || encode_view(&view, 3).len());
     h.bench("decode_depth3", 20, || decode_view(&encoded).unwrap().1);
+
+    // The DAG codec on the same view: encode (incl. the hash-consing pass), decode
+    // (incl. re-sharing), and the size of each wire form.
+    let shared = View::build(&g, 0, 3);
+    let dag_encoded = encode_view_dag(&shared, 3);
+    h.bench("dag_encode_depth3", 20, || {
+        encode_view_dag(&shared, 3).len()
+    });
+    h.bench("dag_decode_depth3", 20, || {
+        decode_view_dag(&dag_encoded).unwrap().1
+    });
+    h.metric("tree_bits_random_n200_d3", encoded.len() as i64);
+    h.metric("dag_bits_random_n200_d3", dag_encoded.len() as i64);
+
+    // Tree-bits vs dag-bits on a fully symmetric workload (canonical 9×9 torus):
+    // the interner holds one node per depth, so the DAG size grows linearly in the
+    // depth while the unfolded tree size grows like 4·3^{h-1}. These metrics are the
+    // measured form of the `Θ(Δ^h)` → `O(distinct subtrees)` advice collapse.
+    let torus = TorusFamily::generate(9, 9);
+    let views = ViewInterner::new().build_all(&torus, 8);
+    let symmetric = &views[0];
+    for depth in [2usize, 4, 6, 8] {
+        let truncated = symmetric.truncated(depth);
+        h.metric(
+            &format!("tree_bits_torus9x9_d{depth}"),
+            encode_view_interned(&truncated, depth).len() as i64,
+        );
+        h.metric(
+            &format!("dag_bits_torus9x9_d{depth}"),
+            encode_view_dag(&truncated, depth).len() as i64,
+        );
+    }
     h.report();
 }

@@ -94,6 +94,7 @@ pub fn e2_selection_advice() -> Table {
             "ψ_S",
             "rounds used",
             "advice bits (measured)",
+            "dag bits (shared encoding)",
             "(Δ−1)^ψ·log₂Δ (paper form)",
             "solved",
         ],
@@ -111,6 +112,7 @@ pub fn e2_selection_advice() -> Table {
             psi.to_string(),
             report.rounds.to_string(),
             report.advice_bits.expect("advice solver").to_string(),
+            report.advice_dag_bits.expect("advice solver").to_string(),
             fmt_f64(bounds::theorem_2_2_upper_form(g.max_degree(), psi)),
             report.solved().to_string(),
         ]);
@@ -217,6 +219,7 @@ pub fn e3b_conflict_census(params: &[(usize, usize)]) -> Table {
             "solver",
             "solved (min-time)",
             "achieved bits (max)",
+            "achieved dag bits (max)",
         ],
     );
     for &(delta, k) in params {
@@ -242,6 +245,9 @@ pub fn e3b_conflict_census(params: &[(usize, usize)]) -> Table {
             sc.solver.clone(),
             format!("{} ({})", sc.solved, sc.min_time),
             sc.max_advice_bits
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".into()),
+            sc.max_advice_dag_bits
                 .map(|b| b.to_string())
                 .unwrap_or_else(|| "-".into()),
         ]);
@@ -415,7 +421,7 @@ pub fn e5_j_class(mu: usize, k: usize, gadget_caps: &[usize], include_full: bool
         };
 
         // Selection on the same graph, for the separation column.
-        let advice = SelectionOracle.advise(g);
+        let advice = SelectionOracle::tree().advise(g);
         let s_bits = advice.len();
 
         table.push_row(vec![

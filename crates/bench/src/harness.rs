@@ -35,11 +35,23 @@ pub struct Measurement {
     pub max: Duration,
 }
 
+/// One named recorded *value* (not a timing): a size, a count, a ratio numerator —
+/// anything a bench wants in the artifact trail next to its timings (e.g.
+/// `bench_views` records tree-bits vs dag-bits of the two view encodings).
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Metric id (e.g. `dag_bits_torus9x9_d6`).
+    pub id: String,
+    /// The recorded value.
+    pub value: i64,
+}
+
 /// A collection of measurements for one bench target.
 #[derive(Debug, Default)]
 pub struct Harness {
     name: String,
     results: Vec<Measurement>,
+    metrics: Vec<Metric>,
 }
 
 impl Harness {
@@ -48,6 +60,7 @@ impl Harness {
         Harness {
             name: name.into(),
             results: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -82,9 +95,23 @@ impl Harness {
         });
     }
 
+    /// Record a named value (a size, a count …) next to the timings; it is rendered
+    /// in its own table section and lands in the JSON artifact under `"metrics"`.
+    pub fn metric(&mut self, id: &str, value: i64) {
+        self.metrics.push(Metric {
+            id: id.to_string(),
+            value,
+        });
+    }
+
     /// The measurements recorded so far.
     pub fn results(&self) -> &[Measurement] {
         &self.results
+    }
+
+    /// The value metrics recorded so far.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
     }
 
     /// Render the measurements as an aligned table.
@@ -108,7 +135,9 @@ impl Harness {
     /// The measurements as a versioned JSON document (schema `anet-bench/v1`),
     /// mirroring the `BENCH_workloads_*.json` files the sweep driver emits so that
     /// timing benches leave the same machine-readable artifact trail: per measurement
-    /// the id, sample count and mean/min/max nanoseconds.
+    /// the id, sample count and mean/min/max nanoseconds, plus a `"metrics"` array of
+    /// recorded values (additive over the original v1 shape, so existing readers —
+    /// which are general JSON parsers — keep working).
     pub fn to_json(&self) -> Json {
         Json::Object(vec![
             ("schema".to_string(), Json::str("anet-bench/v1")),
@@ -130,6 +159,20 @@ impl Harness {
                         .collect(),
                 ),
             ),
+            (
+                "metrics".to_string(),
+                Json::Array(
+                    self.metrics
+                        .iter()
+                        .map(|m| {
+                            Json::Object(vec![
+                                ("id".to_string(), Json::str(&m.id)),
+                                ("value".to_string(), Json::Int(m.value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -139,6 +182,13 @@ impl Harness {
     /// uploads timing benches next to the sweep driver's workload files.
     pub fn report(&self) {
         println!("{}", self.table());
+        if !self.metrics.is_empty() {
+            let mut t = Table::new(format!("bench {} — metrics", self.name), &["id", "value"]);
+            for m in &self.metrics {
+                t.push_row(vec![m.id.clone(), m.value.to_string()]);
+            }
+            println!("{t}");
+        }
         if let Ok(dir) = std::env::var("ANET_BENCH_JSON_DIR") {
             if !dir.is_empty() {
                 let dir = std::path::PathBuf::from(dir);
@@ -191,5 +241,19 @@ mod tests {
         assert_eq!(ms.len(), 1);
         assert_eq!(ms[0].get("id").and_then(Json::as_str), Some("sum"));
         assert!(ms[0].get("mean_ns").and_then(Json::as_int).is_some());
+    }
+
+    #[test]
+    fn metrics_ride_along_in_table_and_json() {
+        let mut h = Harness::new("demo_metrics");
+        h.bench("noop", 1, || 0u64);
+        h.metric("tree_bits_d3", 4094);
+        h.metric("dag_bits_d3", 233);
+        assert_eq!(h.metrics().len(), 2);
+        let parsed = Json::parse(&h.to_json().render_pretty()).unwrap();
+        let ms = parsed.get("metrics").and_then(Json::as_array).unwrap();
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[1].get("id").and_then(Json::as_str), Some("dag_bits_d3"));
+        assert_eq!(ms[1].get("value").and_then(Json::as_int), Some(233));
     }
 }

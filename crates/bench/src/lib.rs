@@ -16,5 +16,5 @@ pub mod harness;
 pub mod suite;
 pub mod table;
 
-pub use harness::Harness;
+pub use harness::{Harness, Metric};
 pub use table::Table;

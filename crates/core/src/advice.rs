@@ -12,16 +12,76 @@
 //! algorithms all do this — e.g. the Theorem 2.2 algorithm reads the height of the
 //! encoded view), the LOCAL simulator's full-information collector gathers `B^r(v)` at
 //! every node, and the algorithm's decision function produces the outputs.
+//!
+//! ```
+//! use anet_election::advice::{run_with_advice_on, FnAlgorithm, FnOracle};
+//! use anet_election::tasks::NodeOutput;
+//! use anet_sim::Backend;
+//! use anet_views::{BitString, View};
+//!
+//! // "The leader is the node that sees degree 4 at its own position" — a 0-round,
+//! // 0-bit pair that solves Selection on any star.
+//! let g = anet_graph::generators::star(4).unwrap();
+//! let oracle = FnOracle(|_: &anet_graph::PortGraph| BitString::new());
+//! let algo = FnAlgorithm {
+//!     rounds: |_: &BitString| 0usize,
+//!     decide: |_: &BitString, view: &View| {
+//!         if view.degree() == 4 { NodeOutput::Leader } else { NodeOutput::NonLeader }
+//!     },
+//! };
+//! let run = run_with_advice_on(&g, &oracle, &algo, Backend::Sequential);
+//! assert_eq!(run.advice_bits(), 0);
+//! assert_eq!(run.outputs.iter().filter(|o| **o == NodeOutput::Leader).count(), 1);
+//! // Opaque advice carries no per-codec sizes (contrast the Theorem 2.2 oracle).
+//! assert_eq!((run.advice_tree_bits, run.advice_dag_bits), (None, None));
+//! ```
 
 use crate::tasks::NodeOutput;
 use anet_graph::PortGraph;
 use anet_sim::Backend;
 use anet_views::{BitString, View};
 
+/// An oracle's advice together with its size under both view codecs.
+///
+/// The paper charges advice by its length in bits; when the advice is an encoded
+/// view, the *same* view has two wire sizes — the unfolded-tree form
+/// (`anet_views::encoding`, the paper's `O((Δ−1)^h log Δ)` accounting) and the
+/// shared-DAG form (`anet_views::dag_encoding`, `O(distinct subtrees)`). Oracles
+/// that encode views report both so reports and sweeps can show the collapse;
+/// opaque advice carries `None` for both.
+#[derive(Debug, Clone)]
+pub struct OracleAdvice {
+    /// The advice string actually broadcast to every node.
+    pub bits: BitString,
+    /// Size of the advice's view under the unfolded-tree codec, if it is one.
+    pub tree_bits: Option<usize>,
+    /// Size of the advice's view under the shared-DAG codec, if it is one.
+    pub dag_bits: Option<usize>,
+}
+
+impl OracleAdvice {
+    /// Advice that is not an encoded view (no per-codec sizes to report).
+    pub fn opaque(bits: BitString) -> Self {
+        OracleAdvice {
+            bits,
+            tree_bits: None,
+            dag_bits: None,
+        }
+    }
+}
+
 /// An oracle: sees the whole network, produces one advice string for all nodes.
 pub trait Oracle {
     /// Produce the advice for this graph.
     fn advise(&self, graph: &PortGraph) -> BitString;
+
+    /// Produce the advice together with its size under both view codecs. The
+    /// default wraps [`advise`](Oracle::advise) as opaque; oracles whose advice is
+    /// an encoded view (e.g. the Theorem 2.2 `SelectionOracle`) override this to
+    /// report tree-bits and dag-bits from one construction pass.
+    fn advise_with_sizes(&self, graph: &PortGraph) -> OracleAdvice {
+        OracleAdvice::opaque(self.advise(graph))
+    }
 }
 
 /// A deterministic distributed algorithm with advice: every node runs the same code,
@@ -42,6 +102,11 @@ pub trait AdviceAlgorithm {
 pub struct AdviceRun {
     /// The advice string produced by the oracle.
     pub advice: BitString,
+    /// Size the advice's view takes under the tree codec, when the oracle reports it
+    /// (see [`OracleAdvice`]).
+    pub advice_tree_bits: Option<usize>,
+    /// Size the advice's view takes under the shared-DAG codec, when reported.
+    pub advice_dag_bits: Option<usize>,
     /// The number of rounds the algorithm ran.
     pub rounds: usize,
     /// Per-node outputs, indexed by node.
@@ -70,13 +135,19 @@ where
     O: Oracle,
     A: AdviceAlgorithm,
 {
-    let advice = oracle.advise(graph);
+    let OracleAdvice {
+        bits: advice,
+        tree_bits,
+        dag_bits,
+    } = oracle.advise_with_sizes(graph);
     let rounds = algorithm.rounds(&advice);
     let (outputs, report) = anet_sim::run_full_information_on(graph, rounds, backend, |view| {
         algorithm.decide(&advice, view)
     });
     AdviceRun {
         advice,
+        advice_tree_bits: tree_bits,
+        advice_dag_bits: dag_bits,
         rounds,
         outputs,
         messages_delivered: report.messages_delivered,

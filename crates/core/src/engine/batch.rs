@@ -46,6 +46,18 @@ impl BatchRow {
     pub fn advice_bits(&self) -> Option<usize> {
         self.report.as_ref().ok().and_then(|r| r.advice_bits)
     }
+
+    /// Tree-codec size of the advice's encoded view, when the oracle reports it.
+    pub fn advice_tree_bits(&self) -> Option<usize> {
+        self.report.as_ref().ok().and_then(|r| r.advice_tree_bits)
+    }
+
+    /// Shared-DAG-codec size of the advice's encoded view, when the oracle reports
+    /// it (compare with [`advice_tree_bits`](BatchRow::advice_tree_bits) to see the
+    /// sharing collapse per instance).
+    pub fn advice_dag_bits(&self) -> Option<usize> {
+        self.report.as_ref().ok().and_then(|r| r.advice_dag_bits)
+    }
 }
 
 /// Sweeps an election configuration across the instances of a [`GraphFamily`].

@@ -3,10 +3,10 @@
 //! One fluent, composable surface over everything this workspace can do: pick a task
 //! shade × pick a solver × pick an execution backend × run on a graph.
 //!
-//! ```no_run
+//! ```
 //! use anet_election::engine::{Backend, Election, MapSolver};
 //! use anet_election::tasks::Task;
-//! # let graph = anet_graph::generators::paper_three_node_line();
+//! let graph = anet_graph::generators::paper_three_node_line();
 //!
 //! let report = Election::task(Task::CompletePortPathElection)
 //!     .solver(MapSolver::default())
@@ -25,9 +25,11 @@
 //!
 //! * the **task** is one of the paper's four shades ([`Task`]);
 //! * the **solver** is any [`Solver`] — the map-based minimum-time baseline
-//!   ([`MapSolver`]), the Theorem 2.2 oracle/algorithm pair or any other
-//!   advice pair ([`AdviceSolver`]), the Lemma 3.9 Port Election algorithm
-//!   ([`PortElectionSolver`]), or the Lemma 4.8 CPPE algorithm ([`CppeSolver`]);
+//!   ([`MapSolver`]), the Theorem 2.2 oracle/algorithm pair shipping either view
+//!   codec ([`AdviceSolver::theorem_2_2`] / [`AdviceSolver::theorem_2_2_dag`]) or
+//!   any other advice pair ([`AdviceSolver`]), the Lemma 3.9 Port Election
+//!   algorithm ([`PortElectionSolver`]), or the Lemma 4.8 CPPE algorithm
+//!   ([`CppeSolver`]);
 //! * the **backend** is an `anet-sim` execution strategy ([`Backend`]) — sequential,
 //!   fixed-thread parallel, arena-based message batching, or chunk-size-adaptive
 //!   parallel; every backend yields identical outputs and message accounting, so the
@@ -41,7 +43,7 @@
 //! mirrors the hierarchy `CPPE ⇒ PPE ⇒ PE ⇒ S` exactly as the paper uses it.
 //!
 //! For sweeping one configuration across a whole family of graphs (the paper's
-//! `G`/`U`/`J` constructions, or any [`GraphFamily`]), see [`BatchRunner`].
+//! `G`/`U`/`J` constructions, or any `anet_constructions::GraphFamily`), see [`BatchRunner`].
 
 mod batch;
 mod solvers;
@@ -102,6 +104,13 @@ pub struct SolverRun {
     /// Size of oracle advice in bits, for advice-based solvers (`None` for map-based
     /// solvers, whose "advice" is the whole map and is not measured in bits).
     pub advice_bits: Option<usize>,
+    /// Size the advice's encoded view takes under the unfolded-tree codec, when the
+    /// oracle reports it (the paper's `O((Δ−1)^h log Δ)` accounting). Independent of
+    /// which codec actually shipped.
+    pub advice_tree_bits: Option<usize>,
+    /// Size the same view takes under the shared-DAG codec (`O(distinct subtrees)`),
+    /// when the oracle reports it.
+    pub advice_dag_bits: Option<usize>,
 }
 
 /// A leader-election solver: anything that can produce per-node outputs for a task on
@@ -202,6 +211,8 @@ impl ElectionBuilder {
             solver: solver.name(),
             backend: self.backend,
             advice_bits: run.advice_bits,
+            advice_tree_bits: run.advice_tree_bits,
+            advice_dag_bits: run.advice_dag_bits,
             rounds: run.rounds,
             messages_delivered: run.messages_delivered,
             outputs,
@@ -235,6 +246,14 @@ pub struct ElectionReport {
     pub backend: Backend,
     /// Oracle advice size in bits, if the solver is advice-based.
     pub advice_bits: Option<usize>,
+    /// Tree-codec size of the advice's encoded view, when the oracle reports it
+    /// (what Theorem 2.2's `O((Δ−1)^h log Δ)` form counts), regardless of the codec
+    /// that shipped.
+    pub advice_tree_bits: Option<usize>,
+    /// Shared-DAG-codec size of the same view (`O(distinct subtrees)` bits), when
+    /// reported — against `advice_tree_bits` this shows the `Θ(Δ^h)` →
+    /// `O(distinct subtrees)` collapse per run.
+    pub advice_dag_bits: Option<usize>,
     /// Communication rounds used.
     pub rounds: usize,
     /// Total messages delivered.
@@ -263,7 +282,12 @@ impl ElectionReport {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         let advice = match self.advice_bits {
-            Some(bits) => format!(", {bits} advice bits"),
+            Some(bits) => match (self.advice_tree_bits, self.advice_dag_bits) {
+                (Some(tree), Some(dag)) => {
+                    format!(", {bits} advice bits (tree {tree} / dag {dag})")
+                }
+                _ => format!(", {bits} advice bits"),
+            },
             None => String::new(),
         };
         match &self.verdict {
@@ -324,6 +348,32 @@ mod tests {
         assert!(report.advice_bits.unwrap() > 0);
         assert_eq!(report.rounds, 0, "ψ_S(star) = 0");
         assert_eq!(report.messages_delivered, 0);
+    }
+
+    #[test]
+    fn dag_advice_solver_matches_tree_solver_and_reports_both_sizes() {
+        let g = generators::oriented_ring(&[true, true, false, true, false]).unwrap();
+        let tree = Election::task(Task::Selection)
+            .solver(AdviceSolver::theorem_2_2())
+            .run(&g)
+            .unwrap();
+        let dag = Election::task(Task::Selection)
+            .solver(AdviceSolver::theorem_2_2_dag())
+            .run(&g)
+            .unwrap();
+        assert!(tree.solved() && dag.solved());
+        assert_eq!(
+            tree.outputs, dag.outputs,
+            "codec changes the wire form only"
+        );
+        assert_eq!(tree.rounds, dag.rounds);
+        // Each run ships its own codec's size and reports both.
+        assert_eq!(tree.advice_bits, tree.advice_tree_bits);
+        assert_eq!(dag.advice_bits, dag.advice_dag_bits);
+        assert_eq!(tree.advice_dag_bits, dag.advice_dag_bits);
+        assert_eq!(tree.advice_tree_bits, dag.advice_tree_bits);
+        let s = dag.summary();
+        assert!(s.contains("tree") && s.contains("dag"), "{s}");
     }
 
     #[test]

@@ -16,6 +16,8 @@ fn map_run_to_solver_run(run: MapRun) -> SolverRun {
         outputs: run.outputs,
         messages_delivered: run.messages_delivered,
         advice_bits: None,
+        advice_tree_bits: None,
+        advice_dag_bits: None,
     }
 }
 
@@ -88,12 +90,31 @@ where
 
 impl AdviceSolver<SelectionOracle, SelectionAlgorithm> {
     /// The Theorem 2.2 pair: Selection in minimum time `ψ_S(G)` with
-    /// `O((Δ−1)^{ψ_S} log Δ)` advice bits.
+    /// `O((Δ−1)^{ψ_S} log Δ)` advice bits (the encoded view ships in the paper's
+    /// unfolded-tree format).
     ///
     /// The oracle requires a graph with finite Selection index and panics otherwise
     /// (matching `SelectionOracle::advise`).
     pub fn theorem_2_2() -> Self {
-        AdviceSolver::new("advice(thm-2.2)", SelectionOracle, SelectionAlgorithm)
+        AdviceSolver::new(
+            "advice(thm-2.2)",
+            SelectionOracle::tree(),
+            SelectionAlgorithm::tree(),
+        )
+    }
+
+    /// The Theorem 2.2 pair shipping the chosen view in the **shared-DAG** format:
+    /// the same election (identical outputs, rounds, messages), but the advice costs
+    /// `O(distinct subtrees)` bits instead of `Θ((Δ−1)^{ψ_S} log Δ)` — on
+    /// near-symmetric graphs an exponential saving for the same information. Reports
+    /// carry both sizes either way ([`super::ElectionReport::advice_tree_bits`] /
+    /// [`super::ElectionReport::advice_dag_bits`]).
+    pub fn theorem_2_2_dag() -> Self {
+        AdviceSolver::new(
+            "advice(thm-2.2, dag)",
+            SelectionOracle::dag(),
+            SelectionAlgorithm::dag(),
+        )
     }
 }
 
@@ -117,6 +138,8 @@ where
             rounds: run.rounds,
             messages_delivered: run.messages_delivered,
             advice_bits: Some(run.advice.len()),
+            advice_tree_bits: run.advice_tree_bits,
+            advice_dag_bits: run.advice_dag_bits,
             outputs: run.outputs,
         })
     }

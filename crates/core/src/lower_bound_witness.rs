@@ -161,6 +161,13 @@ pub struct SolverCensus {
     /// Maximum advice bits the solver used over all members, if it is advice-based
     /// (`None` for map-based solvers, or if no member produced a report).
     pub max_advice_bits: Option<usize>,
+    /// Maximum tree-codec size of the advice's encoded view over all members, when
+    /// the oracle reports per-codec sizes.
+    pub max_advice_tree_bits: Option<usize>,
+    /// Maximum shared-DAG-codec size over all members, when reported — next to
+    /// [`max_advice_tree_bits`](SolverCensus::max_advice_tree_bits) this shows how
+    /// much of the measured advice is unfolding rather than information.
+    pub max_advice_dag_bits: Option<usize>,
 }
 
 impl SolverCensus {
@@ -188,6 +195,13 @@ where
     let mut solved = 0usize;
     let mut min_time = 0usize;
     let mut max_advice_bits: Option<usize> = None;
+    let mut max_advice_tree_bits: Option<usize> = None;
+    let mut max_advice_dag_bits: Option<usize> = None;
+    let fold = |acc: &mut Option<usize>, bits: Option<usize>| {
+        if let Some(bits) = bits {
+            *acc = Some(acc.unwrap_or(0).max(bits));
+        }
+    };
     for (i, g) in members.iter().enumerate() {
         let report = Election::task(task).solver_boxed(make_solver(i)).run(g);
         if let Ok(report) = report {
@@ -200,9 +214,9 @@ where
                     min_time += 1;
                 }
             }
-            if let Some(bits) = report.advice_bits {
-                max_advice_bits = Some(max_advice_bits.unwrap_or(0).max(bits));
-            }
+            fold(&mut max_advice_bits, report.advice_bits);
+            fold(&mut max_advice_tree_bits, report.advice_tree_bits);
+            fold(&mut max_advice_dag_bits, report.advice_dag_bits);
         }
     }
     SolverCensus {
@@ -212,6 +226,8 @@ where
         solved,
         min_time,
         max_advice_bits,
+        max_advice_tree_bits,
+        max_advice_dag_bits,
     }
 }
 
@@ -395,6 +411,27 @@ mod tests {
         // The Theorem 2.2 pair must spend at least the pigeonhole number of bits on
         // some member of this collection.
         assert!(sc.achieves_lower_bound(), "{sc:?}");
+        // The oracle reports both codec sizes: the shipped (tree) form is the
+        // tree-bits maximum, and the DAG size rides along for the E3b comparison.
+        assert_eq!(sc.max_advice_tree_bits, sc.max_advice_bits);
+        assert!(sc.max_advice_dag_bits.is_some());
+    }
+
+    #[test]
+    fn selection_census_on_the_dag_solver_ships_dag_sized_advice() {
+        use crate::engine::AdviceSolver;
+        let class = GClass::new(4, 1).unwrap();
+        let members: Vec<_> = (1..=4)
+            .map(|i| class.member(i).unwrap().labeled.graph)
+            .collect();
+        let refs: Vec<&PortGraph> = members.iter().collect();
+        let sc = selection_census_with_solver(&refs, class.k, |_| {
+            Box::new(AdviceSolver::theorem_2_2_dag())
+        });
+        assert_eq!(sc.solved, 4, "the codec does not change solvability");
+        assert_eq!(sc.min_time, 4);
+        assert_eq!(sc.max_advice_bits, sc.max_advice_dag_bits);
+        assert!(sc.max_advice_tree_bits.is_some());
     }
 
     #[test]

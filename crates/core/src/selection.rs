@@ -7,20 +7,49 @@
 //! equals the decoded view. Correctness follows from Proposition 2.1: at depth
 //! `ψ_S(G)` a unique-view node exists, and exactly one node's view matches the advice.
 
-use crate::advice::{AdviceAlgorithm, AdviceRun, Oracle};
+use crate::advice::{AdviceAlgorithm, AdviceRun, Oracle, OracleAdvice};
 use crate::tasks::NodeOutput;
 use anet_graph::PortGraph;
 use anet_sim::Backend;
+use anet_views::dag_encoding::encode_view_dag;
 use anet_views::election_index::psi_s_with;
-use anet_views::encoding::{decode_view_interned, encode_view_interned};
-use anet_views::{BitString, Refinement, View, ViewInterner};
+use anet_views::encoding::{encode_view_interned, tree_encoded_size_bits};
+use anet_views::{BitString, Refinement, View, ViewCodec, ViewInterner};
 
-/// The Theorem 2.2 oracle.
+/// The Theorem 2.2 oracle. The chosen view can be shipped under either
+/// [`ViewCodec`]: the paper's unfolded-tree form (the default, `Θ((Δ−1)^ψ log Δ)`
+/// bits) or the shared-DAG form (`O(distinct subtrees)` bits — on near-symmetric
+/// graphs, exponentially smaller for the same information). Whatever codec ships,
+/// [`Oracle::advise_with_sizes`] reports *both* sizes, so reports and sweeps can
+/// show the gap.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct SelectionOracle;
+pub struct SelectionOracle {
+    /// The wire format of the encoded view (must match the algorithm's).
+    pub codec: ViewCodec,
+}
+
+impl SelectionOracle {
+    /// An oracle shipping the unfolded-tree encoding (the paper's accounting).
+    pub fn tree() -> Self {
+        SelectionOracle {
+            codec: ViewCodec::Tree,
+        }
+    }
+
+    /// An oracle shipping the shared-DAG encoding.
+    pub fn dag() -> Self {
+        SelectionOracle {
+            codec: ViewCodec::Dag,
+        }
+    }
+}
 
 impl Oracle for SelectionOracle {
     fn advise(&self, graph: &PortGraph) -> BitString {
+        self.advise_with_sizes(graph).bits
+    }
+
+    fn advise_with_sizes(&self, graph: &PortGraph) -> OracleAdvice {
         let refinement = Refinement::compute_until_unique(graph);
         let psi = psi_s_with(&refinement)
             .expect("Selection oracle requires a graph with finite Selection index");
@@ -34,22 +63,62 @@ impl Oracle for SelectionOracle {
             .map(|v| views[v as usize].clone())
             .min()
             .expect("at least one candidate");
-        encode_view_interned(&chosen_view, psi)
+        // The tree size comes from the closed form (O(distinct nodes)), so a
+        // DAG-codec run never materialises the exponential unfolded encoding it
+        // exists to avoid; the tree string itself is built only when it ships.
+        let tree_bits = Some(tree_encoded_size_bits(&chosen_view, psi));
+        let dag = encode_view_dag(&chosen_view, psi);
+        let dag_bits = Some(dag.len());
+        OracleAdvice {
+            bits: match self.codec {
+                ViewCodec::Tree => encode_view_interned(&chosen_view, psi),
+                ViewCodec::Dag => dag,
+            },
+            tree_bits,
+            dag_bits,
+        }
     }
 }
 
-/// The Theorem 2.2 distributed algorithm.
+/// The Theorem 2.2 distributed algorithm. Its codec must match the oracle's — the
+/// two wire formats are not self-describing relative to each other, exactly like
+/// the (advice-derived) number of rounds the pair already agrees on.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct SelectionAlgorithm;
+pub struct SelectionAlgorithm {
+    /// The wire format the advice is decoded with (must match the oracle's).
+    pub codec: ViewCodec,
+}
+
+impl SelectionAlgorithm {
+    /// The decoder side of [`SelectionOracle::tree`].
+    pub fn tree() -> Self {
+        SelectionAlgorithm {
+            codec: ViewCodec::Tree,
+        }
+    }
+
+    /// The decoder side of [`SelectionOracle::dag`].
+    pub fn dag() -> Self {
+        SelectionAlgorithm {
+            codec: ViewCodec::Dag,
+        }
+    }
+}
 
 impl AdviceAlgorithm for SelectionAlgorithm {
     fn rounds(&self, advice: &BitString) -> usize {
-        let (_, height) = decode_view_interned(advice).expect("advice is an encoded view");
+        let (_, height) = self
+            .codec
+            .decode(advice)
+            .expect("advice is an encoded view");
         height
     }
 
     fn decide(&self, advice: &BitString, view: &View) -> NodeOutput {
-        let (target, _) = decode_view_interned(advice).expect("advice is an encoded view");
+        let (target, _) = self
+            .codec
+            .decode(advice)
+            .expect("advice is an encoded view");
         if *view == target {
             NodeOutput::Leader
         } else {
@@ -63,9 +132,26 @@ pub fn solve_selection_min_time(graph: &PortGraph) -> AdviceRun {
     solve_selection_min_time_on(graph, Backend::Sequential)
 }
 
-/// Run the Theorem 2.2 pair on a graph, on an explicit execution [`Backend`].
+/// Run the Theorem 2.2 pair on a graph, on an explicit execution [`Backend`]
+/// (tree-codec advice; see [`solve_selection_min_time_with`] for the codec axis).
 pub fn solve_selection_min_time_on(graph: &PortGraph, backend: Backend) -> AdviceRun {
-    crate::advice::run_with_advice_on(graph, &SelectionOracle, &SelectionAlgorithm, backend)
+    solve_selection_min_time_with(graph, ViewCodec::Tree, backend)
+}
+
+/// Run the Theorem 2.2 pair shipping the encoded view under an explicit
+/// [`ViewCodec`], on an explicit execution [`Backend`]. The decision function (and
+/// hence the outputs) is codec-independent; only `advice_bits` changes.
+pub fn solve_selection_min_time_with(
+    graph: &PortGraph,
+    codec: ViewCodec,
+    backend: Backend,
+) -> AdviceRun {
+    crate::advice::run_with_advice_on(
+        graph,
+        &SelectionOracle { codec },
+        &SelectionAlgorithm { codec },
+        backend,
+    )
 }
 
 /// The paper's bound on the advice used by this oracle, in bits (Theorem 2.2 statement
@@ -132,7 +218,7 @@ mod tests {
     #[test]
     fn oracle_picks_the_lexicographically_smallest_unique_view() {
         let g = generators::star(4).unwrap();
-        let advice = SelectionOracle.advise(&g);
+        let advice = SelectionOracle::tree().advise(&g);
         let (view, h) = decode_view(&advice).unwrap();
         assert_eq!(h, 0);
         // At depth 0 all five nodes are unique-or-not by degree: the centre (degree 4)
@@ -154,7 +240,28 @@ mod tests {
     #[should_panic(expected = "finite Selection index")]
     fn oracle_panics_on_symmetric_graphs() {
         let g = generators::symmetric_ring(4).unwrap();
-        SelectionOracle.advise(&g);
+        SelectionOracle::tree().advise(&g);
+    }
+
+    #[test]
+    fn dag_codec_pair_solves_with_identical_outputs_and_both_sizes_reported() {
+        for seed in 0..6u64 {
+            let g = generators::random_connected(16, 4, 6, seed).unwrap();
+            if psi_s(&g).is_none() {
+                continue;
+            }
+            let tree_run = solve_selection_min_time_with(&g, ViewCodec::Tree, Backend::Sequential);
+            let dag_run = solve_selection_min_time_with(&g, ViewCodec::Dag, Backend::Sequential);
+            // Same election, same rounds — only the wire form of the advice differs.
+            assert_eq!(tree_run.outputs, dag_run.outputs);
+            assert_eq!(tree_run.rounds, dag_run.rounds);
+            assert!(verify(Task::Selection, &g, &dag_run.outputs).is_ok());
+            // Both runs report both sizes, and each ships its own codec's size.
+            assert_eq!(tree_run.advice_tree_bits, Some(tree_run.advice_bits()));
+            assert_eq!(dag_run.advice_dag_bits, Some(dag_run.advice_bits()));
+            assert_eq!(tree_run.advice_dag_bits, dag_run.advice_dag_bits);
+            assert_eq!(tree_run.advice_tree_bits, dag_run.advice_tree_bits);
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! Four strategies are available:
 //!
 //! * [`Backend::Sequential`] — the single-threaded reference implementation: fresh
-//!   per-node outbox vectors every round, routed by the shared [`route_messages`]
+//!   per-node outbox vectors every round, routed by the shared (crate-internal) `route_messages`
 //!   helper.
 //! * [`Backend::Parallel`] — send/receive split across a fixed number of scoped
 //!   threads in uniform node-count chunks; routing stays sequential.

@@ -78,6 +78,33 @@ impl BitString {
         Some(BitString { bits })
     }
 
+    /// Append `value` as a variable-length integer: groups of 4 payload bits (least
+    /// significant group first), each preceded by a continuation bit that is 1 iff
+    /// more groups follow. Values below 16 cost 5 bits, and the cost grows by 5 bits
+    /// per factor of 16 — the encoding the DAG view codec uses for node ids, which
+    /// are almost always small.
+    ///
+    /// ```
+    /// use anet_views::BitString;
+    /// let mut b = BitString::new();
+    /// b.push_varint(7);
+    /// b.push_varint(1000);
+    /// let mut r = b.reader();
+    /// assert_eq!(r.read_varint(), Some(7));
+    /// assert_eq!(r.read_varint(), Some(1000));
+    /// ```
+    pub fn push_varint(&mut self, mut value: u64) {
+        loop {
+            let group = value & 0xF;
+            value >>= 4;
+            self.push_bit(value != 0);
+            self.push_uint(group, 4);
+            if value == 0 {
+                return;
+            }
+        }
+    }
+
     /// A cursor for sequential reads.
     pub fn reader(&self) -> BitReader<'_> {
         BitReader { bits: self, pos: 0 }
@@ -119,6 +146,22 @@ impl<'a> BitReader<'a> {
             self.pos += 1;
         }
         Some(value)
+    }
+
+    /// Read a variable-length integer written by [`BitString::push_varint`]. `None`
+    /// when the string ends mid-value or the value would exceed 64 bits (16 groups) —
+    /// the cursor position is unspecified afterwards, so treat `None` as fatal.
+    pub fn read_varint(&mut self) -> Option<u64> {
+        let mut value = 0u64;
+        for group in 0..16 {
+            let more = self.read_bit()?;
+            let payload = self.read_uint(4)?;
+            value |= payload << (4 * group);
+            if !more {
+                return Some(value);
+            }
+        }
+        None // a 17th group would shift past 64 bits
     }
 
     /// Number of bits not yet consumed.
@@ -192,6 +235,49 @@ mod tests {
         assert_eq!(b.len(), 0);
         assert_eq!(b.to_binary_string(), "");
         assert_eq!(b.iter().count(), 0);
+    }
+
+    #[test]
+    fn varint_round_trips_across_the_range() {
+        let values = [0u64, 1, 15, 16, 255, 256, 4095, 1 << 20, u64::MAX];
+        let mut b = BitString::new();
+        for &v in &values {
+            b.push_varint(v);
+        }
+        let mut r = b.reader();
+        for &v in &values {
+            assert_eq!(r.read_varint(), Some(v));
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn varint_costs_five_bits_per_group() {
+        for (value, groups) in [(0u64, 1usize), (15, 1), (16, 2), (255, 2), (256, 3)] {
+            let mut b = BitString::new();
+            b.push_varint(value);
+            assert_eq!(b.len(), 5 * groups, "value {value}");
+        }
+    }
+
+    #[test]
+    fn truncated_varint_reads_none() {
+        let mut b = BitString::new();
+        b.push_varint(1 << 20);
+        let cut = BitString::from_binary_string(&b.to_binary_string()[..b.len() - 3]).unwrap();
+        assert_eq!(cut.reader().read_varint(), None);
+        assert_eq!(BitString::new().reader().read_varint(), None);
+    }
+
+    #[test]
+    fn overlong_varint_reads_none() {
+        // 17 groups, every continuation bit set: the value would exceed 64 bits.
+        let mut b = BitString::new();
+        for _ in 0..17 {
+            b.push_bit(true);
+            b.push_uint(1, 4);
+        }
+        assert_eq!(b.reader().read_varint(), None);
     }
 
     #[test]

@@ -22,18 +22,51 @@
 //!
 //! The encoding length is therefore `6 + w·(1 + #tree nodes + #tree edges)`, i.e.
 //! `O((Δ−1)^h log Δ)` as in the paper.
+//!
+//! This is the paper's *unfolded* accounting: repeated subtrees are written once per
+//! occurrence. The sibling [`crate::dag_encoding`] module serialises the shared DAG
+//! instead (one table entry per *distinct* subtree), which collapses symmetric views
+//! from `Θ(Δ^h)` to `O(h)` encoded nodes; [`ViewCodec`] names the two formats so
+//! advice-producing code can choose per run.
 
 use crate::bits::{BitReader, BitString};
 use crate::interned::View;
 use crate::view_tree::ViewTree;
 
-/// Errors produced while decoding an encoded view.
+/// Errors produced while decoding an encoded view — by this module's tree codec or
+/// by the shared-DAG codec in [`crate::dag_encoding`] (the DAG-specific conditions
+/// only arise there).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
-    /// The bit string ended before the view was complete.
+    /// The bit string ended before the view was complete (also reported for a
+    /// malformed varint in the DAG format).
     Truncated,
     /// The header declared an invalid field width.
     BadWidth,
+    /// DAG format: the node table is empty (a view always has a root).
+    EmptyTable,
+    /// DAG format: a child or root id does not reference an *earlier* table entry.
+    /// Child ids must point strictly backwards (children precede parents in the
+    /// topological table order), so any forward or out-of-range id — the bit patterns
+    /// that would smuggle in a cycle — is rejected with this error.
+    BadNodeId {
+        /// The offending id.
+        id: usize,
+        /// Number of table entries legally referenceable at that point.
+        limit: usize,
+    },
+    /// DAG format: a table entry is structurally identical to an earlier one. The
+    /// encoder hash-conses before writing, so canonical encodings never contain
+    /// duplicates; rejecting them keeps "distinct views ⇔ distinct encodings".
+    DuplicateNode {
+        /// Index of the duplicate entry.
+        index: usize,
+    },
+    /// A degree or far-port field exceeds the `u32` domain of port graphs. Wide
+    /// field widths are legal (the height field can need them), but no encoder can
+    /// emit a degree or port above `u32::MAX`, so the value is forged rather than
+    /// silently truncated.
+    ValueTooLarge,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -41,11 +74,88 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "bit string too short for the declared view"),
             DecodeError::BadWidth => write!(f, "invalid field width in view encoding header"),
+            DecodeError::EmptyTable => write!(f, "DAG node table is empty"),
+            DecodeError::BadNodeId { id, limit } => {
+                write!(f, "node id {id} out of range (must be < {limit})")
+            }
+            DecodeError::DuplicateNode { index } => {
+                write!(f, "table entry {index} duplicates an earlier node")
+            }
+            DecodeError::ValueTooLarge => {
+                write!(f, "degree or port field exceeds the u32 value domain")
+            }
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+/// Which binary form a view is shipped in. Both are lossless and self-delimiting;
+/// they differ only in what they charge for repeated subtrees.
+///
+/// * [`ViewCodec::Tree`] — the pre-order unfolded-tree format of this module
+///   (the original Theorem 2.2 accounting: `O((Δ−1)^h log Δ)` bits).
+/// * [`ViewCodec::Dag`] — the hash-consed shared-DAG format of
+///   [`crate::dag_encoding`]: `O(distinct subtrees)` table entries, so symmetric
+///   views collapse from exponential to linear in the height.
+///
+/// The two formats are **not** self-describing relative to each other (a DAG
+/// bit string may also parse as some tree encoding), so encoder and decoder must
+/// agree on the codec out of band — exactly like the height parameter.
+///
+/// ```
+/// use anet_views::{encoding::ViewCodec, View};
+/// let g = anet_graph::generators::symmetric_ring(6).unwrap();
+/// let view = View::build(&g, 0, 8);
+/// let tree = ViewCodec::Tree.encode(&view, 8);
+/// let dag = ViewCodec::Dag.encode(&view, 8);
+/// assert!(dag.len() < tree.len()); // the ring's views share everything
+/// for codec in [ViewCodec::Tree, ViewCodec::Dag] {
+///     let (decoded, h) = codec.decode(&codec.encode(&view, 8)).unwrap();
+///     assert_eq!((decoded, h), (view.clone(), 8));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ViewCodec {
+    /// The unfolded pre-order tree format ([`encode_view_interned`]).
+    #[default]
+    Tree,
+    /// The hash-consed shared-DAG format ([`crate::dag_encoding::encode_view_dag`]).
+    Dag,
+}
+
+impl ViewCodec {
+    /// Encode `view` at truncation depth `height` in this format.
+    pub fn encode(self, view: &View, height: usize) -> BitString {
+        match self {
+            ViewCodec::Tree => encode_view_interned(view, height),
+            ViewCodec::Dag => crate::dag_encoding::encode_view_dag(view, height),
+        }
+    }
+
+    /// Decode a view previously produced by [`ViewCodec::encode`] with the same
+    /// codec; returns the view and its height.
+    pub fn decode(self, bits: &BitString) -> Result<(View, usize), DecodeError> {
+        match self {
+            ViewCodec::Tree => decode_view_interned(bits),
+            ViewCodec::Dag => crate::dag_encoding::decode_view_dag(bits),
+        }
+    }
+
+    /// Short label used in solver names and JSON artifacts (`tree` / `dag`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ViewCodec::Tree => "tree",
+            ViewCodec::Dag => "dag",
+        }
+    }
+}
+
+impl std::fmt::Display for ViewCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Encode an augmented truncated view of the given height into a [`BitString`].
 ///
@@ -68,10 +178,25 @@ pub fn encoded_size_bits(view: &ViewTree, height: usize) -> usize {
     encode_view(view, height).len()
 }
 
+/// The exact length [`encode_view_interned`] would produce, computed in closed form
+/// (`6 + w · (1 + #tree nodes + #tree edges)` = `6 + 2·w·size`) from the handle's
+/// precomputed metadata — `O(distinct nodes)` for the width scan, without
+/// materialising the exponential unfolded encoding. This is how DAG-codec advice
+/// runs report their tree-bits counterpart (saturating: a view whose unfolded size
+/// saturates [`View::size`] could not be materialised by the tree codec either).
+pub fn tree_encoded_size_bits(view: &View, height: usize) -> usize {
+    let max_val = u64::from(view.max_degree())
+        .max(view.max_port().map(u64::from).unwrap_or(0))
+        .max(height as u64);
+    let w = BitString::width_for(max_val);
+    6 + 2usize.saturating_mul(w).saturating_mul(view.size())
+}
+
 /// [`encode_view`] for a shared [`View`] handle. This is the single implementation
 /// of the bit format (the owned entry points delegate through the lossless
 /// `View ↔ ViewTree` conversions, so the two forms cannot diverge); note the output
-/// is the *unfolded* tree either way — the format predates subtree sharing.
+/// is the *unfolded* tree either way — for a format that charges per distinct
+/// subtree instead, use [`crate::dag_encoding::encode_view_dag`].
 pub fn encode_view_interned(view: &View, height: usize) -> BitString {
     let max_val = u64::from(view.max_degree())
         .max(view.max_port().map(u64::from).unwrap_or(0))
@@ -114,17 +239,27 @@ pub fn decode_view_interned(bits: &BitString) -> Result<(View, usize), DecodeErr
     Ok((view, height))
 }
 
+/// Read a `w`-bit degree or far-port field, rejecting values outside the `u32`
+/// domain of port graphs instead of silently truncating them (shared by the tree
+/// and DAG decoders).
+pub(crate) fn read_u32_field(r: &mut BitReader<'_>, w: usize) -> Result<u32, DecodeError> {
+    let raw = r.read_uint(w).ok_or(DecodeError::Truncated)?;
+    u32::try_from(raw).map_err(|_| DecodeError::ValueTooLarge)
+}
+
 fn decode_interned_node(
     r: &mut BitReader<'_>,
     remaining: usize,
     w: usize,
 ) -> Result<View, DecodeError> {
-    let degree = r.read_uint(w).ok_or(DecodeError::Truncated)? as u32;
+    let degree = read_u32_field(r, w)?;
+    // No `reserve(degree)`: the declared degree is attacker-controlled and may be
+    // astronomically larger than the bits backing it (same hardening as the DAG
+    // decoder) — the Vec grows as children are actually read.
     let mut children = Vec::new();
     if remaining > 0 {
-        children.reserve(degree as usize);
         for p in 0..degree {
-            let q = r.read_uint(w).ok_or(DecodeError::Truncated)? as u32;
+            let q = read_u32_field(r, w)?;
             let child = decode_interned_node(r, remaining - 1, w)?;
             children.push((p, q, child));
         }
@@ -207,6 +342,26 @@ mod tests {
     }
 
     #[test]
+    fn degree_fields_beyond_u32_are_rejected_not_truncated() {
+        let mut bits = BitString::new();
+        bits.push_uint(33, 6); // w = 33 (legal: the height field may need it)
+        bits.push_uint(1, 33); // height 1
+        bits.push_uint(1u64 << 32, 33); // root degree 2^32: outside the u32 domain
+        assert_eq!(decode_view(&bits), Err(DecodeError::ValueTooLarge));
+    }
+
+    #[test]
+    fn huge_declared_degree_fails_without_allocating() {
+        // w = 32, height 1, root degree u32::MAX, no bits behind it: the decoder
+        // must hit Truncated while reading children, never pre-allocate ~4G slots.
+        let mut bits = BitString::new();
+        bits.push_uint(32, 6);
+        bits.push_uint(1, 32);
+        bits.push_uint(u64::from(u32::MAX), 32);
+        assert_eq!(decode_view(&bits), Err(DecodeError::Truncated));
+    }
+
+    #[test]
     fn distinct_views_have_distinct_encodings() {
         let g = generators::oriented_ring(&[true, true, false, true, false]).unwrap();
         let views: Vec<_> = g.nodes().map(|v| ViewTree::build(&g, v, 3)).collect();
@@ -223,6 +378,34 @@ mod tests {
         let g = generators::star(4).unwrap();
         let view = ViewTree::build(&g, 0, 2);
         assert_eq!(encoded_size_bits(&view, 2), encode_view(&view, 2).len());
+    }
+
+    #[test]
+    fn closed_form_size_matches_the_materialised_encoding() {
+        for seed in 0..4u64 {
+            let g = generators::random_connected(15, 5, 6, seed).unwrap();
+            for v in [0u32, 7, 14] {
+                for h in 0..=3usize {
+                    let view = View::build(&g, v, h);
+                    assert_eq!(
+                        tree_encoded_size_bits(&view, h),
+                        encode_view_interned(&view, h).len(),
+                        "node {v} depth {h}"
+                    );
+                }
+            }
+        }
+        // And it stays O(distinct nodes) on views whose unfolded encoding could
+        // never be materialised: B^50 of the symmetric ring is 2^51 − 1 tree nodes.
+        let ring = generators::symmetric_ring(5).unwrap();
+        let deep = crate::ViewInterner::new()
+            .build_all(&ring, 50)
+            .swap_remove(0);
+        let w = BitString::width_for(50);
+        assert_eq!(
+            tree_encoded_size_bits(&deep, 50),
+            6 + 2 * w * ((1usize << 51) - 1)
+        );
     }
 
     #[test]

@@ -24,13 +24,28 @@
 //!
 //! [`View`] and [`ViewTree`] convert losslessly into each other
 //! ([`View::from_tree`] / [`View::to_tree`]); the owned form remains the test and
-//! interop representation (and the unit of the binary encoding format), while every
-//! hot path — the full-information collector in `anet-sim`, the solvers in
-//! `anet-core` — works on handles.
+//! interop representation, while every hot path — the full-information collector in
+//! `anet-sim`, the solvers in `anet-core` — works on handles. Both forms serialise
+//! through either wire codec ([`crate::encoding`] unfolds the tree,
+//! [`crate::dag_encoding`] writes the shared DAG itself).
 //!
 //! Everything here is deterministic: the structural hash is a fixed SplitMix64-style
 //! mix of degrees and ports, so hashes, interner contents and all derived outputs are
 //! reproducible across runs, threads and execution backends.
+//!
+//! ```
+//! use anet_views::{View, ViewInterner};
+//!
+//! // On the symmetric 6-ring every node has the same B^h — one interner collapses
+//! // the whole graph to one shared node per depth, and equal means pointer-equal.
+//! let g = anet_graph::generators::symmetric_ring(6).unwrap();
+//! let mut interner = ViewInterner::new();
+//! let views = interner.build_all(&g, 4);
+//! assert!(View::ptr_eq(&views[0], &views[5]));
+//! assert_eq!(interner.len(), 5); // depths 0..=4
+//! // The unfolded size is exponential; the handle knows it in O(1).
+//! assert_eq!(views[0].size(), (1 << 5) - 1);
+//! ```
 
 use crate::view_tree::ViewTree;
 use anet_graph::{NodeId, Port, PortGraph};
@@ -203,8 +218,9 @@ impl View {
     /// Accessors handed to the traversals shared with the owned form
     /// (`crate::search`), so the two representations cannot diverge. `node_id` is the
     /// shared node's address, so the searches visit every distinct subtree once
-    /// instead of unfolding the walk tree.
-    fn node_id(&self) -> usize {
+    /// instead of unfolding the walk tree. (`pub(crate)` so the DAG codec can key its
+    /// emission memo the same way; only meaningful while the handle is alive.)
+    pub(crate) fn node_id(&self) -> usize {
         Arc::as_ptr(&self.node) as usize
     }
 

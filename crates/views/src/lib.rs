@@ -18,16 +18,37 @@
 //!   (within one graph or jointly across several graphs, as needed by the paper's
 //!   cross-graph indistinguishability lemmas),
 //! * [`bits`] — exact-length bit strings (the unit in which advice size is measured),
-//! * [`encoding`] — the binary encoding of augmented truncated views used by the
-//!   Theorem 2.2 oracle, and its decoder,
+//! * [`encoding`] — the unfolded-tree binary encoding of augmented truncated views
+//!   used by the Theorem 2.2 oracle (`O((Δ−1)^h log Δ)` bits), its decoder, and the
+//!   [`ViewCodec`] selector,
+//! * [`dag_encoding`] — the shared-DAG binary encoding: one table entry per
+//!   *distinct* subtree, so symmetric views cost `O(h)` instead of `Θ(Δ^h)` bits,
 //! * [`paths`] — simple-path utilities underlying the PE / PPE / CPPE verifiers,
 //! * [`election_index`] — feasibility (all views distinct) and the election indices
 //!   `ψ_S`, `ψ_PE`, `ψ_PPE`, `ψ_CPPE` of the four shades of leader election.
+//!
+//! A view in one handle, and its two wire forms:
+//!
+//! ```
+//! use anet_views::{encoding, dag_encoding, View};
+//!
+//! let g = anet_graph::generators::star(4).unwrap();
+//! let view = View::build(&g, 0, 4); // B⁴(centre), structurally shared
+//! assert_eq!(view.degree(), 4);
+//!
+//! let tree_bits = encoding::encode_view_interned(&view, 4);
+//! let dag_bits = dag_encoding::encode_view_dag(&view, 4);
+//! assert_eq!(encoding::decode_view_interned(&tree_bits).unwrap().0, view);
+//! assert_eq!(dag_encoding::decode_view_dag(&dag_bits).unwrap().0, view);
+//! // The star's four identical branches collapse to shared table entries.
+//! assert!(dag_bits.len() < tree_bits.len());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod dag_encoding;
 pub mod election_index;
 pub mod encoding;
 pub mod interned;
@@ -38,6 +59,7 @@ pub mod view_tree;
 
 pub use bits::BitString;
 pub use election_index::{ElectionIndices, Feasibility};
+pub use encoding::ViewCodec;
 pub use interned::{View, ViewInterner};
 pub use refinement::{JointRefinement, Refinement};
 pub use view_tree::ViewTree;

@@ -122,7 +122,7 @@ impl RandomRegularFamily {
     }
 
     /// Generate the `n`-node member (retry-until-simple). Panics only if
-    /// [`PAIRING_ATTEMPTS`] pairings all fail, which for `d ≥ 3` and `n·d` even is
+    /// 5000 pairings (`PAIRING_ATTEMPTS`) all fail, which for `d ≥ 3` and `n·d` even is
     /// practically impossible.
     pub fn generate(&self, n: usize) -> PortGraph {
         assert!(self.degree >= 2, "random-regular requires degree >= 2");

@@ -9,14 +9,17 @@
 //!   tori, hypercubes, and circulant expanders, each with canonical or seed-shuffled
 //!   port labellings (shuffling typically breaks the symmetry that makes the
 //!   canonical labellings infeasible for election);
-//! * [`scenario`] — a [`Scenario`](scenario::Scenario) names one grid point
+//! * [`scenario`] — a [`Scenario`] names one grid point
 //!   (family × task × solver × backend × instance cap) and resolves it through the
-//!   `ElectionEngine` facade; a [`ScenarioRegistry`](scenario::ScenarioRegistry)
+//!   `ElectionEngine` facade; a [`ScenarioRegistry`]
 //!   holds a named grid and answers selections;
 //! * [`sweep`] — the driver behind the `sweep` binary: run a registry selection
 //!   through [`BatchRunner`](anet_election::engine::BatchRunner), collect the
-//!   reports, and emit a machine-readable `BENCH_*.json` so the perf trajectory of
-//!   the engine has data;
+//!   reports, and emit a machine-readable `BENCH_*.json` (schema
+//!   [`sweep::SCHEMA`] = `anet-workloads/v2`; per cell it records rounds, messages,
+//!   wall time, verdict, and the advice size under *both* view codecs —
+//!   `advice_tree_bits` vs `advice_dag_bits` — see the [`sweep`] module docs for the
+//!   v1 → v2 history and compatibility guarantees);
 //! * [`json`] — a tiny dependency-free JSON value type and writer (this workspace
 //!   has no external crates, so no serde).
 //!
@@ -41,4 +44,4 @@ pub use families::{
     CirculantFamily, HypercubeFamily, PortLabeling, RandomRegularFamily, TorusFamily,
 };
 pub use scenario::{Scenario, ScenarioRegistry, SolverSpec};
-pub use sweep::{run_sweep, SweepConfig, SweepOutcome};
+pub use sweep::{run_sweep, SweepConfig, SweepOutcome, SCHEMA};

@@ -15,6 +15,7 @@ use anet_election::engine::{
 use anet_election::tasks::Task;
 use anet_graph::PortGraph;
 use anet_views::election_index::psi_s;
+use anet_views::ViewCodec;
 
 /// Which solver a scenario runs. Kept as a spec (not a `Box<dyn Solver>`) so that the
 /// registry is cheap to build, scenarios are self-describing in reports, and a fresh
@@ -24,10 +25,15 @@ pub enum SolverSpec {
     /// The map-based minimum-time baseline ([`MapSolver`]); refuses infeasible graphs
     /// with a solver error, which the sweep records as an unsolved cell.
     Map,
-    /// The Theorem 2.2 oracle/algorithm advice pair, guarded by a feasibility check
-    /// (the raw oracle panics on graphs with no finite Selection index; the guard
-    /// turns that into a reported solver error instead).
+    /// The Theorem 2.2 oracle/algorithm advice pair shipping the unfolded-tree
+    /// encoding, guarded by a feasibility check (the raw oracle panics on graphs with
+    /// no finite Selection index; the guard turns that into a reported solver error
+    /// instead).
     MinTimeAdvice,
+    /// The same guarded Theorem 2.2 pair shipping the **shared-DAG** encoding:
+    /// identical outputs, but the advice costs `O(distinct subtrees)` bits — the
+    /// sweep's JSON records both sizes per cell either way.
+    MinTimeAdviceDag,
 }
 
 impl SolverSpec {
@@ -36,6 +42,7 @@ impl SolverSpec {
         match self {
             SolverSpec::Map => "map",
             SolverSpec::MinTimeAdvice => "advice",
+            SolverSpec::MinTimeAdviceDag => "advice-dag",
         }
     }
 
@@ -43,7 +50,12 @@ impl SolverSpec {
     pub fn build(&self) -> Box<dyn Solver> {
         match self {
             SolverSpec::Map => Box::new(MapSolver::default()),
-            SolverSpec::MinTimeAdvice => Box::new(GuardedAdviceSolver),
+            SolverSpec::MinTimeAdvice => Box::new(GuardedAdviceSolver {
+                codec: ViewCodec::Tree,
+            }),
+            SolverSpec::MinTimeAdviceDag => Box::new(GuardedAdviceSolver {
+                codec: ViewCodec::Dag,
+            }),
         }
     }
 }
@@ -52,11 +64,14 @@ impl SolverSpec {
 /// multiplicity 1 (infinite Selection index) the oracle would panic; the guard answers
 /// with a regular [`EngineError::Solver`] so sweeps over symmetric workloads (canonical
 /// tori, hypercubes, …) record the cell as unsolved and continue.
-struct GuardedAdviceSolver;
+struct GuardedAdviceSolver {
+    /// Which wire format the encoded-view advice ships in.
+    codec: ViewCodec,
+}
 
 impl Solver for GuardedAdviceSolver {
     fn name(&self) -> String {
-        "advice(thm-2.2, guarded)".to_string()
+        format!("advice(thm-2.2, guarded, {})", self.codec)
     }
 
     fn solve(
@@ -72,7 +87,10 @@ impl Solver for GuardedAdviceSolver {
                     .to_string(),
             });
         }
-        AdviceSolver::theorem_2_2().solve(graph, task, backend)
+        match self.codec {
+            ViewCodec::Tree => AdviceSolver::theorem_2_2().solve(graph, task, backend),
+            ViewCodec::Dag => AdviceSolver::theorem_2_2_dag().solve(graph, task, backend),
+        }
     }
 }
 
@@ -307,17 +325,21 @@ impl ScenarioRegistry {
                     .expect("built-in grid has unique names");
             }
         }
-        // Every family × Selection × the guarded Theorem 2.2 advice pair.
-        for family in families() {
-            registry
-                .register(Scenario::new_boxed(
-                    family,
-                    Task::Selection,
-                    SolverSpec::MinTimeAdvice,
-                    backends[0],
-                    weak_cap,
-                ))
-                .expect("built-in grid has unique names");
+        // Every family × Selection × the guarded Theorem 2.2 advice pair, once per
+        // view codec (the JSON cells record both sizes either way; the codec axis
+        // additionally exercises shipping + decoding each wire format end to end).
+        for advice in [SolverSpec::MinTimeAdvice, SolverSpec::MinTimeAdviceDag] {
+            for family in families() {
+                registry
+                    .register(Scenario::new_boxed(
+                        family,
+                        Task::Selection,
+                        advice,
+                        backends[0],
+                        weak_cap,
+                    ))
+                    .expect("built-in grid has unique names");
+            }
         }
         // Every family × Selection × map on the remaining backends (the backend axis;
         // outputs must be backend-invariant, so one shade suffices).
@@ -338,9 +360,9 @@ impl ScenarioRegistry {
     }
 
     /// The smoke grid: all four families at small sizes × all four shades × the map
-    /// solver, plus the advice pair on Selection and a backend axis covering every
-    /// execution strategy (fixed-thread parallel, arena batching, adaptive) — 36
-    /// scenarios of ≤ 2 instances each, fast enough for CI.
+    /// solver, plus the advice pair on Selection (tree- and DAG-codec advice) and a
+    /// backend axis covering every execution strategy (fixed-thread parallel, arena
+    /// batching, adaptive) — 40 scenarios of ≤ 2 instances each, fast enough for CI.
     pub fn smoke() -> Self {
         Self::grid(
             || Self::grid_families(vec![16, 24], vec![(3, 4), (4, 4)], vec![3, 4], vec![15, 24]),
@@ -453,17 +475,20 @@ mod tests {
         assert!(names.contains("/batch"));
         assert!(names.contains("/adaptive"));
         assert!(names.contains("/advice/"));
-        // 4 families × (4 map shades + 1 advice + 4 extra backends) = 36 scenarios.
-        assert_eq!(r.len(), 36);
+        assert!(names.contains("/advice-dag/"));
+        // 4 families × (4 map shades + 2 advice codecs + 4 extra backends) = 40.
+        assert_eq!(r.len(), 40);
     }
 
     #[test]
     fn guarded_advice_solver_reports_instead_of_panicking_on_symmetric_graphs() {
         let symmetric = TorusFamily::generate(3, 3);
-        let err = GuardedAdviceSolver
-            .solve(&symmetric, Task::Selection, Backend::Sequential)
-            .unwrap_err();
-        assert!(matches!(err, EngineError::Solver { .. }));
+        for codec in [ViewCodec::Tree, ViewCodec::Dag] {
+            let err = GuardedAdviceSolver { codec }
+                .solve(&symmetric, Task::Selection, Backend::Sequential)
+                .unwrap_err();
+            assert!(matches!(err, EngineError::Solver { .. }));
+        }
     }
 
     #[test]

@@ -3,8 +3,24 @@
 //! Every cell of the emitted file is one engine run (scenario × family instance):
 //! rounds, messages, advice bits, wall time, verdict — the machine-readable form of
 //! the `ElectionReport`s the facade returns, so the perf trajectory of the engine can
-//! be tracked file-over-file. The schema is versioned (`anet-workloads/v1`); the
-//! in-tree [`Json`] parser reads the files back.
+//! be tracked file-over-file. The schema is versioned ([`SCHEMA`]); the in-tree
+//! [`Json`] parser reads the files back.
+//!
+//! ## Schema history
+//!
+//! * `anet-workloads/v1` — the original cell fields (`scenario`, `family`,
+//!   `instance`, `param`, `nodes`, `max_degree`, `task`, `solver`, `backend`,
+//!   `solved`, `rounds`, `messages`, `advice_bits`, `wall_ms`, `leader`, `error`).
+//! * `anet-workloads/v2` (current) — adds per-cell `advice_tree_bits` and
+//!   `advice_dag_bits`: the size the advice's encoded view takes under the
+//!   unfolded-tree codec and under the shared-DAG codec (`null` for solvers whose
+//!   advice is not an encoded view). `advice_bits` remains the bits actually
+//!   shipped, which equals one of the two for the Theorem 2.2 pairs.
+//!
+//! v2 is a strict superset of v1: every v1 field is still emitted with the same
+//! meaning, and the parser is a general JSON reader, so tooling written against v1
+//! files keeps working on v2 files (and this crate keeps reading archived v1 files —
+//! missing keys simply look up as `None`).
 
 use crate::json::Json;
 use crate::scenario::{Scenario, ScenarioRegistry};
@@ -12,6 +28,10 @@ use anet_election::engine::BatchRow;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// The schema tag written into every emitted sweep file (see the module docs for
+/// the version history).
+pub const SCHEMA: &str = "anet-workloads/v2";
 
 /// Configuration of one sweep run.
 #[derive(Debug, Clone)]
@@ -84,6 +104,14 @@ fn cell_json(scenario: &Scenario, row: &BatchRow) -> Json {
                 Json::opt_count(report.advice_bits),
             ));
             fields.push((
+                "advice_tree_bits".to_string(),
+                Json::opt_count(report.advice_tree_bits),
+            ));
+            fields.push((
+                "advice_dag_bits".to_string(),
+                Json::opt_count(report.advice_dag_bits),
+            ));
+            fields.push((
                 "wall_ms".to_string(),
                 Json::Float(report.wall_time.as_secs_f64() * 1e3),
             ));
@@ -107,6 +135,8 @@ fn cell_json(scenario: &Scenario, row: &BatchRow) -> Json {
             fields.push(("rounds".to_string(), Json::Null));
             fields.push(("messages".to_string(), Json::Null));
             fields.push(("advice_bits".to_string(), Json::Null));
+            fields.push(("advice_tree_bits".to_string(), Json::Null));
+            fields.push(("advice_dag_bits".to_string(), Json::Null));
             fields.push(("wall_ms".to_string(), Json::Null));
             fields.push(("leader".to_string(), Json::Null));
             fields.push(("error".to_string(), Json::str(e.to_string())));
@@ -172,7 +202,7 @@ pub fn run_sweep(
         .map(|d| d.as_millis() as i64)
         .unwrap_or(0);
     let document = Json::Object(vec![
-        ("schema".to_string(), Json::str("anet-workloads/v1")),
+        ("schema".to_string(), Json::str(SCHEMA)),
         ("label".to_string(), Json::str(&config.label)),
         (
             "generated_unix_ms".to_string(),
@@ -276,10 +306,7 @@ mod tests {
             .starts_with("BENCH_workloads_unit_test"));
 
         let doc = read_bench_json(&outcome.json_path).unwrap();
-        assert_eq!(
-            doc.get("schema").and_then(Json::as_str),
-            Some("anet-workloads/v1")
-        );
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
         let cells = doc.get("cells").and_then(Json::as_array).unwrap();
         assert_eq!(cells.len(), 1);
         let cell = &cells[0];
@@ -287,7 +314,68 @@ mod tests {
         assert_eq!(cell.get("task").and_then(Json::as_str), Some("S"));
         assert_eq!(cell.get("solved"), Some(&Json::Bool(true)));
         assert_eq!(cell.get("error"), Some(&Json::Null));
+        // v2 fields are always present; the map solver has no encoded-view advice.
+        assert_eq!(cell.get("advice_tree_bits"), Some(&Json::Null));
+        assert_eq!(cell.get("advice_dag_bits"), Some(&Json::Null));
         let _ = std::fs::remove_dir_all(&config.out_dir);
+    }
+
+    #[test]
+    fn advice_scenarios_record_both_codec_sizes_per_cell() {
+        for (spec, shipped_key) in [
+            (SolverSpec::MinTimeAdvice, "advice_tree_bits"),
+            (SolverSpec::MinTimeAdviceDag, "advice_dag_bits"),
+        ] {
+            let mut registry = ScenarioRegistry::new();
+            registry
+                .register(Scenario::new(
+                    RandomRegularFamily::new(3, vec![16], 0xA5EED),
+                    Task::Selection,
+                    spec,
+                    Backend::Sequential,
+                    1,
+                ))
+                .unwrap();
+            let config = SweepConfig {
+                out_dir: tmp_dir(&format!("codec-{}", spec.label())),
+                label: spec.label().to_string(),
+                ..SweepConfig::default()
+            };
+            let outcome = run_sweep(&registry, &config).unwrap();
+            let doc = read_bench_json(&outcome.json_path).unwrap();
+            let cell = &doc.get("cells").and_then(Json::as_array).unwrap()[0];
+            let tree = cell.get("advice_tree_bits").and_then(Json::as_int);
+            let dag = cell.get("advice_dag_bits").and_then(Json::as_int);
+            let shipped = cell.get("advice_bits").and_then(Json::as_int);
+            assert!(tree.is_some() && dag.is_some(), "{spec:?}");
+            // Whatever codec the scenario ships, the shipped size is that codec's.
+            assert_eq!(shipped, cell.get(shipped_key).and_then(Json::as_int));
+            let _ = std::fs::remove_dir_all(&config.out_dir);
+        }
+    }
+
+    #[test]
+    fn parser_reads_archived_v1_files() {
+        // A v1-era cell (no advice_tree_bits / advice_dag_bits): the general parser
+        // accepts it and the absent keys look up as None — tooling that trends old
+        // BENCH files against new ones keeps working.
+        let v1 = r#"{
+          "schema": "anet-workloads/v1",
+          "label": "archive",
+          "cells": [
+            {"scenario": "torus2d/S/map/seq", "nodes": 9, "solved": true,
+             "advice_bits": null, "error": null}
+          ]
+        }"#;
+        let doc = Json::parse(v1).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("anet-workloads/v1")
+        );
+        let cell = &doc.get("cells").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(cell.get("nodes").and_then(Json::as_int), Some(9));
+        assert_eq!(cell.get("advice_tree_bits"), None);
+        assert_eq!(cell.get("advice_dag_bits"), None);
     }
 
     #[test]

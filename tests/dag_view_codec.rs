@@ -1,0 +1,106 @@
+//! End-to-end tests of the shared-DAG view codec across the workload families and
+//! through the engine: on every family the DAG codec agrees with the tree codec
+//! (identical decoded views, identical election outputs), and on symmetric
+//! topologies the DAG advice realises the `Θ(Δ^h)` → `O(distinct subtrees)` size
+//! collapse the codec exists for.
+
+use four_shades::constructions::GraphFamily;
+use four_shades::prelude::*;
+use four_shades::views::dag_encoding::{decode_view_dag, encode_view_dag};
+use four_shades::views::encoding::{decode_view_interned, encode_view_interned};
+use four_shades::views::ViewInterner;
+use four_shades::workloads::{CirculantFamily, HypercubeFamily, RandomRegularFamily, TorusFamily};
+
+fn workload_families() -> Vec<Box<dyn GraphFamily>> {
+    vec![
+        Box::new(RandomRegularFamily::new(3, vec![16, 24], 0xA5EED)),
+        Box::new(TorusFamily::new(vec![(3, 4), (4, 4)]).shuffled(41)),
+        Box::new(HypercubeFamily::new(vec![3, 4]).shuffled(41)),
+        Box::new(CirculantFamily::powers_of_two(vec![15, 24], 3).shuffled(41)),
+    ]
+}
+
+#[test]
+fn dag_codec_round_trips_and_agrees_with_the_tree_codec_on_all_workload_families() {
+    for family in workload_families() {
+        for instance in family.instances(2) {
+            let g = &instance.graph;
+            let mut interner = ViewInterner::new();
+            for depth in 0..=3usize {
+                for view in interner.build_all(g, depth) {
+                    let dag = encode_view_dag(&view, depth);
+                    let (from_dag, dh) = decode_view_dag(&dag).unwrap();
+                    let (from_tree, th) =
+                        decode_view_interned(&encode_view_interned(&view, depth)).unwrap();
+                    assert_eq!((dh, th), (depth, depth), "{}", instance.name);
+                    assert_eq!(from_dag, view, "{}", instance.name);
+                    assert_eq!(from_dag, from_tree, "{}", instance.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dag_advice_solver_matches_the_tree_solver_on_every_workload_family() {
+    for family in workload_families() {
+        for instance in family.instances(1) {
+            let g = &instance.graph;
+            let tree = Election::task(Task::Selection)
+                .solver(AdviceSolver::theorem_2_2())
+                .run(g)
+                .unwrap();
+            let dag = Election::task(Task::Selection)
+                .solver(AdviceSolver::theorem_2_2_dag())
+                .run(g)
+                .unwrap();
+            assert!(tree.solved() && dag.solved(), "{}", instance.name);
+            assert_eq!(tree.outputs, dag.outputs, "{}", instance.name);
+            assert_eq!(tree.rounds, dag.rounds, "{}", instance.name);
+            assert_eq!(tree.leader(), dag.leader(), "{}", instance.name);
+            // Both report both sizes; each ships its own codec's size.
+            assert_eq!(tree.advice_bits, tree.advice_tree_bits, "{}", instance.name);
+            assert_eq!(dag.advice_bits, dag.advice_dag_bits, "{}", instance.name);
+            assert_eq!(
+                tree.advice_dag_bits, dag.advice_dag_bits,
+                "{}",
+                instance.name
+            );
+        }
+    }
+}
+
+#[test]
+fn the_collapse_is_exponential_on_a_symmetric_family() {
+    // Canonical (unshuffled) tori are fully symmetric: every node shares one view
+    // node per depth, so dag-bits grow O(h) while tree-bits multiply by Δ − 1 ≈ 3
+    // per depth. Measured on the 6×6 torus over depths 1..=8.
+    let torus = TorusFamily::generate(6, 6);
+    let mut interner = ViewInterner::new();
+    let mut tree_sizes = Vec::new();
+    let mut dag_sizes = Vec::new();
+    for h in 1..=8usize {
+        let view = interner.build_all(&torus, h).swap_remove(0);
+        tree_sizes.push(encode_view_interned(&view, h).len());
+        dag_sizes.push(encode_view_dag(&view, h).len());
+    }
+    // Tree: × ≥ 3 per depth once branching kicks in; DAG: bounded additive step.
+    for w in tree_sizes.windows(2).skip(1) {
+        assert!(w[1] >= 3 * w[0], "tree bits grew {} -> {}", w[0], w[1]);
+    }
+    for w in dag_sizes.windows(2) {
+        assert!(
+            w[1] >= w[0] && w[1] - w[0] <= 128,
+            "dag bits grew {} -> {}",
+            w[0],
+            w[1]
+        );
+    }
+    // At depth 8 the gap is ~three orders of magnitude (cf. BENCH_bench_views.json).
+    assert!(
+        tree_sizes[7] > 500 * dag_sizes[7],
+        "tree {} vs dag {}",
+        tree_sizes[7],
+        dag_sizes[7]
+    );
+}

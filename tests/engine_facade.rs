@@ -173,8 +173,8 @@ fn advice_entry_point_agrees_with_the_engine() {
     let g = four_shades::graph::generators::star(5).unwrap();
     let low_level = four_shades::election::advice::run_with_advice_on(
         &g,
-        &four_shades::election::selection::SelectionOracle,
-        &four_shades::election::selection::SelectionAlgorithm,
+        &four_shades::election::selection::SelectionOracle::tree(),
+        &four_shades::election::selection::SelectionAlgorithm::tree(),
         Backend::Sequential,
     );
     let new = Election::task(Task::Selection)

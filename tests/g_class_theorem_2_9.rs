@@ -75,7 +75,7 @@ fn reusing_advice_across_members_elects_two_leaders_theorem_2_9_mechanism() {
     let ga = class.member(alpha).unwrap();
     let gb = class.member(beta).unwrap();
 
-    let advice_for_alpha = SelectionOracle.advise(&ga.labeled.graph);
+    let advice_for_alpha = SelectionOracle::tree().advise(&ga.labeled.graph);
     let borrowed_oracle =
         FnOracle(move |_: &four_shades::graph::PortGraph| advice_for_alpha.clone());
 
@@ -91,7 +91,7 @@ fn reusing_advice_across_members_elects_two_leaders_theorem_2_9_mechanism() {
         .solver(AdviceSolver::new(
             "borrowed-advice",
             borrowed_oracle,
-            SelectionAlgorithm,
+            SelectionAlgorithm::tree(),
         ))
         .run(&gb.labeled.graph)
         .unwrap();

@@ -93,10 +93,28 @@ fn smoke_grid_runs_all_four_shades_on_all_four_families_and_emits_json() {
     let doc = read_bench_json(&outcome.json_path).expect("emitted JSON is well-formed");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("anet-workloads/v1")
+        Some(four_shades::workloads::SCHEMA)
     );
     let cells = doc.get("cells").and_then(Json::as_array).expect("cells");
     assert_eq!(cells.len(), outcome.cells);
+
+    // v2: every solved advice cell (either codec) reports both encoded-view sizes.
+    // (The tree-vs-dag size relation itself is asserted in tests/dag_view_codec.rs.)
+    let advice_cells: Vec<_> = cells
+        .iter()
+        .filter(|c| {
+            c.get("solver")
+                .and_then(Json::as_str)
+                .is_some_and(|s| s.starts_with("advice"))
+                && c.get("solved") == Some(&Json::Bool(true))
+        })
+        .collect();
+    assert!(!advice_cells.is_empty(), "smoke grid has advice scenarios");
+    for cell in advice_cells {
+        let tree = cell.get("advice_tree_bits").and_then(Json::as_int);
+        let dag = cell.get("advice_dag_bits").and_then(Json::as_int);
+        assert!(tree.is_some() && dag.is_some(), "{cell:?}");
+    }
 
     // All four shades × all four families appear among the cells, and every cell of
     // the smoke grid solves (the shuffled labellings are feasible by construction of
