@@ -40,7 +40,11 @@ impl FamilyInstance {
 }
 
 /// A family of anonymous networks that can enumerate (a bounded number of) members.
-pub trait GraphFamily {
+///
+/// Families are `Send + Sync`: sweep drivers fan scenarios out across worker
+/// threads and share the family handles between them. Every family in this
+/// workspace is plain generation-parameter data, so the bound costs nothing.
+pub trait GraphFamily: Send + Sync {
     /// The family's display name (e.g. `G_{4,1}`).
     fn family_name(&self) -> String;
 

@@ -54,6 +54,8 @@ pub use solvers::{AdviceSolver, CppeSolver, MapSolver, PortElectionSolver};
 
 use crate::tasks::{self, ElectionOutcome, NodeOutput, Task, TaskError};
 use anet_graph::{NodeId, PortGraph};
+use anet_views::SharedViewInterner;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors of the election engine.
@@ -113,6 +115,20 @@ pub struct SolverRun {
     pub advice_dag_bits: Option<usize>,
 }
 
+/// Cross-cutting execution context the engine threads to [`Solver::solve_ctx`]:
+/// process-wide resources a run may share with concurrent runs. Everything here is
+/// optional and purely an execution concern — a solver given the default (empty)
+/// context computes exactly the same outputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunContext<'a> {
+    /// A process-wide concurrent view interner. Solvers that hash-cons views (the
+    /// map solver's `build_all` + canonicalization pass) intern through this table
+    /// instead of a run-private one, so concurrent runs on overlapping graph
+    /// families dedup their view DAGs against each other. Set by the multi-tenant
+    /// election service; `None` for standalone runs.
+    pub shared_interner: Option<&'a SharedViewInterner>,
+}
+
 /// A leader-election solver: anything that can produce per-node outputs for a task on
 /// a graph, running its communication on a given [`Backend`].
 ///
@@ -133,6 +149,22 @@ pub trait Solver {
         task: Task,
         backend: Backend,
     ) -> Result<SolverRun, EngineError>;
+
+    /// [`solve`](Solver::solve) with a [`RunContext`]. The default implementation
+    /// ignores the context and delegates, so existing solvers are unaffected;
+    /// solvers that can exploit shared resources (e.g. [`MapSolver`] and the
+    /// shared interner) override this. The engine always calls `solve_ctx`; the
+    /// context must never change *what* is computed, only what is shared.
+    fn solve_ctx(
+        &self,
+        graph: &PortGraph,
+        task: Task,
+        backend: Backend,
+        ctx: &RunContext<'_>,
+    ) -> Result<SolverRun, EngineError> {
+        let _ = ctx;
+        self.solve(graph, task, backend)
+    }
 }
 
 /// Entry point of the facade: `Election::task(…)` starts a builder.
@@ -146,6 +178,8 @@ impl Election {
             task,
             solver: None,
             backend: Backend::Sequential,
+            thread_budget: None,
+            shared_interner: None,
         }
     }
 }
@@ -159,6 +193,8 @@ pub struct ElectionBuilder {
     task: Task,
     solver: Option<Box<dyn Solver>>,
     backend: Backend,
+    thread_budget: Option<usize>,
+    shared_interner: Option<Arc<SharedViewInterner>>,
 }
 
 impl ElectionBuilder {
@@ -180,6 +216,28 @@ impl ElectionBuilder {
         self
     }
 
+    /// Cap the number of OS threads the backend may use for this run (default:
+    /// unbounded). The cap applies via [`anet_sim::with_thread_budget`] around the
+    /// solve, so a `Parallel { threads: 8 }` backend under `.thread_budget(2)` runs
+    /// with two workers and [`Backend::AdaptiveParallel`] stops sizing itself
+    /// against the whole machine. This is how the multi-tenant election service
+    /// keeps `n` concurrent runs from spawning `n × available_parallelism` threads.
+    /// Outputs are unaffected — backends are output-equivalent at every thread
+    /// count.
+    pub fn thread_budget(mut self, budget: usize) -> Self {
+        self.thread_budget = Some(budget.max(1));
+        self
+    }
+
+    /// Intern views through a process-wide [`SharedViewInterner`] instead of a
+    /// run-private table (default: private). Concurrent runs given the same table
+    /// dedup isomorphic view subtrees against each other; see
+    /// [`RunContext::shared_interner`].
+    pub fn shared_interner(mut self, interner: Arc<SharedViewInterner>) -> Self {
+        self.shared_interner = Some(interner);
+        self
+    }
+
     /// The configured task.
     pub fn task_ref(&self) -> Task {
         self.task
@@ -189,7 +247,14 @@ impl ElectionBuilder {
     pub fn run(&self, graph: &PortGraph) -> Result<ElectionReport, EngineError> {
         let solver = self.solver.as_ref().ok_or(EngineError::MissingSolver)?;
         let start = Instant::now();
-        let run = solver.solve(graph, self.task, self.backend)?;
+        let ctx = RunContext {
+            shared_interner: self.shared_interner.as_deref(),
+        };
+        let solve = || solver.solve_ctx(graph, self.task, self.backend, &ctx);
+        let run = match self.thread_budget {
+            Some(budget) => anet_sim::with_thread_budget(budget, solve)?,
+            None => solve()?,
+        };
         // Fact 1.1: adapt outputs of a stronger shade to the requested task. If the
         // shapes neither match nor weaken, keep the raw outputs and let the verifier
         // report `WrongShape`.
@@ -228,6 +293,8 @@ impl std::fmt::Debug for ElectionBuilder {
             .field("task", &self.task)
             .field("solver", &self.solver.as_ref().map(|s| s.name()))
             .field("backend", &self.backend)
+            .field("thread_budget", &self.thread_budget)
+            .field("shared_interner", &self.shared_interner.is_some())
             .finish()
     }
 }
@@ -438,6 +505,53 @@ mod tests {
             );
             assert_eq!(report.leader(), seq.leader(), "{backend}");
         }
+    }
+
+    #[test]
+    fn shared_interner_runs_match_private_runs_and_record_hits() {
+        let g = generators::oriented_ring(&[true, true, false, true, false]).unwrap();
+        let private = Election::task(Task::Selection)
+            .solver(MapSolver::default())
+            .run(&g)
+            .unwrap();
+        let table = Arc::new(SharedViewInterner::new());
+        let first = Election::task(Task::Selection)
+            .solver(MapSolver::default())
+            .shared_interner(Arc::clone(&table))
+            .run(&g)
+            .unwrap();
+        let second = Election::task(Task::Selection)
+            .solver(MapSolver::default())
+            .shared_interner(Arc::clone(&table))
+            .run(&g)
+            .unwrap();
+        // Sharing the table changes allocation, never results.
+        assert_eq!(private.outputs, first.outputs);
+        assert_eq!(first.outputs, second.outputs);
+        assert_eq!(private.rounds, second.rounds);
+        // The second run re-interns the same ring's views: cross-run hits.
+        assert!(table.stats().hits > 0, "{:?}", table.stats());
+    }
+
+    #[test]
+    fn thread_budget_through_the_builder_keeps_outputs_identical() {
+        let g = generators::random_connected(40, 4, 12, 77).unwrap();
+        let plain = Election::task(Task::Selection)
+            .solver(MapSolver::default())
+            .backend(Backend::parallel(8))
+            .run(&g)
+            .unwrap();
+        let budgeted = Election::task(Task::Selection)
+            .solver(MapSolver::default())
+            .backend(Backend::parallel(8))
+            .thread_budget(1)
+            .run(&g)
+            .unwrap();
+        assert_eq!(plain.outputs, budgeted.outputs);
+        assert_eq!(plain.rounds, budgeted.rounds);
+        assert_eq!(plain.messages_delivered, budgeted.messages_delivered);
+        // The budget must not leak out of the run.
+        assert_eq!(anet_sim::thread_budget(), usize::MAX);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The built-in [`Solver`] implementations: one per algorithm family of the paper.
 
-use super::{Backend, EngineError, Solver, SolverRun};
+use super::{Backend, EngineError, RunContext, Solver, SolverRun};
 use crate::advice::{run_with_advice_on, AdviceAlgorithm, Oracle};
 use crate::cppe::solve_cppe_on_j;
-use crate::map_algorithms::{solve_with_map_on, MapRun};
+use crate::map_algorithms::{solve_with_map_on, solve_with_map_shared, MapRun};
 use crate::port_election::solve_port_election_on_u_with;
 use crate::selection::{SelectionAlgorithm, SelectionOracle};
 use crate::tasks::Task;
@@ -56,6 +56,20 @@ impl Solver for MapSolver {
         backend: Backend,
     ) -> Result<SolverRun, EngineError> {
         solve_with_map_on(graph, task, self.max_paths, backend)
+            .map(map_run_to_solver_run)
+            .map_err(|e| EngineError::solver(self.name(), e))
+    }
+
+    fn solve_ctx(
+        &self,
+        graph: &PortGraph,
+        task: Task,
+        backend: Backend,
+        ctx: &RunContext<'_>,
+    ) -> Result<SolverRun, EngineError> {
+        // The map solver is the view-heavy one: route its `build_all` +
+        // canonicalization pass through the process-wide interner when given one.
+        solve_with_map_shared(graph, task, self.max_paths, backend, ctx.shared_interner)
             .map(map_run_to_solver_run)
             .map_err(|e| EngineError::solver(self.name(), e))
     }

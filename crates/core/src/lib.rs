@@ -43,6 +43,6 @@ pub mod tasks;
 pub use advice::{AdviceAlgorithm, AdviceRun, Oracle};
 pub use engine::{
     AdviceSolver, Backend, BatchRow, BatchRunner, CppeSolver, Election, ElectionBuilder,
-    ElectionReport, EngineError, MapSolver, PortElectionSolver, Solver, SolverRun,
+    ElectionReport, EngineError, MapSolver, PortElectionSolver, RunContext, Solver, SolverRun,
 };
 pub use tasks::{ElectionOutcome, NodeOutput, Task, TaskError};

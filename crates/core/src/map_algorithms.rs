@@ -16,7 +16,7 @@ use crate::tasks::{NodeOutput, Task};
 use anet_graph::PortGraph;
 use anet_sim::Backend;
 use anet_views::election_index::{cppe_assignment, pe_assignment, ppe_assignment, IndexError};
-use anet_views::{Refinement, View, ViewInterner};
+use anet_views::{InternerHandle, Refinement, SharedViewInterner, View};
 use std::collections::HashMap;
 
 /// Result of a map-based run.
@@ -81,6 +81,23 @@ pub fn solve_with_map_on(
     task: Task,
     max_paths: usize,
     backend: Backend,
+) -> Result<MapRun, MapSolveError> {
+    solve_with_map_shared(graph, task, max_paths, backend, None)
+}
+
+/// [`solve_with_map_on`] with an optional process-wide [`SharedViewInterner`]: when
+/// given, the map-side `build_all` pass and the per-run canonicalization intern
+/// through the shared table (via a per-run [`InternerHandle`] memo) instead of a
+/// run-private [`anet_views::ViewInterner`]. Concurrent runs on isomorphic or
+/// overlapping graph families then dedup their view DAGs against each other — the
+/// cross-tenant sharing the election service measures as its interner hit-rate.
+/// Outputs are identical either way; only allocation sharing changes.
+pub fn solve_with_map_shared(
+    graph: &PortGraph,
+    task: Task,
+    max_paths: usize,
+    backend: Backend,
+    shared: Option<&SharedViewInterner>,
 ) -> Result<MapRun, MapSolveError> {
     let refinement = Refinement::compute(graph, None);
 
@@ -151,14 +168,17 @@ pub fn solve_with_map_on(
     // nodes (the collector's output is a shared DAG), after which the table hit is
     // pointer-equal — without this, a positive equality check would walk the full
     // unfolded Θ(Δ^rounds) tree, since collector- and map-built views share no Arcs.
-    let mut interner = ViewInterner::new();
+    let mut interner = match shared {
+        Some(table) => InternerHandle::shared(table),
+        None => InternerHandle::own(),
+    };
     let views = interner.build_all(graph, rounds);
     let mut by_view: HashMap<View, NodeOutput> = HashMap::new();
     for v in graph.nodes() {
         by_view.insert(views[v as usize].clone(), per_node[v as usize].clone());
     }
     // The decision map is applied sequentially after the communication phase, so a
-    // RefCell suffices for the interner's interior mutability.
+    // RefCell suffices for the interner handle's interior mutability.
     let interner = std::cell::RefCell::new(interner);
     let (outputs, report) = anet_sim::run_full_information_on(graph, rounds, backend, |view| {
         let canonical = interner.borrow_mut().intern(view);

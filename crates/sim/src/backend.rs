@@ -84,25 +84,28 @@ impl Backend {
     }
 
     /// The number of worker threads [`Backend::Parallel`] actually executes with
-    /// (`threads` clamped to at least 1); 1 for [`Backend::Sequential`] and
+    /// (`threads` clamped to at least 1, then capped by the calling thread's
+    /// [`crate::thread_budget`]); 1 for [`Backend::Sequential`] and
     /// [`Backend::Batching`]. For [`Backend::AdaptiveParallel`] the count depends on
     /// the graph, so this returns the machine ceiling
-    /// ([`std::thread::available_parallelism`]).
+    /// ([`std::thread::available_parallelism`]), again capped by the budget.
     pub fn effective_threads(&self) -> usize {
         match self {
             Backend::Sequential | Backend::Batching => 1,
-            Backend::Parallel { threads } => (*threads).max(1),
-            Backend::AdaptiveParallel => available_parallelism(),
+            Backend::Parallel { threads } => (*threads).max(1).min(crate::thread_budget()),
+            Backend::AdaptiveParallel => available_parallelism().min(crate::thread_budget()),
         }
     }
 
     /// A short human-readable label (`seq`, `par4`, `batch`, `adaptive`) for reports
-    /// and tables. The label reflects *actual execution*: `Parallel { threads: 0 }`
-    /// runs with one thread and therefore labels itself `par1`.
+    /// and tables. The label reflects the *configured* backend: `Parallel { threads:
+    /// 0 }` runs with one thread and therefore labels itself `par1`, but a
+    /// [`crate::with_thread_budget`] cap does **not** change the label — reports keyed
+    /// by label stay comparable whether or not the run happened under a budget.
     pub fn label(&self) -> String {
         match self {
             Backend::Sequential => "seq".to_string(),
-            Backend::Parallel { .. } => format!("par{}", self.effective_threads()),
+            Backend::Parallel { threads } => format!("par{}", (*threads).max(1)),
             Backend::Batching => "batch".to_string(),
             Backend::AdaptiveParallel => "adaptive".to_string(),
         }
@@ -138,7 +141,7 @@ impl Backend {
             Backend::Batching => run_batched(graph, factory, rounds),
             Backend::Sequential => run_chunked(graph, factory, rounds, Vec::new()),
             Backend::Parallel { threads } => {
-                let threads = (*threads).max(1);
+                let threads = (*threads).max(1).min(crate::thread_budget());
                 run_chunked(
                     graph,
                     factory,
@@ -148,7 +151,8 @@ impl Backend {
             }
             Backend::AdaptiveParallel => {
                 let offsets = graph.port_offsets();
-                let threads = adaptive_threads(graph.num_nodes(), offsets[graph.num_nodes()]);
+                let threads = adaptive_threads(graph.num_nodes(), offsets[graph.num_nodes()])
+                    .min(crate::thread_budget());
                 run_chunked(
                     graph,
                     factory,
@@ -531,6 +535,35 @@ mod tests {
         assert_eq!(covered, 7);
         assert!(chunks.windows(2).all(|w| w[0].end == w[1].start));
         assert!(degree_balanced_chunks(&offsets, 1).is_empty());
+    }
+
+    #[test]
+    fn thread_budget_caps_effective_threads_but_not_labels() {
+        crate::with_thread_budget(2, || {
+            assert_eq!(Backend::parallel(8).effective_threads(), 2);
+            assert_eq!(
+                Backend::AdaptiveParallel.effective_threads(),
+                2.min(available_parallelism())
+            );
+            // Sequential backends are unaffected (already below the cap).
+            assert_eq!(Backend::Sequential.effective_threads(), 1);
+            assert_eq!(Backend::Batching.effective_threads(), 1);
+            // Labels stay budget-independent so report keys remain comparable.
+            assert_eq!(Backend::parallel(8).label(), "par8");
+        });
+        assert_eq!(Backend::parallel(8).effective_threads(), 8);
+    }
+
+    #[test]
+    fn budgeted_parallel_run_matches_sequential_output() {
+        // Oversubscription regression: a par8 backend under a budget of 1 must
+        // run (with one worker) and still produce the reference outputs.
+        let g = anet_graph::generators::symmetric_ring(12).unwrap();
+        let factory = crate::full_info::ViewCollectorFactory;
+        let reference = Backend::Sequential.run(&g, &factory, 3);
+        let budgeted = crate::with_thread_budget(1, || Backend::parallel(8).run(&g, &factory, 3));
+        assert_eq!(reference.outputs, budgeted.outputs);
+        assert_eq!(reference.report, budgeted.report);
     }
 
     #[test]

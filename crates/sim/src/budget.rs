@@ -1,0 +1,100 @@
+//! Scoped thread budgets: capping how many OS threads a backend may use.
+//!
+//! A single election run sizes its parallelism against the whole machine
+//! ([`std::thread::available_parallelism`]) — correct when it is the only thing
+//! running, pathological inside the multi-tenant election service, where `n`
+//! workers each running an `AdaptiveParallel` backend would spawn
+//! `n × available_parallelism` threads and thrash the scheduler.
+//!
+//! [`with_thread_budget`] bounds the *effective* thread count of every backend
+//! executed inside its closure, on the calling thread: the service wraps each
+//! scheduled run in a budget of roughly `available_parallelism / workers`, the
+//! `ElectionEngine` facade exposes it as `ElectionBuilder::thread_budget`, and the
+//! backends consult [`thread_budget`] wherever they decide a worker count. The
+//! budget is a thread-local, not a global: concurrent service workers each carry
+//! their own, and runs outside any budget are unaffected (`usize::MAX`).
+//!
+//! Budgets nest by taking the minimum, and the previous budget is restored when
+//! the closure returns — including on panic (RAII guard), so a poisoned worker
+//! cannot leak a stale cap into unrelated work. Budgets never change *what* a
+//! backend computes (all backends are output-equivalent by construction), only how
+//! many threads it schedules.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// The calling thread's current cap on backend worker threads.
+    static THREAD_BUDGET: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Restores the previous budget on drop (normal return or unwind).
+struct BudgetGuard {
+    previous: usize,
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        THREAD_BUDGET.with(|b| b.set(self.previous));
+    }
+}
+
+/// Run `f` with backend thread counts on this thread capped at `budget` (clamped
+/// to at least 1; nested budgets combine by minimum). The cap applies to every
+/// [`crate::Backend`] executed inside `f` on this thread — including threads the
+/// backends themselves spawn being *counted* against the cap, since the worker
+/// plans are computed on this thread before any spawn.
+pub fn with_thread_budget<R>(budget: usize, f: impl FnOnce() -> R) -> R {
+    let previous = THREAD_BUDGET.with(|b| b.get());
+    let _guard = BudgetGuard { previous };
+    THREAD_BUDGET.with(|b| b.set(previous.min(budget.max(1))));
+    f()
+}
+
+/// The calling thread's current thread budget (`usize::MAX` outside any
+/// [`with_thread_budget`] scope).
+pub fn thread_budget() -> usize {
+    THREAD_BUDGET.with(|b| b.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_defaults_to_unbounded() {
+        assert_eq!(thread_budget(), usize::MAX);
+    }
+
+    #[test]
+    fn budget_applies_restores_and_nests_by_minimum() {
+        with_thread_budget(4, || {
+            assert_eq!(thread_budget(), 4);
+            with_thread_budget(2, || assert_eq!(thread_budget(), 2));
+            // A looser nested budget cannot widen the cap.
+            with_thread_budget(16, || assert_eq!(thread_budget(), 4));
+            assert_eq!(thread_budget(), 4);
+        });
+        assert_eq!(thread_budget(), usize::MAX);
+        // Zero clamps to one (a budget cannot forbid running).
+        with_thread_budget(0, || assert_eq!(thread_budget(), 1));
+    }
+
+    #[test]
+    fn budget_is_restored_on_panic() {
+        let result = std::panic::catch_unwind(|| {
+            with_thread_budget(2, || panic!("worker died"));
+        });
+        assert!(result.is_err());
+        assert_eq!(thread_budget(), usize::MAX);
+    }
+
+    #[test]
+    fn budget_is_per_thread() {
+        with_thread_budget(2, || {
+            std::thread::scope(|s| {
+                let other = s.spawn(thread_budget).join().unwrap();
+                assert_eq!(other, usize::MAX, "budgets do not leak across threads");
+            });
+        });
+    }
+}

@@ -16,6 +16,12 @@
 //!   (send → route → receive) and differ only in how the phases are scheduled and
 //!   where the message buffers live; the [`Simulator`] trait abstracts over them for
 //!   higher layers such as the `ElectionEngine` facade in `anet-core`,
+//! * [`budget`] — scoped per-thread caps on backend worker counts
+//!   ([`with_thread_budget`]), so many concurrent election runs (the multi-tenant
+//!   service) don't oversubscribe the machine at `n × available_parallelism`,
+//! * [`pool`] — a std-only work-stealing pool ([`run_indexed`]) for batches of
+//!   independent jobs with deterministic, job-order results; the scheduling core of
+//!   both the election service and the parallel sweep driver,
 //! * [`runner`] — the [`runner::RunOutcome`] / [`runner::RunReport`] result types,
 //! * [`full_info`] — the *full-information* algorithm in which every node forwards
 //!   everything it knows each round; after `r` rounds its knowledge is exactly the
@@ -28,13 +34,17 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod budget;
 pub mod full_info;
 pub mod model;
+pub mod pool;
 pub mod runner;
 
 pub use backend::{Backend, Simulator};
+pub use budget::{thread_budget, with_thread_budget};
 pub use full_info::{
     run_full_information, run_full_information_on, ViewCollector, ViewCollectorFactory,
 };
 pub use model::{AlgorithmFactory, NodeAlgorithm};
+pub use pool::{run_indexed, PoolStats};
 pub use runner::{RunOutcome, RunReport};

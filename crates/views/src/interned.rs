@@ -33,6 +33,32 @@
 //! mix of degrees and ports, so hashes, interner contents and all derived outputs are
 //! reproducible across runs, threads and execution backends.
 //!
+//! ## Thread-safety invariants
+//!
+//! [`View`] is `Send + Sync` (enforced by compile-time assertions below): a handle is
+//! an `Arc` to a node whose fields are immutable after construction, so sharing
+//! handles across threads is safe and cheap. [`ViewInterner`] is `Send` (it can move
+//! to, or be owned by, another thread — e.g. inside one shard of the sharded
+//! [`crate::SharedViewInterner`]) but all its useful methods take `&mut self`, so
+//! concurrent use requires external synchronisation. The sharded wrapper relies on
+//! exactly these invariants, documented here so they cannot rot silently:
+//!
+//! 1. **Structural hashes are pure and deterministic** — `node_hash` is a fixed
+//!    function of `(degree, child ports, child hashes)` with no per-process or
+//!    per-thread state (no `RandomState`, no addresses). Two threads computing the
+//!    hash of the same structure always agree, which is what makes hash-based shard
+//!    routing consistent across threads.
+//! 2. **Canonical pointers are stable and unique per interner** — an interner keeps
+//!    every canonical node (and a keepalive of every canonicalized foreign node)
+//!    alive for its own lifetime, so the `Arc` addresses used in `NodeKey` cannot
+//!    be recycled while the interner lives, and one structure never has two
+//!    canonical nodes within one interner.
+//! 3. **Nodes are immutable after construction** — no method mutates `degree`,
+//!    `children`, `hash`, `size` or `height` behind a handle, so a canonical node
+//!    read by one thread while another thread files new (different) nodes is never
+//!    torn. All interner mutation is confined to its two `HashMap`s behind
+//!    `&mut self`.
+//!
 //! ```
 //! use anet_views::{View, ViewInterner};
 //!
@@ -90,19 +116,30 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The structural hash a node built from `degree` and `children` will carry — the
+/// single definition shared by [`View::from_parts`] and the shard router of
+/// [`crate::SharedViewInterner`], so a prospective node can be routed to its shard
+/// *before* it is allocated and the two can never disagree.
+pub(crate) fn node_hash(degree: u32, children: &[(Port, Port, View)]) -> u64 {
+    let mut hash = mix64(0x9E37_79B9_7F4A_7C15 ^ u64::from(degree))
+        ^ mix64(children.len() as u64 ^ 0xD1B5_4A32_D192_ED03);
+    for (p, q, child) in children {
+        hash = mix64(
+            hash ^ mix64(u64::from(*p) | (u64::from(*q) << 32)).wrapping_add(child.node.hash),
+        );
+    }
+    hash
+}
+
 impl View {
     /// Build a view node from a degree and already-built children. The children are
     /// shared, not copied: this is `O(children)` regardless of subtree sizes, which is
     /// what makes the full-information collector's per-round graft cheap.
     pub fn from_parts(degree: u32, children: Vec<(Port, Port, View)>) -> View {
-        let mut hash = mix64(0x9E37_79B9_7F4A_7C15 ^ u64::from(degree))
-            ^ mix64(children.len() as u64 ^ 0xD1B5_4A32_D192_ED03);
+        let hash = node_hash(degree, &children);
         let mut size = 1usize;
         let mut height = 0usize;
-        for (p, q, child) in &children {
-            hash = mix64(
-                hash ^ mix64(u64::from(*p) | (u64::from(*q) << 32)).wrapping_add(child.node.hash),
-            );
+        for (_, _, child) in &children {
             size = size.saturating_add(child.node.size);
             height = height.max(1 + child.node.height);
         }
@@ -493,11 +530,35 @@ impl ViewInterner {
     /// [`ViewInterner::node`], [`ViewInterner::intern`] or
     /// [`ViewInterner::build_all`]); handing in foreign handles files them as new
     /// structure, which forfeits sharing but never affects equality semantics.
+    ///
+    /// The sharded [`crate::SharedViewInterner`] relaxes the "this interner"
+    /// requirement across its own shards: children canonical in *any* shard are
+    /// valid here, because each structure has exactly one canonical node overall
+    /// (its hash routes it to exactly one shard) and every shard keeps its canonical
+    /// nodes alive, so the pointer-based `NodeKey` stays stable and unique.
     pub fn node(&mut self, degree: u32, children: Vec<(Port, Port, View)>) -> View {
-        self.nodes
+        self.node_interned(degree, children).0
+    }
+
+    /// [`node`](ViewInterner::node), also reporting whether the canonical node
+    /// already existed (`true` = hit, i.e. the structure was deduplicated against
+    /// earlier work). This is what the sharded shared interner's hit-rate metric
+    /// counts.
+    pub fn node_interned(
+        &mut self,
+        degree: u32,
+        children: Vec<(Port, Port, View)>,
+    ) -> (View, bool) {
+        let mut hit = true;
+        let view = self
+            .nodes
             .entry(node_key(degree, &children))
-            .or_insert_with(|| View::from_parts(degree, children))
-            .clone()
+            .or_insert_with(|| {
+                hit = false;
+                View::from_parts(degree, children)
+            })
+            .clone();
+        (view, hit)
     }
 
     /// Canonicalize an arbitrary view: returns the representative that is pointer-equal
@@ -561,6 +622,18 @@ impl std::fmt::Debug for ViewInterner {
             .finish()
     }
 }
+
+// Compile-time enforcement of the thread-safety invariants the sharded
+// `SharedViewInterner` builds on (see the module docs): handles are freely shareable
+// across threads, and a whole interner can be owned by (moved into) another thread —
+// e.g. behind one shard's mutex. If a future change smuggles in a non-`Send` field
+// (an `Rc`, a raw pointer without a wrapper), these stop compiling.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<View>();
+    assert_send::<ViewInterner>();
+};
 
 #[cfg(test)]
 mod tests {

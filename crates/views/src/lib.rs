@@ -13,6 +13,11 @@
 //!   [`ViewInterner`]: the representation every hot path (the full-information
 //!   collector, the solvers) works on — cloning is an `Arc` bump, equality and
 //!   lexicographic order short-circuit on shared subtrees,
+//! * [`shared`] — the concurrent [`SharedViewInterner`]: the same hash-consing
+//!   across `Mutex`-striped shards, safe to share between threads, so concurrent
+//!   election runs (the multi-tenant service) dedup isomorphic subtrees against one
+//!   process-wide table; [`InternerHandle`] lets solvers run against either an
+//!   owned or a shared table,
 //! * [`refinement`] — *port colour refinement*, an `O(h·m)` computation of the
 //!   equivalence classes "`B^h(u) = B^h(v)`" for every depth `h` simultaneously
 //!   (within one graph or jointly across several graphs, as needed by the paper's
@@ -55,6 +60,7 @@ pub mod interned;
 pub mod paths;
 pub mod refinement;
 mod search;
+pub mod shared;
 pub mod view_tree;
 
 pub use bits::BitString;
@@ -62,4 +68,5 @@ pub use election_index::{ElectionIndices, Feasibility};
 pub use encoding::ViewCodec;
 pub use interned::{View, ViewInterner};
 pub use refinement::{JointRefinement, Refinement};
+pub use shared::{InternerHandle, InternerStats, SharedViewInterner};
 pub use view_tree::ViewTree;

@@ -12,12 +12,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: sweep [--smoke | --standard] [--filter SUBSTRING] [--out DIR] [--list]
+usage: sweep [--smoke | --standard] [--filter SUBSTRING] [--out DIR] [--jobs N] [--list]
 
   --smoke      run the small smoke grid (default: the standard grid)
   --standard   run the standard grid explicitly
   --filter S   only scenarios whose name contains S (case-insensitive)
   --out DIR    directory for the emitted BENCH_*.json (default: .)
+  --jobs N     fan scenarios over N worker threads (default: 1; the emitted
+               JSON is byte-identical modulo timing fields at any N)
   --list       print the selected scenario names and exit
 ";
 
@@ -25,6 +27,7 @@ fn main() -> ExitCode {
     let mut grid = "standard".to_string();
     let mut filter: Option<String> = None;
     let mut out_dir = PathBuf::from(".");
+    let mut jobs = 1usize;
     let mut list = false;
 
     let mut args = std::env::args().skip(1);
@@ -43,6 +46,13 @@ fn main() -> ExitCode {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
                     eprintln!("--out needs a value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("--jobs needs a positive integer\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -79,10 +89,12 @@ fn main() -> ExitCode {
         filter,
         label: grid.clone(),
         verbose: true,
+        jobs,
     };
     println!(
-        "sweep: running the {grid} grid ({} scenarios registered)",
-        registry.len()
+        "sweep: running the {grid} grid ({} scenarios registered, {jobs} job{})",
+        registry.len(),
+        if jobs == 1 { "" } else { "s" }
     );
     match run_sweep(&registry, &config) {
         Ok(outcome) => {

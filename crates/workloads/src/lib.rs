@@ -20,6 +20,9 @@
 //!   wall time, verdict, and the advice size under *both* view codecs —
 //!   `advice_tree_bits` vs `advice_dag_bits` — see the [`sweep`] module docs for the
 //!   v1 → v2 history and compatibility guarantees);
+//! * [`service_mix`] — the service scenario axis: deterministic multi-tenant
+//!   request mixes (interleaved tenants, rotating task/solver/backend axes) that
+//!   `anet-service` and the `service_bench` binary consume;
 //! * [`json`] — a tiny dependency-free JSON value type and writer (this workspace
 //!   has no external crates, so no serde).
 //!
@@ -38,10 +41,12 @@
 pub mod families;
 pub mod json;
 pub mod scenario;
+pub mod service_mix;
 pub mod sweep;
 
 pub use families::{
     CirculantFamily, HypercubeFamily, PortLabeling, RandomRegularFamily, TorusFamily,
 };
 pub use scenario::{Scenario, ScenarioRegistry, SolverSpec};
-pub use sweep::{run_sweep, SweepConfig, SweepOutcome, SCHEMA};
+pub use service_mix::MixRequest;
+pub use sweep::{normalized_for_diff, run_sweep, SweepConfig, SweepOutcome, SCHEMA};

@@ -1,0 +1,189 @@
+//! The service scenario axis: multi-tenant request mixes for the election service.
+//!
+//! A [`Scenario`](crate::Scenario) names one grid point and sweeps it
+//! *sequentially*; the election service (`anet-service`) instead consumes a
+//! **mix** — an interleaved stream of requests from several tenants, each tenant
+//! sweeping its own graph family with its own solver and backend preferences.
+//! This module defines that mix as plain data ([`MixRequest`]), so the workload
+//! vocabulary lives here with the other scenario types while the service crate
+//! stays free of workload knowledge (the integration happens in `anet-bench`'s
+//! `service_bench`, which maps each [`MixRequest`] onto an
+//! `anet_service::ElectionRequest`).
+//!
+//! Mixes are fully deterministic: families are seed-shuffled with fixed seeds and
+//! the (task, solver, backend) rotation is a function of the request index only,
+//! so two runs of the same mix — at any service worker count — submit identical
+//! request sequences. That determinism is what the service's worker-count
+//! independence tests lean on.
+
+use crate::families::{CirculantFamily, HypercubeFamily, RandomRegularFamily, TorusFamily};
+use crate::scenario::SolverSpec;
+use anet_constructions::{FamilyInstance, GraphFamily};
+use anet_election::engine::Backend;
+use anet_election::tasks::Task;
+use anet_graph::PortGraph;
+
+/// Seed for the mix families' port shuffles (shuffling breaks the symmetry that
+/// makes canonical labellings infeasible, so most mix instances are solvable).
+const MIX_SEED: u64 = 0x5EED_0517;
+
+/// One request blueprint in a service mix: the data of an election request,
+/// without depending on the service crate's types.
+#[derive(Debug, Clone)]
+pub struct MixRequest {
+    /// The tenant this request belongs to (one tenant per graph family).
+    pub tenant: String,
+    /// Instance name (`<family-instance>#<cycle>` when the mix repeats).
+    pub name: String,
+    /// The network to elect on.
+    pub graph: PortGraph,
+    /// The requested task shade.
+    pub task: Task,
+    /// Which solver to run.
+    pub solver: SolverSpec,
+    /// The execution backend.
+    pub backend: Backend,
+}
+
+/// The tenant families of the standard mix: four families spanning low and high
+/// diameter, each seed-shuffled so most instances are feasible.
+fn tenant_families() -> Vec<(String, Vec<FamilyInstance>)> {
+    let families: Vec<Box<dyn GraphFamily>> = vec![
+        Box::new(TorusFamily::new(vec![(3, 4), (4, 4), (4, 5)]).shuffled(MIX_SEED)),
+        Box::new(HypercubeFamily::new(vec![3, 4]).shuffled(MIX_SEED ^ 1)),
+        Box::new(CirculantFamily::powers_of_two(vec![16, 32], 2).shuffled(MIX_SEED ^ 2)),
+        Box::new(RandomRegularFamily::new(3, vec![16, 24], MIX_SEED ^ 3)),
+    ];
+    families
+        .into_iter()
+        .map(|f| {
+            let tenant = format!("tenant-{}", f.family_name());
+            let instances = f.instances(8);
+            (tenant, instances)
+        })
+        .collect()
+}
+
+/// The per-request rotation of (task, solver, backend): a pure function of the
+/// request index, so the mix is reproducible and every axis value appears.
+fn rotation(index: usize) -> (Task, SolverSpec, Backend) {
+    let tasks = [Task::Selection, Task::PortElection, Task::Selection];
+    let solvers = [
+        SolverSpec::Map,
+        SolverSpec::Map,
+        SolverSpec::MinTimeAdvice,
+        SolverSpec::MinTimeAdviceDag,
+    ];
+    let backends = [
+        Backend::Sequential,
+        Backend::Batching,
+        Backend::parallel(2),
+        Backend::AdaptiveParallel,
+    ];
+    (
+        tasks[index % tasks.len()],
+        solvers[index % solvers.len()],
+        backends[index % backends.len()],
+    )
+}
+
+/// Build a deterministic multi-tenant mix of exactly `total` requests.
+///
+/// Tenants are interleaved round-robin (so the service sees genuinely mixed
+/// traffic, not one tenant at a time) and the instance list repeats cyclically —
+/// repeated instances are *intentional*: they are what gives the shared interner
+/// its cross-request hits, like a production service solving the same topologies
+/// for many clients. Names carry a `#<cycle>` suffix past the first cycle.
+pub fn mix(total: usize) -> Vec<MixRequest> {
+    let tenants = tenant_families();
+    let flat: Vec<(&String, &FamilyInstance)> = {
+        // Round-robin over tenants: a1 b1 c1 d1 a2 b2 …
+        let longest = tenants.iter().map(|(_, i)| i.len()).max().unwrap_or(0);
+        (0..longest)
+            .flat_map(|slot| {
+                tenants
+                    .iter()
+                    .filter_map(move |(tenant, instances)| instances.get(slot).map(|i| (tenant, i)))
+            })
+            .collect()
+    };
+    assert!(!flat.is_empty(), "mix families produced no instances");
+    (0..total)
+        .map(|index| {
+            let (tenant, instance) = flat[index % flat.len()];
+            let cycle = index / flat.len();
+            let (task, solver, backend) = rotation(index);
+            MixRequest {
+                tenant: tenant.clone(),
+                name: if cycle == 0 {
+                    instance.name.clone()
+                } else {
+                    format!("{}#{}", instance.name, cycle)
+                },
+                graph: instance.graph.clone(),
+                task,
+                solver,
+                backend,
+            }
+        })
+        .collect()
+}
+
+/// The smoke mix: one pass over every tenant's instances (a few dozen requests),
+/// sized for CI.
+pub fn smoke_mix() -> Vec<MixRequest> {
+    let total = tenant_families().iter().map(|(_, i)| i.len()).sum();
+    mix(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn mix_is_deterministic_and_interleaves_tenants() {
+        let a = mix(40);
+        let b = mix(40);
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.task, y.task);
+            assert_eq!(x.solver, y.solver);
+            assert_eq!(x.backend, y.backend);
+            assert_eq!(x.graph, y.graph);
+        }
+        // The first few requests come from different tenants (round-robin), and
+        // the whole mix covers at least three families.
+        let tenants: BTreeSet<&str> = a.iter().map(|r| r.tenant.as_str()).collect();
+        assert!(tenants.len() >= 3, "{tenants:?}");
+        let head: BTreeSet<&str> = a.iter().take(4).map(|r| r.tenant.as_str()).collect();
+        assert!(head.len() >= 3, "head not interleaved: {head:?}");
+    }
+
+    #[test]
+    fn long_mixes_cycle_instances_with_suffixes() {
+        let smoke = smoke_mix();
+        let long = mix(smoke.len() * 2 + 3);
+        assert_eq!(long.len(), smoke.len() * 2 + 3);
+        // Second cycle repeats the same graphs under suffixed names.
+        assert_eq!(long[smoke.len()].graph, long[0].graph);
+        assert!(
+            long[smoke.len()].name.ends_with("#1"),
+            "{}",
+            long[smoke.len()].name
+        );
+        // Smoke is exactly one cycle: no suffixes.
+        assert!(smoke.iter().all(|r| !r.name.contains('#')));
+    }
+
+    #[test]
+    fn rotation_visits_every_axis_value() {
+        let seen_tasks: BTreeSet<String> =
+            (0..12).map(|i| format!("{:?}", rotation(i).0)).collect();
+        let seen_solvers: BTreeSet<&str> = (0..12).map(|i| rotation(i).1.label()).collect();
+        assert_eq!(seen_tasks.len(), 2, "{seen_tasks:?}");
+        assert_eq!(seen_solvers.len(), 3, "{seen_solvers:?}");
+    }
+}

@@ -44,6 +44,11 @@ pub struct SweepConfig {
     pub label: String,
     /// Print one progress line per scenario to stdout.
     pub verbose: bool,
+    /// Worker threads the scenarios are fanned out over (via the work-stealing
+    /// pool in `anet-sim`); `1` (the default) runs the grid sequentially on the
+    /// calling thread. Whatever the value, the emitted JSON is identical modulo
+    /// timing fields — see [`normalized_for_diff`].
+    pub jobs: usize,
 }
 
 impl Default for SweepConfig {
@@ -53,6 +58,7 @@ impl Default for SweepConfig {
             filter: None,
             label: "sweep".to_string(),
             verbose: false,
+            jobs: 1,
         }
     }
 }
@@ -167,15 +173,40 @@ pub fn run_sweep(
     // the class, so different caps select different — not merely fewer — members.
     let mut instance_cache: HashMap<(String, usize), Vec<anet_constructions::FamilyInstance>> =
         HashMap::new();
+    for scenario in &selected {
+        let key = (scenario.family.instance_cache_key(), scenario.max_instances);
+        instance_cache
+            .entry(key)
+            .or_insert_with(|| scenario.materialize());
+    }
+
+    // Fan the scenarios out over the work-stealing pool. `run_indexed` returns
+    // rows in job (= scenario) order whatever thread ran what, so the emitted
+    // cells — and hence the JSON, modulo timing fields — are independent of
+    // `jobs`. With more than one job, each scenario runs under a thread budget of
+    // its fair share of the machine, so a scenario on a parallel backend cannot
+    // oversubscribe the cores the other jobs are using (backend labels are
+    // budget-independent, keeping report keys stable).
+    let jobs = config.jobs.max(1);
+    let per_job_budget = if jobs > 1 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .div_ceil(jobs)
+    } else {
+        usize::MAX
+    };
+    let (rows_per_scenario, _pool_stats) = anet_sim::run_indexed(jobs, selected.len(), |i| {
+        let scenario = selected[i];
+        let key = (scenario.family.instance_cache_key(), scenario.max_instances);
+        let instances = &instance_cache[&key];
+        anet_sim::with_thread_budget(per_job_budget, || scenario.run_on(instances))
+    });
+
     let mut cells = Vec::new();
     let mut solved = 0usize;
     let mut unsolved = 0usize;
-    for scenario in &selected {
-        let key = (scenario.family.instance_cache_key(), scenario.max_instances);
-        let instances = instance_cache
-            .entry(key)
-            .or_insert_with(|| scenario.materialize());
-        let rows = scenario.run_on(instances);
+    for (scenario, rows) in selected.iter().zip(&rows_per_scenario) {
         let scenario_solved = rows.iter().filter(|r| r.solved()).count();
         if config.verbose {
             println!(
@@ -185,7 +216,7 @@ pub fn run_sweep(
                 rows.len()
             );
         }
-        for row in &rows {
+        for row in rows {
             if row.solved() {
                 solved += 1;
             } else {
@@ -259,6 +290,33 @@ fn sanitize(label: &str) -> String {
 pub fn read_bench_json(path: &Path) -> std::io::Result<Json> {
     let text = std::fs::read_to_string(path)?;
     Json::parse(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// A copy of a bench document with every timing field (`wall_ms`,
+/// `total_wall_ms`, `generated_unix_ms`) replaced by `0`, leaving only the
+/// deterministic content. Two sweeps of the same grid — at any
+/// [`jobs`](SweepConfig::jobs) count — render byte-identically after
+/// normalisation; the bench-diff tooling and the `--jobs` determinism tests
+/// compare through this.
+pub fn normalized_for_diff(doc: &Json) -> Json {
+    const TIMING_KEYS: [&str; 3] = ["wall_ms", "total_wall_ms", "generated_unix_ms"];
+    match doc {
+        Json::Object(fields) => Json::Object(
+            fields
+                .iter()
+                .map(|(key, value)| {
+                    let value = if TIMING_KEYS.contains(&key.as_str()) {
+                        Json::Int(0)
+                    } else {
+                        normalized_for_diff(value)
+                    };
+                    (key.clone(), value)
+                })
+                .collect(),
+        ),
+        Json::Array(items) => Json::Array(items.iter().map(normalized_for_diff).collect()),
+        other => other.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -448,6 +506,114 @@ mod tests {
             .collect();
         assert_eq!(nodes, vec![16, 24]);
         let _ = std::fs::remove_dir_all(&config.out_dir);
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential_after_normalisation() {
+        use crate::families::{HypercubeFamily, TorusFamily};
+        // A small grid that still spans families, shades, solvers and backends —
+        // including parallel backends, whose threads the per-job budget caps.
+        let registry = || {
+            let mut registry = ScenarioRegistry::new();
+            let scenarios = [
+                (Task::Selection, SolverSpec::Map, Backend::Sequential),
+                (Task::PortElection, SolverSpec::Map, Backend::parallel(2)),
+                (
+                    Task::Selection,
+                    SolverSpec::MinTimeAdviceDag,
+                    Backend::Batching,
+                ),
+            ];
+            for (task, solver, backend) in scenarios {
+                registry
+                    .register(Scenario::new(
+                        RandomRegularFamily::new(3, vec![16, 24], 0xA5EED),
+                        task,
+                        solver,
+                        backend,
+                        2,
+                    ))
+                    .unwrap();
+                registry
+                    .register(Scenario::new(
+                        TorusFamily::new(vec![(3, 4), (4, 4)]).shuffled(41),
+                        task,
+                        solver,
+                        backend,
+                        2,
+                    ))
+                    .unwrap();
+            }
+            registry
+                .register(Scenario::new(
+                    HypercubeFamily::new(vec![3]).shuffled(41),
+                    Task::Selection,
+                    SolverSpec::Map,
+                    Backend::AdaptiveParallel,
+                    1,
+                ))
+                .unwrap();
+            registry
+        };
+        let run = |jobs: usize| {
+            let config = SweepConfig {
+                out_dir: tmp_dir(&format!("jobs-{jobs}")),
+                label: format!("jobs {jobs}"),
+                jobs,
+                ..SweepConfig::default()
+            };
+            let outcome = run_sweep(&registry(), &config).unwrap();
+            let doc = read_bench_json(&outcome.json_path).unwrap();
+            let _ = std::fs::remove_dir_all(&config.out_dir);
+            (outcome, normalized_for_diff(&doc))
+        };
+        let (outcome_seq, mut doc_seq) = run(1);
+        let (outcome_par, doc_par) = run(4);
+        assert_eq!(outcome_seq.cells, outcome_par.cells);
+        assert_eq!(outcome_seq.solved, outcome_par.solved);
+        assert_eq!(outcome_seq.unsolved, outcome_par.unsolved);
+        // The labels differ ("jobs 1" vs "jobs 4") by construction; align them and
+        // require everything else to render byte-identically.
+        if let Json::Object(fields) = &mut doc_seq {
+            for (key, value) in fields.iter_mut() {
+                if key == "label" {
+                    *value = Json::str("jobs 4");
+                }
+            }
+        }
+        assert_eq!(doc_seq.render_pretty(), doc_par.render_pretty());
+    }
+
+    #[test]
+    fn normalisation_zeroes_exactly_the_timing_fields() {
+        let doc = Json::Object(vec![
+            ("wall_ms".to_string(), Json::Float(12.5)),
+            ("solved".to_string(), Json::Bool(true)),
+            (
+                "summary".to_string(),
+                Json::Object(vec![
+                    ("total_wall_ms".to_string(), Json::Float(99.0)),
+                    ("cells".to_string(), Json::Int(3)),
+                ]),
+            ),
+            (
+                "cells".to_string(),
+                Json::Array(vec![Json::Object(vec![(
+                    "wall_ms".to_string(),
+                    Json::Null,
+                )])]),
+            ),
+            ("generated_unix_ms".to_string(), Json::Int(1_700_000_000)),
+        ]);
+        let normalized = normalized_for_diff(&doc);
+        assert_eq!(normalized.get("wall_ms"), Some(&Json::Int(0)));
+        assert_eq!(normalized.get("solved"), Some(&Json::Bool(true)));
+        assert_eq!(normalized.get("generated_unix_ms"), Some(&Json::Int(0)));
+        let summary = normalized.get("summary").unwrap();
+        assert_eq!(summary.get("total_wall_ms"), Some(&Json::Int(0)));
+        assert_eq!(summary.get("cells"), Some(&Json::Int(3)));
+        let cell = &normalized.get("cells").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(cell.get("wall_ms"), Some(&Json::Int(0)));
     }
 
     #[test]

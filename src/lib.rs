@@ -12,7 +12,10 @@
 //! * [`constructions`] — the paper's lower-bound graph families and figures,
 //! * [`workloads`] — scenario generation beyond the paper: extra graph families
 //!   (random-regular, torus, hypercube, circulant), the scenario registry, and the
-//!   JSON-emitting sweep driver behind the `sweep` binary.
+//!   JSON-emitting sweep driver behind the `sweep` binary,
+//! * [`service`] — the multi-tenant election service: a work-stealing scheduler
+//!   with bounded-queue backpressure running many election requests concurrently
+//!   over one shared concurrent view interner, with latency/throughput metrics.
 //!
 //! The most common names are re-exported in the [`prelude`]:
 //!
@@ -35,6 +38,7 @@
 pub use anet_constructions as constructions;
 pub use anet_election as election;
 pub use anet_graph as graph;
+pub use anet_service as service;
 pub use anet_sim as sim;
 pub use anet_views as views;
 pub use anet_workloads as workloads;
@@ -44,8 +48,12 @@ pub mod prelude {
     pub use anet_constructions::{FamilyInstance, GraphFamily};
     pub use anet_election::engine::{
         AdviceSolver, Backend, BatchRow, BatchRunner, CppeSolver, Election, ElectionBuilder,
-        ElectionReport, EngineError, MapSolver, PortElectionSolver, Solver, SolverRun,
+        ElectionReport, EngineError, MapSolver, PortElectionSolver, RunContext, Solver, SolverRun,
     };
     pub use anet_election::tasks::{ElectionOutcome, NodeOutput, Task, TaskError};
+    pub use anet_service::{
+        CompletedElection, ElectionRequest, ElectionService, ServiceConfig, ServiceReport,
+        SolverRecipe, Submission,
+    };
     pub use anet_workloads::{Scenario, ScenarioRegistry, SolverSpec};
 }
