@@ -18,11 +18,14 @@
 //! perf gate.
 
 use anet_service::{ElectionRequest, ElectionService, ServiceConfig, ServiceReport, SolverRecipe};
+use anet_trace::Recorder;
 use anet_workloads::json::Json;
 use anet_workloads::service_mix::{self, MixRequest};
+use anet_workloads::TraceFile;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// The schema tag of every emitted service-bench file.
@@ -41,7 +44,8 @@ const SMOKE_REQUESTS: usize = 512;
 const RUNS_PER_CONFIG: usize = 3;
 
 const USAGE: &str = "\
-usage: service_bench [--smoke] [--requests N] [--workers N] [--out DIR] [--baseline FILE]
+usage: service_bench [--smoke] [--requests N] [--workers N] [--out DIR]
+                     [--baseline FILE] [--trace-dir DIR]
 
   --smoke         run the CI-sized smoke mix (512 requests, best of 3 runs)
   --requests N    size of the full mix (default: 1000; ignored with --smoke)
@@ -51,6 +55,11 @@ usage: service_bench [--smoke] [--requests N] [--workers N] [--out DIR] [--basel
   --out DIR       directory for the emitted BENCH_service_*.json (default: .)
   --baseline F    compare pooled elections/sec against F; exit non-zero if it
                   regressed by more than 25%
+  --trace-dir D   after the timed runs, run the pooled mix once more with a
+                  trace recorder attached and write the per-request round-level
+                  event stream to D as TRACE_service_<label>.jsonl (schema
+                  anet-trace/v1; render with trace_report). The extra run keeps
+                  the timed measurements and the --baseline gate untouched
 ";
 
 fn to_request(mix: MixRequest) -> ElectionRequest {
@@ -138,6 +147,31 @@ fn run_json(report: &ServiceReport) -> Json {
                 ),
             ]),
         ),
+        (
+            "tenants".to_string(),
+            Json::Array(
+                report
+                    .tenants
+                    .iter()
+                    .map(|t| {
+                        Json::Object(vec![
+                            ("tenant".to_string(), Json::str(&t.tenant)),
+                            ("executed".to_string(), Json::Int(t.executed as i64)),
+                            ("solved".to_string(), Json::Int(t.solved as i64)),
+                            ("failed".to_string(), Json::Int(t.failed as i64)),
+                            (
+                                "turnaround_p50_ms".to_string(),
+                                ms(t.turnaround_latency.p50),
+                            ),
+                            (
+                                "turnaround_p95_ms".to_string(),
+                                ms(t.turnaround_latency.p95),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -157,6 +191,7 @@ fn main() -> ExitCode {
     let mut workers = ServiceConfig::default().workers.max(4);
     let mut out_dir = PathBuf::from(".");
     let mut baseline: Option<PathBuf> = None;
+    let mut trace_dir: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -187,6 +222,13 @@ fn main() -> ExitCode {
                 Some(file) => baseline = Some(PathBuf::from(file)),
                 None => {
                     eprintln!("--baseline needs a value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-dir" => match args.next() {
+                Some(dir) => trace_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--trace-dir needs a value\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -282,6 +324,40 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("service_bench: wrote {}", json_path.display());
+
+    // One extra pooled run with a trace recorder attached: per-request engine
+    // events stamped with the request id, plus the scheduler's worker-execute
+    // and worker-steal events. Kept out of the timed runs so the recorder's
+    // overhead can never tilt the --baseline gate.
+    if let Some(trace_dir) = trace_dir {
+        let recorder = Arc::new(Recorder::new());
+        let config = ServiceConfig {
+            trace_sink: Some(recorder.clone()),
+            ..ServiceConfig::with_workers(pooled.workers)
+        };
+        let requests: Vec<ElectionRequest> = mix.iter().cloned().map(to_request).collect();
+        let (completed, _) = ElectionService::run_batch(config, requests);
+        let events = recorder.drain();
+        let mut trace = TraceFile::new(label);
+        for election in &completed {
+            let run_events: Vec<_> = events
+                .iter()
+                .copied()
+                .filter(|e| e.trace_id() == election.id)
+                .collect();
+            trace.push_run(
+                election.id,
+                format!("{}/{}", election.tenant, election.name),
+                run_events,
+            );
+        }
+        let trace_path = trace_dir.join(format!("TRACE_service_{label}.jsonl"));
+        if let Err(e) = trace.write(&trace_path) {
+            eprintln!("service_bench: cannot write {}: {e}", trace_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("service_bench: wrote {}", trace_path.display());
+    }
 
     if let Some(baseline_path) = baseline {
         let text = match std::fs::read_to_string(&baseline_path) {

@@ -1,0 +1,330 @@
+//! Comparing two `anet-bench/v1` documents — the perf-trend gate.
+//!
+//! [`Harness::report`](crate::Harness::report) leaves `BENCH_bench_<name>.json`
+//! artifacts; this module compares a *current* artifact against a committed
+//! *baseline* one, measurement by measurement (matched on `id`, compared on
+//! `mean_ns`). The comparison is what the `bench_diff` binary and the CI gate
+//! run: a measurement whose mean regressed by more than the configured fraction
+//! fails, as does a baseline measurement missing from the current run (a silently
+//! dropped bench must not pass the gate). Measurements only present in the
+//! current run are reported but never fail — adding benches is not a regression.
+
+use crate::table::Table;
+use anet_workloads::json::Json;
+
+/// Default largest tolerated fractional slowdown (25%), matching the service
+/// bench's gate.
+pub const DEFAULT_MAX_REGRESSION: f64 = 0.25;
+
+/// One measurement id compared across the two documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// The measurement id (present in the baseline).
+    pub id: String,
+    /// Baseline mean nanoseconds.
+    pub baseline_ns: i64,
+    /// Current mean nanoseconds, `None` if the current run dropped the bench.
+    pub current_ns: Option<i64>,
+    /// `current / baseline`; `None` when the measurement is missing or the
+    /// baseline mean is zero (sub-nanosecond — too fast to gate on).
+    pub ratio: Option<f64>,
+}
+
+impl DiffRow {
+    /// Whether this row fails the gate at `max_regression`: the bench vanished,
+    /// or its mean grew beyond `baseline · (1 + max_regression)`.
+    pub fn regressed(&self, max_regression: f64) -> bool {
+        match self.ratio {
+            Some(ratio) => ratio > 1.0 + max_regression,
+            None => self.current_ns.is_none(),
+        }
+    }
+}
+
+/// The full comparison of two bench documents.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Bench name of the baseline document.
+    pub bench: String,
+    /// One row per baseline measurement, in baseline order.
+    pub rows: Vec<DiffRow>,
+    /// Measurement ids only the current run has (informational, never failing).
+    pub added: Vec<String>,
+    /// The tolerated fractional slowdown the report was computed with.
+    pub max_regression: f64,
+}
+
+impl DiffReport {
+    /// The rows that fail the gate.
+    pub fn regressions(&self) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.regressed(self.max_regression))
+            .collect()
+    }
+
+    /// Whether every baseline measurement is present and within budget.
+    pub fn passed(&self) -> bool {
+        self.regressions().is_empty()
+    }
+
+    /// Render the comparison as an aligned table (one row per baseline
+    /// measurement; missing and regressed rows are marked in the verdict column).
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "bench-diff {} (max regression {:.0}%)",
+                self.bench,
+                self.max_regression * 100.0
+            ),
+            &["id", "baseline", "current", "ratio", "verdict"],
+        );
+        for row in &self.rows {
+            let current = match row.current_ns {
+                Some(ns) => format!("{ns}ns"),
+                None => "—".to_string(),
+            };
+            let ratio = match row.ratio {
+                Some(r) => format!("{r:.2}x"),
+                None => "—".to_string(),
+            };
+            let verdict = if row.current_ns.is_none() {
+                "MISSING"
+            } else if row.regressed(self.max_regression) {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            t.push_row(vec![
+                row.id.clone(),
+                format!("{}ns", row.baseline_ns),
+                current,
+                ratio,
+                verdict.to_string(),
+            ]);
+        }
+        for id in &self.added {
+            t.push_row(vec![
+                id.clone(),
+                "—".to_string(),
+                "new".to_string(),
+                "—".to_string(),
+                "ok".to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Why a bench document could not be compared.
+#[derive(Debug)]
+pub enum DiffError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The text is not valid JSON.
+    Json(String),
+    /// The document's `schema` field is not `anet-bench/v1`.
+    Schema {
+        /// What the document declared (empty when absent).
+        found: String,
+    },
+    /// A measurement lacks a string `id` or an integer `mean_ns`.
+    Measurement {
+        /// 0-based index into the `measurements` array.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for DiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffError::Io(e) => write!(f, "cannot read bench document: {e}"),
+            DiffError::Json(e) => write!(f, "bench document is not valid JSON: {e}"),
+            DiffError::Schema { found } => write!(
+                f,
+                "bench document declares schema {found:?}, expected \"anet-bench/v1\""
+            ),
+            DiffError::Measurement { index } => write!(
+                f,
+                "measurement {index} lacks a string id or integer mean_ns"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiffError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed `anet-bench/v1` document reduced to what the diff needs.
+#[derive(Debug, Clone)]
+pub struct BenchDoc {
+    /// The `bench` name field.
+    pub bench: String,
+    /// `(id, mean_ns)` per measurement, in document order.
+    pub means: Vec<(String, i64)>,
+}
+
+impl BenchDoc {
+    /// Parse a rendered `anet-bench/v1` document.
+    pub fn parse(text: &str) -> Result<BenchDoc, DiffError> {
+        let doc = Json::parse(text).map_err(|e| DiffError::Json(e.to_string()))?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some("anet-bench/v1") => {}
+            other => {
+                return Err(DiffError::Schema {
+                    found: other.unwrap_or_default().to_string(),
+                })
+            }
+        }
+        let bench = doc
+            .get("bench")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let mut means = Vec::new();
+        let measurements = doc
+            .get("measurements")
+            .and_then(Json::as_array)
+            .map(|a| a.to_vec())
+            .unwrap_or_default();
+        for (index, m) in measurements.iter().enumerate() {
+            let id = m.get("id").and_then(Json::as_str);
+            let mean = m.get("mean_ns").and_then(Json::as_int);
+            match (id, mean) {
+                (Some(id), Some(mean)) => means.push((id.to_string(), mean)),
+                _ => return Err(DiffError::Measurement { index }),
+            }
+        }
+        Ok(BenchDoc { bench, means })
+    }
+
+    /// Read and parse a document from disk.
+    pub fn read(path: &std::path::Path) -> Result<BenchDoc, DiffError> {
+        let text = std::fs::read_to_string(path).map_err(DiffError::Io)?;
+        BenchDoc::parse(&text)
+    }
+}
+
+/// Compare `current` against `baseline` measurement-by-measurement.
+pub fn diff(baseline: &BenchDoc, current: &BenchDoc, max_regression: f64) -> DiffReport {
+    let rows = baseline
+        .means
+        .iter()
+        .map(|(id, baseline_ns)| {
+            let current_ns = current
+                .means
+                .iter()
+                .find(|(cid, _)| cid == id)
+                .map(|&(_, ns)| ns);
+            let ratio = match current_ns {
+                Some(ns) if *baseline_ns > 0 => Some(ns as f64 / *baseline_ns as f64),
+                _ => None,
+            };
+            DiffRow {
+                id: id.clone(),
+                baseline_ns: *baseline_ns,
+                current_ns,
+                ratio,
+            }
+        })
+        .collect();
+    let added = current
+        .means
+        .iter()
+        .filter(|(id, _)| !baseline.means.iter().any(|(bid, _)| bid == id))
+        .map(|(id, _)| id.clone())
+        .collect();
+    DiffReport {
+        bench: baseline.bench.clone(),
+        rows,
+        added,
+        max_regression,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(bench: &str, means: &[(&str, i64)]) -> BenchDoc {
+        BenchDoc {
+            bench: bench.to_string(),
+            means: means.iter().map(|&(id, ns)| (id.to_string(), ns)).collect(),
+        }
+    }
+
+    #[test]
+    fn within_budget_passes_and_regression_fails() {
+        let baseline = doc("sim", &[("route_seq", 1000), ("route_batch", 400)]);
+        // route_seq 20% slower (within 25%), route_batch 50% slower (fails).
+        let current = doc("sim", &[("route_seq", 1200), ("route_batch", 600)]);
+        let report = diff(&baseline, &current, DEFAULT_MAX_REGRESSION);
+        assert!(!report.passed());
+        let regressions = report.regressions();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].id, "route_batch");
+        assert_eq!(regressions[0].ratio, Some(1.5));
+        // A looser gate lets the same comparison pass.
+        assert!(diff(&baseline, &current, 0.6).passed());
+        // Speedups never fail.
+        let faster = doc("sim", &[("route_seq", 10), ("route_batch", 10)]);
+        assert!(diff(&baseline, &faster, DEFAULT_MAX_REGRESSION).passed());
+    }
+
+    #[test]
+    fn missing_measurement_fails_and_added_does_not() {
+        let baseline = doc("views", &[("collect_owned", 500), ("collect_shared", 300)]);
+        let current = doc("views", &[("collect_owned", 500), ("collect_dag", 100)]);
+        let report = diff(&baseline, &current, DEFAULT_MAX_REGRESSION);
+        assert!(!report.passed(), "dropped bench must fail the gate");
+        assert_eq!(report.regressions()[0].id, "collect_shared");
+        assert_eq!(report.regressions()[0].current_ns, None);
+        assert_eq!(report.added, vec!["collect_dag".to_string()]);
+        let rendered = report.table().render();
+        assert!(rendered.contains("MISSING"));
+        assert!(rendered.contains("collect_dag"));
+    }
+
+    #[test]
+    fn zero_baseline_means_never_gate() {
+        // A sub-nanosecond baseline mean rounds to 0: any current value would be
+        // an infinite ratio, so such rows are exempt rather than auto-failing.
+        let baseline = doc("micro", &[("noop", 0)]);
+        let current = doc("micro", &[("noop", 50)]);
+        let report = diff(&baseline, &current, DEFAULT_MAX_REGRESSION);
+        assert!(report.passed());
+        assert_eq!(report.rows[0].ratio, None);
+    }
+
+    #[test]
+    fn parses_real_harness_output_and_rejects_forgeries() {
+        let mut h = crate::Harness::new("demo_diff");
+        h.bench("sum", 2, || (0..100u64).sum::<u64>());
+        let text = h.to_json().render_pretty();
+        let parsed = BenchDoc::parse(&text).unwrap();
+        assert_eq!(parsed.bench, "demo_diff");
+        assert_eq!(parsed.means.len(), 1);
+        assert_eq!(parsed.means[0].0, "sum");
+
+        assert!(matches!(
+            BenchDoc::parse("not json"),
+            Err(DiffError::Json(_))
+        ));
+        assert!(matches!(
+            BenchDoc::parse(r#"{"schema":"anet-bench/v9"}"#),
+            Err(DiffError::Schema { .. })
+        ));
+        let bad_mean = r#"{"schema":"anet-bench/v1","bench":"x",
+            "measurements":[{"id":"a","mean_ns":"fast"}]}"#;
+        assert!(matches!(
+            BenchDoc::parse(bad_mean),
+            Err(DiffError::Measurement { index: 0 })
+        ));
+    }
+}

@@ -11,10 +11,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod experiments;
 pub mod harness;
 pub mod suite;
 pub mod table;
 
+pub use diff::{diff, BenchDoc, DiffError, DiffReport, DiffRow, DEFAULT_MAX_REGRESSION};
 pub use harness::{Harness, Metric};
 pub use table::Table;

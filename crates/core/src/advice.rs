@@ -135,15 +135,34 @@ where
     O: Oracle,
     A: AdviceAlgorithm,
 {
+    run_with_advice_traced(graph, oracle, algorithm, backend, &anet_trace::NoopSink)
+}
+
+/// [`run_with_advice_on`] with a trace probe: the algorithm's view-collection rounds
+/// emit round-level [`anet_trace::TraceEvent`]s into `sink` (the oracle runs before
+/// any communication and is not traced). With [`anet_trace::NoopSink`] this *is*
+/// `run_with_advice_on`.
+pub fn run_with_advice_traced<O, A>(
+    graph: &PortGraph,
+    oracle: &O,
+    algorithm: &A,
+    backend: Backend,
+    sink: &dyn anet_trace::TraceSink,
+) -> AdviceRun
+where
+    O: Oracle,
+    A: AdviceAlgorithm,
+{
     let OracleAdvice {
         bits: advice,
         tree_bits,
         dag_bits,
     } = oracle.advise_with_sizes(graph);
     let rounds = algorithm.rounds(&advice);
-    let (outputs, report) = anet_sim::run_full_information_on(graph, rounds, backend, |view| {
-        algorithm.decide(&advice, view)
-    });
+    let (outputs, report) =
+        anet_sim::run_full_information_traced(graph, rounds, backend, sink, |view| {
+            algorithm.decide(&advice, view)
+        });
     AdviceRun {
         advice,
         advice_tree_bits: tree_bits,

@@ -65,6 +65,7 @@ impl BatchRow {
 pub struct BatchRunner {
     backend: Backend,
     max_instances: usize,
+    profiled: bool,
 }
 
 impl Default for BatchRunner {
@@ -80,12 +81,23 @@ impl BatchRunner {
         BatchRunner {
             backend,
             max_instances: 8,
+            profiled: false,
         }
     }
 
     /// Cap the number of instances visited per family.
     pub fn max_instances(mut self, n: usize) -> Self {
         self.max_instances = n;
+        self
+    }
+
+    /// Record a round-level profile for every instance run (see
+    /// [`ElectionBuilder::profiled`](super::ElectionBuilder::profiled)): each row's
+    /// report carries a `round_profile`, which the sweep driver serialises into its
+    /// trace artifact. Off by default — the disabled probe keeps sweep output
+    /// byte-identical to an unprofiled run.
+    pub fn profiled(mut self, on: bool) -> Self {
+        self.profiled = on;
         self
     }
 
@@ -125,10 +137,13 @@ impl BatchRunner {
             .iter()
             .take(self.max_instances)
             .map(|instance| {
-                let report = Election::task(task)
+                let mut builder = Election::task(task)
                     .solver_boxed(make_solver(instance))
-                    .backend(self.backend)
-                    .run(&instance.graph);
+                    .backend(self.backend);
+                if self.profiled {
+                    builder = builder.profiled();
+                }
+                let report = builder.run(&instance.graph);
                 BatchRow {
                     family: family_name.to_string(),
                     instance: instance.name.clone(),

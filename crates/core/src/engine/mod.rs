@@ -49,6 +49,9 @@ mod batch;
 mod solvers;
 
 pub use anet_sim::{Backend, Simulator};
+pub use anet_trace::{
+    NoopSink, Phase, Recorder, RoundProfile, RoundStat, Tagged, TraceEvent, TraceSink,
+};
 pub use batch::{BatchRow, BatchRunner};
 pub use solvers::{AdviceSolver, CppeSolver, MapSolver, PortElectionSolver};
 
@@ -119,7 +122,7 @@ pub struct SolverRun {
 /// process-wide resources a run may share with concurrent runs. Everything here is
 /// optional and purely an execution concern — a solver given the default (empty)
 /// context computes exactly the same outputs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Clone, Copy, Default)]
 pub struct RunContext<'a> {
     /// A process-wide concurrent view interner. Solvers that hash-cons views (the
     /// map solver's `build_all` + canonicalization pass) intern through this table
@@ -127,6 +130,29 @@ pub struct RunContext<'a> {
     /// families dedup their view DAGs against each other. Set by the multi-tenant
     /// election service; `None` for standalone runs.
     pub shared_interner: Option<&'a SharedViewInterner>,
+    /// A trace sink for round-level probes: simulation-backed solvers thread it to
+    /// [`anet_sim::Backend::run_traced`], so the engine (and through it the
+    /// service) observes per-phase timings and per-round message counts. `None`
+    /// means untraced — identical to passing a [`NoopSink`].
+    pub trace: Option<&'a dyn TraceSink>,
+}
+
+impl<'a> RunContext<'a> {
+    /// The context's trace sink, defaulting to the zero-cost [`NoopSink`]: solvers
+    /// call this instead of matching on [`RunContext::trace`], so the untraced path
+    /// stays branch-free at the probe sites.
+    pub fn trace_sink(&self) -> &'a dyn TraceSink {
+        self.trace.unwrap_or(&NoopSink)
+    }
+}
+
+impl std::fmt::Debug for RunContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunContext")
+            .field("shared_interner", &self.shared_interner.is_some())
+            .field("trace", &self.trace.is_some())
+            .finish()
+    }
 }
 
 /// A leader-election solver: anything that can produce per-node outputs for a task on
@@ -180,6 +206,8 @@ impl Election {
             backend: Backend::Sequential,
             thread_budget: None,
             shared_interner: None,
+            trace: None,
+            profile: false,
         }
     }
 }
@@ -195,6 +223,8 @@ pub struct ElectionBuilder {
     backend: Backend,
     thread_budget: Option<usize>,
     shared_interner: Option<Arc<SharedViewInterner>>,
+    trace: Option<Arc<dyn TraceSink>>,
+    profile: bool,
 }
 
 impl ElectionBuilder {
@@ -238,6 +268,30 @@ impl ElectionBuilder {
         self
     }
 
+    /// Stream round-level trace events into `sink`. The engine records the run
+    /// through an internal [`Recorder`] (so the report gains a
+    /// [`RoundProfile`](ElectionReport::round_profile)) and forwards the drained
+    /// events to `sink` after the solve — per-run event batches therefore arrive
+    /// contiguous even when many runs share one sink, which is what the
+    /// multi-tenant service relies on. Wrap the sink in [`anet_trace::Tagged`] to
+    /// stamp every forwarded event with a run id.
+    ///
+    /// Tracing never changes outputs, rounds or message accounting; it only
+    /// observes them.
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Record the run's round-level profile without an external sink: the report's
+    /// [`round_profile`](ElectionReport::round_profile) is populated with per-round
+    /// message counts and per-phase timings. Analytic solvers (e.g.
+    /// [`CppeSolver`]) simulate nothing and yield an empty profile.
+    pub fn profiled(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
     /// The configured task.
     pub fn task_ref(&self) -> Task {
         self.task
@@ -247,14 +301,44 @@ impl ElectionBuilder {
     pub fn run(&self, graph: &PortGraph) -> Result<ElectionReport, EngineError> {
         let solver = self.solver.as_ref().ok_or(EngineError::MissingSolver)?;
         let start = Instant::now();
+        // When tracing or profiling is requested, the run records into an internal
+        // recorder first: the profile is built from the complete event stream, and
+        // forwarding after the solve keeps one run's events contiguous on a shared
+        // sink. Untraced runs take the `None` branch and pay nothing.
+        let recorder = (self.profile || self.trace.is_some()).then(Recorder::new);
         let ctx = RunContext {
             shared_interner: self.shared_interner.as_deref(),
+            trace: recorder.as_ref().map(|r| r as &dyn TraceSink),
         };
+        let interner_before = recorder
+            .as_ref()
+            .and(self.shared_interner.as_ref())
+            .map(|t| t.stats());
         let solve = || solver.solve_ctx(graph, self.task, self.backend, &ctx);
         let run = match self.thread_budget {
             Some(budget) => anet_sim::with_thread_budget(budget, solve)?,
             None => solve()?,
         };
+        let round_profile = recorder.map(|recorder| {
+            // Interner traffic attributable to this run, from table-counter
+            // snapshots (exact when runs don't overlap; see
+            // `TraceEvent::InternerDelta`).
+            if let (Some(before), Some(table)) = (interner_before, self.shared_interner.as_ref()) {
+                let after = table.stats();
+                recorder.record(TraceEvent::InternerDelta {
+                    trace_id: 0,
+                    hits: after.hits.saturating_sub(before.hits),
+                    misses: after.misses.saturating_sub(before.misses),
+                });
+            }
+            let events = recorder.drain();
+            if let Some(sink) = &self.trace {
+                for event in &events {
+                    sink.record(*event);
+                }
+            }
+            RoundProfile::from_events(&events)
+        });
         // Fact 1.1: adapt outputs of a stronger shade to the requested task. If the
         // shapes neither match nor weaken, keep the raw outputs and let the verifier
         // report `WrongShape`.
@@ -283,6 +367,7 @@ impl ElectionBuilder {
             outputs,
             verdict,
             wall_time,
+            round_profile,
         })
     }
 }
@@ -295,6 +380,8 @@ impl std::fmt::Debug for ElectionBuilder {
             .field("backend", &self.backend)
             .field("thread_budget", &self.thread_budget)
             .field("shared_interner", &self.shared_interner.is_some())
+            .field("trace", &self.trace.is_some())
+            .field("profile", &self.profile)
             .finish()
     }
 }
@@ -333,6 +420,14 @@ pub struct ElectionReport {
     /// Wall-clock time of the solve (oracle + simulation + decision), excluding
     /// verification.
     pub wall_time: Duration,
+    /// The run's round-level profile — per-round message counts, shallow payload
+    /// bytes and per-phase nanoseconds — when the builder requested
+    /// [`profiled`](ElectionBuilder::profiled) or
+    /// [`trace_sink`](ElectionBuilder::trace_sink); `None` on untraced runs.
+    /// Per-round message counts sum exactly to
+    /// [`messages_delivered`](ElectionReport::messages_delivered) for
+    /// simulation-backed solvers; analytic solvers yield an empty profile.
+    pub round_profile: Option<RoundProfile>,
 }
 
 impl ElectionReport {
@@ -552,6 +647,140 @@ mod tests {
         assert_eq!(plain.messages_delivered, budgeted.messages_delivered);
         // The budget must not leak out of the run.
         assert_eq!(anet_sim::thread_budget(), usize::MAX);
+    }
+
+    #[test]
+    fn untraced_runs_carry_no_profile() {
+        let g = generators::paper_three_node_line();
+        let report = Election::task(Task::Selection)
+            .solver(MapSolver::default())
+            .run(&g)
+            .unwrap();
+        assert!(report.round_profile.is_none());
+    }
+
+    #[test]
+    fn profiled_runs_sum_to_messages_delivered_on_every_backend() {
+        let g = generators::random_connected(24, 4, 8, 5).unwrap();
+        for backend in Backend::smoke_set() {
+            for solver in [
+                Election::task(Task::Selection).solver(MapSolver::default()),
+                Election::task(Task::Selection).solver(AdviceSolver::theorem_2_2()),
+            ] {
+                let report = solver.backend(backend).profiled().run(&g).unwrap();
+                let profile = report.round_profile.as_ref().expect("profiled run");
+                assert_eq!(profile.len(), report.rounds, "{backend}");
+                assert_eq!(
+                    profile.total_messages(),
+                    report.messages_delivered as u64,
+                    "{backend}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_per_round_counts_are_backend_independent() {
+        let g = generators::random_connected(24, 4, 8, 5).unwrap();
+        let reference = Election::task(Task::Selection)
+            .solver(MapSolver::default())
+            .profiled()
+            .run(&g)
+            .unwrap();
+        let reference_rounds: Vec<u64> = reference
+            .round_profile
+            .as_ref()
+            .unwrap()
+            .rounds()
+            .iter()
+            .map(|r| r.messages)
+            .collect();
+        for backend in Backend::smoke_set() {
+            let report = Election::task(Task::Selection)
+                .solver(MapSolver::default())
+                .backend(backend)
+                .profiled()
+                .run(&g)
+                .unwrap();
+            let rounds: Vec<u64> = report
+                .round_profile
+                .as_ref()
+                .unwrap()
+                .rounds()
+                .iter()
+                .map(|r| r.messages)
+                .collect();
+            assert_eq!(rounds, reference_rounds, "{backend}");
+            assert_eq!(report.outputs, reference.outputs, "{backend}");
+        }
+    }
+
+    #[test]
+    fn trace_sink_receives_tagged_events_and_interner_deltas() {
+        let g = generators::oriented_ring(&[true, true, false, true, false]).unwrap();
+        let recorder = Arc::new(Recorder::new());
+        let table = Arc::new(SharedViewInterner::new());
+        let report = Election::task(Task::Selection)
+            .solver(MapSolver::default())
+            .shared_interner(Arc::clone(&table))
+            .trace_sink(Arc::new(Tagged::new(recorder.clone(), 42)))
+            .run(&g)
+            .unwrap();
+        let events = recorder.drain();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.trace_id() == 42), "{events:?}");
+        // The forwarded stream reproduces the attached profile exactly.
+        let profile = RoundProfile::from_events(&events);
+        assert_eq!(Some(&profile), report.round_profile.as_ref());
+        assert_eq!(profile.total_messages(), report.messages_delivered as u64);
+        // The shared-interner run records its interner traffic.
+        let delta = events
+            .iter()
+            .find(|e| matches!(e, TraceEvent::InternerDelta { .. }))
+            .expect("interner delta event");
+        match delta {
+            TraceEvent::InternerDelta { misses, .. } => {
+                assert!(*misses > 0, "first run on an empty table must miss")
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn tracing_never_changes_results() {
+        let g = generators::random_connected(24, 4, 8, 5).unwrap();
+        let plain = Election::task(Task::Selection)
+            .solver(MapSolver::default())
+            .run(&g)
+            .unwrap();
+        let traced = Election::task(Task::Selection)
+            .solver(MapSolver::default())
+            .trace_sink(Arc::new(Recorder::new()))
+            .run(&g)
+            .unwrap();
+        assert_eq!(plain.outputs, traced.outputs);
+        assert_eq!(plain.rounds, traced.rounds);
+        assert_eq!(plain.messages_delivered, traced.messages_delivered);
+        assert_eq!(plain.leader(), traced.leader());
+    }
+
+    #[test]
+    fn analytic_solvers_profile_empty() {
+        use anet_constructions::JClass;
+        let class = JClass::new(2, 4).unwrap();
+        let member = class.template(Some(3)).unwrap();
+        let graph = member.labeled.graph.clone();
+        let report = Election::task(Task::CompletePortPathElection)
+            .solver(CppeSolver::new(member, class.k))
+            .profiled()
+            .run(&graph)
+            .unwrap();
+        let profile = report.round_profile.as_ref().expect("profiled run");
+        assert!(
+            profile.is_empty(),
+            "the CPPE solver simulates nothing, so there are no round events"
+        );
+        assert!(report.messages_delivered > 0, "accounting is closed-form");
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! The built-in [`Solver`] implementations: one per algorithm family of the paper.
 
 use super::{Backend, EngineError, RunContext, Solver, SolverRun};
-use crate::advice::{run_with_advice_on, AdviceAlgorithm, Oracle};
+use crate::advice::{run_with_advice_on, run_with_advice_traced, AdviceAlgorithm, Oracle};
 use crate::cppe::solve_cppe_on_j;
-use crate::map_algorithms::{solve_with_map_on, solve_with_map_shared, MapRun};
-use crate::port_election::solve_port_election_on_u_with;
+use crate::map_algorithms::{solve_with_map_on, solve_with_map_traced, MapRun};
+use crate::port_election::{solve_port_election_on_u_traced, solve_port_election_on_u_with};
 use crate::selection::{SelectionAlgorithm, SelectionOracle};
 use crate::tasks::Task;
 use anet_constructions::j_class::JMember;
@@ -68,10 +68,18 @@ impl Solver for MapSolver {
         ctx: &RunContext<'_>,
     ) -> Result<SolverRun, EngineError> {
         // The map solver is the view-heavy one: route its `build_all` +
-        // canonicalization pass through the process-wide interner when given one.
-        solve_with_map_shared(graph, task, self.max_paths, backend, ctx.shared_interner)
-            .map(map_run_to_solver_run)
-            .map_err(|e| EngineError::solver(self.name(), e))
+        // canonicalization pass through the process-wide interner when given one,
+        // and its simulation rounds through the context's trace probe.
+        solve_with_map_traced(
+            graph,
+            task,
+            self.max_paths,
+            backend,
+            ctx.shared_interner,
+            ctx.trace_sink(),
+        )
+        .map(map_run_to_solver_run)
+        .map_err(|e| EngineError::solver(self.name(), e))
     }
 }
 
@@ -148,14 +156,35 @@ where
         backend: Backend,
     ) -> Result<SolverRun, EngineError> {
         let run = run_with_advice_on(graph, &self.oracle, &self.algorithm, backend);
-        Ok(SolverRun {
-            rounds: run.rounds,
-            messages_delivered: run.messages_delivered,
-            advice_bits: Some(run.advice.len()),
-            advice_tree_bits: run.advice_tree_bits,
-            advice_dag_bits: run.advice_dag_bits,
-            outputs: run.outputs,
-        })
+        Ok(advice_run_to_solver_run(run))
+    }
+
+    fn solve_ctx(
+        &self,
+        graph: &PortGraph,
+        _task: Task,
+        backend: Backend,
+        ctx: &RunContext<'_>,
+    ) -> Result<SolverRun, EngineError> {
+        let run = run_with_advice_traced(
+            graph,
+            &self.oracle,
+            &self.algorithm,
+            backend,
+            ctx.trace_sink(),
+        );
+        Ok(advice_run_to_solver_run(run))
+    }
+}
+
+fn advice_run_to_solver_run(run: crate::advice::AdviceRun) -> SolverRun {
+    SolverRun {
+        rounds: run.rounds,
+        messages_delivered: run.messages_delivered,
+        advice_bits: Some(run.advice.len()),
+        advice_tree_bits: run.advice_tree_bits,
+        advice_dag_bits: run.advice_dag_bits,
+        outputs: run.outputs,
     }
 }
 
@@ -186,6 +215,18 @@ impl Solver for PortElectionSolver {
         backend: Backend,
     ) -> Result<SolverRun, EngineError> {
         solve_port_election_on_u_with(graph, self.k, backend)
+            .map(map_run_to_solver_run)
+            .map_err(|e| EngineError::solver(self.name(), e))
+    }
+
+    fn solve_ctx(
+        &self,
+        graph: &PortGraph,
+        _task: Task,
+        backend: Backend,
+        ctx: &RunContext<'_>,
+    ) -> Result<SolverRun, EngineError> {
+        solve_port_election_on_u_traced(graph, self.k, backend, ctx.trace_sink())
             .map(map_run_to_solver_run)
             .map_err(|e| EngineError::solver(self.name(), e))
     }

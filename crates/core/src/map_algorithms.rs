@@ -99,6 +99,28 @@ pub fn solve_with_map_shared(
     backend: Backend,
     shared: Option<&SharedViewInterner>,
 ) -> Result<MapRun, MapSolveError> {
+    solve_with_map_traced(
+        graph,
+        task,
+        max_paths,
+        backend,
+        shared,
+        &anet_trace::NoopSink,
+    )
+}
+
+/// [`solve_with_map_shared`] with a trace probe: the full-information simulation that
+/// realises the decision function emits round-level [`anet_trace::TraceEvent`]s into
+/// `sink` (the map-side precomputation is not simulated and therefore not traced).
+/// With [`anet_trace::NoopSink`] this *is* `solve_with_map_shared`.
+pub fn solve_with_map_traced(
+    graph: &PortGraph,
+    task: Task,
+    max_paths: usize,
+    backend: Backend,
+    shared: Option<&SharedViewInterner>,
+    sink: &dyn anet_trace::TraceSink,
+) -> Result<MapRun, MapSolveError> {
     let refinement = Refinement::compute(graph, None);
 
     // Find the minimum depth and a per-node output assignment computed from the map.
@@ -180,13 +202,14 @@ pub fn solve_with_map_shared(
     // The decision map is applied sequentially after the communication phase, so a
     // RefCell suffices for the interner handle's interior mutability.
     let interner = std::cell::RefCell::new(interner);
-    let (outputs, report) = anet_sim::run_full_information_on(graph, rounds, backend, |view| {
-        let canonical = interner.borrow_mut().intern(view);
-        by_view
-            .get(&canonical)
-            .cloned()
-            .expect("every view observed in the run appears in the map")
-    });
+    let (outputs, report) =
+        anet_sim::run_full_information_traced(graph, rounds, backend, sink, |view| {
+            let canonical = interner.borrow_mut().intern(view);
+            by_view
+                .get(&canonical)
+                .cloned()
+                .expect("every view observed in the run appears in the map")
+        });
 
     Ok(MapRun {
         rounds,

@@ -43,6 +43,18 @@ pub fn solve_port_election_on_u_with(
     k: usize,
     backend: Backend,
 ) -> Result<MapRun, GraphError> {
+    solve_port_election_on_u_traced(graph, k, backend, &anet_trace::NoopSink)
+}
+
+/// [`solve_port_election_on_u_with`] with a trace probe: the `k` view-collection
+/// rounds emit round-level [`anet_trace::TraceEvent`]s into `sink`. With
+/// [`anet_trace::NoopSink`] this *is* `solve_port_election_on_u_with`.
+pub fn solve_port_election_on_u_traced(
+    graph: &PortGraph,
+    k: usize,
+    backend: Backend,
+    sink: &dyn anet_trace::TraceSink,
+) -> Result<MapRun, GraphError> {
     let max_deg = graph.max_degree();
     if max_deg < 7 || max_deg.is_multiple_of(2) {
         return Err(GraphError::invalid(
@@ -129,7 +141,7 @@ pub fn solve_port_election_on_u_with(
         )
     };
 
-    let (outputs, report) = anet_sim::run_full_information_on(graph, k, backend, decide);
+    let (outputs, report) = anet_sim::run_full_information_traced(graph, k, backend, sink, decide);
     Ok(MapRun {
         rounds: k,
         outputs,

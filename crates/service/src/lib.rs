@@ -22,7 +22,14 @@
 //!   per-run thread budget (via `thread_budget`), so tenants on overlapping graph
 //!   families dedup view DAGs against each other and parallel backends don't
 //!   oversubscribe the machine. The [`ServiceReport`] measures both: interner
-//!   hit-rate, elections/sec, queue/turnaround latency percentiles, steal counts.
+//!   hit-rate, elections/sec, queue/turnaround latency percentiles (globally and
+//!   per tenant via [`TenantBreakdown`]), steal counts.
+//!
+//! The service is also a trace source: set
+//! [`ServiceConfig::trace_sink`](service::ServiceConfig::trace_sink) and every
+//! request's engine run streams its round-level `anet_trace` events into the sink
+//! stamped with the request id, alongside scheduler-level worker-execute and
+//! worker-steal events — see `docs/OBSERVABILITY.md`.
 //!
 //! Results are returned sorted by request id (submission order), which makes the
 //! output of a service run **independent of worker count** — the property the
@@ -58,7 +65,7 @@ pub mod metrics;
 pub mod request;
 pub mod service;
 
-pub use metrics::{LatencyStats, ServiceReport};
+pub use metrics::{LatencyStats, ServiceReport, TenantBreakdown};
 pub use request::{
     CompletedElection, ElectionRequest, RejectReason, SolverFactory, SolverRecipe, Submission,
 };

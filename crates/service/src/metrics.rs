@@ -53,6 +53,26 @@ impl LatencyStats {
     }
 }
 
+/// Per-tenant slice of a service run: how much of the batch one tenant
+/// submitted and how it fared. Tenant counts partition the batch — summed over
+/// all breakdowns they reproduce the report totals exactly, which the service
+/// tests assert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantBreakdown {
+    /// The tenant label requests carried.
+    pub tenant: String,
+    /// Requests of this tenant that a worker executed.
+    pub executed: u64,
+    /// Executed requests that produced a verified solution.
+    pub solved: u64,
+    /// Executed requests that failed (solver error or caught panic).
+    pub failed: u64,
+    /// Queue-wait latency of this tenant's requests.
+    pub queue_latency: LatencyStats,
+    /// End-to-end latency of this tenant's requests.
+    pub turnaround_latency: LatencyStats,
+}
+
 /// Aggregate report of one service run, produced by
 /// [`crate::ElectionService::shutdown`].
 #[derive(Debug, Clone)]
@@ -91,7 +111,13 @@ pub struct ServiceReport {
     pub steals: u64,
     /// Hit/miss counters of the shared view interner — the cross-tenant dedup
     /// measurement ([`InternerStats::hit_rate`] > 0 means tenants shared subtrees).
+    /// Kept global (not per tenant): the table is shared, so per-tenant deltas
+    /// would double-count cross-tenant hits.
     pub interner: InternerStats,
+    /// Per-tenant breakdown, sorted by tenant label. `executed`, `solved` and
+    /// `failed` summed across tenants equal [`submitted`](ServiceReport::submitted),
+    /// [`solved`](ServiceReport::solved) and [`failed`](ServiceReport::failed).
+    pub tenants: Vec<TenantBreakdown>,
 }
 
 impl ServiceReport {

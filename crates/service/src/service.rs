@@ -37,10 +37,12 @@
 //! service don't oversubscribe the machine at `workers × available_parallelism`
 //! threads.
 
-use crate::metrics::{LatencyStats, ServiceReport};
+use crate::metrics::{LatencyStats, ServiceReport, TenantBreakdown};
 use crate::request::{CompletedElection, ElectionRequest, RejectReason, Submission};
 use anet_election::engine::Election;
+use anet_trace::{Tagged, TraceEvent, TraceSink};
 use anet_views::SharedViewInterner;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -48,7 +50,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Configuration of an [`ElectionService`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServiceConfig {
     /// Number of scheduler workers (clamped to at least 1).
     pub workers: usize,
@@ -61,6 +63,13 @@ pub struct ServiceConfig {
     pub thread_budget: Option<usize>,
     /// Shard count of the shared view interner (rounded up to a power of two).
     pub interner_shards: usize,
+    /// Trace probe for the whole service run. `None` (the default) traces
+    /// nothing and costs nothing. When set, every request's engine run streams
+    /// its round events into the sink stamped with the request id (via
+    /// [`Tagged`]), and the scheduler adds [`TraceEvent::WorkerExecute`] /
+    /// [`TraceEvent::WorkerSteal`] events, so one recorder captures the full
+    /// per-request, per-worker story of the run.
+    pub trace_sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl Default for ServiceConfig {
@@ -70,7 +79,20 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             thread_budget: None,
             interner_shards: 64,
+            trace_sink: None,
         }
+    }
+}
+
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("thread_budget", &self.thread_budget)
+            .field("interner_shards", &self.interner_shards)
+            .field("trace_sink", &self.trace_sink.is_some())
+            .finish()
     }
 }
 
@@ -118,6 +140,7 @@ struct SharedState {
     rejected: AtomicU64,
     interner: Arc<SharedViewInterner>,
     thread_budget: usize,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl SharedState {
@@ -133,8 +156,14 @@ impl SharedState {
                     .lock()
                     .expect("deque poisoned")
                     .pop_back();
-                if stolen.is_some() {
+                if let Some(job) = &stolen {
                     self.steals.fetch_add(1, Ordering::Relaxed);
+                    if let Some(trace) = &self.trace {
+                        trace.record(TraceEvent::WorkerSteal {
+                            trace_id: job.id,
+                            worker: w as u64,
+                        });
+                    }
                 }
                 stolen
             })
@@ -155,12 +184,17 @@ impl SharedState {
         // failed outcome. `AssertUnwindSafe` is sound here because the closure
         // only touches the request and fresh per-run state.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            Election::task(request.task)
+            let mut builder = Election::task(request.task)
                 .solver_boxed(request.solver.build())
                 .backend(request.backend)
                 .thread_budget(self.thread_budget)
-                .shared_interner(Arc::clone(&self.interner))
-                .run(&request.graph)
+                .shared_interner(Arc::clone(&self.interner));
+            if let Some(trace) = &self.trace {
+                // Stamp every event of this run with the request id: downstream
+                // consumers separate tenants' streams by trace id alone.
+                builder = builder.trace_sink(Arc::new(Tagged::new(Arc::clone(trace), job.id)));
+            }
+            builder.run(&request.graph)
         }));
         let outcome = match outcome {
             Ok(Ok(report)) => Ok(report),
@@ -168,6 +202,13 @@ impl SharedState {
             Err(panic) => Err(format!("solver panicked: {}", panic_message(&panic))),
         };
         let service_time = started.elapsed();
+        if let Some(trace) = &self.trace {
+            trace.record(TraceEvent::WorkerExecute {
+                trace_id: job.id,
+                worker: w as u64,
+                ns: service_time.as_nanos() as u64,
+            });
+        }
         self.executed[w].fetch_add(1, Ordering::Relaxed);
         self.completed
             .lock()
@@ -258,6 +299,7 @@ impl ElectionService {
             rejected: AtomicU64::new(0),
             interner: Arc::new(SharedViewInterner::with_shards(config.interner_shards)),
             thread_budget,
+            trace: config.trace_sink,
         });
         let handles = (0..workers)
             .map(|w| {
@@ -371,6 +413,29 @@ impl ElectionService {
             LatencyStats::from_samples(completed.iter().map(|c| c.queue_wait).collect());
         let turnaround_latency =
             LatencyStats::from_samples(completed.iter().map(|c| c.turnaround).collect());
+        // Group by tenant label; a BTreeMap makes the breakdown sorted by tenant.
+        let mut by_tenant: BTreeMap<&str, Vec<&CompletedElection>> = BTreeMap::new();
+        for completion in &completed {
+            by_tenant
+                .entry(completion.tenant.as_str())
+                .or_default()
+                .push(completion);
+        }
+        let tenants = by_tenant
+            .into_iter()
+            .map(|(tenant, completions)| TenantBreakdown {
+                tenant: tenant.to_string(),
+                executed: completions.len() as u64,
+                solved: completions.iter().filter(|c| c.solved()).count() as u64,
+                failed: completions.iter().filter(|c| c.outcome.is_err()).count() as u64,
+                queue_latency: LatencyStats::from_samples(
+                    completions.iter().map(|c| c.queue_wait).collect(),
+                ),
+                turnaround_latency: LatencyStats::from_samples(
+                    completions.iter().map(|c| c.turnaround).collect(),
+                ),
+            })
+            .collect();
         let report = ServiceReport {
             workers: state.deques.len(),
             thread_budget: state.thread_budget,
@@ -394,6 +459,7 @@ impl ElectionService {
                 .collect(),
             steals: state.steals.load(Ordering::Relaxed),
             interner: state.interner.stats(),
+            tenants,
         };
         (completed, report)
     }

@@ -39,7 +39,9 @@
 use crate::model::{AlgorithmFactory, NodeAlgorithm};
 use crate::runner::{RunOutcome, RunReport};
 use anet_graph::PortGraph;
+use anet_trace::{NoopSink, Phase, TraceEvent, TraceSink};
 use std::ops::Range;
+use std::time::Instant;
 
 /// How the synchronous round loop executes the per-node send/receive phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -128,6 +130,8 @@ impl Backend {
     ///
     /// This is the *only* round loop in the crate: every public entry point (the
     /// full-information collector, the `ElectionEngine` facade) funnels through here.
+    /// Equivalent to [`Backend::run_traced`] with a [`NoopSink`]; the disabled probe
+    /// costs one branch per phase and reads no clock.
     pub fn run<F>(
         &self,
         graph: &PortGraph,
@@ -137,9 +141,31 @@ impl Backend {
     where
         F: AlgorithmFactory,
     {
+        self.run_traced(graph, factory, rounds, &NoopSink)
+    }
+
+    /// [`Backend::run`] with a trace probe: the round loop emits
+    /// [`TraceEvent`]s into `sink` — run and round start/end markers, per-phase
+    /// wall-clock nanoseconds (send vs route vs receive), and per-round
+    /// delivered-message counts with shallow payload bytes. Events carry
+    /// `trace_id: 0`; wrap the sink in [`anet_trace::Tagged`] to stamp run ids.
+    ///
+    /// Tracing never changes what is computed: outputs and [`RunReport`]s are
+    /// bit-identical with and without a recording sink, and per-round message
+    /// counts are backend-independent (enforced by the equivalence suite).
+    pub fn run_traced<F>(
+        &self,
+        graph: &PortGraph,
+        factory: &F,
+        rounds: usize,
+        sink: &dyn TraceSink,
+    ) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
+    where
+        F: AlgorithmFactory,
+    {
         match self {
-            Backend::Batching => run_batched(graph, factory, rounds),
-            Backend::Sequential => run_chunked(graph, factory, rounds, Vec::new()),
+            Backend::Batching => run_batched(graph, factory, rounds, sink),
+            Backend::Sequential => run_chunked(graph, factory, rounds, Vec::new(), sink),
             Backend::Parallel { threads } => {
                 let threads = (*threads).max(1).min(crate::thread_budget());
                 run_chunked(
@@ -147,6 +173,7 @@ impl Backend {
                     factory,
                     rounds,
                     uniform_chunks(graph.num_nodes(), threads),
+                    sink,
                 )
             }
             Backend::AdaptiveParallel => {
@@ -158,6 +185,7 @@ impl Backend {
                     factory,
                     rounds,
                     degree_balanced_chunks(&offsets, threads),
+                    sink,
                 )
             }
         }
@@ -183,6 +211,24 @@ pub trait Simulator {
     ) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
     where
         F: AlgorithmFactory;
+
+    /// [`execute`](Simulator::execute) with a trace probe. The default
+    /// implementation ignores the sink and delegates (a simulator without probes
+    /// still runs correctly — it just emits nothing); [`Backend`] overrides it
+    /// with the instrumented round loop.
+    fn execute_traced<F>(
+        &self,
+        graph: &PortGraph,
+        factory: &F,
+        rounds: usize,
+        sink: &dyn TraceSink,
+    ) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
+    where
+        F: AlgorithmFactory,
+    {
+        let _ = sink;
+        self.execute(graph, factory, rounds)
+    }
 }
 
 impl Simulator for Backend {
@@ -196,6 +242,19 @@ impl Simulator for Backend {
         F: AlgorithmFactory,
     {
         self.run(graph, factory, rounds)
+    }
+
+    fn execute_traced<F>(
+        &self,
+        graph: &PortGraph,
+        factory: &F,
+        rounds: usize,
+        sink: &dyn TraceSink,
+    ) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
+    where
+        F: AlgorithmFactory,
+    {
+        self.run_traced(graph, factory, rounds, sink)
     }
 }
 
@@ -262,6 +321,19 @@ fn degree_balanced_chunks(offsets: &[usize], threads: usize) -> Vec<Range<usize>
     ranges
 }
 
+/// Record the elapsed time of one phase when the probe armed it (`start` is `Some`
+/// exactly when the sink is enabled — the disabled path reads no clock at all).
+fn record_phase(sink: &dyn TraceSink, round: usize, phase: Phase, start: Option<Instant>) {
+    if let Some(start) = start {
+        sink.record(TraceEvent::PhaseTime {
+            trace_id: 0,
+            round: round as u64,
+            phase,
+            ns: start.elapsed().as_nanos() as u64,
+        });
+    }
+}
+
 /// The chunked round loop shared by [`Backend::Sequential`], [`Backend::Parallel`]
 /// and [`Backend::AdaptiveParallel`]: an empty `chunks` plan runs every phase inline;
 /// otherwise send/receive are split over one scoped worker thread per range. Routing
@@ -271,6 +343,7 @@ fn run_chunked<F>(
     factory: &F,
     rounds: usize,
     chunks: Vec<Range<usize>>,
+    sink: &dyn TraceSink,
 ) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
 where
     F: AlgorithmFactory,
@@ -286,17 +359,41 @@ where
     // `Vec` per node per round used to dominate).
     let mut inboxes: Vec<Vec<Option<<F::Algo as NodeAlgorithm>::Message>>> =
         graph.nodes().map(|v| vec![None; graph.degree(v)]).collect();
+    // The probe: one hoisted flag; when disabled, the loop below performs no clock
+    // reads and constructs no events. All events are emitted by this coordinating
+    // thread, so a recording sink sees them in round order.
+    let tracing = sink.enabled();
+    let message_bytes = std::mem::size_of::<<F::Algo as NodeAlgorithm>::Message>() as u64;
+    if tracing {
+        sink.record(TraceEvent::RunStart {
+            trace_id: 0,
+            nodes: graph.num_nodes() as u64,
+            rounds: rounds as u64,
+        });
+    }
 
     for round in 1..=rounds {
+        if tracing {
+            sink.record(TraceEvent::RoundStart {
+                trace_id: 0,
+                round: round as u64,
+            });
+        }
         // Send phase.
+        let phase_start = tracing.then(Instant::now);
         let outboxes = if chunks.is_empty() {
             nodes.iter_mut().map(|node| node.send(round)).collect()
         } else {
             parallel_send(&mut nodes, round, &chunks)
         };
+        record_phase(sink, round, Phase::Send, phase_start);
         // Routing phase (shared by every chunked backend; see the module docs).
+        let delivered_before = messages_delivered;
+        let phase_start = tracing.then(Instant::now);
         route_messages(graph, &outboxes, &mut inboxes, &mut messages_delivered);
+        record_phase(sink, round, Phase::Route, phase_start);
         // Receive phase.
+        let phase_start = tracing.then(Instant::now);
         if chunks.is_empty() {
             for (node, inbox) in nodes.iter_mut().zip(inboxes.iter_mut()) {
                 node.receive(round, inbox);
@@ -304,8 +401,25 @@ where
         } else {
             parallel_receive(&mut nodes, &mut inboxes, round, &chunks);
         }
+        record_phase(sink, round, Phase::Receive, phase_start);
+        if tracing {
+            let delivered = (messages_delivered - delivered_before) as u64;
+            sink.record(TraceEvent::RoundEnd {
+                trace_id: 0,
+                round: round as u64,
+                messages: delivered,
+                payload_bytes: delivered * message_bytes,
+            });
+        }
     }
 
+    if tracing {
+        sink.record(TraceEvent::RunEnd {
+            trace_id: 0,
+            rounds: rounds as u64,
+            messages: messages_delivered as u64,
+        });
+    }
     RunOutcome {
         outputs: nodes.iter().map(|n| n.output()).collect(),
         report: RunReport {
@@ -325,6 +439,7 @@ fn run_batched<F>(
     graph: &PortGraph,
     factory: &F,
     rounds: usize,
+    sink: &dyn TraceSink,
 ) -> RunOutcome<<F::Algo as NodeAlgorithm>::Output>
 where
     F: AlgorithmFactory,
@@ -339,15 +454,35 @@ where
     let mut out_arena: Vec<Option<<F::Algo as NodeAlgorithm>::Message>> = vec![None; total];
     let mut in_arena: Vec<Option<<F::Algo as NodeAlgorithm>::Message>> = vec![None; total];
     let mut messages_delivered = 0usize;
+    // Probe (see `run_chunked`): one hoisted flag, no clock reads when disabled.
+    let tracing = sink.enabled();
+    let message_bytes = std::mem::size_of::<<F::Algo as NodeAlgorithm>::Message>() as u64;
+    if tracing {
+        sink.record(TraceEvent::RunStart {
+            trace_id: 0,
+            nodes: graph.num_nodes() as u64,
+            rounds: rounds as u64,
+        });
+    }
 
     for round in 1..=rounds {
+        if tracing {
+            sink.record(TraceEvent::RoundStart {
+                trace_id: 0,
+                round: round as u64,
+            });
+        }
         // Send phase: every node writes its arena slice directly.
+        let phase_start = tracing.then(Instant::now);
         for (node, window) in nodes.iter_mut().zip(offsets.windows(2)) {
             node.send_into(round, &mut out_arena[window[0]..window[1]]);
         }
+        record_phase(sink, round, Phase::Send, phase_start);
         // Routing phase: clear the inbox arena (receivers may have left residue and
         // silent ports must read `None`), then move each message to the far end of
         // its edge — a cache-friendly linear pass over one buffer.
+        let delivered_before = messages_delivered;
+        let phase_start = tracing.then(Instant::now);
         for slot in in_arena.iter_mut() {
             *slot = None;
         }
@@ -357,12 +492,31 @@ where
                 messages_delivered += 1;
             }
         }
+        record_phase(sink, round, Phase::Route, phase_start);
         // Receive phase: every node reads its arena slice in place.
+        let phase_start = tracing.then(Instant::now);
         for (node, window) in nodes.iter_mut().zip(offsets.windows(2)) {
             node.receive(round, &mut in_arena[window[0]..window[1]]);
         }
+        record_phase(sink, round, Phase::Receive, phase_start);
+        if tracing {
+            let delivered = (messages_delivered - delivered_before) as u64;
+            sink.record(TraceEvent::RoundEnd {
+                trace_id: 0,
+                round: round as u64,
+                messages: delivered,
+                payload_bytes: delivered * message_bytes,
+            });
+        }
     }
 
+    if tracing {
+        sink.record(TraceEvent::RunEnd {
+            trace_id: 0,
+            rounds: rounds as u64,
+            messages: messages_delivered as u64,
+        });
+    }
     RunOutcome {
         outputs: nodes.iter().map(|n| n.output()).collect(),
         report: RunReport {
@@ -564,6 +718,76 @@ mod tests {
         let budgeted = crate::with_thread_budget(1, || Backend::parallel(8).run(&g, &factory, 3));
         assert_eq!(reference.outputs, budgeted.outputs);
         assert_eq!(reference.report, budgeted.report);
+    }
+
+    #[test]
+    fn traced_run_is_output_identical_and_sums_to_the_report() {
+        use anet_trace::{Recorder, RoundProfile};
+        let g = anet_graph::generators::random_connected(24, 4, 8, 5).unwrap();
+        let factory = crate::full_info::ViewCollectorFactory;
+        let rounds = 3;
+        let plain = Backend::Sequential.run(&g, &factory, rounds);
+        let mut reference_rounds: Option<Vec<u64>> = None;
+        for backend in Backend::smoke_set() {
+            let rec = Recorder::new();
+            let traced = backend.run_traced(&g, &factory, rounds, &rec);
+            assert_eq!(traced.outputs, plain.outputs, "{backend}");
+            assert_eq!(traced.report, plain.report, "{backend}");
+            let events = rec.drain();
+            // Run markers frame the stream.
+            assert!(
+                matches!(events.first(), Some(TraceEvent::RunStart { nodes, .. }) if *nodes == g.num_nodes() as u64),
+                "{backend}"
+            );
+            assert!(
+                matches!(events.last(), Some(TraceEvent::RunEnd { messages, .. }) if *messages == plain.report.messages_delivered as u64),
+                "{backend}"
+            );
+            let profile = RoundProfile::from_events(&events);
+            assert_eq!(profile.len(), rounds, "{backend}");
+            // Per-round counts sum exactly to the report total…
+            assert_eq!(
+                profile.total_messages(),
+                plain.report.messages_delivered as u64,
+                "{backend}"
+            );
+            // …and are identical across every backend (messages are routed by the
+            // port map, not by scheduling).
+            let per_round: Vec<u64> = profile.rounds().iter().map(|r| r.messages).collect();
+            match &reference_rounds {
+                None => reference_rounds = Some(per_round),
+                Some(reference) => assert_eq!(&per_round, reference, "{backend}"),
+            }
+            // Payload accounting is shallow: delivered × message size.
+            let message_bytes = std::mem::size_of::<crate::full_info::ViewMessage>() as u64;
+            assert_eq!(
+                profile.total_payload_bytes(),
+                plain.report.messages_delivered as u64 * message_bytes,
+                "{backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_probe_emits_nothing() {
+        let g = anet_graph::generators::symmetric_ring(8).unwrap();
+        let factory = crate::full_info::ViewCollectorFactory;
+        // `run` is `run_traced` with a `NoopSink`; a recording sink wrapped to
+        // report `enabled() == false` must stay empty even if passed explicitly.
+        struct DisabledRecorder(anet_trace::Recorder);
+        impl TraceSink for DisabledRecorder {
+            fn record(&self, event: TraceEvent) {
+                self.0.record(event);
+            }
+            fn enabled(&self) -> bool {
+                false
+            }
+        }
+        let sink = DisabledRecorder(anet_trace::Recorder::new());
+        let traced = Backend::Batching.run_traced(&g, &factory, 2, &sink);
+        let plain = Backend::Batching.run(&g, &factory, 2);
+        assert_eq!(traced.outputs, plain.outputs);
+        assert!(sink.0.is_empty(), "disabled probe must not emit");
     }
 
     #[test]

@@ -140,7 +140,27 @@ where
     O: Clone + Send,
     D: Fn(&View) -> O,
 {
-    let RunOutcome { outputs, report } = backend.run(graph, &ViewCollectorFactory, rounds);
+    run_full_information_traced(graph, rounds, backend, &anet_trace::NoopSink, decide)
+}
+
+/// [`run_full_information_on`] with a trace probe: the view-collection rounds emit
+/// [`anet_trace::TraceEvent`]s (round markers, per-phase timings, per-round message
+/// counts) into `sink`. With [`anet_trace::NoopSink`] this *is*
+/// `run_full_information_on` — the disabled probe reads no clock. The decision map
+/// runs after the last round and is not part of the traced communication.
+pub fn run_full_information_traced<O, D>(
+    graph: &PortGraph,
+    rounds: usize,
+    backend: Backend,
+    sink: &dyn anet_trace::TraceSink,
+    decide: D,
+) -> (Vec<O>, crate::runner::RunReport)
+where
+    O: Clone + Send,
+    D: Fn(&View) -> O,
+{
+    let RunOutcome { outputs, report } =
+        backend.run_traced(graph, &ViewCollectorFactory, rounds, sink);
     let decisions = outputs.iter().map(decide).collect();
     (decisions, report)
 }

@@ -43,7 +43,8 @@ pub mod runner;
 pub use backend::{Backend, Simulator};
 pub use budget::{thread_budget, with_thread_budget};
 pub use full_info::{
-    run_full_information, run_full_information_on, ViewCollector, ViewCollectorFactory,
+    run_full_information, run_full_information_on, run_full_information_traced, ViewCollector,
+    ViewCollectorFactory,
 };
 pub use model::{AlgorithmFactory, NodeAlgorithm};
 pub use pool::{run_indexed, PoolStats};

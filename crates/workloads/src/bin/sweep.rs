@@ -12,15 +12,19 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: sweep [--smoke | --standard] [--filter SUBSTRING] [--out DIR] [--jobs N] [--list]
+usage: sweep [--smoke | --standard] [--filter SUBSTRING] [--out DIR] [--jobs N]
+             [--trace-dir DIR] [--list]
 
-  --smoke      run the small smoke grid (default: the standard grid)
-  --standard   run the standard grid explicitly
-  --filter S   only scenarios whose name contains S (case-insensitive)
-  --out DIR    directory for the emitted BENCH_*.json (default: .)
-  --jobs N     fan scenarios over N worker threads (default: 1; the emitted
-               JSON is byte-identical modulo timing fields at any N)
-  --list       print the selected scenario names and exit
+  --smoke        run the small smoke grid (default: the standard grid)
+  --standard     run the standard grid explicitly
+  --filter S     only scenarios whose name contains S (case-insensitive)
+  --out DIR      directory for the emitted BENCH_*.json (default: .)
+  --jobs N       fan scenarios over N worker threads (default: 1; the emitted
+                 JSON is byte-identical modulo timing fields at any N)
+  --trace-dir D  profile every cell and write an anet-trace/v1 artifact
+                 (TRACE_workloads_<label>.jsonl) into D; the BENCH JSON is
+                 byte-identical with or without this flag
+  --list         print the selected scenario names and exit
 ";
 
 fn main() -> ExitCode {
@@ -28,6 +32,7 @@ fn main() -> ExitCode {
     let mut filter: Option<String> = None;
     let mut out_dir = PathBuf::from(".");
     let mut jobs = 1usize;
+    let mut trace_dir: Option<PathBuf> = None;
     let mut list = false;
 
     let mut args = std::env::args().skip(1);
@@ -53,6 +58,13 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => jobs = n,
                 _ => {
                     eprintln!("--jobs needs a positive integer\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-dir" => match args.next() {
+                Some(dir) => trace_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--trace-dir needs a value\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -90,6 +102,7 @@ fn main() -> ExitCode {
         label: grid.clone(),
         verbose: true,
         jobs,
+        trace_dir,
     };
     println!(
         "sweep: running the {grid} grid ({} scenarios registered, {jobs} job{})",
@@ -107,6 +120,9 @@ fn main() -> ExitCode {
                 outcome.wall.as_secs_f64()
             );
             println!("sweep: wrote {}", outcome.json_path.display());
+            if let Some(trace_path) = &outcome.trace_path {
+                println!("sweep: wrote {}", trace_path.display());
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

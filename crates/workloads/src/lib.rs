@@ -24,7 +24,12 @@
 //!   request mixes (interleaved tenants, rotating task/solver/backend axes) that
 //!   `anet-service` and the `service_bench` binary consume;
 //! * [`json`] — a tiny dependency-free JSON value type and writer (this workspace
-//!   has no external crates, so no serde).
+//!   has no external crates, so no serde);
+//! * [`trace_io`] — the versioned `anet-trace/v1` JSON-lines trace artifact:
+//!   writer, hardened parser (typed [`trace_io::TraceIoError`]s, truncation
+//!   detection via declared counts) and a Chrome trace-event export. The sweep
+//!   driver emits one next to its `BENCH_*.json` when
+//!   [`SweepConfig::trace_dir`](sweep::SweepConfig::trace_dir) is set.
 //!
 //! ```no_run
 //! use anet_workloads::scenario::ScenarioRegistry;
@@ -43,6 +48,7 @@ pub mod json;
 pub mod scenario;
 pub mod service_mix;
 pub mod sweep;
+pub mod trace_io;
 
 pub use families::{
     CirculantFamily, HypercubeFamily, PortLabeling, RandomRegularFamily, TorusFamily,
@@ -50,3 +56,6 @@ pub use families::{
 pub use scenario::{Scenario, ScenarioRegistry, SolverSpec};
 pub use service_mix::MixRequest;
 pub use sweep::{normalized_for_diff, run_sweep, SweepConfig, SweepOutcome, SCHEMA};
+pub use trace_io::{
+    chrome_trace_json, parse_trace, read_trace, TraceFile, TraceIoError, TraceRun, TRACE_SCHEMA,
+};

@@ -10,7 +10,8 @@
 use crate::families::{CirculantFamily, HypercubeFamily, RandomRegularFamily, TorusFamily};
 use anet_constructions::{FamilyInstance, GraphFamily};
 use anet_election::engine::{
-    AdviceSolver, Backend, BatchRow, BatchRunner, EngineError, MapSolver, Solver, SolverRun,
+    AdviceSolver, Backend, BatchRow, BatchRunner, EngineError, MapSolver, RunContext, Solver,
+    SolverRun,
 };
 use anet_election::tasks::Task;
 use anet_graph::PortGraph;
@@ -92,6 +93,29 @@ impl Solver for GuardedAdviceSolver {
             ViewCodec::Dag => AdviceSolver::theorem_2_2_dag().solve(graph, task, backend),
         }
     }
+
+    fn solve_ctx(
+        &self,
+        graph: &PortGraph,
+        task: Task,
+        backend: Backend,
+        ctx: &RunContext<'_>,
+    ) -> Result<SolverRun, EngineError> {
+        // Forward the run context explicitly: the guard must not swallow the
+        // engine's trace probe (profiled sweeps) or shared interner on the way to
+        // the inner advice solver.
+        if psi_s(graph).is_none() {
+            return Err(EngineError::Solver {
+                solver: self.name(),
+                message: "unsolvable: no view class of multiplicity 1 (infinite Selection index)"
+                    .to_string(),
+            });
+        }
+        match self.codec {
+            ViewCodec::Tree => AdviceSolver::theorem_2_2().solve_ctx(graph, task, backend, ctx),
+            ViewCodec::Dag => AdviceSolver::theorem_2_2_dag().solve_ctx(graph, task, backend, ctx),
+        }
+    }
 }
 
 /// One named grid point: family × task × solver × backend, plus an instance cap.
@@ -168,8 +192,17 @@ impl Scenario {
     /// practice, from [`materialize`](Scenario::materialize) of a scenario sharing
     /// the family coordinates.
     pub fn run_on(&self, instances: &[FamilyInstance]) -> Vec<BatchRow> {
+        self.run_on_profiled(instances, false)
+    }
+
+    /// [`run_on`](Scenario::run_on) with round-level profiling switched on or off:
+    /// when `profiled`, every row's report carries a `round_profile` the sweep
+    /// driver serialises into its trace artifact. `run_on_profiled(i, false)` *is*
+    /// `run_on(i)` — the disabled probe changes nothing about the rows.
+    pub fn run_on_profiled(&self, instances: &[FamilyInstance], profiled: bool) -> Vec<BatchRow> {
         BatchRunner::new(self.backend)
             .max_instances(self.max_instances)
+            .profiled(profiled)
             .sweep_instances(&self.family.family_name(), instances, self.task, |_| {
                 self.solver.build()
             })

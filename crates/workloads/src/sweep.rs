@@ -24,7 +24,9 @@
 
 use crate::json::Json;
 use crate::scenario::{Scenario, ScenarioRegistry};
+use crate::trace_io::TraceFile;
 use anet_election::engine::BatchRow;
+use anet_trace::TraceEvent;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -49,6 +51,12 @@ pub struct SweepConfig {
     /// calling thread. Whatever the value, the emitted JSON is identical modulo
     /// timing fields — see [`normalized_for_diff`].
     pub jobs: usize,
+    /// When set, run every cell with round-level profiling and write an
+    /// `anet-trace/v1` artifact (`TRACE_workloads_<label>.jsonl`) into this
+    /// directory: one run per profiled cell, whose trace id is the cell's index
+    /// in the emitted `cells` array. The `BENCH_*.json` itself is byte-identical
+    /// whether or not tracing is on — profiles travel only through the artifact.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for SweepConfig {
@@ -59,6 +67,7 @@ impl Default for SweepConfig {
             label: "sweep".to_string(),
             verbose: false,
             jobs: 1,
+            trace_dir: None,
         }
     }
 }
@@ -68,6 +77,9 @@ impl Default for SweepConfig {
 pub struct SweepOutcome {
     /// Path of the emitted JSON file.
     pub json_path: PathBuf,
+    /// Path of the emitted `anet-trace/v1` artifact, when
+    /// [`SweepConfig::trace_dir`] was set.
+    pub trace_path: Option<PathBuf>,
     /// Scenarios run (after filtering).
     pub scenarios: usize,
     /// Total cells (scenario × instance runs).
@@ -196,16 +208,20 @@ pub fn run_sweep(
     } else {
         usize::MAX
     };
+    let profiled = config.trace_dir.is_some();
     let (rows_per_scenario, _pool_stats) = anet_sim::run_indexed(jobs, selected.len(), |i| {
         let scenario = selected[i];
         let key = (scenario.family.instance_cache_key(), scenario.max_instances);
         let instances = &instance_cache[&key];
-        anet_sim::with_thread_budget(per_job_budget, || scenario.run_on(instances))
+        anet_sim::with_thread_budget(per_job_budget, || {
+            scenario.run_on_profiled(instances, profiled)
+        })
     });
 
     let mut cells = Vec::new();
     let mut solved = 0usize;
     let mut unsolved = 0usize;
+    let mut trace = profiled.then(|| TraceFile::new(&config.label));
     for (scenario, rows) in selected.iter().zip(&rows_per_scenario) {
         let scenario_solved = rows.iter().filter(|r| r.solved()).count();
         if config.verbose {
@@ -221,6 +237,38 @@ pub fn run_sweep(
                 solved += 1;
             } else {
                 unsolved += 1;
+            }
+            // Serialise the cell's round profile into the trace artifact under the
+            // cell's index as trace id (ids are assigned in output order, so they
+            // are deterministic at any `jobs` count). Errored cells have no
+            // report, hence no run — their ids simply do not occur in the file.
+            if let Some(trace) = &mut trace {
+                if let Some(profile) = row
+                    .report
+                    .as_ref()
+                    .ok()
+                    .and_then(|r| r.round_profile.as_ref())
+                {
+                    let report = row.report.as_ref().expect("profile implies a report");
+                    let id = cells.len() as u64;
+                    let mut events = Vec::with_capacity(profile.len() * 5 + 2);
+                    events.push(TraceEvent::RunStart {
+                        trace_id: id,
+                        nodes: row.nodes as u64,
+                        rounds: report.rounds as u64,
+                    });
+                    events.extend(profile.to_events(id));
+                    events.push(TraceEvent::RunEnd {
+                        trace_id: id,
+                        rounds: report.rounds as u64,
+                        messages: report.messages_delivered as u64,
+                    });
+                    trace.push_run(
+                        id,
+                        format!("{} · {}", scenario.name(), row.instance),
+                        events,
+                    );
+                }
             }
             cells.push(cell_json(scenario, row));
         }
@@ -261,8 +309,18 @@ pub fn run_sweep(
         .join(format!("BENCH_workloads_{}.json", sanitize(&config.label)));
     std::fs::write(&json_path, document.render_pretty())?;
 
+    let trace_path = match (&trace, &config.trace_dir) {
+        (Some(trace), Some(dir)) => {
+            let path = dir.join(format!("TRACE_workloads_{}.jsonl", sanitize(&config.label)));
+            trace.write(&path)?;
+            Some(path)
+        }
+        _ => None,
+    };
+
     Ok(SweepOutcome {
         json_path,
+        trace_path,
         scenarios: selected.len(),
         cells: num_cells,
         solved,
@@ -614,6 +672,112 @@ mod tests {
         assert_eq!(summary.get("cells"), Some(&Json::Int(3)));
         let cell = &normalized.get("cells").and_then(Json::as_array).unwrap()[0];
         assert_eq!(cell.get("wall_ms"), Some(&Json::Int(0)));
+    }
+
+    #[test]
+    fn trace_dir_emits_an_artifact_and_leaves_bench_json_byte_identical() {
+        use crate::families::TorusFamily;
+        use crate::trace_io::read_trace;
+        use anet_trace::{RoundProfile, TraceEvent};
+        // A grid mixing solved cells, an advice solver, and an infeasible family
+        // (canonical torus) whose cells error and therefore carry no trace run.
+        let registry = || {
+            let mut registry = ScenarioRegistry::new();
+            registry
+                .register(Scenario::new(
+                    RandomRegularFamily::new(3, vec![16, 24], 0xA5EED),
+                    Task::Selection,
+                    SolverSpec::Map,
+                    Backend::Batching,
+                    2,
+                ))
+                .unwrap();
+            registry
+                .register(Scenario::new(
+                    RandomRegularFamily::new(3, vec![16], 0xA5EED),
+                    Task::Selection,
+                    SolverSpec::MinTimeAdviceDag,
+                    Backend::Sequential,
+                    1,
+                ))
+                .unwrap();
+            registry
+                .register(Scenario::new(
+                    TorusFamily::new(vec![(3, 3)]),
+                    Task::Selection,
+                    SolverSpec::Map,
+                    Backend::Sequential,
+                    1,
+                ))
+                .unwrap();
+            registry
+        };
+        let run = |trace: bool| {
+            let tag = if trace { "trace-on" } else { "trace-off" };
+            let out_dir = tmp_dir(tag);
+            let config = SweepConfig {
+                out_dir: out_dir.clone(),
+                label: "tracing".to_string(),
+                trace_dir: trace.then(|| out_dir.clone()),
+                ..SweepConfig::default()
+            };
+            let outcome = run_sweep(&registry(), &config).unwrap();
+            let doc = read_bench_json(&outcome.json_path).unwrap();
+            let artifact = outcome.trace_path.as_ref().map(|p| read_trace(p).unwrap());
+            let _ = std::fs::remove_dir_all(&out_dir);
+            (doc, artifact)
+        };
+
+        let (doc_off, no_artifact) = run(false);
+        assert!(no_artifact.is_none());
+        let (doc_on, artifact) = run(true);
+        // The NoopSink guarantee, end to end: the BENCH JSON is byte-identical
+        // whether or not the trace artifact was recorded alongside it.
+        assert_eq!(
+            normalized_for_diff(&doc_off).render_pretty(),
+            normalized_for_diff(&doc_on).render_pretty()
+        );
+
+        let artifact = artifact.unwrap();
+        assert_eq!(artifact.label, "tracing");
+        let cells = doc_on.get("cells").and_then(Json::as_array).unwrap();
+        assert_eq!(cells.len(), 4);
+        // Three cells produced reports (the torus cell errored): three trace runs,
+        // ids = cell indices, per-round message sums equal the cell's messages.
+        assert_eq!(artifact.runs.len(), 3);
+        for run in &artifact.runs {
+            let cell = &cells[run.id as usize];
+            let profile = RoundProfile::for_trace(&run.events, run.id);
+            assert_eq!(
+                profile.total_messages(),
+                cell.get("messages").and_then(Json::as_int).unwrap() as u64,
+                "run {}",
+                run.name
+            );
+            assert_eq!(profile.len() as i64, {
+                cell.get("rounds").and_then(Json::as_int).unwrap()
+            });
+            // The run is framed by RunStart/RunEnd carrying the report totals.
+            assert!(matches!(
+                run.events.first(),
+                Some(TraceEvent::RunStart { nodes, .. })
+                    if *nodes == cell.get("nodes").and_then(Json::as_int).unwrap() as u64
+            ));
+            assert!(matches!(
+                run.events.last(),
+                Some(TraceEvent::RunEnd { messages, .. })
+                    if *messages == profile.total_messages()
+            ));
+        }
+        // The errored cell's id never occurs in the artifact.
+        let errored: Vec<usize> = cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.get("error").and_then(Json::as_str).is_some())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(errored.len(), 1);
+        assert!(artifact.runs.iter().all(|r| r.id != errored[0] as u64));
     }
 
     #[test]

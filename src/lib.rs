@@ -7,6 +7,10 @@
 //! * [`graph`] — anonymous port-numbered network graphs,
 //! * [`views`] — augmented truncated views, refinement, election indices,
 //! * [`sim`] — the synchronous LOCAL-model simulator and its execution backends,
+//! * [`trace`] — the round-level tracing layer: typed [`trace::TraceEvent`]s, the
+//!   [`trace::TraceSink`] trait with its zero-cost [`trace::NoopSink`] and striped
+//!   [`trace::Recorder`], and the [`trace::RoundProfile`] per-round aggregate
+//!   (see `docs/OBSERVABILITY.md`),
 //! * [`election`] — the four election tasks, advice framework, algorithms, and the
 //!   **`ElectionEngine` facade** (`Election::task(…).solver(…).backend(…).run(&g)`),
 //! * [`constructions`] — the paper's lower-bound graph families and figures,
@@ -40,6 +44,7 @@ pub use anet_election as election;
 pub use anet_graph as graph;
 pub use anet_service as service;
 pub use anet_sim as sim;
+pub use anet_trace as trace;
 pub use anet_views as views;
 pub use anet_workloads as workloads;
 
@@ -53,7 +58,8 @@ pub mod prelude {
     pub use anet_election::tasks::{ElectionOutcome, NodeOutput, Task, TaskError};
     pub use anet_service::{
         CompletedElection, ElectionRequest, ElectionService, ServiceConfig, ServiceReport,
-        SolverRecipe, Submission,
+        SolverRecipe, Submission, TenantBreakdown,
     };
+    pub use anet_trace::{NoopSink, Recorder, RoundProfile, TraceEvent, TraceSink};
     pub use anet_workloads::{Scenario, ScenarioRegistry, SolverSpec};
 }

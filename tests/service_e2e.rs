@@ -70,6 +70,89 @@ fn a_thousand_concurrent_requests_across_tenants() {
     assert!(report.elections_per_sec > 0.0);
     assert_eq!(report.executed_per_worker.iter().sum::<u64>(), 1000);
     assert_eq!(report.workers, 4);
+
+    // The per-tenant breakdown partitions the batch exactly: every tenant of the
+    // mix appears once (sorted), and executed/solved/failed sum to the report
+    // totals.
+    let breakdown_tenants: Vec<&str> = report.tenants.iter().map(|t| t.tenant.as_str()).collect();
+    assert_eq!(
+        breakdown_tenants,
+        tenants.iter().copied().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        report.tenants.iter().map(|t| t.executed).sum::<u64>(),
+        report.submitted
+    );
+    assert_eq!(
+        report.tenants.iter().map(|t| t.solved).sum::<u64>(),
+        report.solved
+    );
+    assert_eq!(
+        report.tenants.iter().map(|t| t.failed).sum::<u64>(),
+        report.failed
+    );
+    for tenant in &report.tenants {
+        assert_eq!(
+            tenant.turnaround_latency.count as u64, tenant.executed,
+            "{}: every executed request is a latency sample",
+            tenant.tenant
+        );
+        assert!(tenant.turnaround_latency.p50 <= tenant.turnaround_latency.max);
+    }
+}
+
+#[test]
+fn trace_sink_captures_per_request_rounds_and_scheduler_events() {
+    use four_shades::trace::{Recorder, RoundProfile, TraceEvent};
+    use std::sync::Arc;
+
+    let recorder = Arc::new(Recorder::new());
+    let requests: Vec<ElectionRequest> = service_mix::mix(60).into_iter().map(to_request).collect();
+    let total = requests.len() as u64;
+    let config = ServiceConfig {
+        trace_sink: Some(recorder.clone()),
+        ..ServiceConfig::with_workers(4)
+    };
+    let (completed, report) = ElectionService::run_batch(config, requests);
+    let events = recorder.drain();
+
+    // Scheduler events: exactly one WorkerExecute per request, and as many
+    // WorkerSteal events as the report counts steals.
+    let executes: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::WorkerExecute { .. }))
+        .collect();
+    assert_eq!(executes.len() as u64, total);
+    let mut executed_ids: Vec<u64> = executes.iter().map(|e| e.trace_id()).collect();
+    executed_ids.sort_unstable();
+    assert_eq!(executed_ids, (0..total).collect::<Vec<u64>>());
+    let steals = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::WorkerSteal { .. }))
+        .count() as u64;
+    assert_eq!(steals, report.steals);
+
+    // Per-request engine events: every completed run's per-round message sums,
+    // filtered by its request id alone, reproduce the report's totals — the
+    // Tagged stamping separates concurrent tenants' streams exactly.
+    for election in &completed {
+        let result = election.outcome.as_ref().expect("mix has no failures");
+        let profile = RoundProfile::for_trace(&events, election.id);
+        assert_eq!(
+            profile.total_messages() as usize,
+            result.messages_delivered,
+            "request {} ({})",
+            election.id,
+            election.name
+        );
+        // The engine also attached the same profile to the report itself.
+        assert_eq!(
+            result.round_profile.as_ref(),
+            Some(&profile),
+            "request {}",
+            election.id
+        );
+    }
 }
 
 #[test]
