@@ -84,7 +84,14 @@ fn scheduler_summary(runs: &[TraceRun]) -> Option<String> {
                     exec_ns += ns;
                 }
                 TraceEvent::WorkerSteal { .. } => steals += 1,
-                _ => {}
+                // Exhaustive on purpose: a new TraceEvent variant must be a
+                // compile error here, not silently absent from the summary.
+                TraceEvent::RunStart { .. }
+                | TraceEvent::RoundStart { .. }
+                | TraceEvent::PhaseTime { .. }
+                | TraceEvent::RoundEnd { .. }
+                | TraceEvent::RunEnd { .. }
+                | TraceEvent::InternerDelta { .. } => {}
             }
         }
     }

@@ -9,6 +9,8 @@
 //! dropped bench must not pass the gate). Measurements only present in the
 //! current run are reported but never fail — adding benches is not a regression.
 
+// anet-lint: deny(panic-path)
+
 use crate::table::Table;
 use anet_workloads::json::Json;
 
@@ -175,7 +177,7 @@ impl BenchDoc {
     pub fn parse(text: &str) -> Result<BenchDoc, DiffError> {
         let doc = Json::parse(text).map_err(|e| DiffError::Json(e.to_string()))?;
         match doc.get("schema").and_then(Json::as_str) {
-            Some("anet-bench/v1") => {}
+            Some(crate::BENCH_SCHEMA) => {}
             other => {
                 return Err(DiffError::Schema {
                     found: other.unwrap_or_default().to_string(),

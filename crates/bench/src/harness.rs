@@ -140,7 +140,7 @@ impl Harness {
     /// which are general JSON parsers — keep working).
     pub fn to_json(&self) -> Json {
         Json::Object(vec![
-            ("schema".to_string(), Json::str("anet-bench/v1")),
+            ("schema".to_string(), Json::str(crate::BENCH_SCHEMA)),
             ("bench".to_string(), Json::str(&self.name)),
             (
                 "measurements".to_string(),
@@ -231,7 +231,7 @@ mod tests {
         let parsed = Json::parse(&doc.render_pretty()).unwrap();
         assert_eq!(
             parsed.get("schema").and_then(Json::as_str),
-            Some("anet-bench/v1")
+            Some(crate::BENCH_SCHEMA)
         );
         assert_eq!(
             parsed.get("bench").and_then(Json::as_str),

@@ -20,3 +20,8 @@ pub mod table;
 pub use diff::{diff, BenchDoc, DiffError, DiffReport, DiffRow, DEFAULT_MAX_REGRESSION};
 pub use harness::{Harness, Metric};
 pub use table::Table;
+
+/// Schema tag of the versioned bench artifact (`BENCH_bench_*.json`). The single
+/// definition the writer ([`Harness::to_json`]) and the parser ([`BenchDoc`])
+/// both reference, so the pair cannot drift.
+pub const BENCH_SCHEMA: &str = "anet-bench/v1";

@@ -1,0 +1,11 @@
+//! Known-bad: a registered hot path that allocates every round.
+
+// anet-lint: hot-path
+fn route_round(out: &mut [Option<u32>], inbox: &mut Vec<Option<u32>>) {
+    // Rebuilding the inbox per round is exactly the regression the pass exists
+    // to catch: the arenas must be reused in place.
+    let fresh: Vec<Option<u32>> = out.iter().map(|s| s.clone()).collect();
+    *inbox = fresh;
+    let label = format!("round with {} slots", inbox.len());
+    drop(label);
+}

@@ -1,0 +1,25 @@
+//! Known-bad: two code paths acquire the same pair of locks in opposite
+//! orders — the classic deadlock shape the acquisition graph must reject.
+
+// anet-lint: deny(lock-order)
+
+use std::sync::Mutex;
+
+struct Scheduler {
+    deques: Vec<Mutex<Vec<u32>>>,
+    completed: Mutex<Vec<u32>>,
+}
+
+impl Scheduler {
+    fn finish_first(&self) {
+        let d = self.deques[0].lock().unwrap();
+        let c = self.completed.lock().unwrap();
+        drop((d, c));
+    }
+
+    fn finish_second(&self) {
+        let c = self.completed.lock().unwrap();
+        let d = self.deques[0].lock().unwrap();
+        drop((c, d));
+    }
+}

@@ -1,0 +1,19 @@
+//! Known-bad: running solver work while a deque guard is live serialises the
+//! whole pool on one lock.
+
+// anet-lint: deny(lock-order)
+
+use std::sync::Mutex;
+
+struct Pool {
+    deques: Vec<Mutex<Vec<u32>>>,
+}
+
+impl Pool {
+    fn drain(&self, solver: &Solver) {
+        let guard = self.deques[0].lock().unwrap();
+        // The guard is still held here: the solver runs under the deque lock.
+        solver.execute();
+        drop(guard);
+    }
+}

@@ -1,0 +1,17 @@
+//! Known-bad: a parser on the panic-free path that unwraps its way through
+//! malformed input instead of returning typed errors.
+
+// anet-lint: deny(panic-path)
+
+fn parse_count(text: &str) -> u64 {
+    let field = text.split(':').nth(1).unwrap();
+    field.trim().parse().expect("count must be numeric")
+}
+
+fn dispatch(kind: &str) -> u32 {
+    match kind {
+        "meta" => 0,
+        "phase" => 1,
+        _ => panic!("unknown kind {kind:?}"),
+    }
+}

@@ -1,0 +1,15 @@
+//! Known-bad: suppression pragmas that don't say why, and one naming a pass
+//! that does not exist — both must be diagnostics, or typos silently disable
+//! enforcement.
+
+// anet-lint: deny(panic-path)
+
+fn first(values: &[u32]) -> u32 {
+    // anet-lint: allow(panic-path)
+    values.first().copied().unwrap()
+}
+
+// anet-lint: allow(panick-path) — typo in the pass name
+fn second(values: &[u32]) -> u32 {
+    values[0]
+}

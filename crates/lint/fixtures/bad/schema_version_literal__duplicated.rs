@@ -1,0 +1,10 @@
+//! Known-bad: the writer and the parser each spell the schema string out,
+//! so a version bump can update one and silently strand the other.
+
+fn write_header() -> String {
+    format!("{{\"schema\": {:?}}}", "anet-fixture/v3")
+}
+
+fn check_header(found: &str) -> bool {
+    found == "anet-fixture/v3"
+}

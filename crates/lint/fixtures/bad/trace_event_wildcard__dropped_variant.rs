@@ -1,0 +1,14 @@
+//! Known-bad: a TraceEvent consumer with a wildcard arm — a newly added
+//! variant would be silently dropped from this report instead of failing to
+//! compile.
+
+fn count_messages(events: &[TraceEvent]) -> u64 {
+    let mut total = 0;
+    for event in events {
+        match event {
+            TraceEvent::RoundEnd { messages, .. } => total += messages,
+            _ => {}
+        }
+    }
+    total
+}

@@ -1,0 +1,7 @@
+//! Known-bad: an unsafe block with no `// SAFETY:` justification.
+
+fn read_first(data: &[u32]) -> u32 {
+    let ptr = data.as_ptr();
+    // fast path, bounds were checked by the caller
+    unsafe { *ptr }
+}

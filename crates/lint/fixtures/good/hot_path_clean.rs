@@ -1,0 +1,19 @@
+//! Known-good: a registered hot path that only mutates caller-owned arenas.
+
+// anet-lint: hot-path
+fn route_round(out: &mut [Option<u32>], inbox: &mut [Option<u32>], delivered: &mut usize) {
+    for slot in inbox.iter_mut() {
+        *slot = None;
+    }
+    for (i, slot) in out.iter_mut().enumerate() {
+        if let Some(message) = slot.take() {
+            inbox[i] = Some(message);
+            *delivered += 1;
+        }
+    }
+}
+
+// An unregistered helper may allocate freely.
+fn cold_setup(total: usize) -> Vec<Option<u32>> {
+    vec![None; total]
+}

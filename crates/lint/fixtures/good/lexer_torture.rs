@@ -1,0 +1,37 @@
+//! Known-good: adversarial surface syntax. Every construct here is designed to
+//! trick a naive lexer into seeing code where there is only text — the passes
+//! must report nothing.
+
+/* A block comment /* with a nested block comment */ still one comment,
+   mentioning vec![], .unwrap(), panic!() and unsafe — all inert. */
+
+fn strings_full_of_code() -> Vec<String> {
+    vec![
+        "inert: x.unwrap(); y.expect(\"boom\"); panic!(\"no\")".to_string(),
+        "inert schema mention: see anet-torture/v1 for details".to_string(),
+        r#"raw string with "quotes" and .clone() and Vec::new()"#.to_string(),
+        r##"raw with fences: "# not the end, nor is "#, but the next is"##.to_string(),
+        String::from_utf8_lossy(b"byte string with // not a comment").into_owned(),
+        format!("{}", '\u{1F600}'),
+    ]
+}
+
+fn lifetimes_vs_chars<'a>(input: &'a str) -> (&'a str, char, char, u8) {
+    let c = 'a';
+    let escaped = '\'';
+    let byte = b'q';
+    'outer: for _ in 0..1 {
+        break 'outer;
+    }
+    (input, c, escaped, byte)
+}
+
+fn raw_identifiers() -> u32 {
+    let r#match = 1u32;
+    let r#type = 2u32;
+    r#match + r#type
+}
+
+fn numeric_shapes() -> (u64, f64, u32) {
+    (0xFF_u64 + 0b1010 + 0o77, 1_000.5e-3, 42u32)
+}

@@ -1,0 +1,28 @@
+//! Known-good: every path acquires deque before completion log, temporaries
+//! release at statement end, and solver work runs only after `drop`.
+
+// anet-lint: deny(lock-order)
+
+use std::sync::Mutex;
+
+struct Scheduler {
+    deques: Vec<Mutex<Vec<u32>>>,
+    completed: Mutex<Vec<u32>>,
+}
+
+impl Scheduler {
+    fn pop_then_log(&self, w: usize) {
+        let job = self.deques[w].lock().unwrap().pop();
+        if let Some(job) = job {
+            self.completed.lock().unwrap().push(job);
+        }
+    }
+
+    fn finish(&self, w: usize, solver: &Solver) {
+        let d = self.deques[w].lock().unwrap();
+        let c = self.completed.lock().unwrap();
+        drop(c);
+        drop(d);
+        solver.execute();
+    }
+}

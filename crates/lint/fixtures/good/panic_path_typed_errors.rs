@@ -1,0 +1,31 @@
+//! Known-good: a panic-free parser (typed errors, a documented allow-site,
+//! and tests that may unwrap freely).
+
+// anet-lint: deny(panic-path)
+
+fn parse_count(text: &str) -> Result<u64, String> {
+    let field = text
+        .split(':')
+        .nth(1)
+        .ok_or_else(|| "missing count field".to_string())?;
+    field.trim().parse().map_err(|_| "count must be numeric".to_string())
+}
+
+fn checked_get(values: &[u32], hint: usize) -> u32 {
+    // anet-lint: allow(panic-path) — `hint` was validated against len() above.
+    values.get(hint).copied().unwrap()
+}
+
+// A free function named `expect` is not the panicking method.
+fn expect(bytes: &[u8], pos: usize, want: u8) -> bool {
+    bytes.get(pos) == Some(&want)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        super::parse_count("count: 3").unwrap();
+        assert!(super::expect(b"x", 0, b'x'));
+    }
+}

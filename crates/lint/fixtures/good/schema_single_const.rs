@@ -1,0 +1,16 @@
+//! Known-good: one const definition, referenced by writer and parser alike;
+//! prose mentions of the schema inside longer strings are fine.
+
+pub const FIXTURE_SCHEMA: &str = "anet-fixture/v7";
+
+fn write_header() -> String {
+    format!("{{\"schema\": {FIXTURE_SCHEMA:?}}}")
+}
+
+fn check_header(found: &str) -> Result<(), String> {
+    if found == FIXTURE_SCHEMA {
+        Ok(())
+    } else {
+        Err(format!("expected an anet-fixture/v7 document, got {found:?}"))
+    }
+}

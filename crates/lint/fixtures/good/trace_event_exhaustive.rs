@@ -1,0 +1,26 @@
+//! Known-good: a TraceEvent consumer that lists every variant, so adding one
+//! is a compile error here. Wildcards over *other* enums stay legal.
+
+fn count_messages(events: &[TraceEvent]) -> u64 {
+    let mut total = 0;
+    for event in events {
+        match event {
+            TraceEvent::RoundEnd { messages, .. } => total += messages,
+            TraceEvent::RunStart { .. }
+            | TraceEvent::RoundStart { .. }
+            | TraceEvent::PhaseTime { .. }
+            | TraceEvent::RunEnd { .. }
+            | TraceEvent::InternerDelta { .. }
+            | TraceEvent::WorkerExecute { .. }
+            | TraceEvent::WorkerSteal { .. } => {}
+        }
+    }
+    total
+}
+
+fn phase_index(phase: Phase) -> u32 {
+    match phase {
+        Phase::Send => 0,
+        _ => 1,
+    }
+}

@@ -1,0 +1,8 @@
+//! Known-good: every unsafe block carries a `// SAFETY:` audit directly above.
+
+fn read_first(data: &[u32]) -> u32 {
+    let ptr = data.as_ptr();
+    // SAFETY: `data` is a live, non-empty slice (the caller asserts len > 0),
+    // so reading the first element through its own pointer is in bounds.
+    unsafe { *ptr }
+}

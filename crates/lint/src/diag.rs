@@ -1,0 +1,44 @@
+//! Diagnostics: what a pass reports and how it is rendered.
+
+use std::path::PathBuf;
+
+/// One finding: a pass name, a `file:line:col` location, and a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Name of the pass that produced the finding (e.g. `panic-path`).
+    pub pass: &'static str,
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violated invariant.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Render as `file:line:col: [pass] message` — the one-line compiler-style
+    /// form the binary prints and CI greps.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.col,
+            self.pass,
+            self.message
+        )
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Sort diagnostics for stable output: by file, then line, then column, then pass.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.pass).cmp(&(&b.file, b.line, b.col, b.pass)));
+}

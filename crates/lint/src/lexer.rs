@@ -1,0 +1,473 @@
+//! A lightweight Rust lexer: just enough token structure for the lint passes.
+//!
+//! The lexer's one job is to never mistake *text* for *code*: string contents,
+//! comment contents, char literals and lifetimes must all come out as the right
+//! token kind so the passes can reason about identifiers and punctuation without
+//! being fooled by `"a string containing .unwrap()"` or `// a comment with vec!`.
+//! It therefore handles the genuinely tricky corners of Rust's surface syntax —
+//! nested block comments, raw strings with arbitrary hash fences, raw
+//! identifiers, byte strings, and the `'a` lifetime vs `'a'` char-literal
+//! ambiguity — while staying deliberately dumb about everything a lint pass does
+//! not need (numeric suffixes, float grammar subtleties, shebangs).
+//!
+//! Robustness contract, enforced by the adversarial test suite: for **any**
+//! input string, [`lex`] terminates, never panics, and returns tokens whose byte
+//! spans are in-bounds, non-overlapping and monotonically increasing.
+//! Malformed input (unterminated strings or comments, stray quotes) degrades to
+//! the closest reasonable token, never to an error.
+
+/// What a [`Token`] is. The lexer keeps comments — several passes read them
+/// (pragmas, `// SAFETY:` audits); use [`TokenKind::is_comment`] to skip them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `Vec`, `r#match`, …).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// A character or byte literal (`'x'`, `'\u{1F600}'`, `b'q'`).
+    Char,
+    /// A string literal of any flavour: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str {
+        /// `true` for raw strings (`r…` / `br…`), whose contents have no escapes.
+        raw: bool,
+    },
+    /// A numeric literal (integer or float, suffixes included).
+    Number,
+    /// A `// …` comment (including `///` and `//!` doc comments), newline excluded.
+    LineComment,
+    /// A `/* … */` comment (nesting respected; runs to EOF if unterminated).
+    BlockComment,
+    /// A single punctuation character (`{`, `.`, `!`, `:`, …).
+    Punct,
+}
+
+impl TokenKind {
+    /// Is this a comment token (line or block)?
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// One lexed token: kind plus byte span and 1-based line/column of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based character column of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// The char at `pos + n` chars ahead (0 = current), if any.
+    fn peek(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    /// Advance one char, maintaining line/col. Returns the char consumed.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.src[self.pos..].chars().next()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// The char immediately before `pos`, if any.
+    fn prev(&self) -> Option<char> {
+        self.src[..self.pos].chars().next_back()
+    }
+
+    /// Consume chars while `f` holds.
+    fn bump_while(&mut self, f: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if !f(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lex `src` into tokens (whitespace dropped, comments kept). Total, panic-free.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = scan_token(&mut cur, c);
+        debug_assert!(cur.pos > start, "lexer must always advance");
+        tokens.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// Scan one token starting at `c` (the current char of `cur`).
+fn scan_token(cur: &mut Cursor<'_>, c: char) -> TokenKind {
+    match c {
+        '/' if cur.peek(1) == Some('/') => {
+            cur.bump_while(|c| c != '\n');
+            TokenKind::LineComment
+        }
+        '/' if cur.peek(1) == Some('*') => {
+            scan_block_comment(cur);
+            TokenKind::BlockComment
+        }
+        '"' => {
+            scan_string(cur);
+            TokenKind::Str { raw: false }
+        }
+        '\'' => scan_quote(cur),
+        'r' | 'b' if starts_literal_prefix(cur) => scan_prefixed_literal(cur),
+        c if is_ident_start(c) => {
+            cur.bump_while(is_ident_continue);
+            TokenKind::Ident
+        }
+        c if c.is_ascii_digit() => {
+            scan_number(cur);
+            TokenKind::Number
+        }
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// Does the cursor sit on `r"`/`r#"`/`b"`/`b'`/`br"`/`br#"` (a prefixed literal)
+/// rather than a plain identifier beginning with `r` or `b`? Raw *identifiers*
+/// (`r#match`) are not literals and return `false`.
+fn starts_literal_prefix(cur: &Cursor<'_>) -> bool {
+    match (cur.peek(0), cur.peek(1)) {
+        (Some('b'), Some('\'')) | (Some('b'), Some('"')) => true,
+        (Some('b'), Some('r')) => raw_fence_follows(cur, 2),
+        (Some('r'), _) => raw_fence_follows(cur, 1),
+        _ => false,
+    }
+}
+
+/// After a raw prefix at char offset `at`, does `#*"` follow (a raw string
+/// fence)? `r#ident` — hashes not followed by a quote — is a raw identifier.
+fn raw_fence_follows(cur: &Cursor<'_>, at: usize) -> bool {
+    let mut n = at;
+    while cur.peek(n) == Some('#') {
+        n += 1;
+    }
+    cur.peek(n) == Some('"')
+}
+
+/// Scan `r…`/`b…`/`br…` literals; the cursor sits on the prefix and
+/// [`starts_literal_prefix`] already held.
+fn scan_prefixed_literal(cur: &mut Cursor<'_>) -> TokenKind {
+    let first = cur.bump(); // consume `r` or `b`
+    match (first, cur.peek(0)) {
+        (Some('b'), Some('\'')) => scan_quote(cur),
+        (Some('b'), Some('"')) => {
+            scan_string(cur);
+            TokenKind::Str { raw: false }
+        }
+        (Some('b'), Some('r')) => {
+            cur.bump(); // the `r` of `br`
+            scan_raw_string(cur);
+            TokenKind::Str { raw: true }
+        }
+        _ => {
+            scan_raw_string(cur);
+            TokenKind::Str { raw: true }
+        }
+    }
+}
+
+/// Scan a nested block comment; the cursor sits on the opening `/`.
+/// Unterminated comments run to EOF.
+fn scan_block_comment(cur: &mut Cursor<'_>) {
+    cur.bump();
+    cur.bump(); // `/*`
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+/// Scan a `"…"` string with escapes; the cursor sits on the opening quote.
+/// Unterminated strings run to EOF.
+fn scan_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening `"`
+    loop {
+        match cur.bump() {
+            None | Some('"') => break,
+            Some('\\') => {
+                cur.bump(); // the escaped char, whatever it is
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Scan a raw string `#*"…"#*`; the cursor sits on the first `#` or the quote.
+/// The fence (hash count) of the opening must be matched to close; an
+/// unterminated raw string runs to EOF.
+fn scan_raw_string(cur: &mut Cursor<'_>) {
+    let mut fence = 0usize;
+    while cur.peek(0) == Some('#') {
+        cur.bump();
+        fence += 1;
+    }
+    if cur.peek(0) != Some('"') {
+        return; // not actually a raw string; consume nothing further
+    }
+    cur.bump(); // opening `"`
+    loop {
+        match cur.bump() {
+            None => break,
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < fence && cur.peek(0) == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == fence {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Disambiguate `'`: char literal (`'x'`, `'\n'`, `'\u{…}'`) vs lifetime/label
+/// (`'a`, `'static`) vs stray quote. The cursor sits on the `'`.
+fn scan_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    // An escape can only be a char literal.
+    if cur.peek(1) == Some('\\') {
+        cur.bump(); // `'`
+        cur.bump(); // `\`
+        cur.bump(); // escaped char
+        if cur.peek(0) == Some('{') {
+            // `'\u{…}'`: consume to the closing brace.
+            cur.bump_while(|c| c != '}' && c != '\'' && c != '\n');
+            if cur.peek(0) == Some('}') {
+                cur.bump();
+            }
+        }
+        if cur.peek(0) == Some('\'') {
+            cur.bump();
+        }
+        return TokenKind::Char;
+    }
+    // `'X'` with a single (possibly non-ident) char is a char literal. This also
+    // correctly classifies `'a'` against the lifetime `'a`.
+    if cur.peek(1).is_some() && cur.peek(1) != Some('\'') && cur.peek(2) == Some('\'') {
+        cur.bump();
+        cur.bump();
+        cur.bump();
+        return TokenKind::Char;
+    }
+    // `'ident` is a lifetime or loop label.
+    if cur.peek(1).is_some_and(is_ident_start) {
+        cur.bump(); // `'`
+        cur.bump_while(is_ident_continue);
+        return TokenKind::Lifetime;
+    }
+    // Stray quote (`''`, `'` at EOF): a punct, so the lexer always advances.
+    cur.bump();
+    TokenKind::Punct
+}
+
+/// Scan a numeric literal: digits, `_`, type suffixes, hex/oct/bin bodies, a
+/// fractional part, and a signed exponent — but never the `..` of a range
+/// expression.
+fn scan_number(cur: &mut Cursor<'_>) {
+    scan_digits_and_exponent(cur);
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump(); // the decimal point
+        scan_digits_and_exponent(cur);
+    }
+}
+
+/// Digits/suffix characters, plus `e-3`/`E+7` exponents. The sign is consumed
+/// only when the run ends in `e`/`E` and digits follow — `1e - x` stays three
+/// tokens.
+fn scan_digits_and_exponent(cur: &mut Cursor<'_>) {
+    cur.bump_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    if matches!(cur.prev(), Some('e') | Some('E'))
+        && matches!(cur.peek(0), Some('+') | Some('-'))
+        && cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+    {
+        cur.bump(); // the sign
+        cur.bump_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_plain_code() {
+        let toks = kinds("fn main() { let x = 1; }");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".to_string()));
+        assert_eq!(toks[1], (TokenKind::Ident, "main".to_string()));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "1"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "/* a /* nested */ b */ fn";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "fn".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_respect_hash_fences() {
+        let src = r####"let s = r##"contains "# inside"##; x"####;
+        let toks = kinds(src);
+        let raw = toks
+            .iter()
+            .find(|(k, _)| *k == (TokenKind::Str { raw: true }))
+            .expect("raw string token");
+        assert!(raw.1.contains("contains"));
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let q = '\\''; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'a'");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"let a = b"bytes"; let c = b'q'; let r = br#"raw"#;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == (TokenKind::Str { raw: false }) && t == "b\"bytes\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "b'q'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == (TokenKind::Str { raw: true }) && t == "br#\"raw\"#"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = kinds("let r#match = r#type;");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        // `r` then `#` then `match` — the lexer may split the sigil, but must not
+        // treat the tail as a raw string.
+        assert!(idents.contains(&"let"));
+        assert!(!toks.iter().any(|(k, _)| matches!(k, TokenKind::Str { .. })));
+    }
+
+    #[test]
+    fn string_contents_do_not_leak_tokens() {
+        let toks = kinds(r#"let s = "vec![] .unwrap() /* not a comment */";"#);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| matches!(k, TokenKind::Str { .. }))
+                .count(),
+            1
+        );
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+    }
+
+    #[test]
+    fn positions_are_one_based_and_monotone() {
+        let src = "fn a() {}\n  let x = 'b';\n";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        let let_tok = toks.iter().find(|t| t.text(src) == "let").unwrap();
+        assert_eq!((let_tok.line, let_tok.col), (2, 3));
+        for pair in toks.windows(2) {
+            assert!(pair[0].end <= pair[1].start);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! `anet-lint`: in-tree static analysis for the workspace's load-bearing
+//! invariants — the rules the compiler and clippy cannot see.
+//!
+//! The Gorain–Miller–Pelc elections are deterministic, so correctness here
+//! rests on conventions: the batching backend's round loop must not allocate,
+//! the service's striped locks must be acquired in one global order, schema
+//! version strings must live in exactly one `const`, the request path must not
+//! panic, and `unsafe` must carry a `// SAFETY:` audit. This crate is a
+//! std-only lexer + pass framework that mechanically enforces all five, run as
+//! `cargo run -p anet-lint` from the workspace root (CI does exactly that).
+//!
+//! See `docs/LINTS.md` for each pass's invariant, rationale and suppression
+//! syntax.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod passes;
+pub mod source;
+
+pub use diag::{sort_diagnostics, Diagnostic};
+pub use passes::{default_passes, run_passes, Pass};
+pub use source::SourceFile;
+
+use std::path::{Path, PathBuf};
+
+/// Collect the workspace's lintable files under `root`: every `*.rs` that has
+/// a `src` path component, skipping `target`, `.git`, and the lint fixtures.
+/// Sorted, so diagnostics are stable across runs and platforms.
+pub fn collect_workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") && path.components().any(|c| c.as_os_str() == "src") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every workspace source file under `root` with the default passes.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let paths = collect_workspace_files(root)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        files.push(SourceFile::load(path)?);
+    }
+    let mut passes = default_passes();
+    Ok(run_passes(&files, &mut passes))
+}
+
+/// Lint a single file in isolation (used by the fixture self-check).
+pub fn lint_one(path: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let file = SourceFile::load(path)?;
+    let mut passes = default_passes();
+    Ok(run_passes(std::slice::from_ref(&file), &mut passes))
+}
+
+/// Outcome of the fixture self-check: every `fixtures/bad/<pass>__*.rs` must
+/// produce at least one diagnostic of the pass its filename names, and every
+/// `fixtures/good/*.rs` must produce none.
+pub struct SelfCheck {
+    /// Number of fixture files examined.
+    pub checked: usize,
+    /// Human-readable descriptions of every expectation that failed.
+    pub failures: Vec<String>,
+}
+
+impl SelfCheck {
+    /// Did every fixture behave as its name promises?
+    pub fn passed(&self) -> bool {
+        self.checked > 0 && self.failures.is_empty()
+    }
+}
+
+/// Run the self-check against a fixtures directory (`bad/` and `good/`
+/// subdirectories). A bad fixture named `panic_path__service.rs` is expected
+/// to trip the `panic-path` pass (underscores in the prefix before `__` map to
+/// hyphens in the pass name).
+pub fn self_check(fixtures: &Path) -> std::io::Result<SelfCheck> {
+    let mut report = SelfCheck {
+        checked: 0,
+        failures: Vec::new(),
+    };
+    for path in sorted_rs_files(&fixtures.join("bad"))? {
+        report.checked += 1;
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let Some((pass_part, _)) = stem.split_once("__") else {
+            report.failures.push(format!(
+                "{}: bad fixture name needs the form <pass>__<description>.rs",
+                path.display()
+            ));
+            continue;
+        };
+        let expected = pass_part.replace('_', "-");
+        let diags = lint_one(&path)?;
+        if !diags.iter().any(|d| d.pass == expected) {
+            report.failures.push(format!(
+                "{}: expected a `{}` diagnostic, got {:?}",
+                path.display(),
+                expected,
+                diags.iter().map(|d| d.pass).collect::<Vec<_>>()
+            ));
+        }
+    }
+    for path in sorted_rs_files(&fixtures.join("good"))? {
+        report.checked += 1;
+        let diags = lint_one(&path)?;
+        if !diags.is_empty() {
+            report.failures.push(format!(
+                "{}: expected a clean pass, got:\n  {}",
+                path.display(),
+                diags
+                    .iter()
+                    .map(Diagnostic::render)
+                    .collect::<Vec<_>>()
+                    .join("\n  ")
+            ));
+        }
+    }
+    Ok(report)
+}
+
+fn sorted_rs_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    files.sort();
+    Ok(files)
+}

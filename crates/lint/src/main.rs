@@ -1,0 +1,92 @@
+//! The `anet-lint` binary. Run from the workspace root:
+//!
+//! ```text
+//! cargo run -p anet-lint                # lint every workspace crate
+//! cargo run -p anet-lint -- --self-check  # verify the passes against fixtures
+//! ```
+//!
+//! Exit codes: 0 clean, 1 diagnostics (or self-check failures), 2 usage/IO
+//! error.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo run -p anet-lint [-- --self-check]
+
+Lints every workspace crate's src/ tree with the project-specific passes
+(hot-path-alloc, lock-order, panic-path, schema-version-literal,
+trace-event-wildcard, unsafe-needs-safety). See docs/LINTS.md.
+
+  --self-check   run the passes against the known-bad/known-good fixtures
+                 instead of the workspace; fail unless every bad fixture is
+                 flagged and every good fixture is clean";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        [] => lint(),
+        ["--self-check"] => self_check(),
+        ["--help"] | ["-h"] => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = Path::new(".");
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "anet-lint: no Cargo.toml in the current directory — run from the workspace root"
+        );
+        return ExitCode::from(2);
+    }
+    match anet_lint::lint_workspace(root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("anet-lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("anet-lint: {} diagnostic(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("anet-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn self_check() -> ExitCode {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    match anet_lint::self_check(&fixtures) {
+        Ok(report) if report.passed() => {
+            println!("anet-lint: self-check passed ({} fixtures)", report.checked);
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            for failure in &report.failures {
+                eprintln!("self-check failure: {failure}");
+            }
+            eprintln!(
+                "anet-lint: self-check FAILED ({} of {} fixtures misbehaved)",
+                report.failures.len(),
+                report.checked
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("anet-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! `hot-path-alloc`: functions registered with `// anet-lint: hot-path` must
+//! not allocate. The PR 3 batching backend's win is exactly that the per-round
+//! loop reuses flat arenas; one stray `format!` in a refactor silently costs
+//! the paper's headline number. The pass bans the allocation constructors and
+//! allocating iterator/conversion methods inside registered function bodies.
+
+use crate::diag::Diagnostic;
+use crate::source::{PragmaKind, SourceFile};
+use crate::Pass;
+
+/// See module docs.
+pub struct HotPathAlloc;
+
+/// `(leading tokens…)` patterns over consecutive code tokens that mean "this
+/// line allocates". Method patterns start with `.` so free functions with the
+/// same name don't trip it.
+const BANNED: &[(&[&str], &str)] = &[
+    (&["vec", "!"], "`vec!` allocates a fresh Vec"),
+    (&["format", "!"], "`format!` allocates a String"),
+    (
+        &["Vec", ":", ":", "new"],
+        "`Vec::new` grows later — reuse an arena",
+    ),
+    (
+        &["Vec", ":", ":", "with_capacity"],
+        "`Vec::with_capacity` allocates — reuse an arena",
+    ),
+    (&["Box", ":", ":", "new"], "`Box::new` heap-allocates"),
+    (
+        &["String", ":", ":", "new"],
+        "`String::new` allocates on first push",
+    ),
+    (&["String", ":", ":", "from"], "`String::from` allocates"),
+    (&[".", "collect"], "`.collect()` allocates its container"),
+    (&[".", "clone"], "`.clone()` usually deep-copies"),
+    (&[".", "to_vec"], "`.to_vec()` allocates"),
+    (&[".", "to_string"], "`.to_string()` allocates"),
+    (&[".", "to_owned"], "`.to_owned()` allocates"),
+];
+
+impl Pass for HotPathAlloc {
+    fn name(&self) -> &'static str {
+        "hot-path-alloc"
+    }
+
+    fn check_file(&mut self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for pragma in &file.pragmas {
+            if pragma.kind != PragmaKind::HotPath {
+                continue;
+            }
+            match function_after(file, pragma.line) {
+                Some((name, body)) => check_body(file, &name, body, &mut diags),
+                None => {
+                    let t = &file.tokens[pragma.token];
+                    diags.push(Diagnostic {
+                        pass: self.name(),
+                        file: file.path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: "hot-path pragma is not followed by a `fn` item".to_string(),
+                    });
+                }
+            }
+        }
+        diags
+    }
+}
+
+/// Find the first `fn` after `line` and return its name and the code-token
+/// range of its body (exclusive of the braces' interiors' bounds handling:
+/// `start..end` covers tokens strictly inside `{ … }`).
+fn function_after(file: &SourceFile, line: u32) -> Option<(String, std::ops::Range<usize>)> {
+    let start = file.code.iter().position(|&i| file.tokens[i].line > line)?;
+    let fn_kw = (start..file.code.len()).find(|&k| file.code_is(k, "fn"))?;
+    let name = file.code_tok(fn_kw + 1).to_string();
+    // The body's `{` is the first one at parenthesis/bracket depth 0 (skips
+    // default-parameter and where-clause brackets; `fn` sigs have none deeper).
+    let mut depth = 0i32;
+    let mut open = None;
+    for k in fn_kw + 2..file.code.len() {
+        if file.code_is_punct(k, '(') || file.code_is_punct(k, '[') {
+            depth += 1;
+        } else if file.code_is_punct(k, ')') || file.code_is_punct(k, ']') {
+            depth -= 1;
+        } else if depth == 0 && file.code_is_punct(k, '{') {
+            open = Some(k);
+            break;
+        } else if depth == 0 && file.code_is_punct(k, ';') {
+            return None; // declaration without a body (trait method)
+        }
+    }
+    let open = open?;
+    let close = file.matching_brace(open);
+    Some((name, open + 1..close))
+}
+
+fn check_body(
+    file: &SourceFile,
+    fn_name: &str,
+    body: std::ops::Range<usize>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for k in body.clone() {
+        for (pattern, why) in BANNED {
+            if matches_pattern(file, k, pattern)
+                // Method patterns must be calls: `.clone()` not a field `.clone`.
+                && (!pattern[0].starts_with('.')
+                    || file.code_is_punct(k + pattern.len(), '(')
+                    || file.code_is_punct(k + pattern.len(), ':'))
+            {
+                diags.push(file.diag_at_code(
+                    "hot-path-alloc",
+                    k,
+                    format!("allocation in hot path `{fn_name}`: {why}"),
+                ));
+            }
+        }
+    }
+}
+
+/// Do the code tokens at `k..` spell out `pattern`?
+fn matches_pattern(file: &SourceFile, k: usize, pattern: &[&str]) -> bool {
+    pattern.iter().enumerate().all(|(j, want)| {
+        let at = k + j;
+        at < file.code.len()
+            && if want.chars().next().is_some_and(|c| c.is_alphabetic()) {
+                file.code_is(at, want)
+            } else {
+                file.code_is_punct(at, want.chars().next().unwrap_or(' '))
+            }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse("t.rs", src.to_string());
+        HotPathAlloc.check_file(&file)
+    }
+
+    #[test]
+    fn flags_allocation_in_registered_fn() {
+        let diags = run("// anet-lint: hot-path\n\
+             fn round(buf: &mut Vec<u32>) {\n\
+                 let v = Vec::new();\n\
+                 let s = format!(\"{v:?}\");\n\
+                 let c = s.clone();\n\
+             }\n");
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags.iter().all(|d| d.message.contains("`round`")));
+    }
+
+    #[test]
+    fn unregistered_fn_is_ignored() {
+        let diags = run("fn cold() { let v = Vec::new(); }\n");
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn clean_hot_fn_passes() {
+        let diags = run("// anet-lint: hot-path\n\
+             fn round(buf: &mut [u32]) {\n\
+                 for x in buf.iter_mut() { *x += 1; }\n\
+             }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn field_named_clone_is_not_a_call() {
+        let diags = run("// anet-lint: hot-path\n\
+             fn round(s: &S) -> u32 { s.clone }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn dangling_pragma_is_flagged() {
+        let diags = run("// anet-lint: hot-path\nconst X: u32 = 1;\n");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("not followed by a `fn`"));
+    }
+}

@@ -1,0 +1,552 @@
+//! `lock-order`: files opted in with `// anet-lint: deny(lock-order)` get
+//! their `Mutex` acquisitions tracked. The pass discovers lock classes (struct
+//! fields typed `Mutex<…>`, possibly behind `Vec`/`Arc`), simulates guard
+//! lifetimes token-by-token, records an acquisition-order edge whenever class B
+//! is taken while class A is held, and reports:
+//!
+//! - a **cycle** in the cross-file acquisition graph (deadlock potential),
+//! - a **self-edge**: re-acquiring a class already held (the striped-shard
+//!   discipline in `anet_views::shared` forbids holding two shards at once),
+//! - a **solver call while locked**: `execute`/`run`/`intern`/… invoked while
+//!   any deque or shard guard is live, which serialises the whole service on
+//!   one lock.
+//!
+//! Guard lifetime heuristic: `let g = <acquisition>…;` binds a named guard
+//! released when its brace scope closes or `drop(g)` runs; any other
+//! acquisition is a temporary released at the next `;` at its own brace depth
+//! (which matches how `if let … = m.lock()…` extends a temporary to the end of
+//! the `if` in Rust 2021).
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+use crate::Pass;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names that execute solver / interner work — never call these while
+/// holding a deque or shard lock.
+const BANNED_WHILE_LOCKED: &[&str] = &[
+    "execute",
+    "run",
+    "run_traced",
+    "run_batch",
+    "run_on",
+    "solve",
+    "build_all",
+    "intern",
+    "intern_tree",
+];
+
+/// Wrapper types looked through when resolving `field: Vec<Mutex<…>>`.
+const WRAPPERS: &[&str] = &["Vec", "Arc", "Box", "Option"];
+
+/// A live guard during simulation.
+struct Held {
+    class: String,
+    /// `Some(name)` for `let name = …` bindings, `None` for temporaries.
+    name: Option<String>,
+    /// Brace depth the guard was created at; a named guard dies when depth
+    /// drops below it, a temporary at the first `;` at or below it.
+    depth: usize,
+}
+
+/// An acquisition-order edge with the site that created it.
+struct Edge {
+    from: String,
+    to: String,
+    file: std::path::PathBuf,
+    line: u32,
+    col: u32,
+}
+
+/// See module docs.
+#[derive(Default)]
+pub struct LockOrder {
+    edges: Vec<Edge>,
+}
+
+impl Pass for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn check_file(&mut self, file: &SourceFile) -> Vec<Diagnostic> {
+        if !file.denies(self.name()) {
+            return Vec::new();
+        }
+        let classes = discover_classes(file);
+        if classes.is_empty() {
+            return Vec::new();
+        }
+        self.simulate(file, &classes)
+    }
+
+    fn finish(&mut self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        // Deduplicate edges per (from, to), keeping the first site.
+        let mut graph: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        let mut sites: BTreeMap<(&str, &str), &Edge> = BTreeMap::new();
+        for e in &self.edges {
+            graph.entry(&e.from).or_default().insert(&e.to);
+            sites.entry((&e.from, &e.to)).or_insert(e);
+        }
+        for cycle in find_cycles(&graph) {
+            let (from, to) = (cycle[0], cycle[1 % cycle.len()]);
+            if let Some(site) = sites.get(&(from, to)) {
+                diags.push(Diagnostic {
+                    pass: self.name(),
+                    file: site.file.clone(),
+                    line: site.line,
+                    col: site.col,
+                    message: format!(
+                        "lock acquisition cycle: {} — pick one global order",
+                        cycle.join(" -> ")
+                    ),
+                });
+            }
+        }
+        diags
+    }
+}
+
+impl LockOrder {
+    /// Walk the file's code tokens, maintaining the set of held guards.
+    fn simulate(&mut self, file: &SourceFile, classes: &BTreeSet<String>) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 0usize;
+        let mut stmt_start = 0usize; // code index of the current statement's first token
+        let mut k = 0usize;
+        while k < file.code.len() {
+            if file.code_is_punct(k, '{') {
+                depth += 1;
+                stmt_start = k + 1;
+            } else if file.code_is_punct(k, '}') {
+                depth = depth.saturating_sub(1);
+                held.retain(|g| g.depth <= depth);
+                stmt_start = k + 1;
+            } else if file.code_is_punct(k, ';') {
+                held.retain(|g| g.name.is_some() || g.depth < depth);
+                stmt_start = k + 1;
+            } else if file.code_is(k, "drop") && file.code_is_punct(k + 1, '(') {
+                let dropped = file.code_tok(k + 2).to_string();
+                held.retain(|g| g.name.as_deref() != Some(dropped.as_str()));
+            } else if let Some(class) = acquisition_at(file, k, classes) {
+                if !file.code_in_test(k) {
+                    for g in &held {
+                        if g.class == class {
+                            diags.push(file.diag_at_code(
+                                self.name(),
+                                k,
+                                format!(
+                                    "acquiring lock class `{class}` while already holding \
+                                     `{class}` — never hold two stripes/shards at once"
+                                ),
+                            ));
+                        } else {
+                            let t = &file.tokens[file.code[k]];
+                            self.edges.push(Edge {
+                                from: g.class.clone(),
+                                to: class.clone(),
+                                file: file.path.clone(),
+                                line: t.line,
+                                col: t.col,
+                            });
+                        }
+                    }
+                    held.push(Held {
+                        class: class.clone(),
+                        name: binding_name(file, stmt_start, k),
+                        depth,
+                    });
+                }
+            } else if !held.is_empty()
+                && !file.code_in_test(k)
+                && k > 0
+                && file.code_is_punct(k - 1, '.')
+                && file.code_is_punct(k + 1, '(')
+                && BANNED_WHILE_LOCKED.iter().any(|m| file.code_is(k, m))
+            {
+                let held_names: Vec<&str> = held.iter().map(|g| g.class.as_str()).collect();
+                diags.push(file.diag_at_code(
+                    self.name(),
+                    k,
+                    format!(
+                        "`.{}()` called while holding lock `{}` — release the guard before \
+                         executing work",
+                        file.code_tok(k),
+                        held_names.join("`, `")
+                    ),
+                ));
+            }
+            k += 1;
+        }
+        diags
+    }
+}
+
+/// Struct fields whose type mentions `Mutex<…>`: the lock classes of the file.
+fn discover_classes(file: &SourceFile) -> BTreeSet<String> {
+    let mut classes = BTreeSet::new();
+    for k in 0..file.code.len() {
+        if !file.code_is(k, "Mutex") || !file.code_is_punct(k + 1, '<') {
+            continue;
+        }
+        // Walk back through wrapper generics (`Vec <`, `Arc <`) and slice
+        // brackets (`Box<[Mutex<…>]>`) to the `:`.
+        let mut j = k;
+        loop {
+            if j >= 1 && file.code_is_punct(j - 1, '[') {
+                j -= 1;
+            } else if j >= 2
+                && file.code_is_punct(j - 1, '<')
+                && WRAPPERS.iter().any(|w| file.code_is(j - 2, w))
+            {
+                j -= 2;
+            } else {
+                break;
+            }
+        }
+        if j >= 2 && file.code_is_punct(j - 1, ':') {
+            // `name : [wrappers] Mutex <` — and not a `let` binding's ascription.
+            let is_let = j >= 3 && file.code_is(j - 3, "let");
+            if !is_let {
+                classes.insert(file.code_tok(j - 2).to_string());
+            }
+        }
+    }
+    classes
+}
+
+/// If code token `k` begins a lock acquisition, return its class.
+/// Recognised shapes: `<field>…​.lock(` (any `.x`/`[i]` projections between)
+/// and `lock_or_poison(&…<field>…)`.
+fn acquisition_at(file: &SourceFile, k: usize, classes: &BTreeSet<String>) -> Option<String> {
+    // `lock_or_poison(…)` / helper form: class is the known field named inside.
+    if file.code_is(k, "lock_or_poison") && file.code_is_punct(k + 1, '(') {
+        let mut depth = 0usize;
+        let mut j = k + 1;
+        while j < file.code.len() {
+            if file.code_is_punct(j, '(') {
+                depth += 1;
+            } else if file.code_is_punct(j, ')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if classes.contains(file.code_tok(j)) {
+                return Some(file.code_tok(j).to_string());
+            }
+            j += 1;
+        }
+        // The argument names no field (a closure parameter, an accessor call):
+        // in a single-class file it can only be that class.
+        if classes.len() == 1 {
+            return classes.iter().next().cloned();
+        }
+        return None;
+    }
+    // `<expr>.lock(`: resolve the root field by walking back over projections.
+    if !file.code_is(k, "lock")
+        || !file.code_is_punct(k + 1, '(')
+        || k == 0
+        || !file.code_is_punct(k - 1, '.')
+    {
+        return None;
+    }
+    let mut j = k - 1; // the `.`
+    loop {
+        if j == 0 {
+            return None;
+        }
+        j -= 1; // token before `.` / `[`
+        if file.code_is_punct(j, ']') {
+            // skip the index expression back to its `[`
+            let mut depth = 0usize;
+            loop {
+                if file.code_is_punct(j, ']') {
+                    depth += 1;
+                } else if file.code_is_punct(j, '[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return None;
+                }
+                j -= 1;
+            }
+            if j == 0 {
+                return None;
+            }
+            j -= 1;
+        }
+        if classes.contains(file.code_tok(j)) {
+            return Some(file.code_tok(j).to_string());
+        }
+        // keep walking only through `.field` projections
+        if j == 0 || !file.code_is_punct(j - 1, '.') {
+            return None;
+        }
+        j -= 1;
+    }
+}
+
+/// Is the acquisition at `k` bound by `let <name> = …;` as a guard? The
+/// statement must start exactly `let name =`, and after the acquisition call
+/// only `.unwrap()` / `.expect(…)` may follow before the `;` — anything else
+/// (`.pop_front()`, `.push(…)`) consumes the guard as a temporary and binds
+/// its *result*, not the lock.
+fn binding_name(file: &SourceFile, stmt_start: usize, k: usize) -> Option<String> {
+    let mut s = stmt_start;
+    if !file.code_is(s, "let") {
+        return None;
+    }
+    if file.code_is(s + 1, "mut") {
+        s += 1;
+    }
+    if !file.code_is_punct(s + 2, '=') || s + 2 >= k {
+        return None;
+    }
+    let name = file.code_tok(s + 1).to_string();
+    // `k` is `lock` / `lock_or_poison`; `k + 1` its `(`. Walk past the call and
+    // any unwrap/expect chain; a guard binding ends the statement right there.
+    let mut j = matching_paren(file, k + 1)?;
+    while file.code_is_punct(j + 1, '.')
+        && (file.code_is(j + 2, "unwrap") || file.code_is(j + 2, "expect"))
+        && file.code_is_punct(j + 3, '(')
+    {
+        j = matching_paren(file, j + 3)?;
+    }
+    file.code_is_punct(j + 1, ';').then_some(name)
+}
+
+/// Code index of the `)` matching the `(` at code index `open`.
+fn matching_paren(file: &SourceFile, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for j in open..file.code.len() {
+        if file.code_is_punct(j, '(') {
+            depth += 1;
+        } else if file.code_is_punct(j, ')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// All elementary cycles' representative paths (one per strongly-connected
+/// back-edge found by DFS). Good enough for reporting: any cycle yields at
+/// least one path.
+fn find_cycles<'a>(graph: &BTreeMap<&'a str, BTreeSet<&'a str>>) -> Vec<Vec<&'a str>> {
+    let mut cycles = Vec::new();
+    for &start in graph.keys() {
+        let mut stack = vec![start];
+        let mut path = Vec::new();
+        if dfs(graph, start, start, &mut path, &mut stack, 0) {
+            path.push(start);
+            cycles.push(path);
+        }
+    }
+    // Deduplicate rotations: keep cycles whose first node is their minimum.
+    cycles.retain(|c| c.first() == c.iter().min());
+    cycles
+}
+
+fn dfs<'a>(
+    graph: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    start: &'a str,
+    at: &'a str,
+    path: &mut Vec<&'a str>,
+    visited: &mut Vec<&'a str>,
+    depth: usize,
+) -> bool {
+    if depth > graph.len() {
+        return false;
+    }
+    let Some(next) = graph.get(at) else {
+        return false;
+    };
+    for &n in next {
+        if n == start {
+            path.push(at);
+            return true;
+        }
+        if !visited.contains(&n) {
+            visited.push(n);
+            if dfs(graph, start, n, path, visited, depth + 1) {
+                path.insert(0, at);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let mut pass = LockOrder::default();
+        let file = SourceFile::parse("t.rs", src.to_string());
+        let mut diags = pass.check_file(&file);
+        diags.extend(pass.finish());
+        diags
+    }
+
+    const STRUCT: &str = "struct S { queues: Vec<Mutex<Vec<u32>>>, table: Mutex<u32> }\n";
+
+    #[test]
+    fn discovers_classes_behind_wrappers() {
+        let file = SourceFile::parse("t.rs", STRUCT.to_string());
+        let classes = discover_classes(&file);
+        assert!(
+            classes.contains("queues") && classes.contains("table"),
+            "{classes:?}"
+        );
+    }
+
+    #[test]
+    fn self_edge_is_flagged() {
+        let src = format!(
+            "// anet-lint: deny(lock-order)\n{STRUCT}\
+             impl S {{ fn f(&self) {{\n\
+                 let a = self.queues[0].lock().unwrap();\n\
+                 let b = self.queues[1].lock().unwrap();\n\
+             }} }}\n"
+        );
+        let diags = run(&src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("already holding"));
+    }
+
+    #[test]
+    fn cycle_across_functions_is_flagged() {
+        let src = format!(
+            "// anet-lint: deny(lock-order)\n{STRUCT}\
+             impl S {{\n\
+                 fn ab(&self) {{ let a = self.queues[0].lock().unwrap(); let b = self.table.lock().unwrap(); }}\n\
+                 fn ba(&self) {{ let b = self.table.lock().unwrap(); let a = self.queues[0].lock().unwrap(); }}\n\
+             }}\n"
+        );
+        let diags = run(&src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("cycle"), "{diags:?}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = format!(
+            "// anet-lint: deny(lock-order)\n{STRUCT}\
+             impl S {{\n\
+                 fn ab(&self) {{ let a = self.queues[0].lock().unwrap(); let b = self.table.lock().unwrap(); }}\n\
+                 fn ab2(&self) {{ let a = self.queues[1].lock().unwrap(); let b = self.table.lock().unwrap(); }}\n\
+             }}\n"
+        );
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_released_at_statement_end() {
+        let src = format!(
+            "// anet-lint: deny(lock-order)\n{STRUCT}\
+             impl S {{ fn f(&self) {{\n\
+                 self.queues[0].lock().unwrap().push(1);\n\
+                 self.queues[1].lock().unwrap().push(2);\n\
+             }} }}\n"
+        );
+        assert!(run(&src).is_empty(), "{:?}", run(&src));
+    }
+
+    #[test]
+    fn drop_releases_named_guard() {
+        let src = format!(
+            "// anet-lint: deny(lock-order)\n{STRUCT}\
+             impl S {{ fn f(&self, solver: &T) {{\n\
+                 let g = self.queues[0].lock().unwrap();\n\
+                 drop(g);\n\
+                 solver.execute();\n\
+             }} }}\n"
+        );
+        assert!(run(&src).is_empty(), "{:?}", run(&src));
+    }
+
+    #[test]
+    fn solver_call_while_locked_is_flagged() {
+        let src = format!(
+            "// anet-lint: deny(lock-order)\n{STRUCT}\
+             impl S {{ fn f(&self, solver: &T) {{\n\
+                 let g = self.queues[0].lock().unwrap();\n\
+                 solver.execute();\n\
+             }} }}\n"
+        );
+        let diags = run(&src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("while holding"));
+    }
+
+    #[test]
+    fn lock_or_poison_counts_as_acquisition() {
+        let src = format!(
+            "// anet-lint: deny(lock-order)\n{STRUCT}\
+             impl S {{ fn f(&self) {{\n\
+                 let a = lock_or_poison(&self.queues[0]);\n\
+                 let b = lock_or_poison(&self.queues[1]);\n\
+             }} }}\n"
+        );
+        let diags = run(&src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn consumed_guard_binds_the_result_not_the_lock() {
+        // `let own = …lock()….pop_front();` binds the popped value; the guard
+        // is a temporary, so stealing from another stripe afterwards is fine.
+        let src = format!(
+            "// anet-lint: deny(lock-order)\n{STRUCT}\
+             impl S {{ fn next(&self) -> Option<u32> {{\n\
+                 let own = self.queues[0].lock().unwrap().pop();\n\
+                 own.or_else(|| lock_or_poison(&self.queues[1]).pop())\n\
+             }} }}\n"
+        );
+        assert!(run(&src).is_empty(), "{:?}", run(&src));
+    }
+
+    #[test]
+    fn slice_typed_fields_are_classes() {
+        let file = SourceFile::parse(
+            "t.rs",
+            "struct T { shards: Box<[Mutex<u32>]> }\n".to_string(),
+        );
+        assert!(discover_classes(&file).contains("shards"));
+    }
+
+    #[test]
+    fn single_class_helper_calls_fall_back_to_that_class() {
+        let src = "// anet-lint: deny(lock-order)\n\
+             struct T { shards: Box<[Mutex<u32>]> }\n\
+             impl T {{ fn two(&self) {\n\
+                 let a = lock_or_poison(self.pick(0));\n\
+                 let b = lock_or_poison(self.pick(1));\n\
+             } }\n";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("already holding"));
+    }
+
+    #[test]
+    fn not_opted_in_files_are_skipped() {
+        let src = format!(
+            "{STRUCT}\
+             impl S {{ fn f(&self) {{\n\
+                 let a = self.queues[0].lock().unwrap();\n\
+                 let b = self.queues[1].lock().unwrap();\n\
+             }} }}\n"
+        );
+        assert!(run(&src).is_empty());
+    }
+}

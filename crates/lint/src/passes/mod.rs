@@ -1,0 +1,117 @@
+//! The pass framework: a [`Pass`] sees each file, may keep cross-file state,
+//! and emits [`Diagnostic`]s. [`run_passes`] drives the default set over a
+//! batch of files, folds in pragma-parse errors, and applies `allow`
+//! suppressions.
+
+mod hot_path_alloc;
+mod lock_order;
+mod panic_path;
+mod schema_version;
+mod trace_wildcard;
+mod unsafe_safety;
+
+pub use hot_path_alloc::HotPathAlloc;
+pub use lock_order::LockOrder;
+pub use panic_path::PanicPath;
+pub use schema_version::SchemaVersion;
+pub use trace_wildcard::TraceWildcard;
+pub use unsafe_safety::UnsafeSafety;
+
+use crate::diag::{sort_diagnostics, Diagnostic};
+use crate::source::SourceFile;
+
+/// One lint pass.
+pub trait Pass {
+    /// Stable pass name, as used in `allow(<name>)` / `deny(<name>)` pragmas
+    /// and rendered in diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Inspect one file, returning its diagnostics.
+    fn check_file(&mut self, file: &SourceFile) -> Vec<Diagnostic>;
+
+    /// Called once after every file has been seen; cross-file passes (schema
+    /// version uniqueness, the lock graph) report here.
+    fn finish(&mut self) -> Vec<Diagnostic> {
+        Vec::new()
+    }
+}
+
+/// The full default pass set, in reporting order.
+pub fn default_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(HotPathAlloc),
+        Box::new(LockOrder::default()),
+        Box::new(PanicPath),
+        Box::new(SchemaVersion::default()),
+        Box::new(TraceWildcard),
+        Box::new(UnsafeSafety),
+    ]
+}
+
+/// Names of every shipped pass (used by the pragma validator and `--help`).
+pub const PASS_NAMES: &[&str] = &[
+    "hot-path-alloc",
+    "lock-order",
+    "panic-path",
+    "schema-version-literal",
+    "trace-event-wildcard",
+    "unsafe-needs-safety",
+];
+
+/// Run `passes` over `files`: collect per-file and cross-file diagnostics,
+/// add pragma-parse errors and unknown-pass-name pragma diagnostics, drop
+/// findings covered by an `allow` pragma, and sort the rest.
+pub fn run_passes(files: &[SourceFile], passes: &mut [Box<dyn Pass>]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in files {
+        diags.extend(file.pragma_errors.iter().cloned());
+        diags.extend(validate_pragma_names(file));
+        for pass in passes.iter_mut() {
+            let found = pass.check_file(file);
+            diags.extend(
+                found
+                    .into_iter()
+                    .filter(|d| !file.is_suppressed(d.pass, d.line)),
+            );
+        }
+    }
+    for pass in passes.iter_mut() {
+        // Cross-file findings are anchored to a line in some file; honour that
+        // file's suppressions too.
+        let found = pass.finish();
+        diags.extend(found.into_iter().filter(|d| {
+            !files
+                .iter()
+                .any(|f| f.path == d.file && f.is_suppressed(d.pass, d.line))
+        }));
+    }
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+/// A pragma naming a pass that does not exist is a typo waiting to disable
+/// enforcement — flag it.
+fn validate_pragma_names(file: &SourceFile) -> Vec<Diagnostic> {
+    use crate::source::PragmaKind;
+    let mut diags = Vec::new();
+    for pragma in &file.pragmas {
+        let name = match &pragma.kind {
+            PragmaKind::Allow { pass } | PragmaKind::Deny { pass } => pass.as_str(),
+            PragmaKind::HotPath => continue,
+        };
+        if !PASS_NAMES.contains(&name) {
+            let t = &file.tokens[pragma.token];
+            diags.push(Diagnostic {
+                pass: "pragma",
+                file: file.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "pragma names unknown pass {name:?}; known passes: {}",
+                    PASS_NAMES.join(", ")
+                ),
+            });
+        }
+    }
+    diags
+}

@@ -1,0 +1,125 @@
+//! `panic-path`: files opted in with `// anet-lint: deny(panic-path)` must not
+//! panic outside tests. The service request path and the artifact parsers
+//! return typed errors; an `unwrap` there turns a malformed request or a
+//! truncated artifact into a worker-thread abort. Free functions named
+//! `expect`/`unwrap` are fine — only method calls (a preceding `.`) and the
+//! panic macro family are flagged.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+use crate::Pass;
+
+/// See module docs.
+pub struct PanicPath;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+impl Pass for PanicPath {
+    fn name(&self) -> &'static str {
+        "panic-path"
+    }
+
+    fn check_file(&mut self, file: &SourceFile) -> Vec<Diagnostic> {
+        if !file.denies(self.name()) {
+            return Vec::new();
+        }
+        let mut diags = Vec::new();
+        for k in 0..file.code.len() {
+            if file.code_in_test(k) {
+                continue;
+            }
+            for m in PANIC_METHODS {
+                if k > 0
+                    && file.code_is_punct(k - 1, '.')
+                    && file.code_is(k, m)
+                    && file.code_is_punct(k + 1, '(')
+                {
+                    diags.push(file.diag_at_code(
+                        self.name(),
+                        k,
+                        format!(
+                            "`.{m}()` on a panic-free path — return a typed error \
+                             or document the site with an allow pragma"
+                        ),
+                    ));
+                }
+            }
+            for m in PANIC_MACROS {
+                if file.code_is(k, m) && file.code_is_punct(k + 1, '!') {
+                    diags.push(file.diag_at_code(
+                        self.name(),
+                        k,
+                        format!("`{m}!` on a panic-free path — return a typed error instead"),
+                    ));
+                }
+            }
+        }
+        diags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse("t.rs", src.to_string());
+        PanicPath.check_file(&file)
+    }
+
+    #[test]
+    fn only_opted_in_files_are_checked() {
+        assert!(run("fn f(x: Option<u32>) -> u32 { x.unwrap() }\n").is_empty());
+    }
+
+    #[test]
+    fn flags_methods_and_macros_in_denied_files() {
+        let diags = run("// anet-lint: deny(panic-path)\n\
+             fn f(x: Option<u32>) -> u32 {\n\
+                 let y = x.expect(\"boom\");\n\
+                 if y == 0 { panic!(\"zero\") }\n\
+                 match y { 1 => unreachable!(), _ => y }\n\
+             }\n");
+        assert_eq!(diags.len(), 3, "{diags:?}");
+    }
+
+    #[test]
+    fn free_function_named_expect_is_fine() {
+        let diags = run("// anet-lint: deny(panic-path)\n\
+             fn expect(b: &[u8], p: &mut usize) -> bool { *p < b.len() }\n\
+             fn f(b: &[u8], p: &mut usize) -> bool { expect(b, p) }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let diags = run("// anet-lint: deny(panic-path)\n\
+             fn f() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() { Some(1).unwrap(); panic!(\"fine in tests\"); }\n\
+             }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_pragma_suppresses_via_framework() {
+        // Suppression is applied by run_passes, not the pass itself; check the
+        // file marks the right lines.
+        let file = SourceFile::parse(
+            "t.rs",
+            "// anet-lint: deny(panic-path)\n\
+             fn f(x: Option<u32>) -> u32 {\n\
+                 // anet-lint: allow(panic-path) — checked non-empty above\n\
+                 x.unwrap()\n\
+             }\n"
+            .to_string(),
+        );
+        let diags = PanicPath.check_file(&file);
+        assert_eq!(diags.len(), 1);
+        assert!(file.is_suppressed("panic-path", diags[0].line));
+    }
+}

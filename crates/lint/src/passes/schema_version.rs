@@ -1,0 +1,219 @@
+//! `schema-version-literal`: every `anet-*/v*` schema string must be defined in
+//! exactly one `const` (or `static`) and referenced through it everywhere else.
+//! Writer/parser pairs live in different files; duplicated literals are how a
+//! version bump updates the writer and silently leaves the parser rejecting its
+//! own artifacts. Cross-file by nature, so the findings land in `finish`.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::Pass;
+use std::collections::BTreeMap;
+
+/// One sighting of a schema literal.
+struct Occurrence {
+    file: std::path::PathBuf,
+    line: u32,
+    col: u32,
+    is_const_def: bool,
+    in_test: bool,
+    suppressed: bool,
+}
+
+/// See module docs.
+#[derive(Default)]
+pub struct SchemaVersion {
+    seen: BTreeMap<String, Vec<Occurrence>>,
+}
+
+impl Pass for SchemaVersion {
+    fn name(&self) -> &'static str {
+        "schema-version-literal"
+    }
+
+    fn check_file(&mut self, file: &SourceFile) -> Vec<Diagnostic> {
+        for (k, &i) in file.code.iter().enumerate() {
+            let t = &file.tokens[i];
+            if t.kind != (TokenKind::Str { raw: false }) && t.kind != (TokenKind::Str { raw: true })
+            {
+                continue;
+            }
+            let Some(content) = literal_content(file.tok(i)) else {
+                continue;
+            };
+            if !is_schema_string(content) {
+                continue;
+            }
+            let occurrence = Occurrence {
+                file: file.path.clone(),
+                line: t.line,
+                col: t.col,
+                is_const_def: is_const_definition(file, k),
+                in_test: file.code_in_test(k),
+                suppressed: file.is_suppressed(self.name(), t.line),
+            };
+            self.seen
+                .entry(content.to_string())
+                .or_default()
+                .push(occurrence);
+        }
+        Vec::new()
+    }
+
+    fn finish(&mut self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for (schema, occurrences) in &self.seen {
+            let defs: Vec<&Occurrence> = occurrences
+                .iter()
+                .filter(|o| o.is_const_def && !o.in_test)
+                .collect();
+            for o in occurrences {
+                if o.suppressed || o.in_test {
+                    continue;
+                }
+                if !o.is_const_def {
+                    diags.push(Diagnostic {
+                        pass: self.name(),
+                        file: o.file.clone(),
+                        line: o.line,
+                        col: o.col,
+                        message: format!(
+                            "schema literal {schema:?} outside its const definition — \
+                             reference the const so writer and parser cannot drift"
+                        ),
+                    });
+                } else if defs.len() > 1 {
+                    diags.push(Diagnostic {
+                        pass: self.name(),
+                        file: o.file.clone(),
+                        line: o.line,
+                        col: o.col,
+                        message: format!(
+                            "schema {schema:?} has {} const definitions — keep exactly one",
+                            defs.len()
+                        ),
+                    });
+                }
+            }
+        }
+        diags
+    }
+}
+
+/// Strip quotes/prefixes from a string token, returning its exact content, or
+/// `None` for raw strings whose fences make offset math ambiguous here. Only
+/// plain contents can be schema strings anyway.
+fn literal_content(text: &str) -> Option<&str> {
+    let body = text.strip_prefix('b').unwrap_or(text);
+    if let Some(rest) = body.strip_prefix("r") {
+        let hashes = rest.chars().take_while(|&c| c == '#').count();
+        let rest = &rest[hashes..];
+        let rest = rest.strip_prefix('"')?;
+        return rest.strip_suffix(&("\"".to_string() + &"#".repeat(hashes)));
+    }
+    body.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// Whole-string match only: `"anet-bench/v1"` is a schema literal, an error
+/// message *containing* that text is not.
+fn is_schema_string(s: &str) -> bool {
+    let Some(rest) = s.strip_prefix("anet-") else {
+        return false;
+    };
+    let Some(slash) = rest.find('/') else {
+        return false;
+    };
+    let (name, version) = rest.split_at(slash);
+    let version = &version[1..];
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        && version
+            .strip_prefix('v')
+            .is_some_and(|n| !n.is_empty() && n.chars().all(|c| c.is_ascii_digit()))
+}
+
+/// Is code token `k` the initializer of a `const`/`static`? Scan back a few
+/// tokens for the keyword, stopping at statement/boundary punctuation.
+fn is_const_definition(file: &SourceFile, k: usize) -> bool {
+    for back in 1..=8 {
+        let Some(j) = k.checked_sub(back) else { break };
+        if file.code_is_punct(j, ';') || file.code_is_punct(j, '{') || file.code_is_punct(j, '}') {
+            return false;
+        }
+        if file.code_is(j, "const") || file.code_is(j, "static") {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let mut pass = SchemaVersion::default();
+        for (path, src) in files {
+            let f = SourceFile::parse(*path, src.to_string());
+            pass.check_file(&f);
+        }
+        pass.finish()
+    }
+
+    #[test]
+    fn single_const_definition_is_clean() {
+        let diags = run(&[(
+            "a.rs",
+            "pub const SCHEMA: &str = \"anet-bench/v1\";\nfn f() { let _ = SCHEMA; }\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn stray_literal_is_flagged() {
+        let diags = run(&[
+            ("a.rs", "pub const SCHEMA: &str = \"anet-bench/v1\";\n"),
+            ("b.rs", "fn f() -> &'static str { \"anet-bench/v1\" }\n"),
+        ]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].file.ends_with("b.rs"));
+    }
+
+    #[test]
+    fn duplicate_consts_are_flagged() {
+        let diags = run(&[
+            ("a.rs", "pub const A: &str = \"anet-trace/v1\";\n"),
+            ("b.rs", "pub const B: &str = \"anet-trace/v1\";\n"),
+        ]);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn substrings_and_test_code_are_ignored() {
+        let diags = run(&[(
+            "a.rs",
+            "const S: &str = \"anet-x/v2\";\n\
+             fn usage() -> &'static str { \"expected anet-x/v2 artifact\" }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() { assert_eq!(super::S, \"anet-x/v2\"); }\n\
+             }\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn schema_shape_matcher() {
+        assert!(is_schema_string("anet-bench/v1"));
+        assert!(is_schema_string("anet-workloads/v2"));
+        assert!(!is_schema_string("anet-bench/v"));
+        assert!(!is_schema_string("anet-/v1"));
+        assert!(!is_schema_string("anet-bench/1"));
+        assert!(!is_schema_string("see anet-bench/v1"));
+        assert!(!is_schema_string("anet-bench/v1 artifact"));
+    }
+}

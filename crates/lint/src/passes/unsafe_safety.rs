@@ -1,0 +1,113 @@
+//! `unsafe-needs-safety`: every `unsafe` keyword must be justified by a
+//! `// SAFETY:` comment on its own line or the line(s) immediately above it.
+//! Combined with `#![forbid(unsafe_code)]` in every crate that has no unsafe
+//! today, this means new unsafe can only appear where it is already audited.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::Pass;
+
+/// See module docs.
+pub struct UnsafeSafety;
+
+impl Pass for UnsafeSafety {
+    fn name(&self) -> &'static str {
+        "unsafe-needs-safety"
+    }
+
+    fn check_file(&mut self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for (k, &i) in file.code.iter().enumerate() {
+            if file.tokens[i].kind != TokenKind::Ident || file.tok(i) != "unsafe" {
+                continue;
+            }
+            let line = file.tokens[i].line;
+            if !has_safety_comment(file, line) {
+                diags.push(file.diag_at_code(
+                    self.name(),
+                    k,
+                    "`unsafe` without a `// SAFETY:` comment immediately above it".to_string(),
+                ));
+            }
+        }
+        diags
+    }
+}
+
+/// Is there a comment containing `SAFETY:` on `line` or on a contiguous run of
+/// comment-bearing lines directly above it?
+fn has_safety_comment(file: &SourceFile, line: u32) -> bool {
+    let comment_lines: Vec<(u32, bool)> = file
+        .tokens
+        .iter()
+        .filter(|t| t.kind.is_comment())
+        .map(|t| (t.line, t.text(&file.text).contains("SAFETY:")))
+        .collect();
+    // Same line counts (e.g. `unsafe { ptr.read() } // SAFETY: bounds checked`).
+    if comment_lines.iter().any(|&(l, hit)| l == line && hit) {
+        return true;
+    }
+    // Walk upward while each line above carries a comment.
+    let mut at = line;
+    while at > 1 {
+        at -= 1;
+        match comment_lines.iter().rev().find(|&&(l, _)| l == at) {
+            Some(&(_, true)) => return true,
+            Some(&(_, false)) => continue,
+            None => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse("t.rs", src.to_string());
+        UnsafeSafety.check_file(&file)
+    }
+
+    #[test]
+    fn unsafe_without_comment_is_flagged() {
+        let diags = run("fn f(p: *const u32) -> u32 { unsafe { *p } }\n");
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_above_is_accepted() {
+        let diags = run("fn f(p: *const u32) -> u32 {\n\
+                 // SAFETY: caller guarantees p is valid and aligned.\n\
+                 unsafe { *p }\n\
+             }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn multi_line_safety_comment_is_accepted() {
+        let diags = run("fn f(p: *const u32) -> u32 {\n\
+                 // SAFETY: p comes from a live Vec with len > 0,\n\
+                 // so the read is in bounds.\n\
+                 unsafe { *p }\n\
+             }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unrelated_comment_does_not_count() {
+        let diags = run("fn f(p: *const u32) -> u32 {\n\
+                 // fast path\n\
+                 unsafe { *p }\n\
+             }\n");
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn string_containing_unsafe_is_ignored() {
+        let diags = run("fn f() -> &'static str { \"unsafe\" }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,476 @@
+//! A parsed source file: tokens plus the structure every pass needs — pragma
+//! directives, suppression sites, `#[cfg(test)]` regions, and brace matching.
+//!
+//! ## Pragma syntax
+//!
+//! Directives live in plain `//` comments (never in doc comments, so
+//! documentation can *show* the syntax without *activating* it):
+//!
+//! ```text
+//! // anet-lint: allow(<pass>) — <reason>     suppress <pass> on the following statement
+//! // anet-lint: deny(<pass>)                 opt this file into a scoped pass
+//! // anet-lint: hot-path                     register the next `fn` as a round-loop hot path
+//! ```
+//!
+//! `allow` requires a non-empty reason after the closing parenthesis; a bare
+//! `allow(pass)` is itself a diagnostic, as is an unknown directive — typos must
+//! not silently disable enforcement.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Token, TokenKind};
+use std::path::{Path, PathBuf};
+
+/// A recognised `anet-lint:` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PragmaKind {
+    /// `allow(<pass>)` with a documented reason: suppress that pass nearby.
+    Allow {
+        /// The pass being suppressed.
+        pass: String,
+    },
+    /// `deny(<pass>)`: opt the whole file into a scoped pass.
+    Deny {
+        /// The pass being opted into.
+        pass: String,
+    },
+    /// `hot-path`: the next `fn` item is a registered round-loop hot path.
+    HotPath,
+}
+
+/// A directive comment: its kind plus where it sits.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Which directive.
+    pub kind: PragmaKind,
+    /// Index of the comment token carrying it.
+    pub token: usize,
+    /// 1-based line of the comment.
+    pub line: u32,
+}
+
+/// One source file, lexed and indexed for the passes.
+pub struct SourceFile {
+    /// Path the file was loaded from (repo-relative when walked by the driver).
+    pub path: PathBuf,
+    /// The raw text.
+    pub text: String,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Parsed `anet-lint:` directives.
+    pub pragmas: Vec<Pragma>,
+    /// Diagnostics produced while parsing directives (unknown directive,
+    /// missing reason). Reported under the `pragma` pass and never suppressible.
+    pub pragma_errors: Vec<Diagnostic>,
+    /// Byte ranges of test-only code: `#[cfg(test)] mod … { … }` bodies and
+    /// `#[test] fn … { … }` bodies.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Lines on which each `allow` pragma applies: `(pass, line)` pairs.
+    suppressed: Vec<(String, u32)>,
+}
+
+impl SourceFile {
+    /// Lex and index `text` as the contents of `path`.
+    pub fn parse(path: impl Into<PathBuf>, text: String) -> SourceFile {
+        let path = path.into();
+        let tokens = lex(&text);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.kind.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let mut file = SourceFile {
+            path,
+            text,
+            tokens,
+            code,
+            pragmas: Vec::new(),
+            pragma_errors: Vec::new(),
+            test_regions: Vec::new(),
+            suppressed: Vec::new(),
+        };
+        file.scan_pragmas();
+        file.scan_test_regions();
+        file.compute_suppressions();
+        file
+    }
+
+    /// Load and parse a file from disk.
+    pub fn load(path: &Path) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(SourceFile::parse(path, text))
+    }
+
+    /// The text of token `i`.
+    pub fn tok(&self, i: usize) -> &str {
+        self.tokens[i].text(&self.text)
+    }
+
+    /// The text of the `k`-th code token.
+    pub fn code_tok(&self, k: usize) -> &str {
+        self.tokens[self.code[k]].text(&self.text)
+    }
+
+    /// Is the `k`-th code token the identifier `ident`?
+    pub fn code_is(&self, k: usize, ident: &str) -> bool {
+        k < self.code.len()
+            && self.tokens[self.code[k]].kind == TokenKind::Ident
+            && self.code_tok(k) == ident
+    }
+
+    /// Is the `k`-th code token the punctuation char `p`?
+    pub fn code_is_punct(&self, k: usize, p: char) -> bool {
+        k < self.code.len()
+            && self.tokens[self.code[k]].kind == TokenKind::Punct
+            && self.code_tok(k).starts_with(p)
+    }
+
+    /// A diagnostic at the `k`-th code token.
+    pub fn diag_at_code(&self, pass: &'static str, k: usize, message: String) -> Diagnostic {
+        let t = &self.tokens[self.code[k]];
+        Diagnostic {
+            pass,
+            file: self.path.clone(),
+            line: t.line,
+            col: t.col,
+            message,
+        }
+    }
+
+    /// Does byte offset `at` fall inside a test-only region?
+    pub fn in_test_region(&self, at: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| at >= s && at < e)
+    }
+
+    /// Is the `k`-th code token inside a test-only region?
+    pub fn code_in_test(&self, k: usize) -> bool {
+        self.in_test_region(self.tokens[self.code[k]].start)
+    }
+
+    /// Is a diagnostic of `pass` at `line` suppressed by a nearby
+    /// `allow(pass)` pragma?
+    pub fn is_suppressed(&self, pass: &str, line: u32) -> bool {
+        self.suppressed.iter().any(|(p, l)| p == pass && *l == line)
+    }
+
+    /// Does the file carry a `deny(<pass>)` pragma (opting it into `pass`)?
+    pub fn denies(&self, pass: &str) -> bool {
+        self.pragmas
+            .iter()
+            .any(|p| matches!(&p.kind, PragmaKind::Deny { pass: d } if d == pass))
+    }
+
+    /// Index (into `code`) of the matching `}` for the `{` at code index
+    /// `open`. Returns the last code token on unbalanced input.
+    pub fn matching_brace(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        for k in open..self.code.len() {
+            if self.code_is_punct(k, '{') {
+                depth += 1;
+            } else if self.code_is_punct(k, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Extract `anet-lint:` directives from plain `//` comments.
+    fn scan_pragmas(&mut self) {
+        let mut pragmas = Vec::new();
+        let mut errors = Vec::new();
+        for (i, token) in self.tokens.iter().enumerate() {
+            if token.kind != TokenKind::LineComment {
+                continue;
+            }
+            let text = token.text(&self.text);
+            // Plain `//` only: `///` and `//!` are documentation.
+            if text.starts_with("///") || text.starts_with("//!") {
+                continue;
+            }
+            let body = text.trim_start_matches('/').trim();
+            let Some(directive) = body.strip_prefix("anet-lint:") else {
+                continue;
+            };
+            let directive = directive.trim();
+            match parse_directive(directive) {
+                Ok(kind) => pragmas.push(Pragma {
+                    kind,
+                    token: i,
+                    line: token.line,
+                }),
+                Err(message) => errors.push(Diagnostic {
+                    pass: "pragma",
+                    file: self.path.clone(),
+                    line: token.line,
+                    col: token.col,
+                    message,
+                }),
+            }
+        }
+        self.pragmas = pragmas;
+        self.pragma_errors = errors;
+    }
+
+    /// An `allow` pragma covers its own line and the whole statement that
+    /// follows — up to the `;` (or closing `}` of a block expression) at the
+    /// statement's own nesting level. Statement-based rather than line-based so
+    /// that a formatter wrapping `x.lock()\n.expect(…)` across lines cannot
+    /// push the suppressed call out from under its pragma.
+    fn compute_suppressions(&mut self) {
+        let mut suppressed = Vec::new();
+        for pragma in &self.pragmas {
+            let PragmaKind::Allow { pass } = &pragma.kind else {
+                continue;
+            };
+            suppressed.push((pass.clone(), pragma.line));
+            let Some(first) = self
+                .code
+                .iter()
+                .position(|&i| self.tokens[i].line > pragma.line)
+            else {
+                continue;
+            };
+            let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+            for k in first..self.code.len() {
+                let t = &self.tokens[self.code[k]];
+                suppressed.push((pass.clone(), t.line));
+                if t.kind != TokenKind::Punct {
+                    continue;
+                }
+                match self.text[t.start..t.end].chars().next() {
+                    Some('(') => paren += 1,
+                    Some(')') => paren -= 1,
+                    Some('[') => bracket += 1,
+                    Some(']') => bracket -= 1,
+                    Some('{') => brace += 1,
+                    Some('}') => {
+                        brace -= 1;
+                        // End of the enclosing scope, or of a block-expression
+                        // statement (`match … {}` / `if … {}`) at our level.
+                        if brace <= 0 && paren <= 0 && bracket <= 0 {
+                            break;
+                        }
+                    }
+                    Some(';') if paren <= 0 && bracket <= 0 && brace <= 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        suppressed.sort();
+        suppressed.dedup();
+        self.suppressed = suppressed;
+    }
+
+    /// Find `#[cfg(test)] mod … { … }` and `#[test] fn … { … }` regions.
+    fn scan_test_regions(&mut self) {
+        let mut regions = Vec::new();
+        let mut k = 0usize;
+        while k < self.code.len() {
+            if let Some((body_open, attr_start)) = self.test_attr_item(k) {
+                let close = self.matching_brace(body_open);
+                regions.push((
+                    self.tokens[self.code[attr_start]].start,
+                    self.tokens[self.code[close]].end,
+                ));
+                k = close + 1;
+            } else {
+                k += 1;
+            }
+        }
+        self.test_regions = regions;
+    }
+
+    /// If code index `k` starts `#[cfg(test)]` or `#[test]` on a braced item,
+    /// return `(index of the body's '{', k)`.
+    fn test_attr_item(&self, k: usize) -> Option<(usize, usize)> {
+        if !self.code_is_punct(k, '#') || !self.code_is_punct(k + 1, '[') {
+            return None;
+        }
+        let is_cfg_test = self.code_is(k + 2, "cfg")
+            && self.code_is_punct(k + 3, '(')
+            && self.code_is(k + 4, "test")
+            && self.code_is_punct(k + 5, ')')
+            && self.code_is_punct(k + 6, ']');
+        let is_test = self.code_is(k + 2, "test") && self.code_is_punct(k + 3, ']');
+        let mut at = if is_cfg_test {
+            k + 7
+        } else if is_test {
+            k + 4
+        } else {
+            return None;
+        };
+        // Skip any further attributes between the test attribute and the item.
+        while self.code_is_punct(at, '#') && self.code_is_punct(at + 1, '[') {
+            let mut depth = 0usize;
+            let mut j = at + 1;
+            while j < self.code.len() {
+                if self.code_is_punct(j, '[') {
+                    depth += 1;
+                } else if self.code_is_punct(j, ']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            at = j + 1;
+        }
+        // The guarded item must eventually open a brace: `mod name {` / `fn … {`.
+        let wants_brace = self.code_is(at, "mod") || self.code_is(at, "fn");
+        if !wants_brace {
+            return None;
+        }
+        let mut j = at;
+        while j < self.code.len() && !self.code_is_punct(j, '{') {
+            if self.code_is_punct(j, ';') {
+                return None; // `mod name;` — no inline body
+            }
+            j += 1;
+        }
+        (j < self.code.len()).then_some((j, k))
+    }
+}
+
+/// Parse the text after `anet-lint:`.
+fn parse_directive(directive: &str) -> Result<PragmaKind, String> {
+    if directive == "hot-path"
+        || directive.starts_with("hot-path ")
+        || directive.starts_with("hot-path —")
+    {
+        return Ok(PragmaKind::HotPath);
+    }
+    for (name, wants_reason) in [("allow", true), ("deny", false)] {
+        let Some(rest) = directive.strip_prefix(name) else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            return Err(format!(
+                "malformed `{name}` directive: expected `{name}(<pass>)`"
+            ));
+        };
+        let Some(close) = rest.find(')') else {
+            return Err(format!("malformed `{name}` directive: missing `)`"));
+        };
+        let pass = rest[..close].trim().to_string();
+        if pass.is_empty() {
+            return Err(format!("`{name}` directive names no pass"));
+        }
+        let reason = rest[close + 1..]
+            .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
+            .trim();
+        if wants_reason && reason.is_empty() {
+            return Err(format!(
+                "`allow({pass})` without a reason: write `// anet-lint: allow({pass}) — <why this site is exempt>`"
+            ));
+        }
+        return Ok(if wants_reason {
+            PragmaKind::Allow { pass }
+        } else {
+            PragmaKind::Deny { pass }
+        });
+    }
+    Err(format!(
+        "unknown anet-lint directive {directive:?}: expected `allow(<pass>) — <reason>`, `deny(<pass>)` or `hot-path`"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("test.rs", src.to_string())
+    }
+
+    #[test]
+    fn pragmas_parse_and_doc_comments_do_not() {
+        let f = parse(
+            "// anet-lint: deny(panic-path)\n\
+             /// anet-lint: allow(panic-path) — doc comments never activate\n\
+             // anet-lint: hot-path\n\
+             fn f() {}\n",
+        );
+        assert_eq!(f.pragmas.len(), 2);
+        assert!(f.denies("panic-path"));
+        assert!(matches!(f.pragmas[1].kind, PragmaKind::HotPath));
+        assert!(f.pragma_errors.is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_an_error() {
+        let f = parse("// anet-lint: allow(panic-path)\nfn f() {}\n");
+        assert_eq!(f.pragma_errors.len(), 1);
+        assert!(f.pragma_errors[0].message.contains("without a reason"));
+        let ok =
+            parse("// anet-lint: allow(panic-path) — recovery is impossible here\nfn f() {}\n");
+        assert!(ok.pragma_errors.is_empty());
+        assert!(ok.is_suppressed("panic-path", 1));
+        assert!(ok.is_suppressed("panic-path", 2));
+        assert!(!ok.is_suppressed("panic-path", 3));
+    }
+
+    #[test]
+    fn unknown_directives_are_errors() {
+        let f = parse("// anet-lint: alow(panic-path) — typo\n");
+        assert_eq!(f.pragma_errors.len(), 1);
+        assert!(f.pragma_errors[0].message.contains("unknown"));
+    }
+
+    #[test]
+    fn cfg_test_mod_bodies_are_test_regions() {
+        let f = parse(
+            "fn real() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() { let x = 1; }\n\
+             }\n\
+             fn after() {}\n",
+        );
+        assert_eq!(f.test_regions.len(), 1);
+        let x_tok = f
+            .code
+            .iter()
+            .position(|&i| f.tokens[i].text(&f.text) == "x")
+            .unwrap();
+        assert!(f.code_in_test(x_tok));
+        let after = f
+            .code
+            .iter()
+            .position(|&i| f.tokens[i].text(&f.text) == "after")
+            .unwrap();
+        assert!(!f.code_in_test(after));
+    }
+
+    #[test]
+    fn test_fn_bodies_outside_mods_are_test_regions() {
+        let f = parse("#[test]\nfn t() { oops(); }\nfn real() {}\n");
+        assert_eq!(f.test_regions.len(), 1);
+        let oops = f
+            .code
+            .iter()
+            .position(|&i| f.tokens[i].text(&f.text) == "oops")
+            .unwrap();
+        assert!(f.code_in_test(oops));
+    }
+
+    #[test]
+    fn matching_brace_handles_nesting() {
+        let f = parse("fn f() { if x { y(); } }");
+        let open = f
+            .code
+            .iter()
+            .position(|&i| f.tokens[i].text(&f.text) == "{")
+            .unwrap();
+        let close = f.matching_brace(open);
+        assert_eq!(f.code_tok(close), "}");
+        assert_eq!(close, f.code.len() - 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Adversarial tests for the anet-lint lexer.
+//!
+//! The lexer must be *total*: for any byte sequence that is valid UTF-8 it
+//! terminates, never panics, and returns tokens whose spans are in-bounds,
+//! monotonically non-decreasing, and non-empty. On well-formed-but-nasty Rust
+//! (nested comments, raw-string fences, lifetimes vs chars) it must also
+//! classify correctly, because every pass trusts those classifications.
+
+use anet_lint::lexer::{lex, TokenKind};
+
+/// Structural invariants every lex result must satisfy, whatever the input.
+fn assert_span_invariants(src: &str) {
+    let tokens = lex(src);
+    let mut prev_end = 0;
+    for t in &tokens {
+        assert!(
+            t.start < t.end,
+            "empty span {}..{} in {:?}",
+            t.start,
+            t.end,
+            src
+        );
+        assert!(
+            t.end <= src.len(),
+            "span {}..{} past end of {:?}",
+            t.start,
+            t.end,
+            src
+        );
+        assert!(t.start >= prev_end, "overlapping spans in {:?}", src);
+        assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        prev_end = t.end;
+    }
+}
+
+fn kinds(src: &str) -> Vec<TokenKind> {
+    lex(src).iter().map(|t| t.kind).collect()
+}
+
+#[test]
+fn nested_block_comments_are_one_token() {
+    let src = "/* a /* b /* c */ d */ e */ fn";
+    let toks = lex(src);
+    assert_eq!(toks.len(), 2);
+    assert_eq!(toks[0].kind, TokenKind::BlockComment);
+    assert_eq!(toks[0].text(src), "/* a /* b /* c */ d */ e */");
+    assert_eq!(toks[1].text(src), "fn");
+}
+
+#[test]
+fn unterminated_nested_comment_consumes_rest() {
+    let src = "/* open /* deeper */ still open\nfn ghost() {}";
+    let toks = lex(src);
+    assert_eq!(toks.len(), 1);
+    assert_eq!(toks[0].kind, TokenKind::BlockComment);
+    assert_eq!(toks[0].end, src.len());
+}
+
+#[test]
+fn raw_string_fences_must_match_hash_count() {
+    let src = r####"let s = r##"contains "# and even "quotes""## ; done"####;
+    let toks = lex(src);
+    let raw = toks
+        .iter()
+        .find(|t| t.kind == (TokenKind::Str { raw: true }))
+        .expect("raw string token");
+    assert!(raw.text(src).ends_with(r###""##"###));
+    let after: Vec<&str> = toks.iter().map(|t| t.text(src)).collect();
+    assert!(
+        after.contains(&"done"),
+        "lexer lost its footing after the raw string: {after:?}"
+    );
+}
+
+#[test]
+fn raw_byte_strings_and_byte_chars() {
+    let src = r#"let a = br"no // comment here"; let b = b'q';"#;
+    let toks = lex(src);
+    assert!(
+        toks.iter().all(|t| !t.kind.is_comment()),
+        "// inside a raw byte string misread as a comment"
+    );
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Char && t.text(src) == "b'q'"));
+}
+
+#[test]
+fn lifetimes_are_not_chars() {
+    let src = "fn f<'a>(x: &'a str) { let c = 'a'; let q = '\\''; break 'outer; }";
+    let toks = lex(src);
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text(src))
+        .collect();
+    let chars: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a", "'outer"]);
+    assert_eq!(chars, vec!["'a'", "'\\''"]);
+}
+
+#[test]
+fn doc_comments_are_still_comments() {
+    let src = "/// outer doc .unwrap()\n//! inner doc\n/** block doc */ fn f() {}";
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokenKind::LineComment);
+    assert_eq!(toks[1].kind, TokenKind::LineComment);
+    assert_eq!(toks[2].kind, TokenKind::BlockComment);
+    assert_eq!(toks[3].text(src), "fn");
+}
+
+#[test]
+fn string_escapes_do_not_end_strings_early() {
+    let src = r#"let s = "quote \" slash \\ done"; next"#;
+    let toks = lex(src);
+    let s = toks
+        .iter()
+        .find(|t| matches!(t.kind, TokenKind::Str { .. }))
+        .expect("string token");
+    assert_eq!(s.text(src), r#""quote \" slash \\ done""#);
+    assert!(toks.iter().any(|t| t.text(src) == "next"));
+}
+
+#[test]
+fn line_and_column_tracking_survives_multibyte() {
+    let src = "let emoji = \"\u{1F600}\u{1F600}\";\nlet after = 1;";
+    let toks = lex(src);
+    let after = toks.iter().find(|t| t.text(src) == "after").unwrap();
+    assert_eq!(after.line, 2);
+    assert_eq!(after.col, 5);
+}
+
+#[test]
+fn numbers_and_raw_identifiers() {
+    assert!(kinds("0xFF_u64 0b1010 0o77 1_000.5e-3 42u32")
+        .iter()
+        .all(|k| *k == TokenKind::Number));
+    let src = "r#match + r#type";
+    let idents: Vec<&str> = lex(src)
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text(src))
+        .collect();
+    assert!(
+        idents.contains(&"match") && idents.contains(&"type"),
+        "{idents:?}"
+    );
+}
+
+#[test]
+fn pathological_terminators_do_not_hang_or_panic() {
+    for src in [
+        "\"unterminated",
+        "'",
+        "'a",
+        "'\\",
+        "r\"open",
+        "r###\"never closed\"##",
+        "b\"open",
+        "br##\"open",
+        "/* never closed",
+        "/*/",
+        "r#",
+        "r#\"\"",
+        "''",
+        "0x",
+        "1e",
+        "\\",
+    ] {
+        assert_span_invariants(src);
+    }
+}
+
+/// SplitMix64: a tiny deterministic PRNG so the sweep needs no dependencies.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Flip random bits/bytes of a legitimate source file and lex every mutant.
+/// The lexer may classify mutants however it likes — it just can't crash,
+/// loop, or emit out-of-bounds spans.
+#[test]
+fn bit_flip_sweep_never_panics() {
+    let base = concat!(
+        "// anet-lint: allow(panic-path) — fixture text only\n",
+        "fn mix<'a>(xs: &'a [u8]) -> String {\n",
+        "    let raw = r#\"fence \"# inside\"#;\n",
+        "    /* block /* nested */ tail */\n",
+        "    let c = '\\u{1F600}'; let b = b'q';\n",
+        "    format!(\"{raw}{c}{b}{}\", 0xFF_u64)\n",
+        "}\n"
+    );
+    let mut rng = SplitMix64(0x4E07_2021_5841_AD5E);
+    for _ in 0..4000 {
+        let mut bytes = base.as_bytes().to_vec();
+        for _ in 0..(1 + rng.next() % 4) {
+            let i = (rng.next() as usize) % bytes.len();
+            match rng.next() % 3 {
+                0 => bytes[i] ^= 1 << (rng.next() % 8),
+                1 => bytes[i] = (rng.next() % 128) as u8,
+                _ => {
+                    bytes.truncate(i);
+                }
+            }
+            if bytes.is_empty() {
+                break;
+            }
+        }
+        if let Ok(mutant) = String::from_utf8(bytes) {
+            assert_span_invariants(&mutant);
+        }
+    }
+}

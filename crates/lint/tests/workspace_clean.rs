@@ -1,0 +1,42 @@
+//! End-to-end tests: the fixture suite must behave as labelled, and the
+//! workspace itself must lint clean — so a regression anywhere in the tree
+//! fails `cargo test` as well as the dedicated CI job.
+
+use std::path::Path;
+
+#[test]
+fn fixtures_behave_as_labelled() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let report = anet_lint::self_check(&fixtures).expect("read fixtures");
+    assert!(
+        report.passed(),
+        "self-check failed:\n{}",
+        report.failures.join("\n")
+    );
+    assert!(
+        report.checked >= 15,
+        "fixture suite shrank to {}",
+        report.checked
+    );
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "not at workspace root: {}",
+        root.display()
+    );
+    let diags = anet_lint::lint_workspace(&root).expect("walk workspace");
+    let rendered: Vec<String> = diags.iter().map(|d| d.render()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace has lint violations:\n{}",
+        rendered.join("\n")
+    );
+}

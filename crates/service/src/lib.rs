@@ -58,6 +58,8 @@
 //! println!("{}", report.summary());
 //! ```
 
+// anet-lint: deny(panic-path)
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

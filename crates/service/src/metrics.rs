@@ -4,6 +4,8 @@
 //! path only records three `Instant`s per request (submitted, started, finished),
 //! so metrics cost nothing while the scheduler runs.
 
+// anet-lint: deny(panic-path)
+
 use anet_views::InternerStats;
 use std::time::Duration;
 

@@ -9,6 +9,8 @@
 //! service never silently discards work it admitted, and never admits work it
 //! cannot queue).
 
+// anet-lint: deny(panic-path)
+
 use anet_election::engine::{AdviceSolver, ElectionReport, MapSolver, Solver};
 use anet_election::tasks::Task;
 use anet_graph::PortGraph;

@@ -41,6 +41,7 @@ use crate::metrics::{LatencyStats, ServiceReport, TenantBreakdown};
 use crate::request::{CompletedElection, ElectionRequest, RejectReason, Submission};
 use anet_election::engine::Election;
 use anet_trace::{Tagged, TraceEvent, TraceSink};
+use anet_views::shared::{lock_or_poison, wait_timeout_or_poison};
 use anet_views::SharedViewInterner;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -148,14 +149,11 @@ impl SharedState {
     /// others (fanning out from `w + 1` so workers don't mob one victim).
     fn next_job(&self, w: usize) -> Option<Job> {
         let workers = self.deques.len();
-        let own = self.deques[w].lock().expect("deque poisoned").pop_front();
+        let own = lock_or_poison(&self.deques[w]).pop_front();
         let job = own.or_else(|| {
             (1..workers).find_map(|offset| {
                 let victim = (w + offset) % workers;
-                let stolen = self.deques[victim]
-                    .lock()
-                    .expect("deque poisoned")
-                    .pop_back();
+                let stolen = lock_or_poison(&self.deques[victim]).pop_back();
                 if let Some(job) = &stolen {
                     self.steals.fetch_add(1, Ordering::Relaxed);
                     if let Some(trace) = &self.trace {
@@ -210,21 +208,18 @@ impl SharedState {
             });
         }
         self.executed[w].fetch_add(1, Ordering::Relaxed);
-        self.completed
-            .lock()
-            .expect("completion log poisoned")
-            .push(CompletedElection {
-                id: job.id,
-                tenant: job.request.tenant,
-                name: job.request.name,
-                solver: job.request.solver.label().to_string(),
-                task: job.request.task,
-                backend: job.request.backend,
-                queue_wait,
-                service_time,
-                turnaround: queue_wait + service_time,
-                outcome,
-            });
+        lock_or_poison(&self.completed).push(CompletedElection {
+            id: job.id,
+            tenant: job.request.tenant,
+            name: job.request.name,
+            solver: job.request.solver.label().to_string(),
+            task: job.request.task,
+            backend: job.request.backend,
+            queue_wait,
+            service_time,
+            turnaround: queue_wait + service_time,
+            outcome,
+        });
     }
 
     fn worker_loop(&self, w: usize) {
@@ -242,17 +237,14 @@ impl SharedState {
                 std::thread::yield_now();
                 continue;
             }
-            let guard = self.idle.lock().expect("idle lock poisoned");
+            let guard = lock_or_poison(&self.idle);
             // Re-check under the lock: a submission that raced us will notify
             // under this same lock, so sleeping here cannot lose it.
             if self.queued.load(Ordering::Acquire) > 0 || !self.open.load(Ordering::Acquire) {
                 continue;
             }
             // The timeout is belt-and-braces only; correctness does not need it.
-            let _ = self
-                .work_ready
-                .wait_timeout(guard, Duration::from_millis(50))
-                .expect("idle lock poisoned");
+            let _ = wait_timeout_or_poison(&self.work_ready, guard, Duration::from_millis(50));
         }
     }
 }
@@ -307,6 +299,7 @@ impl ElectionService {
                 std::thread::Builder::new()
                     .name(format!("anet-service-{w}"))
                     .spawn(move || state.worker_loop(w))
+                    // anet-lint: allow(panic-path) — cannot run a service without workers.
                     .expect("spawn service worker")
             })
             .collect();
@@ -359,16 +352,13 @@ impl ElectionService {
             .fetch_max(queue_depth, Ordering::AcqRel);
         let id = state.next_id.fetch_add(1, Ordering::Relaxed);
         let w = state.next_worker.fetch_add(1, Ordering::Relaxed) % state.deques.len();
-        state.deques[w]
-            .lock()
-            .expect("deque poisoned")
-            .push_back(Job {
-                id,
-                request,
-                submitted_at: Instant::now(),
-            });
+        lock_or_poison(&state.deques[w]).push_back(Job {
+            id,
+            request,
+            submitted_at: Instant::now(),
+        });
         // Notify under the idle lock so a parking worker cannot miss this job.
-        let _guard = state.idle.lock().expect("idle lock poisoned");
+        let _guard = lock_or_poison(&state.idle);
         state.work_ready.notify_one();
         Submission::Enqueued { id, queue_depth }
     }
@@ -378,7 +368,7 @@ impl ElectionService {
     /// [`RejectReason::Closed`].
     pub fn close(&self) {
         self.state.open.store(false, Ordering::Release);
-        let _guard = self.state.idle.lock().expect("idle lock poisoned");
+        let _guard = lock_or_poison(&self.state.idle);
         self.state.work_ready.notify_all();
     }
 
@@ -400,12 +390,13 @@ impl ElectionService {
     pub fn shutdown(self) -> (Vec<CompletedElection>, ServiceReport) {
         self.close();
         for handle in self.workers {
+            // anet-lint: allow(panic-path) — worker_loop catches solver panics; a
+            // panic escaping it is a scheduler bug and must abort the shutdown.
             handle.join().expect("service worker panicked");
         }
         let wall = self.started.elapsed();
         let state = &*self.state;
-        let mut completed =
-            std::mem::take(&mut *state.completed.lock().expect("completion log poisoned"));
+        let mut completed = std::mem::take(&mut *lock_or_poison(&state.completed));
         completed.sort_by_key(|c| c.id);
         let solved = completed.iter().filter(|c| c.solved()).count() as u64;
         let failed = completed.iter().filter(|c| c.outcome.is_err()).count() as u64;
@@ -487,6 +478,8 @@ impl ElectionService {
                         std::thread::sleep(Duration::from_micros(200));
                     }
                     Submission::Rejected { .. } => {
+                        // anet-lint: allow(panic-path) — Closed is impossible: this fn
+                        // owns the service and only closes it after the loop.
                         unreachable!("run_batch never closes the service early")
                     }
                 }

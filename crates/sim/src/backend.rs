@@ -323,6 +323,7 @@ fn degree_balanced_chunks(offsets: &[usize], threads: usize) -> Vec<Range<usize>
 
 /// Record the elapsed time of one phase when the probe armed it (`start` is `Some`
 /// exactly when the sink is enabled — the disabled path reads no clock at all).
+// anet-lint: hot-path
 fn record_phase(sink: &dyn TraceSink, round: usize, phase: Phase, start: Option<Instant>) {
     if let Some(start) = start {
         sink.record(TraceEvent::PhaseTime {
@@ -465,49 +466,21 @@ where
         });
     }
 
+    let mut arenas = BatchArenas {
+        offsets: &offsets,
+        route: &route,
+        out: &mut out_arena,
+        inbox: &mut in_arena,
+    };
     for round in 1..=rounds {
-        if tracing {
-            sink.record(TraceEvent::RoundStart {
-                trace_id: 0,
-                round: round as u64,
-            });
-        }
-        // Send phase: every node writes its arena slice directly.
-        let phase_start = tracing.then(Instant::now);
-        for (node, window) in nodes.iter_mut().zip(offsets.windows(2)) {
-            node.send_into(round, &mut out_arena[window[0]..window[1]]);
-        }
-        record_phase(sink, round, Phase::Send, phase_start);
-        // Routing phase: clear the inbox arena (receivers may have left residue and
-        // silent ports must read `None`), then move each message to the far end of
-        // its edge — a cache-friendly linear pass over one buffer.
-        let delivered_before = messages_delivered;
-        let phase_start = tracing.then(Instant::now);
-        for slot in in_arena.iter_mut() {
-            *slot = None;
-        }
-        for (slot, &dest) in out_arena.iter_mut().zip(route.iter()) {
-            if let Some(message) = slot.take() {
-                in_arena[dest] = Some(message);
-                messages_delivered += 1;
-            }
-        }
-        record_phase(sink, round, Phase::Route, phase_start);
-        // Receive phase: every node reads its arena slice in place.
-        let phase_start = tracing.then(Instant::now);
-        for (node, window) in nodes.iter_mut().zip(offsets.windows(2)) {
-            node.receive(round, &mut in_arena[window[0]..window[1]]);
-        }
-        record_phase(sink, round, Phase::Receive, phase_start);
-        if tracing {
-            let delivered = (messages_delivered - delivered_before) as u64;
-            sink.record(TraceEvent::RoundEnd {
-                trace_id: 0,
-                round: round as u64,
-                messages: delivered,
-                payload_bytes: delivered * message_bytes,
-            });
-        }
+        batched_round(
+            round,
+            &mut nodes,
+            &mut arenas,
+            sink,
+            message_bytes,
+            &mut messages_delivered,
+        );
     }
 
     if tracing {
@@ -523,6 +496,74 @@ where
             rounds,
             messages_delivered,
         },
+    }
+}
+
+/// The flat per-run buffers of [`run_batched`], bundled so the round fn stays
+/// readable: the port-offset table, the flat route table, and the two message
+/// arenas the whole run reuses in place.
+struct BatchArenas<'a, M> {
+    offsets: &'a [usize],
+    route: &'a [usize],
+    out: &'a mut [Option<M>],
+    inbox: &'a mut [Option<M>],
+}
+
+/// One round of the batching backend: send into the outbox arena, route it into
+/// the inbox arena in a single linear pass, receive in place. This is the
+/// paper-benchmark hot path — the lint enforces that it never allocates (the
+/// arenas in `BatchArenas` are the only buffers it may touch).
+// anet-lint: hot-path
+fn batched_round<A: NodeAlgorithm>(
+    round: usize,
+    nodes: &mut [A],
+    arenas: &mut BatchArenas<'_, A::Message>,
+    sink: &dyn TraceSink,
+    message_bytes: u64,
+    messages_delivered: &mut usize,
+) {
+    let tracing = sink.enabled();
+    if tracing {
+        sink.record(TraceEvent::RoundStart {
+            trace_id: 0,
+            round: round as u64,
+        });
+    }
+    // Send phase: every node writes its arena slice directly.
+    let phase_start = tracing.then(Instant::now);
+    for (node, window) in nodes.iter_mut().zip(arenas.offsets.windows(2)) {
+        node.send_into(round, &mut arenas.out[window[0]..window[1]]);
+    }
+    record_phase(sink, round, Phase::Send, phase_start);
+    // Routing phase: clear the inbox arena (receivers may have left residue and
+    // silent ports must read `None`), then move each message to the far end of
+    // its edge — a cache-friendly linear pass over one buffer.
+    let delivered_before = *messages_delivered;
+    let phase_start = tracing.then(Instant::now);
+    for slot in arenas.inbox.iter_mut() {
+        *slot = None;
+    }
+    for (slot, &dest) in arenas.out.iter_mut().zip(arenas.route.iter()) {
+        if let Some(message) = slot.take() {
+            arenas.inbox[dest] = Some(message);
+            *messages_delivered += 1;
+        }
+    }
+    record_phase(sink, round, Phase::Route, phase_start);
+    // Receive phase: every node reads its arena slice in place.
+    let phase_start = tracing.then(Instant::now);
+    for (node, window) in nodes.iter_mut().zip(arenas.offsets.windows(2)) {
+        node.receive(round, &mut arenas.inbox[window[0]..window[1]]);
+    }
+    record_phase(sink, round, Phase::Receive, phase_start);
+    if tracing {
+        let delivered = (*messages_delivered - delivered_before) as u64;
+        sink.record(TraceEvent::RoundEnd {
+            trace_id: 0,
+            round: round as u64,
+            messages: delivered,
+            payload_bytes: delivered * message_bytes,
+        });
     }
 }
 

@@ -65,6 +65,8 @@
 //! assert_eq!(decoded, view);
 //! ```
 
+// anet-lint: deny(panic-path)
+
 use crate::bits::{BitReader, BitString};
 use crate::encoding::DecodeError;
 use crate::interned::{View, ViewInterner};

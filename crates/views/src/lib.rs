@@ -68,5 +68,7 @@ pub use election_index::{ElectionIndices, Feasibility};
 pub use encoding::ViewCodec;
 pub use interned::{View, ViewInterner};
 pub use refinement::{JointRefinement, Refinement};
-pub use shared::{InternerHandle, InternerStats, SharedViewInterner};
+pub use shared::{
+    lock_or_poison, wait_timeout_or_poison, InternerHandle, InternerStats, SharedViewInterner,
+};
 pub use view_tree::ViewTree;

@@ -62,6 +62,7 @@ pub struct JointRefinement {
 /// reused `order` permutation by signature and number the runs of equal signatures.
 /// Returns the number of distinct classes. Ids are deterministic (signature-sorted
 /// order) but otherwise arbitrary, exactly like the insertion-order ids they replace.
+// anet-lint: hot-path
 fn assign_dense_ids(
     sig_arena: &[u32],
     sig_offsets: &[usize],
@@ -78,6 +79,35 @@ fn assign_dense_ids(
         row[order[k] as usize] = next_id;
     }
     next_id as usize + 1
+}
+
+/// Write every node's depth-`d` signature into the reused signature arena:
+/// the node's previous class, then per port (far port, neighbour's previous
+/// class). `current` is the previous depth's class row; `offsets` maps graph
+/// index → first flat node id. Runs once per refinement level over every port
+/// of every graph — a registered hot path, so it must write in place only.
+// anet-lint: hot-path
+fn fill_signatures(
+    graphs: &[&PortGraph],
+    offsets: &[usize],
+    current: &[u32],
+    sig_offsets: &[usize],
+    sig_arena: &mut [u32],
+) {
+    let mut flat = 0usize;
+    for (gi, g) in graphs.iter().enumerate() {
+        for v in g.nodes() {
+            let mut slot = sig_offsets[flat];
+            sig_arena[slot] = current[flat];
+            slot += 1;
+            for (_, u, q) in g.ports(v) {
+                sig_arena[slot] = q;
+                sig_arena[slot + 1] = current[offsets[gi] + u as usize];
+                slot += 2;
+            }
+            flat += 1;
+        }
+    }
 }
 
 impl JointRefinement {
@@ -178,20 +208,7 @@ impl JointRefinement {
             // place into the reused signature arena.
             {
                 let current = &classes[(depth - 1) * total..depth * total];
-                let mut flat = 0usize;
-                for (gi, g) in graphs.iter().enumerate() {
-                    for v in g.nodes() {
-                        let mut slot = sig_offsets[flat];
-                        sig_arena[slot] = current[flat];
-                        slot += 1;
-                        for (_, u, q) in g.ports(v) {
-                            sig_arena[slot] = q;
-                            sig_arena[slot + 1] = current[offsets[gi] + u as usize];
-                            slot += 2;
-                        }
-                        flat += 1;
-                    }
-                }
+                fill_signatures(graphs, &offsets, current, &sig_offsets, &mut sig_arena);
             }
             let count = assign_dense_ids(&sig_arena, &sig_offsets, &mut order, &mut row);
             let stabilised = count == *counts.last().expect("non-empty");

@@ -43,13 +43,48 @@
 //! assert!(interner.stats().hits > 0);
 //! ```
 
+// anet-lint: deny(lock-order)
+// anet-lint: deny(panic-path)
+
 use crate::interned::node_hash;
 use crate::view_tree::ViewTree;
 use crate::{View, ViewInterner};
 use anet_graph::{NodeId, Port, PortGraph};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Acquire `mutex`, treating a poisoned lock as fatal.
+///
+/// This is the workspace's **single** audited poisoned-lock decision point: a
+/// poisoned mutex means another thread panicked while holding the guard, so the
+/// protected data (an interner shard, a scheduler deque) may be mid-mutation and
+/// no recovery story exists — continuing would silently corrupt canonical DAG
+/// identities or drop queued jobs. Every other call site goes through this
+/// helper instead of repeating `lock().expect(…)`, so the panic-path lint can
+/// hold the rest of the tree to "no unwrap/expect" while this one site stays
+/// deliberately, visibly panicking.
+pub fn lock_or_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // anet-lint: allow(panic-path) — the one audited poisoned-lock panic; see above.
+    mutex
+        .lock()
+        .expect("mutex poisoned: a thread panicked while holding this lock")
+}
+
+/// [`Condvar::wait_timeout`] with the same poisoned-lock policy as
+/// [`lock_or_poison`]: a poisoned wait means a peer panicked while holding the
+/// mutex this condvar guards, and the condition state is unrecoverable.
+pub fn wait_timeout_or_poison<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    // anet-lint: allow(panic-path) — same audited poisoned-lock policy as lock_or_poison.
+    condvar
+        .wait_timeout(guard, timeout)
+        .expect("mutex poisoned during condvar wait")
+}
 
 /// Counters of a [`SharedViewInterner`]: how much structure was deduplicated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,11 +168,7 @@ impl SharedViewInterner {
     /// for the table lookup/insert.
     pub fn node(&self, degree: u32, children: Vec<(Port, Port, View)>) -> View {
         let hash = node_hash(degree, &children);
-        let (view, hit) = self
-            .shard(hash)
-            .lock()
-            .expect("shard poisoned: a thread panicked while filing a node")
-            .node_interned(degree, children);
+        let (view, hit) = lock_or_poison(self.shard(hash)).node_interned(degree, children);
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -222,10 +253,7 @@ impl SharedViewInterner {
     /// Distinct subtrees currently held, summed across shards. Takes every shard
     /// lock in turn (never two at once).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| lock_or_poison(s).len()).sum()
     }
 
     /// Has nothing been interned yet?
@@ -331,6 +359,7 @@ impl<'a> InternerHandle<'a> {
                 memo.insert(view.node_id(), (view.clone(), canonical.clone()));
                 canonical
             }
+            // anet-lint: allow(panic-path) — Own mode returned at the top of the fn.
             InternerHandle::Own(_) => unreachable!("mode cannot change mid-call"),
         }
     }

@@ -6,6 +6,8 @@
 //! well-formed and read individual fields back; it accepts exactly the JSON this
 //! module emits (standard JSON with no extensions).
 
+// anet-lint: deny(panic-path)
+
 use std::fmt::Write as _;
 
 /// A JSON value. Objects preserve insertion order (they are association lists, not
@@ -370,8 +372,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                                 }
                                 *pos += 6;
                                 let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
-                                char::from_u32(combined)
-                                    .expect("surrogate pairs combine to valid scalars")
+                                char::from_u32(combined).ok_or_else(|| {
+                                    JsonError::at(*pos, "surrogate pair out of range")
+                                })?
                             }
                             0xDC00..=0xDFFF => {
                                 return Err(JsonError::at(*pos, "unpaired low surrogate"))
@@ -397,7 +400,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                     b if b >= 0xE0 => 3,
                     _ => 2,
                 };
-                out.push_str(std::str::from_utf8(&s[..c_len]).expect("valid UTF-8 input"));
+                let scalar = std::str::from_utf8(&s[..c_len])
+                    .map_err(|_| JsonError::at(*pos, "invalid UTF-8 sequence"))?;
+                out.push_str(scalar);
                 *pos += c_len;
             }
         }
@@ -414,7 +419,7 @@ fn parse_hex4(bytes: &[u8], u_pos: usize) -> Result<u32, JsonError> {
     if !hex.iter().all(|b| b.is_ascii_hexdigit()) {
         return Err(JsonError::at(u_pos, "invalid \\u escape"));
     }
-    let hex = std::str::from_utf8(hex).expect("hex digits are ASCII");
+    let hex = std::str::from_utf8(hex).map_err(|_| JsonError::at(u_pos, "invalid \\u escape"))?;
     u32::from_str_radix(hex, 16).map_err(|_| JsonError::at(u_pos, "invalid \\u escape"))
 }
 
@@ -434,7 +439,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
             _ => break,
         }
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii");
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| JsonError::at(start, "invalid number"))?;
     if text.is_empty() || text == "-" {
         return Err(JsonError::at(start, "expected a value"));
     }

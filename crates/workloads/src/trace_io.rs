@@ -22,6 +22,8 @@
 //! tables; [`chrome_trace_json`] converts one into the Chrome trace-event format
 //! that `chrome://tracing` / Perfetto load directly (see `docs/OBSERVABILITY.md`).
 
+// anet-lint: deny(panic-path)
+
 use crate::json::{Json, JsonError};
 use anet_trace::{Phase, TraceEvent};
 use std::path::Path;
@@ -492,7 +494,15 @@ pub fn chrome_trace_json(file: &TraceFile) -> Json {
                         ),
                     ]));
                 }
-                _ => {}
+                // Exhaustive on purpose: deciding whether a new TraceEvent
+                // variant appears on the timeline must be a conscious choice
+                // here, not a silent drop.
+                TraceEvent::RunStart { .. }
+                | TraceEvent::RoundStart { .. }
+                | TraceEvent::RunEnd { .. }
+                | TraceEvent::InternerDelta { .. }
+                | TraceEvent::WorkerExecute { .. }
+                | TraceEvent::WorkerSteal { .. } => {}
             }
         }
     }
