@@ -112,6 +112,8 @@ pub fn solve_cppe_on_j(member: &JMember, k: usize) -> Result<MapRun> {
         // The paper's algorithm gathers B^k(v) by full-information flooding, costing
         // two messages per edge per round; the decision itself sends nothing more.
         messages_delivered: 2 * graph.num_edges() * k,
+        // Lemma 4.8 splices pre-computed paths from the map; no assignment search.
+        search: anet_views::SearchStats::default(),
     })
 }
 

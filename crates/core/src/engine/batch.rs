@@ -58,6 +58,18 @@ impl BatchRow {
     pub fn advice_dag_bits(&self) -> Option<usize> {
         self.report.as_ref().ok().and_then(|r| r.advice_dag_bits)
     }
+
+    /// Quotient classes expanded by the map-side assignment search, if the run
+    /// produced a report (zero for solvers that never search).
+    pub fn classes_expanded(&self) -> Option<usize> {
+        self.report.as_ref().ok().map(|r| r.search.classes_expanded)
+    }
+
+    /// Candidate paths explored by the map-side assignment search, if the run
+    /// produced a report (zero for solvers that never search).
+    pub fn paths_explored(&self) -> Option<usize> {
+        self.report.as_ref().ok().map(|r| r.search.paths_explored)
+    }
 }
 
 /// Sweeps an election configuration across the instances of a [`GraphFamily`].

@@ -116,6 +116,10 @@ pub struct SolverRun {
     /// Size the same view takes under the shared-DAG codec (`O(distinct subtrees)`),
     /// when the oracle reports it.
     pub advice_dag_bits: Option<usize>,
+    /// Search-cost counters of the map-side assignment search (quotient classes
+    /// expanded, candidate paths explored). Zero for solvers that perform no such
+    /// search (advice pairs, the analytic Lemma 3.9 / 4.8 algorithms).
+    pub search: anet_views::SearchStats,
 }
 
 /// Cross-cutting execution context the engine threads to [`Solver::solve_ctx`]:
@@ -364,6 +368,7 @@ impl ElectionBuilder {
             advice_dag_bits: run.advice_dag_bits,
             rounds: run.rounds,
             messages_delivered: run.messages_delivered,
+            search: run.search,
             outputs,
             verdict,
             wall_time,
@@ -412,6 +417,11 @@ pub struct ElectionReport {
     pub rounds: usize,
     /// Total messages delivered.
     pub messages_delivered: usize,
+    /// Search-cost counters of the map-side assignment search: quotient classes
+    /// expanded by the route BFS and candidate paths explored (lifted routes,
+    /// per-member shortest paths, joint search steps, enumerated fallbacks). Zero
+    /// for solvers that never search for an assignment.
+    pub search: anet_views::SearchStats,
     /// Per-node outputs (already weakened to `task` if the solver produced a stronger
     /// shade).
     pub outputs: Vec<NodeOutput>,

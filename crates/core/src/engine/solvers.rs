@@ -18,6 +18,7 @@ fn map_run_to_solver_run(run: MapRun) -> SolverRun {
         advice_bits: None,
         advice_tree_bits: None,
         advice_dag_bits: None,
+        search: run.search,
     }
 }
 
@@ -184,6 +185,8 @@ fn advice_run_to_solver_run(run: crate::advice::AdviceRun) -> SolverRun {
         advice_bits: Some(run.advice.len()),
         advice_tree_bits: run.advice_tree_bits,
         advice_dag_bits: run.advice_dag_bits,
+        // Advice pairs decide from (advice, view): there is no assignment search.
+        search: anet_views::SearchStats::default(),
         outputs: run.outputs,
     }
 }

@@ -15,8 +15,12 @@
 use crate::tasks::{NodeOutput, Task};
 use anet_graph::PortGraph;
 use anet_sim::Backend;
-use anet_views::election_index::{cppe_assignment, pe_assignment, ppe_assignment, IndexError};
-use anet_views::{InternerHandle, Refinement, SharedViewInterner, View};
+use anet_views::election_index::{
+    cppe_assignment_with, pe_assignment_with, ppe_assignment_with, IndexError,
+};
+use anet_views::{
+    InternerHandle, QuotientSearch, Refinement, SearchStats, SharedViewInterner, View,
+};
 use std::collections::HashMap;
 
 /// Result of a map-based run.
@@ -28,6 +32,10 @@ pub struct MapRun {
     pub outputs: Vec<NodeOutput>,
     /// Messages delivered by the underlying full-information simulation.
     pub messages_delivered: usize,
+    /// Cost counters of the map-side assignment search (classes expanded by the
+    /// quotient BFS, candidate paths explored). Zero for algorithms that read the
+    /// assignment off the map analytically instead of searching for it.
+    pub search: SearchStats,
 }
 
 /// Errors of the map-based solver.
@@ -122,6 +130,10 @@ pub fn solve_with_map_traced(
     sink: &dyn anet_trace::TraceSink,
 ) -> Result<MapRun, MapSolveError> {
     let refinement = Refinement::compute(graph, None);
+    // One quotient search serves every (depth, leader) attempt: the class quotient
+    // is cached per depth and the leader BFS per leader, so walking many candidate
+    // leaders at one depth re-prepares in O(1) amortised instead of re-enumerating.
+    let mut search = QuotientSearch::new(graph, &refinement);
 
     // Find the minimum depth and a per-node output assignment computed from the map.
     let mut chosen: Option<(usize, Vec<NodeOutput>)> = None;
@@ -141,7 +153,7 @@ pub fn solve_with_map_traced(
                         .collect::<Vec<_>>(),
                 ),
                 Task::PortElection => {
-                    pe_assignment(graph, &refinement, h, leader).map(|assignment| {
+                    pe_assignment_with(&mut search, h, leader).map(|assignment| {
                         graph
                             .nodes()
                             .map(|v| match assignment[v as usize] {
@@ -151,7 +163,7 @@ pub fn solve_with_map_traced(
                             .collect()
                     })
                 }
-                Task::PortPathElection => ppe_assignment(graph, &refinement, h, leader, max_paths)?
+                Task::PortPathElection => ppe_assignment_with(&mut search, h, leader, max_paths)?
                     .map(|assignment| {
                         graph
                             .nodes()
@@ -162,7 +174,7 @@ pub fn solve_with_map_traced(
                             .collect()
                     }),
                 Task::CompletePortPathElection => {
-                    cppe_assignment(graph, &refinement, h, leader, max_paths)?.map(|assignment| {
+                    cppe_assignment_with(&mut search, h, leader, max_paths)?.map(|assignment| {
                         graph
                             .nodes()
                             .map(|v| match &assignment[v as usize] {
@@ -215,6 +227,7 @@ pub fn solve_with_map_traced(
         rounds,
         outputs,
         messages_delivered: report.messages_delivered,
+        search: search.stats(),
     })
 }
 

@@ -146,6 +146,8 @@ pub fn solve_port_election_on_u_traced(
         rounds: k,
         outputs,
         messages_delivered: report.messages_delivered,
+        // Lemma 3.9 reads the ports off the map's structure; no assignment search.
+        search: anet_views::SearchStats::default(),
     })
 }
 

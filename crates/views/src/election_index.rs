@@ -20,12 +20,51 @@
 //! information, so if a task is unsolvable there it is unsolvable at every time bound
 //! (the graph is infeasible for that task).
 //!
-//! The exact `ψ_PPE`/`ψ_CPPE` computations enumerate candidate simple paths and are
-//! meant for the small graphs used in experiment E1; the paper's constructions get
-//! their indices from the paper's own arguments (implemented in `anet-election` and the
-//! construction tests) rather than from this brute-force search.
+//! ## How the strong indices are computed
+//!
+//! The per-class candidate search runs on the class quotient graph ([`crate::quotient`])
+//! as a ladder of stages, cheapest and most scalable first:
+//!
+//! 1. **Uniform route lift** — BFS over the quotient's uniform edges yields one
+//!    route per class whose lifted port sequence is valid for *every* member by
+//!    construction (see the quotient module docs); it is still re-validated with
+//!    the `paths` predicates as defense-in-depth.
+//! 2. **Member shortest paths** — each member's concrete shortest path to the
+//!    leader (from one BFS) is tried as a common candidate. For singleton classes
+//!    this always succeeds, so at the depth where all views are distinct the
+//!    whole assignment completes with no enumeration at all.
+//! 3. **Guided merge finder** (PPE only) — synchronized walks from all members
+//!    are forward-deterministic given the port script, so a common sequence must
+//!    *merge* all walks into one by the time they reach the leader. The finder
+//!    steers the walks pairwise into the nearest *merger* (a node with two
+//!    incident edges sharing a far port) via a BFS in the synchronized pair
+//!    graph, then rides a shortest path to the leader that avoids every walk's
+//!    earlier nodes. The result is only ever used after exact re-validation, so
+//!    the heuristic cannot affect soundness — only which instances resolve.
+//!    The merged prefix is leader-independent and cached across the leaders of
+//!    one depth.
+//! 4. **Joint bounded search** — a DFS over synchronized walks, pruning any
+//!    branch where a walk revisits a node, loses its port, or reaches the leader
+//!    before the others. Exhausting it is a sound proof that no common sequence
+//!    exists; exceeding `max_paths` explored steps falls through to stage 5.
+//! 5. **Bounded enumeration** (the original implementation) — enumerate simple
+//!    paths from the class representative, capped at `max_paths`, with
+//!    [`IndexError::PathBudgetExceeded`] as the typed escape hatch when the cap
+//!    is hit without an answer.
+//!
+//! For CPPE the ladder collapses: a complete port sequence `((p_1,q_1) … (p_L,q_L))`
+//! replayed *backward* from the leader is deterministic — the incoming port `q_L`
+//! pins the predecessor `neighbor(leader, q_L)`, and so on down to the start — so
+//! at most one node can validly output any given sequence, and a class with two
+//! or more members can never share one. CPPE assignments therefore exist exactly
+//! at the depths where every view class is a singleton, where stage 2 always
+//! succeeds; no bounded search is ever needed and `ψ_CPPE` is exact at any scale.
+//!
+//! The pre-quotient implementations are kept as `*_enumerated` — the oracle for
+//! the equivalence tests and the baseline for the `bench_index` benchmark.
 
 use crate::paths::{cppe_sequence_is_valid, pe_port_is_valid, ppe_sequence_is_valid, simple_paths};
+use crate::quotient::{QuotientSearch, SearchStats};
 use crate::refinement::Refinement;
 use anet_graph::{NodeId, Port, PortGraph};
 
@@ -136,11 +175,1544 @@ pub fn pe_assignment(
     depth: usize,
     leader: NodeId,
 ) -> Option<Vec<Option<Port>>> {
-    let classes = r.classes_at(depth);
+    let mut search = QuotientSearch::new(g, r);
+    pe_assignment_with(&mut search, depth, leader)
+}
+
+/// [`pe_assignment`] on a reusable [`QuotientSearch`] (caches the quotient per depth
+/// and the BFS passes per leader across calls). The distance certificate from the
+/// leader BFS fast-accepts ports leading strictly closer to the leader; ports are
+/// still tried in increasing order with the exact predicate as the fallback, so the
+/// selected assignment is identical to [`pe_assignment_enumerated`]'s.
+pub fn pe_assignment_with(
+    search: &mut QuotientSearch<'_>,
+    depth: usize,
+    leader: NodeId,
+) -> Option<Vec<Option<Port>>> {
+    search.prepare(depth, leader);
+    let g = search.graph();
+    let classes = search.refinement().classes_at(depth);
     let mut out: Vec<Option<Port>> = vec![None; g.num_nodes()];
     for class in classes {
         if class.contains(&leader) {
             // The leader's class must be the singleton {leader}; its output is "leader".
+            if class.len() > 1 {
+                return None;
+            }
+            continue;
+        }
+        let degree = g.degree(class[0]) as u32;
+        let valid_port = (0..degree).find(|&p| {
+            class
+                .iter()
+                .all(|&v| search.pe_certified(v, p) || pe_port_is_valid(g, v, p, leader))
+        });
+        match valid_port {
+            Some(p) => {
+                for &v in &class {
+                    out[v as usize] = Some(p);
+                }
+            }
+            None => return None,
+        }
+    }
+    Some(out)
+}
+
+/// `ψ_PE(G)`: least depth at which some uniquely-identifiable node can serve as leader
+/// with a class-uniform valid port assignment for all other nodes.
+pub fn psi_pe(g: &PortGraph) -> Option<usize> {
+    let r = Refinement::compute(g, None);
+    let mut search = QuotientSearch::new(g, &r);
+    psi_pe_with(&mut search)
+}
+
+/// [`psi_pe`] on a caller-owned search (so one search serves all four indices).
+pub fn psi_pe_with(search: &mut QuotientSearch<'_>) -> Option<usize> {
+    let r = search.refinement();
+    for h in 0..=r.stable_depth() {
+        for leader in r.unique_nodes_at(h) {
+            if pe_assignment_with(search, h, leader).is_some() {
+                return Some(h);
+            }
+        }
+    }
+    None
+}
+
+/// Node count above which the legacy simple-path enumeration (stage 5) is never
+/// consulted: generating `max_paths` simple paths on graphs this large takes
+/// unbounded time and memory per path, so its budget is reported as exceeded up
+/// front. Below the ceiling the ladder's answers are a strict superset of the
+/// pre-quotient implementation's; the equivalence corpora all sit well under it.
+const ENUMERATION_CEILING: usize = 512;
+
+/// Which strong shade a candidate sequence is validated against.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Shade {
+    /// Outgoing ports only (`ppe_sequence_is_valid` on the projection).
+    Ppe,
+    /// Full `(outgoing, incoming)` pairs (`cppe_sequence_is_valid`).
+    Cppe,
+}
+
+/// Is the full-pair candidate valid, under `shade`'s predicate, for every member?
+fn candidate_valid_for_all(
+    g: &PortGraph,
+    class: &[NodeId],
+    leader: NodeId,
+    pairs: &[(Port, Port)],
+    shade: Shade,
+) -> bool {
+    match shade {
+        Shade::Ppe => {
+            let ports: Vec<Port> = pairs.iter().map(|&(p, _)| p).collect();
+            class
+                .iter()
+                .all(|&v| ppe_sequence_is_valid(g, v, &ports, leader))
+        }
+        Shade::Cppe => class
+            .iter()
+            .all(|&v| cppe_sequence_is_valid(g, v, pairs, leader)),
+    }
+}
+
+/// Outcome of the joint synchronized-walk search (stage 3).
+enum Joint {
+    /// A common sequence, as the first member's full port pairs.
+    Found(Vec<(Port, Port)>),
+    /// The search exhausted all synchronized walks: no common sequence exists.
+    NoneExists,
+    /// The step budget was hit before an answer.
+    Budget,
+}
+
+/// Stage 3: DFS over synchronized walks of all members. Every member follows the
+/// same outgoing port at every step (for [`Shade::Cppe`], the far ports must also
+/// agree); a branch is pruned when a member's walk revisits one of its own nodes,
+/// a port is missing, or a member reaches the leader before the others (its walk
+/// would have to revisit the leader later). A sequence is found exactly when all
+/// walks reach the leader simultaneously — by construction it is then valid for
+/// every member. Exhausting the search soundly proves no common sequence exists:
+/// any valid sequence induces synchronized walks surviving every prune.
+///
+/// `explored` counts generated joint steps; exceeding `max_states` aborts with
+/// [`Joint::Budget`] (the caller then falls back to plain enumeration, keeping
+/// the original budget semantics).
+fn joint_search(
+    g: &PortGraph,
+    members: &[NodeId],
+    leader: NodeId,
+    shade: Shade,
+    max_states: usize,
+    explored: &mut usize,
+) -> Joint {
+    let n = g.num_nodes();
+    let k = members.len();
+    let mut cur: Vec<NodeId> = members.to_vec();
+    let mut on_walk = vec![false; k * n];
+    for (i, &m) in members.iter().enumerate() {
+        on_walk[i * n + m as usize] = true;
+    }
+    let mut seq: Vec<(Port, Port)> = Vec::new();
+    match joint_step(
+        g,
+        leader,
+        shade,
+        max_states,
+        explored,
+        &mut cur,
+        &mut on_walk,
+        &mut seq,
+    ) {
+        JointStep::Found => Joint::Found(seq),
+        JointStep::Exhausted => Joint::NoneExists,
+        JointStep::Budget => Joint::Budget,
+    }
+}
+
+enum JointStep {
+    Found,
+    Exhausted,
+    Budget,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn joint_step(
+    g: &PortGraph,
+    leader: NodeId,
+    shade: Shade,
+    max_states: usize,
+    explored: &mut usize,
+    cur: &mut [NodeId],
+    on_walk: &mut [bool],
+    seq: &mut Vec<(Port, Port)>,
+) -> JointStep {
+    let n = g.num_nodes();
+    let k = cur.len();
+    let degree = g.degree(cur[0]) as Port;
+    for p in 0..degree {
+        let Some((u0, q0)) = g.neighbor(cur[0], p) else {
+            continue;
+        };
+        *explored += 1;
+        if *explored > max_states {
+            return JointStep::Budget;
+        }
+        // Materialise the joint step; prune on missing ports or (CPPE) far-port
+        // disagreement.
+        let mut nexts: Vec<NodeId> = Vec::with_capacity(k);
+        nexts.push(u0);
+        let mut ok = true;
+        for &c in cur.iter().skip(1) {
+            match g.neighbor(c, p) {
+                Some((u, q)) if shade == Shade::Ppe || q == q0 => nexts.push(u),
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let all_leader = nexts.iter().all(|&u| u == leader);
+        if !all_leader {
+            // Simplicity per walk, and no member may hit the leader early.
+            for (i, &u) in nexts.iter().enumerate() {
+                if u == leader || on_walk[i * n + u as usize] {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        seq.push((p, q0));
+        if all_leader {
+            return JointStep::Found;
+        }
+        for (i, next) in nexts.iter_mut().enumerate() {
+            on_walk[i * n + *next as usize] = true;
+            std::mem::swap(&mut cur[i], next);
+        }
+        let step = joint_step(g, leader, shade, max_states, explored, cur, on_walk, seq);
+        for (i, &u) in nexts.iter().enumerate() {
+            // `nexts` now holds the previous positions; undo the swap and flags.
+            on_walk[i * n + cur[i] as usize] = false;
+            cur[i] = u;
+        }
+        match step {
+            JointStep::Exhausted => {
+                seq.pop();
+            }
+            done => return done,
+        }
+    }
+    JointStep::Exhausted
+}
+
+/// A leader-independent merged prefix produced by the guided finder: a common
+/// port script that drives every member of one class onto a single node.
+struct MergedPrefix {
+    /// The script as the first member's `(outgoing, incoming)` pairs.
+    script: Vec<(Port, Port)>,
+    /// The common position of all walks after the prefix.
+    endpoint: NodeId,
+    /// Union of the nodes visited by any member's walk (endpoint included).
+    visited_union: Vec<bool>,
+}
+
+impl MergedPrefix {
+    /// Package fully merged `walks` + `script` into a prefix.
+    fn of(walks: &Walks, script: Vec<(Port, Port)>, k: usize, n: usize) -> MergedPrefix {
+        let endpoint = walks.positions[0];
+        let mut visited_union = vec![false; n];
+        for row in walks.visited.chunks(n).take(k) {
+            for (flag, &seen) in visited_union.iter_mut().zip(row) {
+                *flag |= seen;
+            }
+        }
+        MergedPrefix {
+            script,
+            endpoint,
+            visited_union,
+        }
+    }
+}
+
+/// Per-depth cache of guided-merge prefixes, keyed by class id. The merge is
+/// leader-independent, so one computation serves every candidate leader of a
+/// depth; only the leader-avoidance check and the final suffix are per-leader.
+#[derive(Default)]
+struct MergeCache {
+    depth: Option<usize>,
+    /// Some class at this depth was proved sequence-free: the whole depth is
+    /// refuted for every leader, so later leaders return `Ok(None)` instantly.
+    refuted: bool,
+    by_class: std::collections::HashMap<u32, MergeOutcome>,
+    /// Landmark tables are depth-independent, computed once per cache lifetime.
+    landmarks: Option<Landmarks>,
+    /// Lazily sized near-field pair table (outer `None` = not yet sized,
+    /// inner `None` = graph too large for `n²` bits).
+    pair_scratch: Option<Option<PairScratch>>,
+}
+
+impl MergeCache {
+    fn reset(&mut self, depth: usize) {
+        if self.depth != Some(depth) {
+            self.depth = Some(depth);
+            self.refuted = false;
+            self.by_class.clear();
+        }
+    }
+}
+
+/// Landmark BFS distance tables that steer the guided merge finder. The gap
+/// `max_L |d_L(x) − d_L(y)|` is an admissible lower bound on the number of
+/// synchronized steps needed to bring walkers at `x` and `y` together: one
+/// shared port moves each walker across one edge, so each `d_L` changes by at
+/// most one and the gap closes by at most two per step. The gap both orders
+/// ports (walk down the potential) and prunes depth-limited search — essential
+/// on large-diameter graphs (e.g. circulants) where class partners start
+/// hundreds of hops apart and blind search in the pair graph is hopeless.
+struct Landmarks {
+    dists: Vec<Vec<u32>>,
+}
+
+impl Landmarks {
+    /// Number of landmark BFS trees (farthest-point placement from node 0).
+    const COUNT: usize = 8;
+
+    /// Run [`Landmarks::COUNT`] BFS passes, each rooted at the node farthest
+    /// from all previous roots (classic farthest-point landmark placement).
+    fn compute(g: &PortGraph) -> Landmarks {
+        let n = g.num_nodes();
+        let mut dists: Vec<Vec<u32>> = Vec::with_capacity(Self::COUNT);
+        let mut next: NodeId = 0;
+        for _ in 0..Self::COUNT {
+            dists.push(bfs_dists(g, next));
+            let mut best = (0u32, next);
+            for v in 0..n {
+                let m = dists.iter().map(|d| d[v]).min().unwrap_or(0);
+                if m != u32::MAX && m > best.0 {
+                    best = (m, v as NodeId);
+                }
+            }
+            next = best.1;
+        }
+        Landmarks { dists }
+    }
+
+    /// `max_L |d_L(x) − d_L(y)|` — admissible estimate of the merge distance.
+    fn gap(&self, x: NodeId, y: NodeId) -> u32 {
+        self.dists
+            .iter()
+            .map(|d| {
+                let (a, b) = (d[x as usize], d[y as usize]);
+                if a == u32::MAX || b == u32::MAX {
+                    0
+                } else {
+                    a.abs_diff(b)
+                }
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Single-source BFS distances (`u32::MAX` for unreachable nodes).
+fn bfs_dists(g: &PortGraph, root: NodeId) -> Vec<u32> {
+    let mut d = vec![u32::MAX; g.num_nodes()];
+    d[root as usize] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(root);
+    while let Some(x) = queue.pop_front() {
+        for (_, u, _) in g.ports(x) {
+            if d[u as usize] == u32::MAX {
+                d[u as usize] = d[x as usize] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    d
+}
+
+/// Walk state of the guided finder: one position and visited set per member.
+struct Walks {
+    positions: Vec<NodeId>,
+    /// `visited[i * n + v]`: has member `i`'s walk visited `v`?
+    visited: Vec<bool>,
+    /// Scratch buffer for the check phase of [`Walks::try_step`].
+    scratch: Vec<NodeId>,
+    n: usize,
+}
+
+impl Walks {
+    fn new(members: &[NodeId], n: usize) -> Self {
+        let mut visited = vec![false; members.len() * n];
+        for (i, &m) in members.iter().enumerate() {
+            visited[i * n + m as usize] = true;
+        }
+        Walks {
+            positions: members.to_vec(),
+            visited,
+            scratch: Vec::with_capacity(members.len()),
+            n,
+        }
+    }
+
+    /// Apply one shared port to every walk. Transactional: returns `false` with
+    /// the state untouched if any walk lacks the port or would revisit one of
+    /// its own nodes; commits all walks otherwise.
+    fn try_step(&mut self, g: &PortGraph, p: Port) -> bool {
+        self.scratch.clear();
+        for i in 0..self.positions.len() {
+            match g.neighbor(self.positions[i], p) {
+                Some((u, _)) if !self.visited[i * self.n + u as usize] => self.scratch.push(u),
+                _ => return false,
+            }
+        }
+        for i in 0..self.positions.len() {
+            let u = self.scratch[i];
+            self.positions[i] = u;
+            self.visited[i * self.n + u as usize] = true;
+        }
+        true
+    }
+
+    /// Revert the most recent [`Walks::try_step`], restoring `prev` positions.
+    fn undo_step(&mut self, prev: &[NodeId]) {
+        for ((pos, row), &old) in self
+            .positions
+            .iter_mut()
+            .zip(self.visited.chunks_mut(self.n))
+            .zip(prev)
+        {
+            row[*pos as usize] = false;
+            *pos = old;
+        }
+    }
+
+    /// Index of the first walk not co-located with walk 0, if any.
+    fn first_distinct_index(&self) -> Option<usize> {
+        let a = self.positions[0];
+        self.positions.iter().position(|&b| b != a)
+    }
+}
+
+/// Depth-limited DFS on the full synchronized walk state: drive walk `i` and
+/// walk `j` together (landmark gap ≤ `target_gap`; exact merge when 0) while
+/// keeping every member's walk simple. Ports are tried in order of the
+/// post-step landmark gap (immediate merges first), so on graphs with
+/// informative landmarks the search walks nearly straight toward the partner;
+/// simplicity dead ends are handled by backtracking. On success
+/// `walks`/`script` hold the reached state; on failure both are restored.
+/// `ops` counts DFS expansions, capped at `max_ops`.
+#[allow(clippy::too_many_arguments)]
+fn merge_dfs(
+    g: &PortGraph,
+    walks: &mut Walks,
+    i: usize,
+    j: usize,
+    lm: &Landmarks,
+    target_gap: u32,
+    limit: u32,
+    salt: Port,
+    max_ops: usize,
+    ops: &mut usize,
+    script: &mut Vec<(Port, Port)>,
+    seen: &mut std::collections::HashMap<u64, u32>,
+) -> bool {
+    let (a, b) = (walks.positions[i], walks.positions[j]);
+    if a == b || (target_gap > 0 && lm.gap(a, b) <= target_gap) {
+        return true;
+    }
+    // Admissible prune: each step closes the landmark gap by at most two.
+    if limit == 0 || lm.gap(a, b).saturating_sub(target_gap).div_ceil(2) > limit {
+        return false;
+    }
+    // Depth-dominance table: where the heuristic is flat (e.g. the near field of
+    // a large-diameter graph) plain DFS churns exponentially on permutations of
+    // the same few states. Re-expanding a state is useful only with strictly
+    // more remaining depth than any earlier expansion — anything else
+    // re-explores a subtree of what already failed. The key hashes the FULL
+    // position vector: with more than two walks the same target pair recurs
+    // with the other walks elsewhere, and pruning those would be far too
+    // aggressive. (Heuristic: positions can recur with different visited sets,
+    // which the table ignores.)
+    let state_key = walks
+        .positions
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, &v| {
+            (h ^ v as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+    match seen.entry(state_key) {
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            if *e.get() >= limit {
+                return false;
+            }
+            e.insert(limit);
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(limit);
+        }
+    }
+    *ops += 1;
+    if *ops > max_ops {
+        return false;
+    }
+    let degree = g.degree(a).min(g.degree(b)) as Port;
+    let mut order: Vec<(u32, Port, Port)> = Vec::with_capacity(degree as usize);
+    for p in 0..degree {
+        let (Some((ua, _)), Some((ub, _))) = (g.neighbor(a, p), g.neighbor(b, p)) else {
+            continue;
+        };
+        let key = if ua == ub { 0 } else { 1 + lm.gap(ua, ub) };
+        // `salt` rotates the tie-break among equal-key ports so that restart
+        // attempts explore genuinely different prefixes even for size-2
+        // classes, where the target-pair rule cannot vary.
+        order.push((key, (p + salt) % degree, p));
+    }
+    order.sort_unstable();
+    let prev = walks.positions.clone();
+    for &(_, _, p) in &order {
+        if !walks.try_step(g, p) {
+            continue;
+        }
+        // The script records walk 0's `(outgoing, incoming)` pairs regardless
+        // of which pair of walks is being merged.
+        let q = g
+            .neighbor(prev[0], p)
+            .expect("try_step moved every walk, including walk 0")
+            .1;
+        script.push((p, q));
+        if merge_dfs(
+            g,
+            walks,
+            i,
+            j,
+            lm,
+            target_gap,
+            limit - 1,
+            salt,
+            max_ops,
+            ops,
+            script,
+            seen,
+        ) {
+            return true;
+        }
+        script.pop();
+        walks.undo_step(&prev);
+    }
+    false
+}
+
+/// Reusable `n²`-state tables for the exact near-field pair search: 2 bits per
+/// ordered pair state — 0 unvisited, otherwise BFS level mod 3 plus one (the
+/// classic mod-3 tag is enough to walk shortest paths backward, since adjacent
+/// BFS levels differ by exactly one). Reset is sparse: only words touched by
+/// the previous search are zeroed, so a probe costs proportional to the
+/// component it explored, not to `n²`.
+struct PairScratch {
+    words: Vec<u64>,
+    touched: Vec<u32>,
+    n: u64,
+}
+
+impl PairScratch {
+    /// Largest graph for which the tables are allocated (`n²/4` bytes — 64 MiB
+    /// at the bound). Beyond it the finder falls back to pure corridor DFS.
+    const MAX_N: usize = 16_384;
+
+    /// Allocate tables for `g`, or `None` if the graph is too large.
+    fn for_graph(g: &PortGraph) -> Option<PairScratch> {
+        let n = g.num_nodes();
+        (1..=Self::MAX_N).contains(&n).then(|| PairScratch {
+            words: vec![0u64; (n * n).div_ceil(32)],
+            touched: Vec::new(),
+            n: n as u64,
+        })
+    }
+
+    fn reset(&mut self) {
+        for &w in &self.touched {
+            self.words[w as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    fn pack(&self, a: NodeId, b: NodeId) -> u64 {
+        a as u64 * self.n + b as u64
+    }
+
+    fn get(&self, s: u64) -> u64 {
+        (self.words[(s / 32) as usize] >> ((s % 32) * 2)) & 3
+    }
+
+    /// Tag an unvisited state (BFS discovers each state once).
+    fn set(&mut self, s: u64, tag: u64) {
+        let w = (s / 32) as usize;
+        if self.words[w] == 0 {
+            self.touched.push(w as u32);
+        }
+        self.words[w] |= tag << ((s % 32) * 2);
+    }
+}
+
+/// Outcome of one [`near_field_probe`].
+enum NearField {
+    /// A reconstructed script applied cleanly; the walks are merged.
+    Merged,
+    /// The pair component was exhausted without any merging move: the two
+    /// walkers can never coincide from these positions, under any script.
+    NeverMerges,
+    /// Mergers were found but none applied, or the state cap was hit.
+    Inconclusive,
+}
+
+/// Exact near-field probe for one pair of walks: exhaustive BFS over the
+/// synchronized pair graph from their current positions (simplicity relaxed),
+/// collecting up to `alternatives` distinct merging moves, then replaying each
+/// reconstructed shortest script on the real walks — shortest first, all-or-
+/// nothing per script — until one survives every member's simplicity check.
+#[allow(clippy::too_many_arguments)]
+fn near_field_probe(
+    g: &PortGraph,
+    walks: &mut Walks,
+    i: usize,
+    j: usize,
+    scratch: &mut PairScratch,
+    max_states: usize,
+    alternatives: usize,
+    ops: &mut usize,
+    script: &mut Vec<(Port, Port)>,
+) -> NearField {
+    scratch.reset();
+    let (a0, b0) = (walks.positions[i], walks.positions[j]);
+    let mut queue: std::collections::VecDeque<(NodeId, NodeId, u32)> =
+        std::collections::VecDeque::new();
+    scratch.set(scratch.pack(a0, b0), 1);
+    queue.push_back((a0, b0, 0));
+    // (state, merging port, BFS level of state), in BFS (shortest-first) order.
+    let mut targets: Vec<(NodeId, NodeId, Port, u32)> = Vec::new();
+    let mut explored = 0usize;
+    let mut capped = false;
+    'bfs: while let Some((a, b, lv)) = queue.pop_front() {
+        explored += 1;
+        if explored > max_states {
+            capped = true;
+            break;
+        }
+        let degree = g.degree(a).min(g.degree(b)) as Port;
+        for p in 0..degree {
+            let (Some((ua, _)), Some((ub, _))) = (g.neighbor(a, p), g.neighbor(b, p)) else {
+                continue;
+            };
+            if ua == ub {
+                targets.push((a, b, p, lv));
+                if targets.len() >= alternatives {
+                    break 'bfs;
+                }
+                continue;
+            }
+            let s = scratch.pack(ua, ub);
+            if scratch.get(s) == 0 {
+                scratch.set(s, (lv as u64 + 1) % 3 + 1);
+                queue.push_back((ua, ub, lv + 1));
+            }
+        }
+    }
+    // Pair-BFS states are an order of magnitude cheaper than DFS expansions;
+    // scale them before charging the shared ops budget.
+    *ops += explored / 8 + 1;
+    if targets.is_empty() {
+        return if capped {
+            NearField::Inconclusive
+        } else {
+            NearField::NeverMerges
+        };
+    }
+    let script_base = script.len();
+    'targets: for &(ta, tb, mp, lv) in &targets {
+        // Walk the shortest path back to the start via the mod-3 level tags.
+        let mut ports_rev: Vec<Port> = vec![mp];
+        let (mut ca, mut cb, mut clv) = (ta, tb, lv);
+        'reconstruct: while clv > 0 {
+            let want = (clv as u64 - 1) % 3 + 1;
+            for (_, xa, pa) in g.ports(ca) {
+                for (_, xb, pb) in g.ports(cb) {
+                    if pa == pb && xa != xb && scratch.get(scratch.pack(xa, xb)) == want {
+                        ports_rev.push(pa);
+                        (ca, cb) = (xa, xb);
+                        clv -= 1;
+                        continue 'reconstruct;
+                    }
+                }
+            }
+            // No tagged predecessor (can happen only if the tag word tracking
+            // were broken) — skip this target rather than panic.
+            debug_assert!(false, "BFS level tags admit no predecessor");
+            continue 'targets;
+        }
+        // Replay start→merger, undoing everything if any step breaks a walk.
+        let mut undo: Vec<Vec<NodeId>> = Vec::with_capacity(ports_rev.len());
+        for &p in ports_rev.iter().rev() {
+            let prev = walks.positions.clone();
+            if !walks.try_step(g, p) {
+                for prev in undo.drain(..).rev() {
+                    walks.undo_step(&prev);
+                }
+                script.truncate(script_base);
+                continue 'targets;
+            }
+            let q = g
+                .neighbor(prev[0], p)
+                .expect("try_step moved every walk, including walk 0")
+                .1;
+            script.push((p, q));
+            undo.push(prev);
+        }
+        // The pair graph is directed, so the mod-3 tags can (rarely) alias a
+        // deeper state during reconstruction; accept the replay only if it
+        // really merged the pair.
+        if walks.positions[i] == walks.positions[j] {
+            return NearField::Merged;
+        }
+        for prev in undo.drain(..).rev() {
+            walks.undo_step(&prev);
+        }
+        script.truncate(script_base);
+    }
+    NearField::Inconclusive
+}
+
+/// How one [`guided_merge`] attempt picks the next pair of walks to merge.
+/// Different phase orders commit to different prefixes, and a prefix that
+/// strands a later phase in one order often succeeds in another — restarting
+/// with a new strategy is the cheap cure for greedy commitment.
+#[derive(Clone, Copy)]
+enum TargetRule {
+    /// The distinct pair with the smallest landmark gap (easiest merge first).
+    Nearest,
+    /// Walk 0 and the first walk not co-located with it.
+    First,
+    /// The distinct pair with the largest landmark gap (hardest merge first).
+    Farthest,
+}
+
+/// Outcome of one [`merge_phase`] (merging one pair of walks).
+enum PhaseResult {
+    /// The target pair is merged; the steps are committed to `walks`/`script`.
+    Merged,
+    /// Exact proof that the target pair can never coincide from its current
+    /// positions (only class-refuting when nothing was committed before it).
+    NeverMerges,
+    /// No conclusion within the budget.
+    Failed,
+}
+
+/// Merge one pair of walks: corridor DFS down the landmark potential until the
+/// pair is near, then the exact [`near_field_probe`]; if the probe is
+/// inconclusive, commit a few rotated shift steps to move the window and try
+/// again. Without `n²` tables (`scratch` is `None`) the corridor DFS runs all
+/// the way to the merge, as on small graphs every field is the near field.
+#[allow(clippy::too_many_arguments)]
+fn merge_phase(
+    g: &PortGraph,
+    walks: &mut Walks,
+    i: usize,
+    j: usize,
+    lm: &Landmarks,
+    scratch: &mut Option<PairScratch>,
+    salt: Port,
+    max_ops: usize,
+    ops: &mut usize,
+    script: &mut Vec<(Port, Port)>,
+    seen: &mut std::collections::HashMap<u64, u32>,
+) -> PhaseResult {
+    /// Landmark gap below which the pair counts as near.
+    const NEAR_GAP: u32 = 12;
+    /// Pair-state cap of one near-field probe.
+    const NEAR_STATES: usize = 150_000;
+    /// Distinct merging moves collected per probe.
+    const NEAR_ALTERNATIVES: usize = 64;
+    /// Probe rounds before the phase gives up.
+    const ROUNDS: usize = 4;
+    /// Committed steps between rounds, to shift the probe window.
+    const SHIFT_STEPS: usize = 6;
+
+    for round in 0..ROUNDS {
+        if *ops > max_ops {
+            return PhaseResult::Failed;
+        }
+        // Only a share of the remaining budget goes to the corridor DFS, so
+        // the exact probe below always gets its turn.
+        let dfs_cap = *ops + max_ops.saturating_sub(*ops) / 2;
+        // (a) The simplicity-aware corridor DFS, all the way to the merge.
+        // Iterative deepening; the extra widest round only when the landmark
+        // gap is small, where the admissible bound is a gross underestimate of
+        // the simplicity-constrained merge depth.
+        let h0 = lm.gap(walks.positions[i], walks.positions[j]).max(4);
+        let mults: &[u32] = if h0 <= 8 { &[1, 2, 4, 8] } else { &[1, 2, 4] };
+        for &mult in mults {
+            seen.clear();
+            let limit = mult * (h0 + 8);
+            if merge_dfs(
+                g, walks, i, j, lm, 0, limit, salt, dfs_cap, ops, script, seen,
+            ) {
+                return PhaseResult::Merged;
+            }
+            if *ops > dfs_cap {
+                break;
+            }
+        }
+        let Some(scratch) = scratch.as_mut() else {
+            return PhaseResult::Failed;
+        };
+        // (b) Approach until the landmark gap is small enough for the probe.
+        let gap = lm.gap(walks.positions[i], walks.positions[j]);
+        if gap > NEAR_GAP {
+            let mut near = false;
+            for mult in [1u32, 2, 4] {
+                seen.clear();
+                let limit = mult * (gap + 8);
+                if merge_dfs(
+                    g, walks, i, j, lm, NEAR_GAP, limit, salt, dfs_cap, ops, script, seen,
+                ) {
+                    near = true;
+                    break;
+                }
+                if *ops > dfs_cap {
+                    break;
+                }
+            }
+            if !near {
+                return PhaseResult::Failed;
+            }
+        }
+        // (c) Exact near-field probe — charged like a DFS expansion up front,
+        // so a starved call degrades to "no conclusion" instead of doing
+        // unpaid work (the typed budget contract: the escape hatch must stay
+        // reachable at tiny budgets).
+        *ops += 1;
+        if *ops > max_ops {
+            return PhaseResult::Failed;
+        }
+        match near_field_probe(
+            g,
+            walks,
+            i,
+            j,
+            scratch,
+            NEAR_STATES,
+            NEAR_ALTERNATIVES,
+            ops,
+            script,
+        ) {
+            NearField::Merged => return PhaseResult::Merged,
+            NearField::NeverMerges => return PhaseResult::NeverMerges,
+            NearField::Inconclusive => {}
+        }
+        // (d) Shift the window so the next probe sees fresh merger candidates;
+        // the preferred port rotates with the round and attempt.
+        for s in 0..SHIFT_STEPS {
+            let degree = g.degree(walks.positions[i]) as Port;
+            let mut stepped = false;
+            for off in 0..degree {
+                let p = (off + salt + round as Port + s as Port) % degree;
+                let prev0 = walks.positions[0];
+                if walks.try_step(g, p) {
+                    let q = g.neighbor(prev0, p).expect("walk 0 just stepped").1;
+                    script.push((p, q));
+                    stepped = true;
+                    break;
+                }
+            }
+            if !stepped {
+                return PhaseResult::Failed;
+            }
+        }
+    }
+    PhaseResult::Failed
+}
+
+/// Outcome of one [`merge_attempt`].
+enum AttemptResult {
+    /// All walks are co-located; `walks`/`script` hold the merged state.
+    Done,
+    /// Some pair of members provably never coincides: no common sequence
+    /// exists for this class at this depth, for any leader.
+    NoSequence,
+    /// No conclusion.
+    Failed,
+}
+
+/// One full merge attempt: repeatedly pick a target pair by `rule` and merge
+/// it with [`merge_phase`].
+#[allow(clippy::too_many_arguments)]
+fn merge_attempt(
+    g: &PortGraph,
+    walks: &mut Walks,
+    lm: &Landmarks,
+    scratch: &mut Option<PairScratch>,
+    rule: TargetRule,
+    salt: Port,
+    max_ops: usize,
+    ops: &mut usize,
+    script: &mut Vec<(Port, Port)>,
+    seen: &mut std::collections::HashMap<u64, u32>,
+) -> AttemptResult {
+    while let Some(first_j) = walks.first_distinct_index() {
+        if *ops > max_ops {
+            return AttemptResult::Failed;
+        }
+        let k = walks.positions.len();
+        let distinct_pairs =
+            || (0..k).flat_map(move |i| (i + 1..k).filter_map(move |j| (i != j).then_some((i, j))));
+        let gap_of = |&(i, j): &(usize, usize)| lm.gap(walks.positions[i], walks.positions[j]);
+        let (i, j) = match rule {
+            TargetRule::First => Some((0, first_j)),
+            TargetRule::Nearest => distinct_pairs()
+                .filter(|&(i, j)| walks.positions[i] != walks.positions[j])
+                .min_by_key(gap_of),
+            TargetRule::Farthest => distinct_pairs()
+                .filter(|&(i, j)| walks.positions[i] != walks.positions[j])
+                .max_by_key(gap_of),
+        }
+        .expect("a distinct pair exists");
+        match merge_phase(
+            g, walks, i, j, lm, scratch, salt, max_ops, ops, script, seen,
+        ) {
+            PhaseResult::Merged => continue,
+            // The refutation is only class-refuting when the probe ran from
+            // the original member positions — i.e. nothing was committed
+            // before it (the probe itself commits nothing on NeverMerges).
+            PhaseResult::NeverMerges if script.is_empty() => return AttemptResult::NoSequence,
+            PhaseResult::NeverMerges | PhaseResult::Failed => return AttemptResult::Failed,
+        }
+    }
+    AttemptResult::Done
+}
+
+/// Exhaustive depth-unbounded DFS over the joint simple-script tree of all
+/// walks: every branch keeps every member's walk simple ([`Walks::try_step`]),
+/// success is full co-location. No heuristics, no pruning, no depth limit —
+/// so exhausting the tree without a merge is a *sound, leader-independent*
+/// proof that no common sequence merges this class (any valid PPE sequence
+/// ends all members on the leader, i.e. merges them). The tree is finite
+/// (simple walks) and, with several members, usually tiny: each extra member
+/// must avoid backtracking at every step, thinning the branching factor
+/// geometrically. Returns `None` when the ops budget ran out (no conclusion),
+/// `Some(true)` with `walks`/`script` holding the merged state, `Some(false)`
+/// for the exhausted-tree refutation.
+fn exhaustive_merge_dfs(
+    g: &PortGraph,
+    walks: &mut Walks,
+    max_ops: usize,
+    ops: &mut usize,
+    script: &mut Vec<(Port, Port)>,
+) -> Option<bool> {
+    if walks.first_distinct_index().is_none() {
+        return Some(true);
+    }
+    *ops += 1;
+    if *ops > max_ops {
+        return None;
+    }
+    let degree = walks
+        .positions
+        .iter()
+        .map(|&v| g.degree(v))
+        .min()
+        .unwrap_or(0) as Port;
+    let prev = walks.positions.clone();
+    for p in 0..degree {
+        if !walks.try_step(g, p) {
+            continue;
+        }
+        let q = g
+            .neighbor(prev[0], p)
+            .expect("try_step moved every walk, including walk 0")
+            .1;
+        script.push((p, q));
+        match exhaustive_merge_dfs(g, walks, max_ops, ops, script) {
+            Some(true) => return Some(true),
+            Some(false) => {}
+            None => {
+                script.pop();
+                walks.undo_step(&prev);
+                return None;
+            }
+        }
+        script.pop();
+        walks.undo_step(&prev);
+    }
+    Some(false)
+}
+
+/// Outcome of [`guided_merge`] for one class.
+enum MergeOutcome {
+    /// A common prefix merging every member was found and committed.
+    Merged(MergedPrefix),
+    /// Exact proof that some pair of members can never be driven onto one
+    /// node from their starting positions: no common sequence exists for this
+    /// class at this depth, for any leader.
+    NoSequence,
+    /// No conclusion within the budget.
+    Unknown,
+}
+
+/// Stage 3, the guided merge finder: drive all members' synchronized walks onto
+/// one node by merging one pair at a time with [`merge_phase`], restarting with
+/// a different pair order when an attempt dead-ends. Heuristic and bounded —
+/// [`MergeOutcome::Unknown`] means "no conclusion"; only the exact near-field
+/// refutation yields [`MergeOutcome::NoSequence`]. The caller re-validates any
+/// produced prefix plus suffix with the exact predicates. Merged walks stay
+/// merged: co-located walks follow the same ports to the same nodes, and
+/// [`Walks::try_step`] commits all or none.
+fn guided_merge(
+    g: &PortGraph,
+    members: &[NodeId],
+    lm: &Landmarks,
+    scratch: &mut Option<PairScratch>,
+    max_ops: usize,
+    ops: &mut usize,
+) -> MergeOutcome {
+    const RULES: [TargetRule; 3] = [TargetRule::Nearest, TargetRule::First, TargetRule::Farthest];
+    let n = g.num_nodes();
+    // With several members the joint simple-script tree thins geometrically
+    // (every member must keep its walk simple under one shared port choice),
+    // so the exhaustive search usually either finds a merge or refutes the
+    // class outright in a few thousand expansions — run it first. For pairs
+    // and triples the tree is typically far too wide to exhaust; the guided
+    // attempts go first and the refuter mops up with the remaining budget.
+    let refuter_first = members.len() >= 4;
+    if refuter_first {
+        if let Some(out) = exhaustive_stage(g, members, n, *ops + max_ops / 4, ops) {
+            return out;
+        }
+    }
+    let per_attempt = (max_ops / 2).max(1);
+    let mut seen = std::collections::HashMap::new();
+    for (attempt, rule) in RULES.into_iter().enumerate() {
+        let mut walks = Walks::new(members, n);
+        let mut script: Vec<(Port, Port)> = Vec::new();
+        let mut attempt_ops = 0usize;
+        let done = merge_attempt(
+            g,
+            &mut walks,
+            lm,
+            scratch,
+            rule,
+            attempt as Port,
+            per_attempt,
+            &mut attempt_ops,
+            &mut script,
+            &mut seen,
+        );
+        *ops += attempt_ops;
+        match done {
+            AttemptResult::Failed => continue,
+            AttemptResult::NoSequence => return MergeOutcome::NoSequence,
+            AttemptResult::Done => {}
+        }
+        return MergeOutcome::Merged(MergedPrefix::of(&walks, script, members.len(), n));
+    }
+    if !refuter_first {
+        if let Some(out) = exhaustive_stage(g, members, n, max_ops, ops) {
+            return out;
+        }
+    }
+    MergeOutcome::Unknown
+}
+
+/// Run [`exhaustive_merge_dfs`] on fresh walks up to `cap` total ops; `None`
+/// when the budget ran out without a conclusion.
+fn exhaustive_stage(
+    g: &PortGraph,
+    members: &[NodeId],
+    n: usize,
+    cap: usize,
+    ops: &mut usize,
+) -> Option<MergeOutcome> {
+    let mut walks = Walks::new(members, n);
+    let mut script: Vec<(Port, Port)> = Vec::new();
+    match exhaustive_merge_dfs(g, &mut walks, cap, ops, &mut script) {
+        Some(false) => Some(MergeOutcome::NoSequence),
+        Some(true) => Some(MergeOutcome::Merged(MergedPrefix::of(
+            &walks,
+            script,
+            members.len(),
+            n,
+        ))),
+        None => None,
+    }
+}
+
+/// Shortest path from `from` to `to` by BFS, never entering a banned node
+/// (`from` itself exempt). Returns the node sequence including both endpoints.
+fn path_avoiding(g: &PortGraph, from: NodeId, to: NodeId, banned: &[bool]) -> Option<Vec<NodeId>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let n = g.num_nodes();
+    let mut prev: Vec<u32> = vec![u32::MAX; n];
+    prev[from as usize] = from;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(from);
+    while let Some(x) = queue.pop_front() {
+        for (_, u, _) in g.ports(x) {
+            if prev[u as usize] != u32::MAX || banned[u as usize] {
+                continue;
+            }
+            prev[u as usize] = x;
+            if u == to {
+                let mut path = vec![u];
+                let mut cur = x;
+                while cur != from {
+                    path.push(cur);
+                    cur = prev[cur as usize];
+                }
+                path.push(from);
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(u);
+        }
+    }
+    None
+}
+
+/// Stage 4 / 5 (and the `*_enumerated` oracle): candidate-sequence search by bounded
+/// simple-path enumeration from the class representative, as before the quotient
+/// search existed — except that the enumeration now also carries a DFS *step*
+/// budget (see [`simple_paths`]), so topologies whose dead-end wandering used to
+/// spin forever without completing a single path (shuffled circulants from ~256
+/// nodes) now surface the typed budget error instead of hanging. `explored`
+/// counts tested candidates.
+fn common_sequence<T, F>(
+    g: &PortGraph,
+    class: &[NodeId],
+    leader: NodeId,
+    max_paths: usize,
+    explored: &mut usize,
+    extract: impl Fn(&PortGraph, &[NodeId]) -> T,
+    valid: F,
+) -> Result<Option<T>, IndexError>
+where
+    F: Fn(&PortGraph, NodeId, &T) -> bool,
+{
+    let enumeration = simple_paths(g, class[0], leader, max_paths);
+    let complete = enumeration.is_complete();
+    for path in enumeration.items() {
+        *explored += 1;
+        let candidate = extract(g, path);
+        if class.iter().all(|&v| valid(g, v, &candidate)) {
+            return Ok(Some(candidate));
+        }
+    }
+    if complete {
+        Ok(None)
+    } else {
+        Err(IndexError::PathBudgetExceeded { max_paths })
+    }
+}
+
+/// The cached per-class merge outcome: compute [`guided_merge`] on a cache
+/// miss, sharing landmark tables and the near-field scratch. Returns the
+/// outcome and the ops the computation charged (0 on a cache hit).
+fn merge_outcome_cached<'c>(
+    cache: &'c mut MergeCache,
+    g: &PortGraph,
+    class_id: u32,
+    class: &[NodeId],
+    max_paths: usize,
+) -> (&'c MergeOutcome, usize) {
+    let MergeCache {
+        by_class,
+        landmarks,
+        pair_scratch,
+        ..
+    } = cache;
+    let lm = landmarks.get_or_insert_with(|| Landmarks::compute(g));
+    let scratch = pair_scratch.get_or_insert_with(|| PairScratch::for_graph(g));
+    let mut ops = 0usize;
+    let out = by_class
+        .entry(class_id)
+        .or_insert_with(|| guided_merge(g, class, lm, scratch, max_paths, &mut ops));
+    (out, ops)
+}
+
+/// The shared PPE/CPPE assignment driver: per class, run the candidate ladder
+/// (uniform route → member shortest paths → guided merge → joint search →
+/// bounded enumeration) and assign the first candidate valid for every member.
+/// Returns full port pairs per node; PPE projects to outgoing ports afterwards.
+///
+/// With `find_only` set, the sound-but-expensive refutation stages (joint
+/// search, enumeration) are skipped: an unresolved class yields the budget
+/// error rather than burning the budget again. [`psi_strong_with`] switches to
+/// this mode for the remaining leaders of a depth once one leader has already
+/// produced an error — at that point only a *success* can change the depth's
+/// outcome, so refutation work on further leaders is wasted.
+fn strong_assignment_inner(
+    search: &mut QuotientSearch<'_>,
+    depth: usize,
+    leader: NodeId,
+    max_paths: usize,
+    shade: Shade,
+    cache: &mut MergeCache,
+    find_only: bool,
+) -> Result<Option<CppeAssignment>, IndexError> {
+    cache.reset(depth);
+    // Some earlier leader's run proved a class at this depth sequence-free;
+    // the proof is leader-independent, so every leader's answer here is known.
+    if cache.refuted {
+        return Ok(None);
+    }
+    // The CPPE collapse (backward determinism, see the module docs): a class
+    // with two or more members can never share a complete port sequence, so an
+    // assignment exists iff every class at this depth is a singleton.
+    if shade == Shade::Cppe
+        && search.refinement().num_classes_at(depth) < search.graph().num_nodes()
+    {
+        return Ok(None);
+    }
+    search.prepare(depth, leader);
+    let g = search.graph();
+    let classes = search.refinement().classes_at(depth);
+    // Refute hunt (PPE): before assigning anything, probe the multi-member
+    // classes largest first for an exact sequence-free proof — the joint
+    // simple-script tree thins geometrically with the member count, so the
+    // largest classes conclude fastest, and a single refutation settles this
+    // depth for every leader at once. Without it, an unresolved class
+    // encountered first would turn a (provably) refuted depth into a budget
+    // error.
+    if shade == Shade::Ppe {
+        let mut multi: Vec<&Vec<NodeId>> = classes
+            .iter()
+            .filter(|c| c.len() >= 4 && !c.contains(&leader))
+            .collect();
+        multi.sort_unstable_by_key(|c| std::cmp::Reverse(c.len()));
+        for class in multi {
+            let class_id = search.quotient().class_of(class[0]);
+            let (outcome, ops) = merge_outcome_cached(cache, g, class_id, class, max_paths);
+            let refuted = matches!(outcome, MergeOutcome::NoSequence);
+            search.stats_mut().paths_explored += ops;
+            if refuted {
+                cache.refuted = true;
+                return Ok(None);
+            }
+        }
+    }
+    let mut out: Vec<Option<Vec<(Port, Port)>>> = vec![None; g.num_nodes()];
+    for class in classes {
+        if class.contains(&leader) {
+            if class.len() > 1 {
+                return Ok(None);
+            }
+            continue;
+        }
+        let mut found: Option<Vec<(Port, Port)>> = None;
+        // Stage 1: the lifted uniform route (valid for all members by construction,
+        // re-validated as defense-in-depth).
+        let class_id = search.quotient().class_of(class[0]);
+        if let Some(pairs) = search.route_full(class_id) {
+            search.stats_mut().paths_explored += 1;
+            if candidate_valid_for_all(g, &class, leader, &pairs, shade) {
+                found = Some(pairs);
+            } else {
+                debug_assert!(false, "a uniform route lifted to an invalid sequence");
+            }
+        }
+        // Stage 2: each member's concrete shortest path as a common candidate
+        // (always succeeds for singleton classes).
+        if found.is_none() {
+            for &m in &class {
+                if let Some(pairs) = search.concrete_path_full(m) {
+                    search.stats_mut().paths_explored += 1;
+                    if candidate_valid_for_all(g, &class, leader, &pairs, shade) {
+                        found = Some(pairs);
+                        break;
+                    }
+                }
+            }
+        }
+        // Stage 3 (PPE only; pointless for CPPE after the collapse above): the
+        // guided merge finder, with the leader-independent prefix cached across
+        // the leaders of this depth.
+        if found.is_none() && shade == Shade::Ppe && class.len() > 1 {
+            let (outcome, ops) = merge_outcome_cached(cache, g, class_id, &class, max_paths);
+            let is_refuted = matches!(outcome, MergeOutcome::NoSequence);
+            search.stats_mut().paths_explored += ops;
+            if is_refuted {
+                // The refutation is exact and leader-independent: no common
+                // sequence merges this class for any leader at this depth.
+                cache.refuted = true;
+                return Ok(None);
+            }
+            let (outcome, _) = merge_outcome_cached(cache, g, class_id, &class, max_paths);
+            if let MergeOutcome::Merged(prefix) = outcome {
+                // Per-leader parts: none of the walks may have touched the
+                // leader, and a suffix to it must avoid all of them.
+                if prefix.endpoint == leader {
+                    let pairs = prefix.script.clone();
+                    if candidate_valid_for_all(g, &class, leader, &pairs, shade) {
+                        found = Some(pairs);
+                    }
+                } else if !prefix.visited_union[leader as usize] {
+                    let mut banned = prefix.visited_union.clone();
+                    banned[prefix.endpoint as usize] = false;
+                    if let Some(path) = path_avoiding(g, prefix.endpoint, leader, &banned) {
+                        let mut pairs = prefix.script.clone();
+                        pairs.extend(g.full_ports_of_path(&path));
+                        search.stats_mut().paths_explored += 1;
+                        if candidate_valid_for_all(g, &class, leader, &pairs, shade) {
+                            found = Some(pairs);
+                        }
+                    }
+                }
+            }
+        }
+        // Stage 4: joint synchronized-walk search — sound in both directions
+        // when it completes within the step budget.
+        if found.is_none() {
+            if find_only {
+                return Err(IndexError::PathBudgetExceeded { max_paths });
+            }
+            let mut explored = 0usize;
+            let joint = joint_search(g, &class, leader, shade, max_paths, &mut explored);
+            search.stats_mut().paths_explored += explored;
+            match joint {
+                Joint::Found(pairs) => {
+                    debug_assert!(candidate_valid_for_all(g, &class, leader, &pairs, shade));
+                    found = Some(pairs);
+                }
+                Joint::NoneExists => return Ok(None),
+                Joint::Budget if g.num_nodes() > ENUMERATION_CEILING => {
+                    // Beyond the ceiling the legacy enumeration cannot finish
+                    // meaningfully (each of the `max_paths` simple paths can be
+                    // thousands of nodes long), so its budget is deemed exceeded
+                    // up front and the typed escape hatch fires directly.
+                    return Err(IndexError::PathBudgetExceeded { max_paths });
+                }
+                Joint::Budget => {
+                    // Stage 5: the original bounded enumeration, with its exact
+                    // budget semantics (the typed escape hatch).
+                    let mut explored = 0usize;
+                    let res = common_sequence(
+                        g,
+                        &class,
+                        leader,
+                        max_paths,
+                        &mut explored,
+                        |g, path| g.full_ports_of_path(path),
+                        |g, v, pairs: &Vec<(Port, Port)>| match shade {
+                            Shade::Ppe => {
+                                let ports: Vec<Port> = pairs.iter().map(|&(p, _)| p).collect();
+                                ppe_sequence_is_valid(g, v, &ports, leader)
+                            }
+                            Shade::Cppe => cppe_sequence_is_valid(g, v, pairs, leader),
+                        },
+                    );
+                    search.stats_mut().paths_explored += explored;
+                    match res? {
+                        Some(pairs) => found = Some(pairs),
+                        None => return Ok(None),
+                    }
+                }
+            }
+        }
+        let pairs = found.expect("every arm either assigns or returns");
+        for &v in &class {
+            out[v as usize] = Some(pairs.clone());
+        }
+    }
+    Ok(Some(out))
+}
+
+/// For a fixed depth and candidate leader, the Port Path Election output assignment:
+/// one outgoing-port sequence per non-leader node, constant on view classes, tracing a
+/// simple path to the leader from every member. `Ok(None)` if no assignment exists.
+pub fn ppe_assignment(
+    g: &PortGraph,
+    r: &Refinement,
+    depth: usize,
+    leader: NodeId,
+    max_paths: usize,
+) -> Result<Option<Vec<Option<Vec<Port>>>>, IndexError> {
+    let mut search = QuotientSearch::new(g, r);
+    ppe_assignment_with(&mut search, depth, leader, max_paths)
+}
+
+/// [`ppe_assignment`] on a reusable [`QuotientSearch`].
+pub fn ppe_assignment_with(
+    search: &mut QuotientSearch<'_>,
+    depth: usize,
+    leader: NodeId,
+    max_paths: usize,
+) -> Result<Option<Vec<Option<Vec<Port>>>>, IndexError> {
+    let mut cache = MergeCache::default();
+    let full = strong_assignment_inner(
+        search,
+        depth,
+        leader,
+        max_paths,
+        Shade::Ppe,
+        &mut cache,
+        false,
+    )?;
+    Ok(full.map(|out| {
+        out.into_iter()
+            .map(|seq| seq.map(|pairs| pairs.into_iter().map(|(p, _)| p).collect()))
+            .collect()
+    }))
+}
+
+/// Per-node CPPE output assignment: `None` for the leader, the full (outgoing,
+/// incoming) port sequence of a simple path to the leader otherwise.
+pub type CppeAssignment = Vec<Option<Vec<(Port, Port)>>>;
+
+/// For a fixed depth and candidate leader, the Complete Port Path Election output
+/// assignment (pairs of ports per edge). `Ok(None)` if no assignment exists.
+pub fn cppe_assignment(
+    g: &PortGraph,
+    r: &Refinement,
+    depth: usize,
+    leader: NodeId,
+    max_paths: usize,
+) -> Result<Option<CppeAssignment>, IndexError> {
+    let mut search = QuotientSearch::new(g, r);
+    cppe_assignment_with(&mut search, depth, leader, max_paths)
+}
+
+/// [`cppe_assignment`] on a reusable [`QuotientSearch`].
+pub fn cppe_assignment_with(
+    search: &mut QuotientSearch<'_>,
+    depth: usize,
+    leader: NodeId,
+    max_paths: usize,
+) -> Result<Option<CppeAssignment>, IndexError> {
+    let mut cache = MergeCache::default();
+    strong_assignment_inner(
+        search,
+        depth,
+        leader,
+        max_paths,
+        Shade::Cppe,
+        &mut cache,
+        false,
+    )
+}
+
+/// The depth loop shared by `ψ_PPE` and `ψ_CPPE`: at each depth try every unique
+/// node as leader. A budget error at one leader no longer aborts the whole
+/// computation immediately: a *success* at the same depth still soundly gives
+/// the index (the depth is viable, and all smaller depths were fully resolved),
+/// so the error is only propagated once the depth ends without a success.
+fn psi_strong_with(
+    search: &mut QuotientSearch<'_>,
+    max_paths: usize,
+    shade: Shade,
+) -> Result<Option<usize>, IndexError> {
+    let r = search.refinement();
+    let mut cache = MergeCache::default();
+    for h in 0..=r.stable_depth() {
+        let mut deferred: Option<IndexError> = None;
+        for leader in r.unique_nodes_at(h) {
+            // After the first unresolved leader only a success can still change
+            // this depth's outcome: probe the rest in find-only mode.
+            let find_only = deferred.is_some();
+            match strong_assignment_inner(
+                search, h, leader, max_paths, shade, &mut cache, find_only,
+            ) {
+                Ok(Some(_)) => return Ok(Some(h)),
+                Ok(None) => {}
+                Err(e) => {
+                    if deferred.is_none() {
+                        deferred = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = deferred {
+            // Some leader at this depth is unresolved: a deeper answer would not
+            // be the least depth, so refuse to conclude.
+            return Err(e);
+        }
+    }
+    Ok(None)
+}
+
+/// `ψ_PPE(G)`: exact Port Path Election index.
+pub fn psi_ppe(g: &PortGraph, max_paths: usize) -> Result<Option<usize>, IndexError> {
+    let r = Refinement::compute(g, None);
+    let mut search = QuotientSearch::new(g, &r);
+    psi_ppe_with(&mut search, max_paths)
+}
+
+/// [`psi_ppe`] on a caller-owned search.
+pub fn psi_ppe_with(
+    search: &mut QuotientSearch<'_>,
+    max_paths: usize,
+) -> Result<Option<usize>, IndexError> {
+    psi_strong_with(search, max_paths, Shade::Ppe)
+}
+
+/// `ψ_CPPE(G)`: exact Complete Port Path Election index.
+pub fn psi_cppe(g: &PortGraph, max_paths: usize) -> Result<Option<usize>, IndexError> {
+    let r = Refinement::compute(g, None);
+    let mut search = QuotientSearch::new(g, &r);
+    psi_cppe_with(&mut search, max_paths)
+}
+
+/// [`psi_cppe`] on a caller-owned search.
+pub fn psi_cppe_with(
+    search: &mut QuotientSearch<'_>,
+    max_paths: usize,
+) -> Result<Option<usize>, IndexError> {
+    psi_strong_with(search, max_paths, Shade::Cppe)
+}
+
+/// Compute all four election indices (exact).
+pub fn compute_all(g: &PortGraph, max_paths: usize) -> Result<ElectionIndices, IndexError> {
+    compute_all_with_stats(g, max_paths).map(|(indices, _)| indices)
+}
+
+/// [`compute_all`] plus the accumulated [`SearchStats`] of the shared quotient
+/// search (on an error the stats spent so far are lost with it).
+pub fn compute_all_with_stats(
+    g: &PortGraph,
+    max_paths: usize,
+) -> Result<(ElectionIndices, SearchStats), IndexError> {
+    let s = psi_s(g);
+    let r = Refinement::compute(g, None);
+    let mut search = QuotientSearch::new(g, &r);
+    let pe = psi_pe_with(&mut search);
+    let ppe = psi_ppe_with(&mut search, max_paths)?;
+    let cppe = psi_cppe_with(&mut search, max_paths)?;
+    Ok((ElectionIndices { s, pe, ppe, cppe }, search.stats()))
+}
+
+// ---------------------------------------------------------------------------
+// Pre-quotient reference implementations: the oracle for the equivalence tests
+// and the baseline side of `bench_index`.
+// ---------------------------------------------------------------------------
+
+/// [`pe_assignment`] by the pre-quotient implementation (exact predicate on every
+/// port, no distance certificate). Kept as the equivalence-test oracle.
+pub fn pe_assignment_enumerated(
+    g: &PortGraph,
+    r: &Refinement,
+    depth: usize,
+    leader: NodeId,
+) -> Option<Vec<Option<Port>>> {
+    let classes = r.classes_at(depth);
+    let mut out: Vec<Option<Port>> = vec![None; g.num_nodes()];
+    for class in classes {
+        if class.contains(&leader) {
             if class.len() > 1 {
                 return None;
             }
@@ -161,51 +1733,9 @@ pub fn pe_assignment(
     Some(out)
 }
 
-/// `ψ_PE(G)`: least depth at which some uniquely-identifiable node can serve as leader
-/// with a class-uniform valid port assignment for all other nodes.
-pub fn psi_pe(g: &PortGraph) -> Option<usize> {
-    let r = Refinement::compute(g, None);
-    for h in 0..=r.stable_depth() {
-        for leader in r.unique_nodes_at(h) {
-            if pe_assignment(g, &r, h, leader).is_some() {
-                return Some(h);
-            }
-        }
-    }
-    None
-}
-
-/// Candidate-sequence search shared by the PPE and CPPE assignments.
-fn common_sequence<T, F>(
-    g: &PortGraph,
-    class: &[NodeId],
-    leader: NodeId,
-    max_paths: usize,
-    extract: impl Fn(&PortGraph, &[NodeId]) -> T,
-    valid: F,
-) -> Result<Option<T>, IndexError>
-where
-    F: Fn(&PortGraph, NodeId, &T) -> bool,
-{
-    let enumeration = simple_paths(g, class[0], leader, max_paths);
-    let complete = enumeration.is_complete();
-    for path in enumeration.items() {
-        let candidate = extract(g, path);
-        if class.iter().all(|&v| valid(g, v, &candidate)) {
-            return Ok(Some(candidate));
-        }
-    }
-    if complete {
-        Ok(None)
-    } else {
-        Err(IndexError::PathBudgetExceeded { max_paths })
-    }
-}
-
-/// For a fixed depth and candidate leader, the Port Path Election output assignment:
-/// one outgoing-port sequence per non-leader node, constant on view classes, tracing a
-/// simple path to the leader from every member. `Ok(None)` if no assignment exists.
-pub fn ppe_assignment(
+/// [`ppe_assignment`] by pure bounded enumeration (the pre-quotient
+/// implementation). Kept as the equivalence-test oracle and bench baseline.
+pub fn ppe_assignment_enumerated(
     g: &PortGraph,
     r: &Refinement,
     depth: usize,
@@ -214,6 +1744,7 @@ pub fn ppe_assignment(
 ) -> Result<Option<Vec<Option<Vec<Port>>>>, IndexError> {
     let classes = r.classes_at(depth);
     let mut out: Vec<Option<Vec<Port>>> = vec![None; g.num_nodes()];
+    let mut explored = 0usize;
     for class in classes {
         if class.contains(&leader) {
             if class.len() > 1 {
@@ -226,6 +1757,7 @@ pub fn ppe_assignment(
             &class,
             leader,
             max_paths,
+            &mut explored,
             |g, path| g.outgoing_ports_of_path(path),
             |g, v, seq: &Vec<Port>| ppe_sequence_is_valid(g, v, seq, leader),
         )?;
@@ -241,13 +1773,9 @@ pub fn ppe_assignment(
     Ok(Some(out))
 }
 
-/// Per-node CPPE output assignment: `None` for the leader, the full (outgoing,
-/// incoming) port sequence of a simple path to the leader otherwise.
-pub type CppeAssignment = Vec<Option<Vec<(Port, Port)>>>;
-
-/// For a fixed depth and candidate leader, the Complete Port Path Election output
-/// assignment (pairs of ports per edge). `Ok(None)` if no assignment exists.
-pub fn cppe_assignment(
+/// [`cppe_assignment`] by pure bounded enumeration (the pre-quotient
+/// implementation). Kept as the equivalence-test oracle and bench baseline.
+pub fn cppe_assignment_enumerated(
     g: &PortGraph,
     r: &Refinement,
     depth: usize,
@@ -256,6 +1784,7 @@ pub fn cppe_assignment(
 ) -> Result<Option<CppeAssignment>, IndexError> {
     let classes = r.classes_at(depth);
     let mut out: Vec<Option<Vec<(Port, Port)>>> = vec![None; g.num_nodes()];
+    let mut explored = 0usize;
     for class in classes {
         if class.contains(&leader) {
             if class.len() > 1 {
@@ -268,6 +1797,7 @@ pub fn cppe_assignment(
             &class,
             leader,
             max_paths,
+            &mut explored,
             |g, path| g.full_ports_of_path(path),
             |g, v, seq: &Vec<(Port, Port)>| cppe_sequence_is_valid(g, v, seq, leader),
         )?;
@@ -283,12 +1813,13 @@ pub fn cppe_assignment(
     Ok(Some(out))
 }
 
-/// `ψ_PPE(G)`: exact Port Path Election index (for small graphs).
-pub fn psi_ppe(g: &PortGraph, max_paths: usize) -> Result<Option<usize>, IndexError> {
+/// `ψ_PPE` by pure bounded enumeration (the pre-quotient implementation, which
+/// aborts on the first budget error).
+pub fn psi_ppe_enumerated(g: &PortGraph, max_paths: usize) -> Result<Option<usize>, IndexError> {
     let r = Refinement::compute(g, None);
     for h in 0..=r.stable_depth() {
         for leader in r.unique_nodes_at(h) {
-            if ppe_assignment(g, &r, h, leader, max_paths)?.is_some() {
+            if ppe_assignment_enumerated(g, &r, h, leader, max_paths)?.is_some() {
                 return Ok(Some(h));
             }
         }
@@ -296,27 +1827,18 @@ pub fn psi_ppe(g: &PortGraph, max_paths: usize) -> Result<Option<usize>, IndexEr
     Ok(None)
 }
 
-/// `ψ_CPPE(G)`: exact Complete Port Path Election index (for small graphs).
-pub fn psi_cppe(g: &PortGraph, max_paths: usize) -> Result<Option<usize>, IndexError> {
+/// `ψ_CPPE` by pure bounded enumeration (the pre-quotient implementation, which
+/// aborts on the first budget error).
+pub fn psi_cppe_enumerated(g: &PortGraph, max_paths: usize) -> Result<Option<usize>, IndexError> {
     let r = Refinement::compute(g, None);
     for h in 0..=r.stable_depth() {
         for leader in r.unique_nodes_at(h) {
-            if cppe_assignment(g, &r, h, leader, max_paths)?.is_some() {
+            if cppe_assignment_enumerated(g, &r, h, leader, max_paths)?.is_some() {
                 return Ok(Some(h));
             }
         }
     }
     Ok(None)
-}
-
-/// Compute all four election indices (exact; intended for small graphs).
-pub fn compute_all(g: &PortGraph, max_paths: usize) -> Result<ElectionIndices, IndexError> {
-    Ok(ElectionIndices {
-        s: psi_s(g),
-        pe: psi_pe(g),
-        ppe: psi_ppe(g, max_paths)?,
-        cppe: psi_cppe(g, max_paths)?,
-    })
 }
 
 #[cfg(test)]
@@ -457,8 +1979,10 @@ mod tests {
     #[test]
     fn path_budget_error_is_reported() {
         // A 4-cycle with a pendant node: at depth 0 the three degree-2 cycle nodes form
-        // one class, and with a path cap of 1 the single path enumerated from the first
-        // member fails for the others, so the computation must refuse to conclude.
+        // one class with no uniform quotient edge and no common shortest-path
+        // candidate, so the search degrades to the joint walk and then to plain
+        // enumeration — and with a budget of 1 both stages exceed it, so the
+        // computation must refuse to conclude (the typed escape hatch).
         use anet_graph::GraphBuilder;
         let mut b = GraphBuilder::with_nodes(5);
         for i in 0..4u32 {
@@ -472,6 +1996,11 @@ mod tests {
         // With a generous budget the computation terminates with a definite answer.
         assert!(ppe_assignment(&g, &r, 0, 0, 10_000).is_ok());
         assert!(psi_ppe(&g, 10_000).is_ok());
+        // The enumerated oracle agrees about the tight budget.
+        assert_eq!(
+            ppe_assignment_enumerated(&g, &r, 0, 0, 1),
+            Err(IndexError::PathBudgetExceeded { max_paths: 1 })
+        );
     }
 
     #[test]
@@ -490,5 +2019,25 @@ mod tests {
     fn index_error_displays_cap() {
         let e = IndexError::PathBudgetExceeded { max_paths: 7 };
         assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn quotient_and_enumerated_indices_agree_on_random_graphs() {
+        for seed in 0..8u64 {
+            let g = generators::random_connected(10, 4, 3, seed).unwrap();
+            let new_ppe = psi_ppe(&g, 20_000).unwrap();
+            let new_cppe = psi_cppe(&g, 20_000).unwrap();
+            assert_eq!(new_ppe, psi_ppe_enumerated(&g, 20_000).unwrap(), "{seed}");
+            assert_eq!(new_cppe, psi_cppe_enumerated(&g, 20_000).unwrap(), "{seed}");
+        }
+    }
+
+    #[test]
+    fn compute_all_records_search_stats() {
+        let g = generators::oriented_ring(&[true, true, false, true, false]).unwrap();
+        let (idx, stats) = compute_all_with_stats(&g, 1000).unwrap();
+        assert!(idx.cppe.is_some());
+        assert!(stats.classes_expanded > 0, "{stats:?}");
+        assert!(stats.paths_explored > 0, "{stats:?}");
     }
 }

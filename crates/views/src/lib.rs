@@ -29,6 +29,9 @@
 //! * [`dag_encoding`] — the shared-DAG binary encoding: one table entry per
 //!   *distinct* subtree, so symmetric views cost `O(h)` instead of `Θ(Δ^h)` bits,
 //! * [`paths`] — simple-path utilities underlying the PE / PPE / CPPE verifiers,
+//! * [`quotient`] — the view-class quotient graph of a refinement depth and the
+//!   reusable [`QuotientSearch`] (leader BFS, uniform-route lifting, search-cost
+//!   counters) that the election-index computations run on,
 //! * [`election_index`] — feasibility (all views distinct) and the election indices
 //!   `ψ_S`, `ψ_PE`, `ψ_PPE`, `ψ_CPPE` of the four shades of leader election.
 //!
@@ -58,6 +61,7 @@ pub mod election_index;
 pub mod encoding;
 pub mod interned;
 pub mod paths;
+pub mod quotient;
 pub mod refinement;
 mod search;
 pub mod shared;
@@ -67,6 +71,7 @@ pub use bits::BitString;
 pub use election_index::{ElectionIndices, Feasibility};
 pub use encoding::ViewCodec;
 pub use interned::{View, ViewInterner};
+pub use quotient::{ClassQuotient, QuotientSearch, SearchStats};
 pub use refinement::{JointRefinement, Refinement};
 pub use shared::{
     lock_or_poison, wait_timeout_or_poison, InternerHandle, InternerStats, SharedViewInterner,

@@ -91,19 +91,65 @@ impl<T> Enumeration<T> {
     }
 }
 
+/// DFS edge-extension steps allowed per enumerated path: the implicit step
+/// budget of [`simple_paths`] is `max_paths · STEPS_PER_PATH`.
+///
+/// The path cap alone does not bound the running time: it only counts *completed*
+/// paths, while on dense shuffled topologies (circulants and tori from ~256 nodes
+/// up) the DFS can wander exponentially among dead-end prefixes that never reach
+/// the target, completing no path and therefore never touching the cap. The step
+/// budget charges every edge extension, completed or not, so the enumeration
+/// always terminates — as `Truncated` when the budget runs out, which the
+/// election-index ladder reports as its typed `PathBudgetExceeded` error. The
+/// factor is generous enough that every enumeration the equivalence corpora
+/// complete (n ≤ 16, and sparse random-regular up to the path cap) is unaffected.
+const STEPS_PER_PATH: usize = 256;
+
 /// Enumerate simple paths from `from` to `to` (as node sequences including both
-/// endpoints), depth-first in increasing port order, up to `max_paths` paths.
+/// endpoints), depth-first in increasing port order, up to `max_paths` paths and
+/// at most `max_paths · STEPS_PER_PATH` DFS steps (see
+/// [`simple_paths_bounded`] for an explicit step budget).
 pub fn simple_paths(
     g: &PortGraph,
     from: NodeId,
     to: NodeId,
     max_paths: usize,
 ) -> Enumeration<Vec<NodeId>> {
+    simple_paths_bounded(
+        g,
+        from,
+        to,
+        max_paths,
+        max_paths.saturating_mul(STEPS_PER_PATH),
+    )
+}
+
+/// [`simple_paths`] with an explicit DFS step budget: every edge extension costs
+/// one step, and exhausting `max_steps` truncates the enumeration exactly like
+/// hitting `max_paths` does. `Complete` is returned only when the search space
+/// was genuinely exhausted, so the completeness signal stays sound.
+pub fn simple_paths_bounded(
+    g: &PortGraph,
+    from: NodeId,
+    to: NodeId,
+    max_paths: usize,
+    max_steps: usize,
+) -> Enumeration<Vec<NodeId>> {
     let mut found = Vec::new();
     let mut on_path = vec![false; g.num_nodes()];
     let mut path = vec![from];
+    let mut steps = max_steps;
     on_path[from as usize] = true;
-    let truncated = dfs(g, from, to, max_paths, &mut on_path, &mut path, &mut found);
+    let truncated = dfs(
+        g,
+        from,
+        to,
+        max_paths,
+        &mut steps,
+        &mut on_path,
+        &mut path,
+        &mut found,
+    );
     if truncated {
         Enumeration::Truncated(found)
     } else {
@@ -111,11 +157,13 @@ pub fn simple_paths(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dfs(
     g: &PortGraph,
     cur: NodeId,
     to: NodeId,
     max_paths: usize,
+    steps: &mut usize,
     on_path: &mut Vec<bool>,
     path: &mut Vec<NodeId>,
     found: &mut Vec<Vec<NodeId>>,
@@ -128,9 +176,13 @@ fn dfs(
         if on_path[u as usize] {
             continue;
         }
+        if *steps == 0 {
+            return true;
+        }
+        *steps -= 1;
         on_path[u as usize] = true;
         path.push(u);
-        let full = dfs(g, u, to, max_paths, on_path, path, found);
+        let full = dfs(g, u, to, max_paths, steps, on_path, path, found);
         path.pop();
         on_path[u as usize] = false;
         if full {
@@ -218,6 +270,23 @@ mod tests {
         // Number of simple paths from a fixed source to a fixed target in K_6:
         // sum over subsets of the other 4 nodes ordered: 1 + 4 + 4·3 + 4·3·2 + 4! = 65.
         assert_eq!(full.items().len(), 65);
+    }
+
+    #[test]
+    fn step_budget_truncates_before_the_path_cap() {
+        let g = generators::complete(6).unwrap();
+        // A tiny step budget ends the search long before the 65 paths exist,
+        // and the result is honestly marked incomplete.
+        let starved = simple_paths_bounded(&g, 0, 5, 10_000, 10);
+        assert!(!starved.is_complete());
+        assert!(starved.items().len() < 65);
+        // With the budget out of the way the enumeration is complete again.
+        let full = simple_paths_bounded(&g, 0, 5, 10_000, usize::MAX);
+        assert!(full.is_complete());
+        assert_eq!(full.items().len(), 65);
+        // The implicit budget of `simple_paths` is far above what small graphs
+        // need: same complete answer.
+        assert_eq!(simple_paths(&g, 0, 5, 10_000), full);
     }
 
     #[test]

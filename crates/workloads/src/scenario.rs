@@ -327,25 +327,20 @@ impl ScenarioRegistry {
         ]
     }
 
-    /// Family sizes are listed ascending, so per-scenario instance caps double as a
-    /// size cutoff: the weak shades (S, PE — view-based assignments, cheap) visit up
-    /// to `weak_cap` instances, while the strong shades (PPE, CPPE — the map solver
-    /// enumerates simple paths, which explodes beyond ~25 nodes on expander-like
-    /// topologies) stop after `strong_cap` small instances.
+    /// Family sizes are listed ascending and every shade visits up to `cap`
+    /// instances. The strong shades (PPE, CPPE) used to stop after two small
+    /// instances — the map solver's simple-path enumeration exploded beyond ~25
+    /// nodes on expander-like topologies — but the class-quotient search lifted
+    /// that ceiling, so all four shades now climb the same size ladder.
     fn grid(
         families: impl Fn() -> [Box<dyn GraphFamily>; 4],
         backends: &[Backend],
-        weak_cap: usize,
-        strong_cap: usize,
+        cap: usize,
     ) -> Self {
         let mut registry = ScenarioRegistry::new();
         // Every family × every shade × the map baseline on the primary backend
         // (`families()` rebuilds the cheap family specs per block).
         for task in Task::ALL {
-            let cap = match task {
-                Task::Selection | Task::PortElection => weak_cap,
-                Task::PortPathElection | Task::CompletePortPathElection => strong_cap,
-            };
             for family in families() {
                 registry
                     .register(Scenario::new_boxed(
@@ -369,7 +364,7 @@ impl ScenarioRegistry {
                         Task::Selection,
                         advice,
                         backends[0],
-                        weak_cap,
+                        cap,
                     ))
                     .expect("built-in grid has unique names");
             }
@@ -384,7 +379,7 @@ impl ScenarioRegistry {
                         Task::Selection,
                         SolverSpec::Map,
                         backend,
-                        weak_cap,
+                        cap,
                     ))
                     .expect("built-in grid has unique names");
             }
@@ -407,23 +402,23 @@ impl ScenarioRegistry {
                 Backend::AdaptiveParallel,
             ],
             2,
-            2,
         )
     }
 
-    /// The standard grid: the smoke sizes plus two larger steps per family, for
-    /// locally tracking the perf trajectory. The weak shades (S, PE) and the backend
-    /// axis climb to the large instances; the strong shades (PPE, CPPE) stop at the
-    /// small ones, where the map solver's simple-path enumeration stays inside its
-    /// 50 000-path soundness budget.
+    /// The standard grid: the smoke sizes plus larger steps per family — up to
+    /// 10 000 nodes on the random-regular and circulant families — for locally
+    /// tracking the perf trajectory. All four shades climb the full size ladder:
+    /// since the class-quotient search replaced raw simple-path enumeration, the
+    /// strong shades (PPE, CPPE) resolve the 10⁴-node instances inside the map
+    /// solver's default 50 000-operation budget instead of stopping at ~25 nodes.
     pub fn standard() -> Self {
         Self::grid(
             || {
                 Self::grid_families(
-                    vec![16, 24, 64, 128],
+                    vec![16, 24, 64, 128, 10_000],
                     vec![(3, 4), (4, 4), (8, 8), (11, 12)],
                     vec![3, 4, 6, 7],
-                    vec![15, 24, 64, 128],
+                    vec![15, 24, 64, 128, 10_000],
                 )
             },
             &[
@@ -433,8 +428,7 @@ impl ScenarioRegistry {
                 Backend::Batching,
                 Backend::AdaptiveParallel,
             ],
-            4,
-            2,
+            5,
         )
     }
 }

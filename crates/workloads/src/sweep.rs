@@ -11,16 +11,21 @@
 //! * `anet-workloads/v1` — the original cell fields (`scenario`, `family`,
 //!   `instance`, `param`, `nodes`, `max_degree`, `task`, `solver`, `backend`,
 //!   `solved`, `rounds`, `messages`, `advice_bits`, `wall_ms`, `leader`, `error`).
-//! * `anet-workloads/v2` (current) — adds per-cell `advice_tree_bits` and
+//! * `anet-workloads/v2` — adds per-cell `advice_tree_bits` and
 //!   `advice_dag_bits`: the size the advice's encoded view takes under the
 //!   unfolded-tree codec and under the shared-DAG codec (`null` for solvers whose
 //!   advice is not an encoded view). `advice_bits` remains the bits actually
 //!   shipped, which equals one of the two for the Theorem 2.2 pairs.
+//! * `anet-workloads/v3` (current) — adds per-cell `classes_expanded` and
+//!   `paths_explored`: the cost counters of the map-side assignment search
+//!   (quotient classes popped by the route BFS, candidate paths tested). Zero for
+//!   solvers that never search for an assignment; `null` only when the cell has no
+//!   report at all.
 //!
-//! v2 is a strict superset of v1: every v1 field is still emitted with the same
-//! meaning, and the parser is a general JSON reader, so tooling written against v1
-//! files keeps working on v2 files (and this crate keeps reading archived v1 files —
-//! missing keys simply look up as `None`).
+//! Each version is a strict superset of its predecessor: every older field is still
+//! emitted with the same meaning, and the parser is a general JSON reader, so
+//! tooling written against v1/v2 files keeps working on v3 files (and this crate
+//! keeps reading archived v1/v2 files — missing keys simply look up as `None`).
 
 use crate::json::Json;
 use crate::scenario::{Scenario, ScenarioRegistry};
@@ -33,7 +38,7 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// The schema tag written into every emitted sweep file (see the module docs for
 /// the version history).
-pub const SCHEMA: &str = "anet-workloads/v2";
+pub const SCHEMA: &str = "anet-workloads/v3";
 
 /// Configuration of one sweep run.
 #[derive(Debug, Clone)]
@@ -130,6 +135,14 @@ fn cell_json(scenario: &Scenario, row: &BatchRow) -> Json {
                 Json::opt_count(report.advice_dag_bits),
             ));
             fields.push((
+                "classes_expanded".to_string(),
+                Json::count(report.search.classes_expanded),
+            ));
+            fields.push((
+                "paths_explored".to_string(),
+                Json::count(report.search.paths_explored),
+            ));
+            fields.push((
                 "wall_ms".to_string(),
                 Json::Float(report.wall_time.as_secs_f64() * 1e3),
             ));
@@ -155,6 +168,8 @@ fn cell_json(scenario: &Scenario, row: &BatchRow) -> Json {
             fields.push(("advice_bits".to_string(), Json::Null));
             fields.push(("advice_tree_bits".to_string(), Json::Null));
             fields.push(("advice_dag_bits".to_string(), Json::Null));
+            fields.push(("classes_expanded".to_string(), Json::Null));
+            fields.push(("paths_explored".to_string(), Json::Null));
             fields.push(("wall_ms".to_string(), Json::Null));
             fields.push(("leader".to_string(), Json::Null));
             fields.push(("error".to_string(), Json::str(e.to_string())));
@@ -433,6 +448,14 @@ mod tests {
         // v2 fields are always present; the map solver has no encoded-view advice.
         assert_eq!(cell.get("advice_tree_bits"), Some(&Json::Null));
         assert_eq!(cell.get("advice_dag_bits"), Some(&Json::Null));
+        // v3 fields: the map solver searched for a PE-class assignment, so the
+        // search counters are present and non-null (classes may legitimately be 0
+        // for Selection, which needs no assignment beyond the unique view).
+        assert!(cell
+            .get("classes_expanded")
+            .and_then(Json::as_int)
+            .is_some());
+        assert!(cell.get("paths_explored").and_then(Json::as_int).is_some());
         let _ = std::fs::remove_dir_all(&config.out_dir);
     }
 
@@ -492,6 +515,32 @@ mod tests {
         assert_eq!(cell.get("nodes").and_then(Json::as_int), Some(9));
         assert_eq!(cell.get("advice_tree_bits"), None);
         assert_eq!(cell.get("advice_dag_bits"), None);
+    }
+
+    #[test]
+    fn parser_reads_archived_v2_files() {
+        // A v2-era cell (no classes_expanded / paths_explored): the general parser
+        // accepts it and the absent v3 counters look up as None, so bench-diff
+        // tooling can trend archived v2 files against fresh v3 ones.
+        let v2 = r#"{
+          "schema": "anet-workloads/v2",
+          "label": "archive",
+          "cells": [
+            {"scenario": "rr3/PPE/map/seq", "nodes": 16, "solved": true,
+             "advice_bits": null, "advice_tree_bits": null, "advice_dag_bits": null,
+             "error": null}
+          ]
+        }"#;
+        let doc = Json::parse(v2).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("anet-workloads/v2")
+        );
+        let cell = &doc.get("cells").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(cell.get("nodes").and_then(Json::as_int), Some(16));
+        assert_eq!(cell.get("advice_tree_bits"), Some(&Json::Null));
+        assert_eq!(cell.get("classes_expanded"), None);
+        assert_eq!(cell.get("paths_explored"), None);
     }
 
     #[test]

@@ -147,6 +147,36 @@ fn smoke_grid_runs_all_four_shades_on_all_four_families_and_emits_json() {
 }
 
 #[test]
+fn standard_grid_strong_shades_reach_ten_thousand_nodes() {
+    // Acceptance for the class-quotient path search: the standard grid no longer
+    // caps the strong shades at small instances — at least one PPE/CPPE cell must
+    // sweep a graph with ≥ 10⁴ nodes (where the old simple-path enumeration was
+    // hopeless beyond ~25 nodes).
+    let registry = ScenarioRegistry::standard();
+    let strong: Vec<_> = registry
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.task,
+                Task::PortPathElection | Task::CompletePortPathElection
+            )
+        })
+        .collect();
+    assert!(!strong.is_empty(), "standard grid has strong-shade cells");
+    let has_large = strong.iter().any(|s| {
+        s.materialize()
+            .iter()
+            .any(|i| i.graph.num_nodes() >= 10_000)
+    });
+    assert!(
+        has_large,
+        "standard grid must contain a strong-shade cell with >= 10^4 nodes"
+    );
+    // The smoke grid is untouched by the cap removal: still exactly 40 scenarios.
+    assert_eq!(ScenarioRegistry::smoke().len(), 40);
+}
+
+#[test]
 fn sweep_cells_are_deterministic_across_runs() {
     // Two runs of the same scenario produce identical measured quantities (wall time
     // aside): families are seed-deterministic and the engine is deterministic.
