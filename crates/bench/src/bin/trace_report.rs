@@ -34,17 +34,23 @@ fn run_table(run: &TraceRun) -> Table {
     let profile = RoundProfile::for_trace(&run.events, run.id);
     let peak_messages = profile.peak_messages().map(|s| s.round);
     let peak_time = profile.peak_time().map(|s| s.round);
+    let wire = profile.total_wire_bits();
     let mut t = Table::new(
         format!(
-            "run {} — {} ({} rounds, {} messages, {} payload bytes)",
+            "run {} — {} ({} rounds, {} messages, {} payload bytes{})",
             run.id,
             run.name,
             profile.len(),
             profile.total_messages(),
             profile.total_payload_bytes(),
+            if wire > 0 {
+                format!(", {wire} wire bits")
+            } else {
+                String::new()
+            },
         ),
         &[
-            "round", "messages", "payload", "send", "route", "receive", "peak",
+            "round", "messages", "payload", "wire", "send", "route", "receive", "peak",
         ],
     );
     for stat in profile.rounds() {
@@ -61,6 +67,7 @@ fn run_table(run: &TraceRun) -> Table {
             stat.round.to_string(),
             stat.messages.to_string(),
             stat.payload_bytes.to_string(),
+            stat.wire_bits.to_string(),
             format!("{}ns", stat.send_ns),
             format!("{}ns", stat.route_ns),
             format!("{}ns", stat.receive_ns),
@@ -86,10 +93,13 @@ fn scheduler_summary(runs: &[TraceRun]) -> Option<String> {
                 TraceEvent::WorkerSteal { .. } => steals += 1,
                 // Exhaustive on purpose: a new TraceEvent variant must be a
                 // compile error here, not silently absent from the summary.
+                // RoundWire is a round-level event; it shows up in the per-run
+                // tables' wire column, not in the scheduler summary.
                 TraceEvent::RunStart { .. }
                 | TraceEvent::RoundStart { .. }
                 | TraceEvent::PhaseTime { .. }
                 | TraceEvent::RoundEnd { .. }
+                | TraceEvent::RoundWire { .. }
                 | TraceEvent::RunEnd { .. }
                 | TraceEvent::InternerDelta { .. } => {}
             }

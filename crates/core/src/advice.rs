@@ -113,6 +113,9 @@ pub struct AdviceRun {
     pub outputs: Vec<NodeOutput>,
     /// Total messages delivered by the underlying full-information simulation.
     pub messages_delivered: usize,
+    /// Per-round / per-edge bits put on the wire, when the simulation went through
+    /// the metered transport (an explicit codec request or a capped backend).
+    pub wire: Option<anet_sim::WireStats>,
 }
 
 impl AdviceRun {
@@ -153,23 +156,62 @@ where
     O: Oracle,
     A: AdviceAlgorithm,
 {
+    run_with_advice_wired(graph, oracle, algorithm, backend, sink, None)
+}
+
+/// [`run_with_advice_traced`] with an optional wire codec: when `wire` is `Some`
+/// (or the backend is [`anet_sim::Backend::Capped`], which is only meaningful when
+/// bits are counted), the view-collection rounds serialise every message through
+/// the metered transport and the returned [`AdviceRun`] carries the resulting
+/// [`anet_sim::WireStats`]. With `wire = None` on an ordinary backend this *is*
+/// `run_with_advice_traced`.
+pub fn run_with_advice_wired<O, A>(
+    graph: &PortGraph,
+    oracle: &O,
+    algorithm: &A,
+    backend: Backend,
+    sink: &dyn anet_trace::TraceSink,
+    wire: Option<anet_sim::MessageCodec>,
+) -> AdviceRun
+where
+    O: Oracle,
+    A: AdviceAlgorithm,
+{
     let OracleAdvice {
         bits: advice,
         tree_bits,
         dag_bits,
     } = oracle.advise_with_sizes(graph);
     let rounds = algorithm.rounds(&advice);
-    let (outputs, report) =
-        anet_sim::run_full_information_traced(graph, rounds, backend, sink, |view| {
-            algorithm.decide(&advice, view)
-        });
+    let decide = |view: &View| algorithm.decide(&advice, view);
+    // A bandwidth-capped backend is only meaningful with bits on the wire, so it
+    // forces metering (under the default codec) even without an explicit request.
+    let codec = wire.or_else(|| {
+        matches!(backend, Backend::Capped { .. }).then(anet_sim::MessageCodec::default)
+    });
+    let (outputs, report, wire_stats) = match codec {
+        Some(codec) => {
+            let (outputs, report, stats) =
+                anet_sim::run_full_information_metered(graph, rounds, backend, codec, sink, decide);
+            (outputs, report, Some(stats))
+        }
+        None => {
+            let (outputs, report) =
+                anet_sim::run_full_information_traced(graph, rounds, backend, sink, decide);
+            (outputs, report, None)
+        }
+    };
     AdviceRun {
         advice,
         advice_tree_bits: tree_bits,
         advice_dag_bits: dag_bits,
-        rounds,
+        // Identical to the advice-derived `rounds` on every ordinary backend;
+        // under `Backend::Capped` the simulator reports the inflated physical
+        // round count of the bandwidth-limited stream.
+        rounds: report.rounds,
         outputs,
         messages_delivered: report.messages_delivered,
+        wire: wire_stats,
     }
 }
 

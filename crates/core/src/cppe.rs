@@ -114,6 +114,8 @@ pub fn solve_cppe_on_j(member: &JMember, k: usize) -> Result<MapRun> {
         messages_delivered: 2 * graph.num_edges() * k,
         // Lemma 4.8 splices pre-computed paths from the map; no assignment search.
         search: anet_views::SearchStats::default(),
+        // Analytic solver: nothing is simulated, so nothing crosses a wire.
+        wire: None,
     })
 }
 

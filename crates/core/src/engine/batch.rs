@@ -8,7 +8,7 @@
 //! [`GraphFamily`] and collects uniform [`BatchRow`]s that `anet-bench` renders as
 //! paper-bound-vs-measured tables.
 
-use super::{Backend, Election, ElectionReport, EngineError, Solver};
+use super::{Backend, Election, ElectionReport, EngineError, MessageCodec, Solver};
 use crate::tasks::Task;
 use anet_constructions::{FamilyInstance, GraphFamily};
 
@@ -70,6 +70,25 @@ impl BatchRow {
     pub fn paths_explored(&self) -> Option<usize> {
         self.report.as_ref().ok().map(|r| r.search.paths_explored)
     }
+
+    /// Total bits put on the wire, if the run was metered (see
+    /// [`ElectionReport::wire`]); `None` on unmetered runs and engine errors.
+    pub fn wire_bits(&self) -> Option<u64> {
+        self.report
+            .as_ref()
+            .ok()
+            .and_then(|r| r.wire.as_ref())
+            .map(|w| w.total_bits())
+    }
+
+    /// The heaviest single directed edge's total bits, if the run was metered.
+    pub fn wire_max_edge_bits(&self) -> Option<u64> {
+        self.report
+            .as_ref()
+            .ok()
+            .and_then(|r| r.wire.as_ref())
+            .map(|w| w.max_edge_bits())
+    }
 }
 
 /// Sweeps an election configuration across the instances of a [`GraphFamily`].
@@ -78,6 +97,7 @@ pub struct BatchRunner {
     backend: Backend,
     max_instances: usize,
     profiled: bool,
+    wire: Option<MessageCodec>,
 }
 
 impl Default for BatchRunner {
@@ -94,12 +114,22 @@ impl BatchRunner {
             backend,
             max_instances: 8,
             profiled: false,
+            wire: None,
         }
     }
 
     /// Cap the number of instances visited per family.
     pub fn max_instances(mut self, n: usize) -> Self {
         self.max_instances = n;
+        self
+    }
+
+    /// Meter every instance run through `codec` (see
+    /// [`ElectionBuilder::metered`](super::ElectionBuilder::metered)): each row's
+    /// report carries [`ElectionReport::wire`] with per-round / per-edge bit
+    /// counts. Outputs and logical accounting are unchanged.
+    pub fn metered(mut self, codec: MessageCodec) -> Self {
+        self.wire = Some(codec);
         self
     }
 
@@ -154,6 +184,9 @@ impl BatchRunner {
                     .backend(self.backend);
                 if self.profiled {
                     builder = builder.profiled();
+                }
+                if let Some(codec) = self.wire {
+                    builder = builder.metered(codec);
                 }
                 let report = builder.run(&instance.graph);
                 BatchRow {
@@ -258,6 +291,29 @@ mod tests {
         for row in &rows {
             assert!(row.solved());
             assert!(row.advice_bits().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn metered_sweep_rows_carry_wire_bits_without_changing_results() {
+        let class = GClass::new(4, 1).unwrap();
+        let plain = BatchRunner::default()
+            .max_instances(2)
+            .sweep(&class, Task::Selection, |_| Box::new(MapSolver::default()));
+        let metered = BatchRunner::default()
+            .max_instances(2)
+            .metered(MessageCodec::Delta)
+            .sweep(&class, Task::Selection, |_| Box::new(MapSolver::default()));
+        assert_eq!(plain.len(), metered.len());
+        for (a, b) in plain.iter().zip(&metered) {
+            assert!(a.wire_bits().is_none(), "unmetered rows carry no bits");
+            assert!(b.wire_bits().unwrap() > 0, "{}", b.instance);
+            assert!(b.wire_max_edge_bits().unwrap() <= b.wire_bits().unwrap());
+            assert_eq!(a.rounds(), b.rounds());
+            assert_eq!(
+                a.report.as_ref().unwrap().outputs,
+                b.report.as_ref().unwrap().outputs
+            );
         }
     }
 

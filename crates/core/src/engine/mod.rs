@@ -48,7 +48,7 @@
 mod batch;
 mod solvers;
 
-pub use anet_sim::{Backend, Simulator};
+pub use anet_sim::{Backend, MessageCodec, Simulator, WireStats};
 pub use anet_trace::{
     NoopSink, Phase, Recorder, RoundProfile, RoundStat, Tagged, TraceEvent, TraceSink,
 };
@@ -120,6 +120,11 @@ pub struct SolverRun {
     /// expanded, candidate paths explored). Zero for solvers that perform no such
     /// search (advice pairs, the analytic Lemma 3.9 / 4.8 algorithms).
     pub search: anet_views::SearchStats,
+    /// Per-round / per-edge bits the simulation actually put on the wire, when it
+    /// ran through the metered transport ([`ElectionBuilder::metered`] or a
+    /// [`Backend::Capped`] backend). `None` on the zero-serialisation fast path
+    /// and for analytic solvers that never simulate.
+    pub wire: Option<WireStats>,
 }
 
 /// Cross-cutting execution context the engine threads to [`Solver::solve_ctx`]:
@@ -139,6 +144,12 @@ pub struct RunContext<'a> {
     /// service) observes per-phase timings and per-round message counts. `None`
     /// means untraced — identical to passing a [`NoopSink`].
     pub trace: Option<&'a dyn TraceSink>,
+    /// The wire codec for metered runs: simulation-backed solvers serialise every
+    /// message through it (via `anet_sim::run_full_information_metered`) and
+    /// report [`WireStats`] in their [`SolverRun`]. `None` means the
+    /// zero-serialisation fast path — unless the backend is [`Backend::Capped`],
+    /// which forces metering under the default codec.
+    pub wire: Option<MessageCodec>,
 }
 
 impl<'a> RunContext<'a> {
@@ -155,6 +166,7 @@ impl std::fmt::Debug for RunContext<'_> {
         f.debug_struct("RunContext")
             .field("shared_interner", &self.shared_interner.is_some())
             .field("trace", &self.trace.is_some())
+            .field("wire", &self.wire)
             .finish()
     }
 }
@@ -212,6 +224,7 @@ impl Election {
             shared_interner: None,
             trace: None,
             profile: false,
+            wire: None,
         }
     }
 }
@@ -229,6 +242,7 @@ pub struct ElectionBuilder {
     shared_interner: Option<Arc<SharedViewInterner>>,
     trace: Option<Arc<dyn TraceSink>>,
     profile: bool,
+    wire: Option<MessageCodec>,
 }
 
 impl ElectionBuilder {
@@ -287,6 +301,20 @@ impl ElectionBuilder {
         self
     }
 
+    /// Meter the wire: simulation-backed solvers serialise every message through
+    /// `codec` (instead of handing over shared [`anet_views::View`] handles for
+    /// free) and the report gains per-round / per-edge bit counts in
+    /// [`wire`](ElectionReport::wire). Outputs, logical message accounting and —
+    /// on ordinary backends — round counts are unchanged; under
+    /// [`Backend::Capped`] rounds inflate to the physical count of the
+    /// bandwidth-limited stream. A capped backend forces metering (under
+    /// [`MessageCodec::default`]) even without this call. Analytic solvers
+    /// simulate nothing and ignore it.
+    pub fn metered(mut self, codec: MessageCodec) -> Self {
+        self.wire = Some(codec);
+        self
+    }
+
     /// Record the run's round-level profile without an external sink: the report's
     /// [`round_profile`](ElectionReport::round_profile) is populated with per-round
     /// message counts and per-phase timings. Analytic solvers (e.g.
@@ -313,6 +341,7 @@ impl ElectionBuilder {
         let ctx = RunContext {
             shared_interner: self.shared_interner.as_deref(),
             trace: recorder.as_ref().map(|r| r as &dyn TraceSink),
+            wire: self.wire,
         };
         let interner_before = recorder
             .as_ref()
@@ -369,6 +398,7 @@ impl ElectionBuilder {
             rounds: run.rounds,
             messages_delivered: run.messages_delivered,
             search: run.search,
+            wire: run.wire,
             outputs,
             verdict,
             wall_time,
@@ -387,6 +417,7 @@ impl std::fmt::Debug for ElectionBuilder {
             .field("shared_interner", &self.shared_interner.is_some())
             .field("trace", &self.trace.is_some())
             .field("profile", &self.profile)
+            .field("wire", &self.wire)
             .finish()
     }
 }
@@ -422,6 +453,12 @@ pub struct ElectionReport {
     /// per-member shortest paths, joint search steps, enumerated fallbacks). Zero
     /// for solvers that never search for an assignment.
     pub search: anet_views::SearchStats,
+    /// Bits actually put on the wire, per round and per directed edge, when the
+    /// run was metered ([`ElectionBuilder::metered`] or a [`Backend::Capped`]
+    /// backend): the codec that shipped, the cap if any, and the two breakdowns
+    /// (which always sum to the same total). `None` on unmetered runs and for
+    /// analytic solvers.
+    pub wire: Option<WireStats>,
     /// Per-node outputs (already weakened to `task` if the solver produced a stronger
     /// shade).
     pub outputs: Vec<NodeOutput>,
@@ -462,9 +499,13 @@ impl ElectionReport {
             },
             None => String::new(),
         };
+        let wire = match &self.wire {
+            Some(stats) => format!(", {} wire bits ({})", stats.total_bits(), stats.codec),
+            None => String::new(),
+        };
         match &self.verdict {
             Ok(outcome) => format!(
-                "{} via {} on {}: leader {} in {} rounds, {} messages{advice} ({:?})",
+                "{} via {} on {}: leader {} in {} rounds, {} messages{advice}{wire} ({:?})",
                 self.task,
                 self.solver,
                 self.backend,
@@ -474,7 +515,7 @@ impl ElectionReport {
                 self.wall_time,
             ),
             Err(e) => format!(
-                "{} via {} on {}: UNSOLVED ({e}) after {} rounds{advice}",
+                "{} via {} on {}: UNSOLVED ({e}) after {} rounds{advice}{wire}",
                 self.task, self.solver, self.backend, self.rounds,
             ),
         }
@@ -775,6 +816,105 @@ mod tests {
     }
 
     #[test]
+    fn metered_runs_report_wire_stats_without_changing_results() {
+        let g = generators::random_connected(24, 4, 8, 5).unwrap();
+        let plain = Election::task(Task::Selection)
+            .solver(MapSolver::default())
+            .run(&g)
+            .unwrap();
+        assert!(plain.wire.is_none(), "unmetered runs carry no wire stats");
+        for codec in MessageCodec::ALL {
+            let metered = Election::task(Task::Selection)
+                .solver(MapSolver::default())
+                .metered(codec)
+                .run(&g)
+                .unwrap();
+            let wire = metered.wire.as_ref().expect("metered run");
+            assert_eq!(wire.codec, codec);
+            assert_eq!(wire.bits_per_edge_cap, None);
+            assert!(wire.total_bits() > 0, "{codec}");
+            // The per-round and per-edge breakdowns account for the same bits.
+            assert_eq!(wire.total_bits(), wire.per_edge_total(), "{codec}");
+            assert_eq!(metered.outputs, plain.outputs, "{codec}");
+            assert_eq!(metered.rounds, plain.rounds, "{codec}");
+            assert_eq!(metered.messages_delivered, plain.messages_delivered);
+            assert!(
+                metered.summary().contains("wire bits"),
+                "{}",
+                metered.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn metered_advice_runs_carry_wire_stats() {
+        let g = generators::oriented_ring(&[true, true, false, true, false]).unwrap();
+        let plain = Election::task(Task::Selection)
+            .solver(AdviceSolver::theorem_2_2())
+            .run(&g)
+            .unwrap();
+        let metered = Election::task(Task::Selection)
+            .solver(AdviceSolver::theorem_2_2())
+            .metered(MessageCodec::Delta)
+            .run(&g)
+            .unwrap();
+        let wire = metered.wire.as_ref().expect("metered run");
+        assert_eq!(wire.codec, MessageCodec::Delta);
+        assert!(wire.total_bits() > 0);
+        assert_eq!(metered.outputs, plain.outputs);
+        assert_eq!(metered.rounds, plain.rounds);
+        assert_eq!(metered.advice_bits, plain.advice_bits);
+    }
+
+    #[test]
+    fn capped_backend_forces_metering_and_inflates_rounds_only() {
+        let g = generators::random_connected(24, 4, 8, 5).unwrap();
+        let plain = Election::task(Task::Selection)
+            .solver(MapSolver::default())
+            .run(&g)
+            .unwrap();
+        let capped = Election::task(Task::Selection)
+            .solver(MapSolver::default())
+            .backend(Backend::capped(8))
+            .run(&g)
+            .unwrap();
+        let wire = capped
+            .wire
+            .as_ref()
+            .expect("a capped run is always metered");
+        assert_eq!(wire.bits_per_edge_cap, Some(8));
+        assert_eq!(capped.outputs, plain.outputs);
+        assert_eq!(capped.leader(), plain.leader());
+        assert_eq!(capped.messages_delivered, plain.messages_delivered);
+        assert!(capped.rounds >= plain.rounds, "streaming only adds rounds");
+        // The cap binds every physical round: no round ships more than B bits on
+        // any one of the 2m directed edges.
+        let edges = 2 * g.num_edges() as u64;
+        assert!(wire.per_round_bits.iter().all(|&b| b <= 8 * edges));
+    }
+
+    #[test]
+    fn metered_profiles_reconcile_with_wire_stats() {
+        let g = generators::random_connected(24, 4, 8, 5).unwrap();
+        let report = Election::task(Task::Selection)
+            .solver(MapSolver::default())
+            .backend(Backend::capped(16))
+            .metered(MessageCodec::Dag)
+            .profiled()
+            .run(&g)
+            .unwrap();
+        let profile = report.round_profile.as_ref().expect("profiled run");
+        let wire = report.wire.as_ref().expect("metered run");
+        assert_eq!(
+            profile.len(),
+            report.rounds,
+            "one profile row per physical round"
+        );
+        assert_eq!(profile.total_wire_bits(), wire.total_bits());
+        assert_eq!(profile.total_messages(), report.messages_delivered as u64);
+    }
+
+    #[test]
     fn analytic_solvers_profile_empty() {
         use anet_constructions::JClass;
         let class = JClass::new(2, 4).unwrap();
@@ -791,6 +931,7 @@ mod tests {
             "the CPPE solver simulates nothing, so there are no round events"
         );
         assert!(report.messages_delivered > 0, "accounting is closed-form");
+        assert!(report.wire.is_none(), "nothing simulated, nothing metered");
     }
 
     #[test]

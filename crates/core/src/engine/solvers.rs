@@ -1,10 +1,10 @@
 //! The built-in [`Solver`] implementations: one per algorithm family of the paper.
 
 use super::{Backend, EngineError, RunContext, Solver, SolverRun};
-use crate::advice::{run_with_advice_on, run_with_advice_traced, AdviceAlgorithm, Oracle};
+use crate::advice::{run_with_advice_on, run_with_advice_wired, AdviceAlgorithm, Oracle};
 use crate::cppe::solve_cppe_on_j;
-use crate::map_algorithms::{solve_with_map_on, solve_with_map_traced, MapRun};
-use crate::port_election::{solve_port_election_on_u_traced, solve_port_election_on_u_with};
+use crate::map_algorithms::{solve_with_map_on, solve_with_map_wired, MapRun};
+use crate::port_election::{solve_port_election_on_u_wired, solve_port_election_on_u_with};
 use crate::selection::{SelectionAlgorithm, SelectionOracle};
 use crate::tasks::Task;
 use anet_constructions::j_class::JMember;
@@ -19,6 +19,7 @@ fn map_run_to_solver_run(run: MapRun) -> SolverRun {
         advice_tree_bits: None,
         advice_dag_bits: None,
         search: run.search,
+        wire: run.wire,
     }
 }
 
@@ -70,14 +71,16 @@ impl Solver for MapSolver {
     ) -> Result<SolverRun, EngineError> {
         // The map solver is the view-heavy one: route its `build_all` +
         // canonicalization pass through the process-wide interner when given one,
-        // and its simulation rounds through the context's trace probe.
-        solve_with_map_traced(
+        // its simulation rounds through the context's trace probe, and its
+        // messages through the context's wire codec when the run is metered.
+        solve_with_map_wired(
             graph,
             task,
             self.max_paths,
             backend,
             ctx.shared_interner,
             ctx.trace_sink(),
+            ctx.wire,
         )
         .map(map_run_to_solver_run)
         .map_err(|e| EngineError::solver(self.name(), e))
@@ -167,12 +170,13 @@ where
         backend: Backend,
         ctx: &RunContext<'_>,
     ) -> Result<SolverRun, EngineError> {
-        let run = run_with_advice_traced(
+        let run = run_with_advice_wired(
             graph,
             &self.oracle,
             &self.algorithm,
             backend,
             ctx.trace_sink(),
+            ctx.wire,
         );
         Ok(advice_run_to_solver_run(run))
     }
@@ -187,6 +191,7 @@ fn advice_run_to_solver_run(run: crate::advice::AdviceRun) -> SolverRun {
         advice_dag_bits: run.advice_dag_bits,
         // Advice pairs decide from (advice, view): there is no assignment search.
         search: anet_views::SearchStats::default(),
+        wire: run.wire,
         outputs: run.outputs,
     }
 }
@@ -229,7 +234,7 @@ impl Solver for PortElectionSolver {
         backend: Backend,
         ctx: &RunContext<'_>,
     ) -> Result<SolverRun, EngineError> {
-        solve_port_election_on_u_traced(graph, self.k, backend, ctx.trace_sink())
+        solve_port_election_on_u_wired(graph, self.k, backend, ctx.trace_sink(), ctx.wire)
             .map(map_run_to_solver_run)
             .map_err(|e| EngineError::solver(self.name(), e))
     }

@@ -36,6 +36,11 @@ pub struct MapRun {
     /// quotient BFS, candidate paths explored). Zero for algorithms that read the
     /// assignment off the map analytically instead of searching for it.
     pub search: SearchStats,
+    /// Per-round / per-edge bits actually put on the wire, when the run went
+    /// through the metered transport (an explicit codec request or a
+    /// [`Backend::Capped`] backend). `None` for the zero-serialisation fast path
+    /// and for analytic solvers that never simulate.
+    pub wire: Option<anet_sim::WireStats>,
 }
 
 /// Errors of the map-based solver.
@@ -129,6 +134,24 @@ pub fn solve_with_map_traced(
     shared: Option<&SharedViewInterner>,
     sink: &dyn anet_trace::TraceSink,
 ) -> Result<MapRun, MapSolveError> {
+    solve_with_map_wired(graph, task, max_paths, backend, shared, sink, None)
+}
+
+/// [`solve_with_map_traced`] with an optional wire codec: when `wire` is `Some`
+/// (or the backend is [`Backend::Capped`], which is only meaningful when bits are
+/// counted), the full-information simulation serialises every message through the
+/// metered transport and the returned [`MapRun`] carries the resulting
+/// [`anet_sim::WireStats`]. With `wire = None` on an ordinary backend this *is*
+/// `solve_with_map_traced`: same outputs, same message accounting, no bit meter.
+pub fn solve_with_map_wired(
+    graph: &PortGraph,
+    task: Task,
+    max_paths: usize,
+    backend: Backend,
+    shared: Option<&SharedViewInterner>,
+    sink: &dyn anet_trace::TraceSink,
+    wire: Option<anet_sim::MessageCodec>,
+) -> Result<MapRun, MapSolveError> {
     let refinement = Refinement::compute(graph, None);
     // One quotient search serves every (depth, leader) attempt: the class quotient
     // is cached per depth and the leader BFS per leader, so walking many candidate
@@ -214,20 +237,41 @@ pub fn solve_with_map_traced(
     // The decision map is applied sequentially after the communication phase, so a
     // RefCell suffices for the interner handle's interior mutability.
     let interner = std::cell::RefCell::new(interner);
-    let (outputs, report) =
-        anet_sim::run_full_information_traced(graph, rounds, backend, sink, |view| {
-            let canonical = interner.borrow_mut().intern(view);
-            by_view
-                .get(&canonical)
-                .cloned()
-                .expect("every view observed in the run appears in the map")
-        });
+    let decide = |view: &View| {
+        let canonical = interner.borrow_mut().intern(view);
+        by_view
+            .get(&canonical)
+            .cloned()
+            .expect("every view observed in the run appears in the map")
+    };
+    // A bandwidth-capped backend is only meaningful with bits on the wire, so it
+    // forces metering (under the default codec) even without an explicit request.
+    let codec = wire.or_else(|| {
+        matches!(backend, Backend::Capped { .. }).then(anet_sim::MessageCodec::default)
+    });
+    let (outputs, report, wire_stats) = match codec {
+        Some(codec) => {
+            let (outputs, report, stats) =
+                anet_sim::run_full_information_metered(graph, rounds, backend, codec, sink, decide);
+            (outputs, report, Some(stats))
+        }
+        None => {
+            let (outputs, report) =
+                anet_sim::run_full_information_traced(graph, rounds, backend, sink, decide);
+            (outputs, report, None)
+        }
+    };
 
+    // `report.rounds` equals the logical depth on every ordinary backend; under
+    // `Backend::Capped` the simulator streams large views across several physical
+    // rounds and reports the inflated physical count — which is the round number
+    // the CONGEST-style accounting is about, so it is what MapRun carries.
     Ok(MapRun {
-        rounds,
+        rounds: report.rounds,
         outputs,
         messages_delivered: report.messages_delivered,
         search: search.stats(),
+        wire: wire_stats,
     })
 }
 

@@ -55,6 +55,22 @@ pub fn solve_port_election_on_u_traced(
     backend: Backend,
     sink: &dyn anet_trace::TraceSink,
 ) -> Result<MapRun, GraphError> {
+    solve_port_election_on_u_wired(graph, k, backend, sink, None)
+}
+
+/// [`solve_port_election_on_u_traced`] with an optional wire codec: when `wire` is
+/// `Some` (or the backend is [`Backend::Capped`], which is only meaningful when
+/// bits are counted), the `k` view-collection rounds serialise every message
+/// through the metered transport and the returned [`MapRun`] carries the
+/// resulting [`anet_sim::WireStats`]. With `wire = None` on an ordinary backend
+/// this *is* `solve_port_election_on_u_traced`.
+pub fn solve_port_election_on_u_wired(
+    graph: &PortGraph,
+    k: usize,
+    backend: Backend,
+    sink: &dyn anet_trace::TraceSink,
+    wire: Option<anet_sim::MessageCodec>,
+) -> Result<MapRun, GraphError> {
     let max_deg = graph.max_degree();
     if max_deg < 7 || max_deg.is_multiple_of(2) {
         return Err(GraphError::invalid(
@@ -141,13 +157,32 @@ pub fn solve_port_election_on_u_traced(
         )
     };
 
-    let (outputs, report) = anet_sim::run_full_information_traced(graph, k, backend, sink, decide);
+    // A bandwidth-capped backend is only meaningful with bits on the wire, so it
+    // forces metering (under the default codec) even without an explicit request.
+    let codec = wire.or_else(|| {
+        matches!(backend, Backend::Capped { .. }).then(anet_sim::MessageCodec::default)
+    });
+    let (outputs, report, wire_stats) = match codec {
+        Some(codec) => {
+            let (outputs, report, stats) =
+                anet_sim::run_full_information_metered(graph, k, backend, codec, sink, decide);
+            (outputs, report, Some(stats))
+        }
+        None => {
+            let (outputs, report) =
+                anet_sim::run_full_information_traced(graph, k, backend, sink, decide);
+            (outputs, report, None)
+        }
+    };
     Ok(MapRun {
-        rounds: k,
+        // `k` on every ordinary backend; the inflated physical count under
+        // `Backend::Capped`, where large views stream across several rounds.
+        rounds: report.rounds,
         outputs,
         messages_delivered: report.messages_delivered,
         // Lemma 3.9 reads the ports off the map's structure; no assignment search.
         search: anet_views::SearchStats::default(),
+        wire: wire_stats,
     })
 }
 

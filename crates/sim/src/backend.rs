@@ -69,6 +69,20 @@ pub enum Backend {
     /// by degree sum per phase. Falls back to sequential execution on graphs too
     /// small to amortize thread spawning.
     AdaptiveParallel,
+    /// CONGEST-style capped-bandwidth execution: a round moves at most
+    /// `bits_per_edge` serialised bits across each directed edge, so a view too
+    /// large for one round streams across several and the *measured* round count
+    /// inflates as bandwidth shrinks (outputs and message totals stay identical —
+    /// only the rounds axis moves). The cap is only meaningful for messages the
+    /// metered transport can serialise: the full-information entry points
+    /// ([`crate::run_full_information_traced`] and the metered variants) honour
+    /// it via [`crate::transport`]; for arbitrary message types [`Backend::run`]
+    /// cannot measure bits and degenerates to a sequential uncapped run.
+    /// Construct via [`Backend::capped`], which normalises a zero cap to 1.
+    Capped {
+        /// Bits each directed edge may carry per round (≥ 1 wherever it is used).
+        bits_per_edge: u64,
+    },
 }
 
 /// Minimum number of port slots of work per adaptive worker: below this, spawning a
@@ -85,6 +99,16 @@ impl Backend {
         }
     }
 
+    /// A capped-bandwidth backend with a normalized cap: `bits_per_edge` is clamped
+    /// to at least 1 (a zero-bit edge could never deliver anything), so the
+    /// constructed value's [`label`](Backend::label) always agrees with how it
+    /// executes.
+    pub fn capped(bits_per_edge: u64) -> Backend {
+        Backend::Capped {
+            bits_per_edge: bits_per_edge.max(1),
+        }
+    }
+
     /// The number of worker threads [`Backend::Parallel`] actually executes with
     /// (`threads` clamped to at least 1, then capped by the calling thread's
     /// [`crate::thread_budget`]); 1 for [`Backend::Sequential`] and
@@ -93,23 +117,26 @@ impl Backend {
     /// ([`std::thread::available_parallelism`]), again capped by the budget.
     pub fn effective_threads(&self) -> usize {
         match self {
-            Backend::Sequential | Backend::Batching => 1,
+            Backend::Sequential | Backend::Batching | Backend::Capped { .. } => 1,
             Backend::Parallel { threads } => (*threads).max(1).min(crate::thread_budget()),
             Backend::AdaptiveParallel => available_parallelism().min(crate::thread_budget()),
         }
     }
 
-    /// A short human-readable label (`seq`, `par4`, `batch`, `adaptive`) for reports
-    /// and tables. The label reflects the *configured* backend: `Parallel { threads:
-    /// 0 }` runs with one thread and therefore labels itself `par1`, but a
-    /// [`crate::with_thread_budget`] cap does **not** change the label — reports keyed
-    /// by label stay comparable whether or not the run happened under a budget.
+    /// A short human-readable label (`seq`, `par4`, `batch`, `adaptive`, `cap64`)
+    /// for reports and tables. The label reflects the *configured* backend:
+    /// `Parallel { threads: 0 }` runs with one thread and therefore labels itself
+    /// `par1` (and `Capped { bits_per_edge: 0 }` runs with a one-bit cap and labels
+    /// itself `cap1`), but a [`crate::with_thread_budget`] cap does **not** change
+    /// the label — reports keyed by label stay comparable whether or not the run
+    /// happened under a budget.
     pub fn label(&self) -> String {
         match self {
             Backend::Sequential => "seq".to_string(),
             Backend::Parallel { threads } => format!("par{}", (*threads).max(1)),
             Backend::Batching => "batch".to_string(),
             Backend::AdaptiveParallel => "adaptive".to_string(),
+            Backend::Capped { bits_per_edge } => format!("cap{}", (*bits_per_edge).max(1)),
         }
     }
 
@@ -188,6 +215,13 @@ impl Backend {
                     sink,
                 )
             }
+            // An arbitrary message type has no wire encoding, so there is nothing
+            // to cap: the generic entry point runs sequentially and uncapped. The
+            // full-information entry points (`run_full_information_traced` and the
+            // metered variants in `crate::transport`) recognise `Capped` and run
+            // the streaming metered loop instead — that is where round inflation
+            // happens.
+            Backend::Capped { .. } => run_chunked(graph, factory, rounds, Vec::new(), sink),
         }
     }
 }
@@ -324,7 +358,12 @@ fn degree_balanced_chunks(offsets: &[usize], threads: usize) -> Vec<Range<usize>
 /// Record the elapsed time of one phase when the probe armed it (`start` is `Some`
 /// exactly when the sink is enabled — the disabled path reads no clock at all).
 // anet-lint: hot-path
-fn record_phase(sink: &dyn TraceSink, round: usize, phase: Phase, start: Option<Instant>) {
+pub(crate) fn record_phase(
+    sink: &dyn TraceSink,
+    round: usize,
+    phase: Phase,
+    start: Option<Instant>,
+) {
     if let Some(start) = start {
         sink.record(TraceEvent::PhaseTime {
             trace_id: 0,

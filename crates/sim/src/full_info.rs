@@ -148,6 +148,13 @@ where
 /// counts) into `sink`. With [`anet_trace::NoopSink`] this *is*
 /// `run_full_information_on` — the disabled probe reads no clock. The decision map
 /// runs after the last round and is not part of the traced communication.
+///
+/// [`Backend::Capped`] is honoured here (unlike in the generic
+/// [`Backend::run`], which cannot serialise arbitrary messages): the run goes
+/// through the metered transport with the default [`crate::MessageCodec`], large
+/// views stream across multiple physical rounds, and the returned
+/// `report.rounds` counts physical rounds. Callers that also want the bit
+/// accounting use [`crate::run_full_information_metered`] directly.
 pub fn run_full_information_traced<O, D>(
     graph: &PortGraph,
     rounds: usize,
@@ -159,6 +166,17 @@ where
     O: Clone + Send,
     D: Fn(&View) -> O,
 {
+    if let Backend::Capped { .. } = backend {
+        let (decisions, report, _) = crate::transport::run_full_information_metered(
+            graph,
+            rounds,
+            backend,
+            crate::transport::MessageCodec::default(),
+            sink,
+            decide,
+        );
+        return (decisions, report);
+    }
     let RunOutcome { outputs, report } =
         backend.run_traced(graph, &ViewCollectorFactory, rounds, sink);
     let decisions = outputs.iter().map(decide).collect();

@@ -1,0 +1,601 @@
+//! Bit-metered wire transport: serialise every full-information message through a
+//! pluggable codec, count the bits per round and per directed edge, and optionally
+//! squeeze the stream through a CONGEST-style per-edge bandwidth cap.
+//!
+//! The unmetered backends in [`crate::backend`] move [`ViewMessage`]s as `Arc`
+//! handles — free to copy, and therefore silent about the quantity the paper's
+//! model actually charges for: *bits on the wire*. This module adds the metered
+//! execution mode: each message is encoded with a [`MessageCodec`], its exact
+//! serialised length is accounted into [`WireStats`] (and emitted as
+//! [`TraceEvent::RoundWire`] when a probe is attached), and the receiver decodes
+//! the bit string — the delivered view is the *decoded* value, so the codec's
+//! round-trip fidelity is exercised on every edge of every round, not assumed.
+//!
+//! Three codecs ship:
+//!
+//! * [`MessageCodec::Tree`] — the unfolded-tree format of
+//!   [`anet_views::encoding`]: `Θ(Δ^r)` bits, the naive baseline.
+//! * [`MessageCodec::Dag`] — the shared-DAG format of
+//!   [`anet_views::dag_encoding`]: one table entry per *distinct* subview.
+//! * [`MessageCodec::Delta`] — the incremental format of
+//!   [`anet_views::delta_encoding`]: round `r`'s view encoded against the round
+//!   `r − 1` view the receiver already holds from the previous round on the same
+//!   edge, shipping only the table entries the base does not cover. Never more
+//!   than one bit above [`MessageCodec::Dag`], and strictly below it wherever
+//!   successive views share structure.
+//!
+//! [`Backend::Capped`] reuses the same loop with a finite per-edge budget: a
+//! *logical* round whose largest encoded message is `L` bits occupies
+//! `ceil(L / B)` *physical* rounds, each moving at most `B` bits per directed
+//! edge. Partial chunks live in per-edge stream state (the private `Link`), never in the
+//! inbox — a receiver sees a message only when its last chunk arrives, and the
+//! receive phase of the logical round runs once every edge has drained. Outputs
+//! and total message counts are therefore identical to the uncapped run; only the
+//! measured round count (and the per-round bit profile) inflates as `B` shrinks.
+
+use crate::backend::{record_phase, Backend};
+use crate::full_info::{ViewCollector, ViewMessage};
+use crate::model::NodeAlgorithm;
+use crate::runner::{RunOutcome, RunReport};
+use anet_graph::{Port, PortGraph};
+use anet_trace::{Phase, TraceEvent, TraceSink};
+use anet_views::dag_encoding::{decode_view_dag, encode_view_dag};
+use anet_views::delta_encoding::{decode_view_delta, encode_view_delta};
+use anet_views::encoding::{decode_view_interned, encode_view_interned};
+use anet_views::{BitString, View};
+use std::time::Instant;
+
+/// The wire format of a metered run: how a [`ViewMessage`] becomes bits.
+///
+/// Every codec ships the far-port tag as a varint followed by the view body; they
+/// differ only in the body format. The default is [`MessageCodec::Dag`] — the
+/// format whose size is also what the advice strings of the `CPPE` solvers are
+/// measured in, so metered wire totals and advice totals are directly comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MessageCodec {
+    /// Unfolded-tree body ([`anet_views::encoding::encode_view_interned`]).
+    Tree,
+    /// Shared-DAG body ([`anet_views::dag_encoding::encode_view_dag`]).
+    #[default]
+    Dag,
+    /// Incremental body against the previous round's view on the same edge
+    /// ([`anet_views::delta_encoding::encode_view_delta`]).
+    Delta,
+}
+
+impl MessageCodec {
+    /// All codecs, in baseline-to-sharpest order.
+    pub const ALL: [MessageCodec; 3] = [MessageCodec::Tree, MessageCodec::Dag, MessageCodec::Delta];
+
+    /// Stable lowercase label used in scenario names, sweep artifacts and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MessageCodec::Tree => "tree",
+            MessageCodec::Dag => "dag",
+            MessageCodec::Delta => "delta",
+        }
+    }
+
+    /// Parse a label produced by [`MessageCodec::label`].
+    pub fn from_label(label: &str) -> Option<MessageCodec> {
+        MessageCodec::ALL.into_iter().find(|c| c.label() == label)
+    }
+}
+
+impl std::fmt::Display for MessageCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Bit accounting of one metered run, exact by construction: every entry is the
+/// length of a bit string that was actually encoded (and decoded) by the run.
+///
+/// Invariant, asserted by the equivalence test layer: the per-round and per-edge
+/// views are two partitions of the same total, so
+/// `per_round_bits.sum() == per_edge_bits.sum() == total_bits()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireStats {
+    /// The codec every message was serialised with.
+    pub codec: MessageCodec,
+    /// The per-edge cap of a [`Backend::Capped`] run; `None` when unmetered by
+    /// bandwidth (every message crosses in the round it was sent).
+    pub bits_per_edge_cap: Option<u64>,
+    /// `per_round_bits[r - 1]` is the number of bits that crossed any wire in
+    /// *physical* round `r` (on a capped run, partial chunks count in the round
+    /// they were transferred).
+    pub per_round_bits: Vec<u64>,
+    /// `per_edge_bits[offsets[v] + p]` is the total bits sent across directed
+    /// edge `(v, p)` over the whole run, indexed like
+    /// [`PortGraph::port_offsets`].
+    pub per_edge_bits: Vec<u64>,
+}
+
+impl WireStats {
+    /// Total bits on the wire over the whole run.
+    pub fn total_bits(&self) -> u64 {
+        self.per_round_bits.iter().sum()
+    }
+
+    /// The same total, accumulated edge-wise; equal to [`WireStats::total_bits`]
+    /// on every run (the reconciliation the transport tests pin down).
+    pub fn per_edge_total(&self) -> u64 {
+        self.per_edge_bits.iter().sum()
+    }
+
+    /// The heaviest directed edge's cumulative bits — the wire analogue of a
+    /// congestion bound.
+    pub fn max_edge_bits(&self) -> u64 {
+        self.per_edge_bits.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Per-directed-edge stream state: the current logical round's encoded message
+/// and how much of it is still in flight. The buffers are allocated once per run
+/// and refilled in place every logical round ([`BitString::clear`]), so the
+/// metered loop performs no per-round allocation beyond what the codecs
+/// themselves need to build bodies.
+struct Link {
+    /// The full wire string of this logical round's message: varint far-port tag
+    /// followed by the codec body.
+    wire: BitString,
+    /// Encoded length in bits; `0` marks an empty slot (no message this round).
+    total: u64,
+    /// Bits not yet across. Delivery happens exactly when this reaches zero.
+    remaining: u64,
+    /// Whether the completed message has been decoded into the inbox (partial
+    /// streams are represented here, never as inbox entries).
+    delivered: bool,
+}
+
+impl Link {
+    fn new() -> Link {
+        Link {
+            wire: BitString::new(),
+            total: 0,
+            remaining: 0,
+            delivered: true,
+        }
+    }
+}
+
+/// Encode one message into its link: varint port tag, then the codec body.
+fn encode_link(codec: MessageCodec, port: Port, view: &View, base: Option<&View>, link: &mut Link) {
+    link.wire.clear();
+    link.wire.push_varint(port as u64);
+    let height = view.height();
+    let body = match codec {
+        MessageCodec::Tree => encode_view_interned(view, height),
+        MessageCodec::Dag => encode_view_dag(view, height),
+        MessageCodec::Delta => encode_view_delta(view, height, base),
+    };
+    for bit in body.iter() {
+        link.wire.push_bit(bit);
+    }
+    link.total = link.wire.len() as u64;
+    link.remaining = link.total;
+    link.delivered = false;
+}
+
+/// Decode a fully-arrived link back into a message. The body bits are copied into
+/// `scratch` (reused across slots) because the codec decoders consume a whole
+/// [`BitString`]. A self-encoded message always decodes; the `expect`s here are
+/// internal-consistency assertions, not input validation.
+fn decode_link(
+    codec: MessageCodec,
+    link: &Link,
+    base: Option<&View>,
+    scratch: &mut BitString,
+) -> ViewMessage {
+    let mut r = link.wire.reader();
+    let port = r
+        .read_varint()
+        .expect("metered transport: port tag of a self-encoded message decodes");
+    scratch.clear();
+    while let Some(bit) = r.read_bit() {
+        scratch.push_bit(bit);
+    }
+    let view = match codec {
+        MessageCodec::Tree => decode_view_interned(scratch).map(|(v, _)| v),
+        MessageCodec::Dag => decode_view_dag(scratch).map(|(v, _)| v),
+        MessageCodec::Delta => decode_view_delta(scratch, base).map(|(v, _)| v),
+    }
+    .expect("metered transport: a self-encoded message always decodes");
+    (port as Port, view)
+}
+
+/// The send/encode half of a metered logical round: drain every outbox slot into
+/// its link's wire buffer and report the largest encoded message (which fixes how
+/// many physical rounds a capped run needs for this logical round).
+// anet-lint: hot-path
+fn encode_round(
+    codec: MessageCodec,
+    out: &mut [Option<ViewMessage>],
+    bases: &[Option<View>],
+    links: &mut [Link],
+) -> u64 {
+    let mut max_bits = 0u64;
+    for ((slot, link), base) in out.iter_mut().zip(links.iter_mut()).zip(bases.iter()) {
+        match slot.take() {
+            Some((port, view)) => {
+                encode_link(codec, port, &view, base.as_ref(), link);
+                if link.total > max_bits {
+                    max_bits = link.total;
+                }
+            }
+            None => {
+                link.total = 0;
+                link.remaining = 0;
+                link.delivered = true;
+            }
+        }
+    }
+    max_bits
+}
+
+/// One physical round of wire transfer: every edge with bits in flight moves at
+/// most `cap` of them, and the moved bits are accounted per edge. Pure integer
+/// work — the route loop of the metered transport.
+// anet-lint: hot-path
+fn transfer_round(cap: u64, links: &mut [Link], per_edge_bits: &mut [u64]) -> u64 {
+    let mut bits_now = 0u64;
+    for (link, edge_bits) in links.iter_mut().zip(per_edge_bits.iter_mut()) {
+        if link.remaining > 0 {
+            let chunk = link.remaining.min(cap);
+            link.remaining -= chunk;
+            *edge_bits += chunk;
+            bits_now += chunk;
+        }
+    }
+    bits_now
+}
+
+/// Run the full-information algorithm for `rounds` *logical* rounds with every
+/// message serialised through `codec`, returning the collected views together
+/// with exact bit accounting. With `bits_per_edge: Some(B)` the run is
+/// bandwidth-capped: each physical round moves at most `B` bits per directed
+/// edge (a zero cap is normalised to 1), large messages stream across several
+/// physical rounds, and `report.rounds` counts *physical* rounds. With `None`
+/// every message crosses in the round it was sent and physical == logical.
+///
+/// The loop is sequential: metering serialises every message anyway, and the
+/// collected views are backend-independent (the equivalence tests pin outputs
+/// against every unmetered backend), so there is nothing for worker threads to
+/// overlap that the codec work would not immediately re-serialise.
+pub fn run_metered(
+    graph: &PortGraph,
+    rounds: usize,
+    codec: MessageCodec,
+    bits_per_edge: Option<u64>,
+    sink: &dyn TraceSink,
+) -> (RunOutcome<View>, WireStats) {
+    let cap = bits_per_edge.map(|b| b.max(1));
+    let offsets = graph.port_offsets();
+    let route = graph.flat_route_table_with(&offsets);
+    let slots = route.len();
+    let mut nodes: Vec<ViewCollector> = graph
+        .nodes()
+        .map(|v| ViewCollector::new(graph.degree(v)))
+        .collect();
+    // All per-edge state is allocated once and reused every round, exactly like
+    // the batching backend's arenas: out/inbox slots, stream links, and the
+    // receiver-side delta bases (the last view decoded on each directed edge).
+    let mut out: Vec<Option<ViewMessage>> = vec![None; slots];
+    let mut inbox: Vec<Option<ViewMessage>> = vec![None; slots];
+    let mut links: Vec<Link> = (0..slots).map(|_| Link::new()).collect();
+    let mut bases: Vec<Option<View>> = vec![None; slots];
+    let mut per_edge_bits = vec![0u64; slots];
+    let mut per_round_bits: Vec<u64> = Vec::new();
+    let mut scratch = BitString::new();
+    let mut messages_delivered = 0usize;
+    let mut physical = 0usize;
+    let tracing = sink.enabled();
+    let message_bytes = std::mem::size_of::<ViewMessage>() as u64;
+    if tracing {
+        // `rounds` here is the *logical* plan; on a capped run the physical count
+        // is only known at RunEnd.
+        sink.record(TraceEvent::RunStart {
+            trace_id: 0,
+            nodes: graph.num_nodes() as u64,
+            rounds: rounds as u64,
+        });
+    }
+
+    for round in 1..=rounds {
+        // First physical round of the block: send + encode.
+        physical += 1;
+        if tracing {
+            sink.record(TraceEvent::RoundStart {
+                trace_id: 0,
+                round: physical as u64,
+            });
+        }
+        let phase_start = tracing.then(Instant::now);
+        for (v, node) in nodes.iter_mut().enumerate() {
+            node.send_into(round, &mut out[offsets[v]..offsets[v + 1]]);
+        }
+        let max_bits = encode_round(codec, &mut out, &bases, &mut links);
+        record_phase(sink, physical, Phase::Send, phase_start);
+
+        // How many physical rounds this logical round occupies.
+        let (chunk, span) = match cap {
+            None => (u64::MAX, 1),
+            Some(b) => (b, max_bits.div_ceil(b).max(1)),
+        };
+        for step in 1..=span {
+            if step > 1 {
+                physical += 1;
+                if tracing {
+                    sink.record(TraceEvent::RoundStart {
+                        trace_id: 0,
+                        round: physical as u64,
+                    });
+                }
+            }
+            let phase_start = tracing.then(Instant::now);
+            let bits_now = transfer_round(chunk, &mut links, &mut per_edge_bits);
+            // Deliver every stream whose last chunk just arrived: decode against
+            // the base the receiver holds, then that decoded view *becomes* the
+            // base for the next logical round on this edge.
+            let mut completed = 0u64;
+            for i in 0..slots {
+                let link = &links[i];
+                if link.total > 0 && link.remaining == 0 && !link.delivered {
+                    let (port, view) = decode_link(codec, link, bases[i].as_ref(), &mut scratch);
+                    inbox[route[i]] = Some((port, view.clone()));
+                    bases[i] = Some(view);
+                    links[i].delivered = true;
+                    completed += 1;
+                }
+            }
+            messages_delivered += completed as usize;
+            record_phase(sink, physical, Phase::Route, phase_start);
+            // The receive phase runs once per logical round, after every edge has
+            // drained — nodes never observe a partially-streamed neighbourhood.
+            if step == span {
+                let phase_start = tracing.then(Instant::now);
+                for (v, node) in nodes.iter_mut().enumerate() {
+                    node.receive(round, &mut inbox[offsets[v]..offsets[v + 1]]);
+                }
+                record_phase(sink, physical, Phase::Receive, phase_start);
+            }
+            per_round_bits.push(bits_now);
+            if tracing {
+                sink.record(TraceEvent::RoundEnd {
+                    trace_id: 0,
+                    round: physical as u64,
+                    messages: completed,
+                    payload_bytes: completed * message_bytes,
+                });
+                if bits_now > 0 {
+                    sink.record(TraceEvent::RoundWire {
+                        trace_id: 0,
+                        round: physical as u64,
+                        bits: bits_now,
+                    });
+                }
+            }
+        }
+    }
+
+    if tracing {
+        sink.record(TraceEvent::RunEnd {
+            trace_id: 0,
+            rounds: physical as u64,
+            messages: messages_delivered as u64,
+        });
+    }
+    (
+        RunOutcome {
+            outputs: nodes.iter().map(|n| n.output()).collect(),
+            report: RunReport {
+                rounds: physical,
+                messages_delivered,
+            },
+        },
+        WireStats {
+            codec,
+            bits_per_edge_cap: cap,
+            per_round_bits,
+            per_edge_bits,
+        },
+    )
+}
+
+/// [`crate::run_full_information_traced`] in metered mode: collect `B^rounds(v)`
+/// with every message serialised through `codec`, apply `decide`, and return the
+/// per-node outputs together with the run report *and* the wire accounting.
+///
+/// The `backend` selects bandwidth, not scheduling: [`Backend::Capped`] streams
+/// at its per-edge cap (inflating `report.rounds` to the physical count), every
+/// other backend runs unrestricted — outputs are identical either way.
+pub fn run_full_information_metered<O, D>(
+    graph: &PortGraph,
+    rounds: usize,
+    backend: Backend,
+    codec: MessageCodec,
+    sink: &dyn TraceSink,
+    decide: D,
+) -> (Vec<O>, RunReport, WireStats)
+where
+    O: Clone + Send,
+    D: Fn(&View) -> O,
+{
+    let cap = match backend {
+        Backend::Capped { bits_per_edge } => Some(bits_per_edge.max(1)),
+        _ => None,
+    };
+    let (outcome, stats) = run_metered(graph, rounds, codec, cap, sink);
+    let decisions = outcome.outputs.iter().map(decide).collect();
+    (decisions, outcome.report, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full_info::run_full_information_on;
+    use anet_graph::generators;
+    use anet_trace::{NoopSink, Recorder, RoundProfile};
+
+    #[test]
+    fn codec_labels_round_trip() {
+        for codec in MessageCodec::ALL {
+            assert_eq!(MessageCodec::from_label(codec.label()), Some(codec));
+            assert_eq!(format!("{codec}"), codec.label());
+        }
+        assert_eq!(MessageCodec::from_label("huffman"), None);
+        assert_eq!(MessageCodec::default(), MessageCodec::Dag);
+    }
+
+    #[test]
+    fn metered_outputs_match_unmetered_for_every_codec() {
+        let g = generators::random_connected(18, 4, 6, 11).unwrap();
+        let rounds = 3;
+        let (seq, report) = run_full_information_on(&g, rounds, Backend::Sequential, |v| v.clone());
+        for codec in MessageCodec::ALL {
+            let (outcome, stats) = run_metered(&g, rounds, codec, None, &NoopSink);
+            assert_eq!(outcome.outputs, seq, "{codec}");
+            assert_eq!(outcome.report, report, "{codec}");
+            // Uncapped: one physical round per logical round, every round on the wire.
+            assert_eq!(stats.per_round_bits.len(), rounds, "{codec}");
+            assert!(stats.per_round_bits.iter().all(|&b| b > 0), "{codec}");
+            assert_eq!(stats.total_bits(), stats.per_edge_total(), "{codec}");
+        }
+    }
+
+    #[test]
+    fn capped_runs_inflate_rounds_but_preserve_outputs_and_messages() {
+        let g = generators::symmetric_ring(6).unwrap();
+        let rounds = 3;
+        let (seq, uncapped) =
+            run_full_information_on(&g, rounds, Backend::Sequential, |v| v.clone());
+        let (outcome, stats) = run_metered(&g, rounds, MessageCodec::Dag, Some(16), &NoopSink);
+        assert_eq!(outcome.outputs, seq);
+        assert_eq!(
+            outcome.report.messages_delivered,
+            uncapped.messages_delivered
+        );
+        assert!(
+            outcome.report.rounds > rounds,
+            "16-bit cap must stretch {} logical rounds, got {}",
+            rounds,
+            outcome.report.rounds
+        );
+        assert_eq!(stats.per_round_bits.len(), outcome.report.rounds);
+        // No physical round moved more than B bits on any edge: with 12 directed
+        // edges the round total is bounded by 12 × 16.
+        assert!(stats.per_round_bits.iter().all(|&b| b <= 16 * 12));
+        assert_eq!(stats.total_bits(), stats.per_edge_total());
+    }
+
+    #[test]
+    fn shrinking_the_cap_only_stretches_the_same_bit_total() {
+        let g = generators::random_connected(12, 4, 4, 3).unwrap();
+        let rounds = 2;
+        let (_, baseline) = run_metered(&g, rounds, MessageCodec::Dag, None, &NoopSink);
+        let mut previous_rounds = rounds;
+        for cap in [512u64, 64, 8, 1] {
+            let (outcome, stats) = run_metered(&g, rounds, MessageCodec::Dag, Some(cap), &NoopSink);
+            assert_eq!(stats.total_bits(), baseline.total_bits(), "cap {cap}");
+            assert_eq!(stats.per_edge_bits, baseline.per_edge_bits, "cap {cap}");
+            assert!(
+                outcome.report.rounds >= previous_rounds,
+                "cap {cap}: rounds must not shrink as bandwidth shrinks"
+            );
+            previous_rounds = outcome.report.rounds;
+        }
+    }
+
+    #[test]
+    fn generous_cap_agrees_with_uncapped_exactly() {
+        let g = generators::random_connected(14, 4, 5, 7).unwrap();
+        let (free, free_stats) = run_metered(&g, 3, MessageCodec::Delta, None, &NoopSink);
+        let (capped, capped_stats) =
+            run_metered(&g, 3, MessageCodec::Delta, Some(1 << 20), &NoopSink);
+        assert_eq!(capped.outputs, free.outputs);
+        assert_eq!(capped.report, free.report);
+        assert_eq!(capped_stats.per_round_bits, free_stats.per_round_bits);
+        assert_eq!(capped_stats.per_edge_bits, free_stats.per_edge_bits);
+    }
+
+    #[test]
+    fn delta_strictly_beats_dag_on_a_standard_scenario() {
+        // Acceptance criterion of the transport layer: on the symmetric ring —
+        // a standard workload family — successive rounds share almost all view
+        // structure, so the delta codec's wire total is strictly below the DAG
+        // codec's (and the DAG total is at most the tree total).
+        let g = generators::symmetric_ring(9).unwrap();
+        let rounds = 5;
+        let (_, tree) = run_metered(&g, rounds, MessageCodec::Tree, None, &NoopSink);
+        let (_, dag) = run_metered(&g, rounds, MessageCodec::Dag, None, &NoopSink);
+        let (_, delta) = run_metered(&g, rounds, MessageCodec::Delta, None, &NoopSink);
+        assert!(
+            delta.total_bits() < dag.total_bits(),
+            "delta {} must beat dag {}",
+            delta.total_bits(),
+            dag.total_bits()
+        );
+        assert!(dag.total_bits() <= tree.total_bits());
+    }
+
+    #[test]
+    fn wire_events_reconcile_with_stats_and_profile_covers_physical_rounds() {
+        let g = generators::symmetric_ring(5).unwrap();
+        let recorder = Recorder::new();
+        let (outcome, stats) = run_metered(&g, 3, MessageCodec::Dag, Some(8), &recorder);
+        let profile = RoundProfile::from_events(&recorder.drain());
+        assert_eq!(profile.len(), outcome.report.rounds);
+        assert_eq!(profile.total_wire_bits(), stats.total_bits());
+        for (stat, &bits) in profile.rounds().iter().zip(stats.per_round_bits.iter()) {
+            assert_eq!(stat.wire_bits, bits, "round {}", stat.round);
+        }
+    }
+
+    #[test]
+    fn single_node_and_single_edge_graphs_survive_every_cap() {
+        // n = 1: no edges, nothing on the wire, one physical round per logical.
+        let lonely = anet_graph::GraphBuilder::with_nodes(1).build().unwrap();
+        let (outcome, stats) = run_metered(&lonely, 2, MessageCodec::Delta, Some(1), &NoopSink);
+        assert_eq!(outcome.report.rounds, 2);
+        assert_eq!(outcome.report.messages_delivered, 0);
+        assert_eq!(stats.total_bits(), 0);
+        // A single edge under a one-bit cap: every message streams bit by bit,
+        // and the collected views still match the combinatorial definition.
+        let mut b = anet_graph::GraphBuilder::with_nodes(2);
+        b.add_edge(0, 0, 1, 0).unwrap();
+        let pair = b.build().unwrap();
+        let (outcome, stats) = run_metered(&pair, 2, MessageCodec::Dag, Some(1), &NoopSink);
+        assert_eq!(outcome.outputs[0], View::build(&pair, 0, 2));
+        assert_eq!(outcome.outputs[1], View::build(&pair, 1, 2));
+        // Both directed edges stream one bit per physical round in parallel.
+        assert_eq!(2 * outcome.report.rounds as u64, stats.total_bits());
+        assert_eq!(stats.per_round_bits.iter().max(), Some(&2u64)); // 2 edges × 1 bit
+    }
+
+    #[test]
+    fn run_full_information_metered_dispatches_on_the_backend() {
+        let g = generators::symmetric_ring(5).unwrap();
+        let (degrees, report, stats) = run_full_information_metered(
+            &g,
+            2,
+            Backend::capped(4),
+            MessageCodec::Dag,
+            &NoopSink,
+            |v| v.degree(),
+        );
+        assert_eq!(degrees, vec![2; 5]);
+        assert!(report.rounds > 2);
+        assert_eq!(stats.bits_per_edge_cap, Some(4));
+        let (_, free_report, free_stats) = run_full_information_metered(
+            &g,
+            2,
+            Backend::Sequential,
+            MessageCodec::Dag,
+            &NoopSink,
+            |v| v.degree(),
+        );
+        assert_eq!(free_report.rounds, 2);
+        assert_eq!(free_stats.bits_per_edge_cap, None);
+        assert_eq!(free_stats.total_bits(), stats.total_bits());
+    }
+}

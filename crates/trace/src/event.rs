@@ -78,9 +78,9 @@ pub enum TraceEvent {
         ns: u64,
     },
     /// A round completed, delivering `messages` messages totalling `payload_bytes`
-    /// shallow bytes (delivered count × `size_of` the message type — messages are
-    /// in-memory Rust values today; bit-exact wire accounting is the metered
-    /// transport item on the roadmap).
+    /// shallow bytes (delivered count × `size_of` the message type). For bit-exact
+    /// wire accounting, metered runs additionally emit [`TraceEvent::RoundWire`]
+    /// with the serialised size of everything that crossed an edge this round.
     RoundEnd {
         /// Correlation id of the run.
         trace_id: u64,
@@ -90,6 +90,19 @@ pub enum TraceEvent {
         messages: u64,
         /// Shallow payload bytes delivered in this round.
         payload_bytes: u64,
+    },
+    /// Bits that physically crossed the wire in one round of a *metered* run: the
+    /// exact serialised length of every message under the run's `MessageCodec`,
+    /// summed over all directed edges (on a capped backend, the bits of a partial
+    /// chunk count in the round they were transferred). Unmetered runs never emit
+    /// this event, so profiles stay byte-identical when metering is off.
+    RoundWire {
+        /// Correlation id of the run.
+        trace_id: u64,
+        /// The 1-based round number.
+        round: u64,
+        /// Bits on the wire in this round, summed over all directed edges.
+        bits: u64,
     },
     /// A run completed.
     RunEnd {
@@ -138,6 +151,7 @@ impl TraceEvent {
             | TraceEvent::RoundStart { trace_id, .. }
             | TraceEvent::PhaseTime { trace_id, .. }
             | TraceEvent::RoundEnd { trace_id, .. }
+            | TraceEvent::RoundWire { trace_id, .. }
             | TraceEvent::RunEnd { trace_id, .. }
             | TraceEvent::InternerDelta { trace_id, .. }
             | TraceEvent::WorkerExecute { trace_id, .. }
@@ -152,6 +166,7 @@ impl TraceEvent {
             | TraceEvent::RoundStart { trace_id, .. }
             | TraceEvent::PhaseTime { trace_id, .. }
             | TraceEvent::RoundEnd { trace_id, .. }
+            | TraceEvent::RoundWire { trace_id, .. }
             | TraceEvent::RunEnd { trace_id, .. }
             | TraceEvent::InternerDelta { trace_id, .. }
             | TraceEvent::WorkerExecute { trace_id, .. }
@@ -167,6 +182,7 @@ impl TraceEvent {
             TraceEvent::RoundStart { .. } => "round_start",
             TraceEvent::PhaseTime { .. } => "phase",
             TraceEvent::RoundEnd { .. } => "round_end",
+            TraceEvent::RoundWire { .. } => "wire",
             TraceEvent::RunEnd { .. } => "run_end",
             TraceEvent::InternerDelta { .. } => "interner",
             TraceEvent::WorkerExecute { .. } => "exec",
@@ -212,6 +228,11 @@ mod tests {
                 messages: 8,
                 payload_bytes: 128,
             },
+            TraceEvent::RoundWire {
+                trace_id: 0,
+                round: 1,
+                bits: 517,
+            },
             TraceEvent::RunEnd {
                 trace_id: 0,
                 rounds: 2,
@@ -248,6 +269,7 @@ mod tests {
             "round_start",
             "phase",
             "round_end",
+            "wire",
             "run_end",
             "interner",
             "exec",

@@ -20,6 +20,10 @@ pub struct RoundStat {
     pub route_ns: u64,
     /// Nanoseconds spent in the receive phase.
     pub receive_ns: u64,
+    /// Bits that crossed the wire in this round, summed over all directed edges —
+    /// exact serialised sizes under the run's codec ([`TraceEvent::RoundWire`]).
+    /// Zero on unmetered runs, which never emit wire events.
+    pub wire_bits: u64,
 }
 
 impl RoundStat {
@@ -98,6 +102,9 @@ impl RoundProfile {
                     s.messages += messages;
                     s.payload_bytes += payload_bytes;
                 }
+                TraceEvent::RoundWire { round, bits, .. } => {
+                    stat(&mut rounds, round).wire_bits += bits;
+                }
                 TraceEvent::RoundStart { round, .. } => {
                     stat(&mut rounds, round);
                 }
@@ -149,6 +156,13 @@ impl RoundProfile {
         self.rounds.iter().map(|r| r.payload_bytes).sum()
     }
 
+    /// Sum of per-round wire bits — the run's total bits-on-the-wire under its
+    /// codec. Zero for unmetered runs. The transport equivalence suite checks this
+    /// reconciles exactly with the report's per-edge counters.
+    pub fn total_wire_bits(&self) -> u64 {
+        self.rounds.iter().map(|r| r.wire_bits).sum()
+    }
+
     /// Total nanoseconds spent in the given phase across all rounds.
     pub fn phase_ns(&self, phase: Phase) -> u64 {
         self.rounds.iter().map(|r| r.phase_ns(phase)).sum()
@@ -193,6 +207,15 @@ impl RoundProfile {
                 messages: stat.messages,
                 payload_bytes: stat.payload_bytes,
             });
+            // Only metered rounds re-emit a wire event, so unmetered profiles
+            // replay to exactly the stream an unmetered run records.
+            if stat.wire_bits > 0 {
+                events.push(TraceEvent::RoundWire {
+                    trace_id,
+                    round: stat.round,
+                    bits: stat.wire_bits,
+                });
+            }
         }
         events
     }
@@ -321,6 +344,33 @@ mod tests {
         let replayed = profile.to_events(3);
         assert!(replayed.iter().all(|e| e.trace_id() == 3));
         assert_eq!(RoundProfile::from_events(&replayed), profile);
+    }
+
+    #[test]
+    fn wire_events_aggregate_and_replay() {
+        let mut events = sample_events();
+        events.push(TraceEvent::RoundWire {
+            trace_id: 0,
+            round: 1,
+            bits: 300,
+        });
+        events.push(TraceEvent::RoundWire {
+            trace_id: 0,
+            round: 1,
+            bits: 17,
+        });
+        let profile = RoundProfile::from_events(&events);
+        assert_eq!(profile.rounds()[0].wire_bits, 317);
+        assert_eq!(profile.rounds()[1].wire_bits, 0);
+        assert_eq!(profile.total_wire_bits(), 317);
+        // Round-trip holds with a mix of metered and unmetered rounds.
+        assert_eq!(RoundProfile::from_events(&profile.to_events(7)), profile);
+        // Unmetered profiles replay without any wire events at all.
+        let unmetered = RoundProfile::from_events(&sample_events());
+        assert!(unmetered
+            .to_events(0)
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::RoundWire { .. })));
     }
 
     #[test]

@@ -32,6 +32,13 @@ impl BitString {
         self.bits.push(bit);
     }
 
+    /// Remove every bit, keeping the allocation. Scratch buffers on hot paths (the
+    /// metered transport's per-message serialisation) clear and refill one string
+    /// instead of allocating a fresh one per message.
+    pub fn clear(&mut self) {
+        self.bits.clear();
+    }
+
     /// Append the `width` low-order bits of `value`, most significant first.
     /// Panics if `value` does not fit in `width` bits.
     pub fn push_uint(&mut self, value: u64, width: usize) {

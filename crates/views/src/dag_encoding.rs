@@ -104,7 +104,16 @@ pub fn encode_view_dag(view: &View, height: usize) -> BitString {
     bits
 }
 
-fn emit_node(node: &View, w: usize, table: &mut BitString, ids: &mut HashMap<usize, u64>) -> u64 {
+/// Emit `node`'s record (and, first, its children's) into `table`, assigning table
+/// ids in first-visit post-order. `pub(crate)` so the delta codec can emit new
+/// records over a table whose first `ids.len()` entries were pre-assigned to the
+/// base view's nodes.
+pub(crate) fn emit_node(
+    node: &View,
+    w: usize,
+    table: &mut BitString,
+    ids: &mut HashMap<usize, u64>,
+) -> u64 {
     if let Some(&id) = ids.get(&node.node_id()) {
         return id;
     }
@@ -169,9 +178,15 @@ pub fn decode_view_dag(bits: &BitString) -> Result<(View, usize), DecodeError> {
     Ok((view, height))
 }
 
-type NodeRecord = (u32, Vec<(Port, Port, View)>);
+pub(crate) type NodeRecord = (u32, Vec<(Port, Port, View)>);
 
-fn read_node(r: &mut BitReader<'_>, w: usize, earlier: &[View]) -> Result<NodeRecord, DecodeError> {
+/// Read one node record against the already-decoded `earlier` slice. `pub(crate)`
+/// so the delta decoder can read records over a combined base + new table.
+pub(crate) fn read_node(
+    r: &mut BitReader<'_>,
+    w: usize,
+    earlier: &[View],
+) -> Result<NodeRecord, DecodeError> {
     let degree = crate::encoding::read_u32_field(r, w)?;
     // No `reserve(degree)`: the declared degree is attacker-controlled and may be
     // astronomically larger than the bits backing it.

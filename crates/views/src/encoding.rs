@@ -67,6 +67,13 @@ pub enum DecodeError {
     /// emit a degree or port above `u32::MAX`, so the value is forged rather than
     /// silently truncated.
     ValueTooLarge,
+    /// Delta format: the encoding references a base view the decoder does not hold —
+    /// either no base was supplied although the string declares one, or the supplied
+    /// base disagrees with the declared base fingerprint / table size. (Best-effort:
+    /// the fingerprint is 16 bits, so a colliding wrong base may instead surface as
+    /// [`DecodeError::BadNodeId`] / [`DecodeError::DuplicateNode`] or as a decoded
+    /// view that fails downstream equality — never as memory unsafety.)
+    BaseMismatch,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -83,6 +90,12 @@ impl std::fmt::Display for DecodeError {
             }
             DecodeError::ValueTooLarge => {
                 write!(f, "degree or port field exceeds the u32 value domain")
+            }
+            DecodeError::BaseMismatch => {
+                write!(
+                    f,
+                    "delta encoding references a base view the decoder does not hold"
+                )
             }
         }
     }

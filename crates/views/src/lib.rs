@@ -28,6 +28,9 @@
 //!   [`ViewCodec`] selector,
 //! * [`dag_encoding`] — the shared-DAG binary encoding: one table entry per
 //!   *distinct* subtree, so symmetric views cost `O(h)` instead of `Θ(Δ^h)` bits,
+//! * [`delta_encoding`] — the delta codec of the metered transport: a view encoded
+//!   against the previous round's view the receiver already holds, shipping only
+//!   the new DAG table entries (never more than one bit over the DAG format),
 //! * [`paths`] — simple-path utilities underlying the PE / PPE / CPPE verifiers,
 //! * [`quotient`] — the view-class quotient graph of a refinement depth and the
 //!   reusable [`QuotientSearch`] (leader BFS, uniform-route lifting, search-cost
@@ -57,6 +60,7 @@
 
 pub mod bits;
 pub mod dag_encoding;
+pub mod delta_encoding;
 pub mod election_index;
 pub mod encoding;
 pub mod interned;

@@ -121,7 +121,8 @@ fn random_bit_flips_never_panic_and_valid_decodes_are_self_consistent() {
                 | DecodeError::EmptyTable
                 | DecodeError::BadNodeId { .. }
                 | DecodeError::DuplicateNode { .. }
-                | DecodeError::ValueTooLarge,
+                | DecodeError::ValueTooLarge
+                | DecodeError::BaseMismatch,
             ) => rejected += 1,
             Ok((decoded, h)) => {
                 decoded_ok += 1;

@@ -10,8 +10,8 @@
 use crate::families::{CirculantFamily, HypercubeFamily, RandomRegularFamily, TorusFamily};
 use anet_constructions::{FamilyInstance, GraphFamily};
 use anet_election::engine::{
-    AdviceSolver, Backend, BatchRow, BatchRunner, EngineError, MapSolver, RunContext, Solver,
-    SolverRun,
+    AdviceSolver, Backend, BatchRow, BatchRunner, EngineError, MapSolver, MessageCodec, RunContext,
+    Solver, SolverRun,
 };
 use anet_election::tasks::Task;
 use anet_graph::PortGraph;
@@ -131,6 +131,9 @@ pub struct Scenario {
     pub backend: Backend,
     /// Maximum number of family instances visited.
     pub max_instances: usize,
+    /// The wire codec, when this scenario meters its runs (see
+    /// [`Scenario::metered`]); `None` runs the zero-serialisation fast path.
+    pub wire: Option<MessageCodec>,
 }
 
 impl Scenario {
@@ -169,10 +172,22 @@ impl Scenario {
             solver,
             backend,
             max_instances,
+            wire: None,
         }
     }
 
-    /// The scenario's unique name (`family/task/solver/backend`).
+    /// Meter every run of this scenario through `codec`: cells gain per-round /
+    /// per-edge bit counts (serialised into the sweep JSON) and the name gains a
+    /// `+wire-{codec}` suffix so the metered grid point never collides with its
+    /// unmetered twin. Outputs and logical accounting are unchanged.
+    pub fn metered(mut self, codec: MessageCodec) -> Self {
+        self.wire = Some(codec);
+        self.name = format!("{}+wire-{}", self.name, codec.label());
+        self
+    }
+
+    /// The scenario's unique name (`family/task/solver/backend`, with a
+    /// `+wire-{codec}` suffix when metered).
     pub fn name(&self) -> &str {
         &self.name
     }
@@ -200,12 +215,15 @@ impl Scenario {
     /// driver serialises into its trace artifact. `run_on_profiled(i, false)` *is*
     /// `run_on(i)` — the disabled probe changes nothing about the rows.
     pub fn run_on_profiled(&self, instances: &[FamilyInstance], profiled: bool) -> Vec<BatchRow> {
-        BatchRunner::new(self.backend)
+        let mut runner = BatchRunner::new(self.backend)
             .max_instances(self.max_instances)
-            .profiled(profiled)
-            .sweep_instances(&self.family.family_name(), instances, self.task, |_| {
-                self.solver.build()
-            })
+            .profiled(profiled);
+        if let Some(codec) = self.wire {
+            runner = runner.metered(codec);
+        }
+        runner.sweep_instances(&self.family.family_name(), instances, self.task, |_| {
+            self.solver.build()
+        })
     }
 
     /// Resolve and run: sweep the family through [`BatchRunner`] on the configured
@@ -223,6 +241,7 @@ impl std::fmt::Debug for Scenario {
             .field("solver", &self.solver)
             .field("backend", &self.backend)
             .field("max_instances", &self.max_instances)
+            .field("wire", &self.wire)
             .finish()
     }
 }
@@ -384,13 +403,45 @@ impl ScenarioRegistry {
                     .expect("built-in grid has unique names");
             }
         }
+        // The wire axis: Selection × map, metered through each codec, plus one
+        // CONGEST-style capped-bandwidth point (Backend::Capped forces metering by
+        // itself). Metering serialises every message, so the axis pins its own
+        // small asymmetric instances instead of climbing the grid's size ladder —
+        // on a 10⁴-node graph the tree codec alone would ship Θ((Δ−1)^h) bits per
+        // edge per round.
+        let wire_family = || RandomRegularFamily::new(3, vec![16, 24], Self::GRID_SEED);
+        for codec in MessageCodec::ALL {
+            registry
+                .register(
+                    Scenario::new(
+                        wire_family(),
+                        Task::Selection,
+                        SolverSpec::Map,
+                        backends[0],
+                        2,
+                    )
+                    .metered(codec),
+                )
+                .expect("built-in grid has unique names");
+        }
+        registry
+            .register(Scenario::new(
+                wire_family(),
+                Task::Selection,
+                SolverSpec::Map,
+                Backend::capped(64),
+                2,
+            ))
+            .expect("built-in grid has unique names");
         registry
     }
 
     /// The smoke grid: all four families at small sizes × all four shades × the map
-    /// solver, plus the advice pair on Selection (tree- and DAG-codec advice) and a
+    /// solver, plus the advice pair on Selection (tree- and DAG-codec advice), a
     /// backend axis covering every execution strategy (fixed-thread parallel, arena
-    /// batching, adaptive) — 40 scenarios of ≤ 2 instances each, fast enough for CI.
+    /// batching, adaptive), and a wire axis (one metered scenario per codec plus a
+    /// capped-bandwidth point) — 44 scenarios of ≤ 2 instances each, fast enough
+    /// for CI.
     pub fn smoke() -> Self {
         Self::grid(
             || Self::grid_families(vec![16, 24], vec![(3, 4), (4, 4)], vec![3, 4], vec![15, 24]),
@@ -503,8 +554,14 @@ mod tests {
         assert!(names.contains("/adaptive"));
         assert!(names.contains("/advice/"));
         assert!(names.contains("/advice-dag/"));
-        // 4 families × (4 map shades + 2 advice codecs + 4 extra backends) = 40.
-        assert_eq!(r.len(), 40);
+        // The wire axis: one metered scenario per codec plus a capped-backend point.
+        for codec in ["tree", "dag", "delta"] {
+            assert!(names.contains(&format!("+wire-{codec}")), "{codec}");
+        }
+        assert!(names.contains("/cap64"));
+        // 4 families × (4 map shades + 2 advice codecs + 4 extra backends) = 40,
+        // plus the wire axis (3 codecs + 1 capped point) = 44.
+        assert_eq!(r.len(), 44);
     }
 
     #[test]
@@ -531,6 +588,42 @@ mod tests {
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert!(row.solved(), "{}: {:?}", row.instance, row.report);
+        }
+    }
+
+    #[test]
+    fn metered_scenarios_report_bits_and_match_their_unmetered_twin() {
+        let family = || RandomRegularFamily::new(3, vec![16], 0xA5EED);
+        let plain = Scenario::new(
+            family(),
+            Task::Selection,
+            SolverSpec::Map,
+            Backend::Sequential,
+            1,
+        );
+        let metered = Scenario::new(
+            family(),
+            Task::Selection,
+            SolverSpec::Map,
+            Backend::Sequential,
+            1,
+        )
+        .metered(MessageCodec::Delta);
+        assert!(
+            metered.name().ends_with("/S/map/seq+wire-delta"),
+            "{}",
+            metered.name()
+        );
+        let (p, m) = (plain.run(), metered.run());
+        for (a, b) in p.iter().zip(&m) {
+            assert!(b.solved(), "{}", b.instance);
+            assert!(a.wire_bits().is_none());
+            assert!(b.wire_bits().unwrap() > 0);
+            assert_eq!(a.rounds(), b.rounds());
+            assert_eq!(
+                a.report.as_ref().unwrap().outputs,
+                b.report.as_ref().unwrap().outputs
+            );
         }
     }
 

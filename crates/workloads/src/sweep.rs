@@ -16,16 +16,22 @@
 //!   unfolded-tree codec and under the shared-DAG codec (`null` for solvers whose
 //!   advice is not an encoded view). `advice_bits` remains the bits actually
 //!   shipped, which equals one of the two for the Theorem 2.2 pairs.
-//! * `anet-workloads/v3` (current) — adds per-cell `classes_expanded` and
+//! * `anet-workloads/v3` — adds per-cell `classes_expanded` and
 //!   `paths_explored`: the cost counters of the map-side assignment search
 //!   (quotient classes popped by the route BFS, candidate paths tested). Zero for
 //!   solvers that never search for an assignment; `null` only when the cell has no
 //!   report at all.
+//! * `anet-workloads/v4` (current) — adds the wire-metering fields: `wire_codec`
+//!   (the message codec a metered cell serialised through), `wire_cap` (the
+//!   bits-per-edge-per-round cap of a `Backend::Capped` run), `wire_bits` (total
+//!   bits on the wire) and the `wire_round_bits` / `wire_edge_bits` breakdowns
+//!   (per physical round / per directed edge — both sum to `wire_bits`). All
+//!   `null` for unmetered cells.
 //!
 //! Each version is a strict superset of its predecessor: every older field is still
 //! emitted with the same meaning, and the parser is a general JSON reader, so
-//! tooling written against v1/v2 files keeps working on v3 files (and this crate
-//! keeps reading archived v1/v2 files — missing keys simply look up as `None`).
+//! tooling written against v1/v2/v3 files keeps working on v4 files (and this crate
+//! keeps reading archived v1/v2/v3 files — missing keys simply look up as `None`).
 
 use crate::json::Json;
 use crate::scenario::{Scenario, ScenarioRegistry};
@@ -38,7 +44,7 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// The schema tag written into every emitted sweep file (see the module docs for
 /// the version history).
-pub const SCHEMA: &str = "anet-workloads/v3";
+pub const SCHEMA: &str = "anet-workloads/v4";
 
 /// Configuration of one sweep run.
 #[derive(Debug, Clone)]
@@ -142,6 +148,46 @@ fn cell_json(scenario: &Scenario, row: &BatchRow) -> Json {
                 "paths_explored".to_string(),
                 Json::count(report.search.paths_explored),
             ));
+            // v4 wire fields: populated only when the cell was metered (an
+            // explicit codec or a capped backend); all null otherwise.
+            match &report.wire {
+                Some(wire) => {
+                    fields.push(("wire_codec".to_string(), Json::str(wire.codec.label())));
+                    fields.push((
+                        "wire_cap".to_string(),
+                        match wire.bits_per_edge_cap {
+                            Some(cap) => Json::Int(cap as i64),
+                            None => Json::Null,
+                        },
+                    ));
+                    fields.push(("wire_bits".to_string(), Json::Int(wire.total_bits() as i64)));
+                    fields.push((
+                        "wire_round_bits".to_string(),
+                        Json::Array(
+                            wire.per_round_bits
+                                .iter()
+                                .map(|&b| Json::Int(b as i64))
+                                .collect(),
+                        ),
+                    ));
+                    fields.push((
+                        "wire_edge_bits".to_string(),
+                        Json::Array(
+                            wire.per_edge_bits
+                                .iter()
+                                .map(|&b| Json::Int(b as i64))
+                                .collect(),
+                        ),
+                    ));
+                }
+                None => {
+                    fields.push(("wire_codec".to_string(), Json::Null));
+                    fields.push(("wire_cap".to_string(), Json::Null));
+                    fields.push(("wire_bits".to_string(), Json::Null));
+                    fields.push(("wire_round_bits".to_string(), Json::Null));
+                    fields.push(("wire_edge_bits".to_string(), Json::Null));
+                }
+            }
             fields.push((
                 "wall_ms".to_string(),
                 Json::Float(report.wall_time.as_secs_f64() * 1e3),
@@ -170,6 +216,11 @@ fn cell_json(scenario: &Scenario, row: &BatchRow) -> Json {
             fields.push(("advice_dag_bits".to_string(), Json::Null));
             fields.push(("classes_expanded".to_string(), Json::Null));
             fields.push(("paths_explored".to_string(), Json::Null));
+            fields.push(("wire_codec".to_string(), Json::Null));
+            fields.push(("wire_cap".to_string(), Json::Null));
+            fields.push(("wire_bits".to_string(), Json::Null));
+            fields.push(("wire_round_bits".to_string(), Json::Null));
+            fields.push(("wire_edge_bits".to_string(), Json::Null));
             fields.push(("wall_ms".to_string(), Json::Null));
             fields.push(("leader".to_string(), Json::Null));
             fields.push(("error".to_string(), Json::str(e.to_string())));
@@ -397,7 +448,7 @@ mod tests {
     use super::*;
     use crate::families::RandomRegularFamily;
     use crate::scenario::SolverSpec;
-    use anet_election::engine::Backend;
+    use anet_election::engine::{Backend, MessageCodec};
     use anet_election::tasks::Task;
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -544,6 +595,100 @@ mod tests {
     }
 
     #[test]
+    fn parser_reads_archived_v3_files() {
+        // A v3-era cell (no wire_* fields): the general parser accepts it and the
+        // absent v4 fields look up as None, so bench-diff tooling can trend
+        // archived v3 files against fresh v4 ones.
+        let v3 = r#"{
+          "schema": "anet-workloads/v3",
+          "label": "archive",
+          "cells": [
+            {"scenario": "rr3/S/map/seq", "nodes": 16, "solved": true,
+             "advice_bits": null, "advice_tree_bits": null, "advice_dag_bits": null,
+             "classes_expanded": 0, "paths_explored": 0, "error": null}
+          ]
+        }"#;
+        let doc = Json::parse(v3).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("anet-workloads/v3")
+        );
+        let cell = &doc.get("cells").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(cell.get("classes_expanded").and_then(Json::as_int), Some(0));
+        assert_eq!(cell.get("wire_codec"), None);
+        assert_eq!(cell.get("wire_cap"), None);
+        assert_eq!(cell.get("wire_bits"), None);
+        assert_eq!(cell.get("wire_round_bits"), None);
+        assert_eq!(cell.get("wire_edge_bits"), None);
+    }
+
+    #[test]
+    fn metered_cells_record_wire_fields_and_capped_cells_record_the_cap() {
+        let mut registry = ScenarioRegistry::new();
+        registry
+            .register(
+                Scenario::new(
+                    RandomRegularFamily::new(3, vec![16], 0xA5EED),
+                    Task::Selection,
+                    SolverSpec::Map,
+                    Backend::Sequential,
+                    1,
+                )
+                .metered(MessageCodec::Dag),
+            )
+            .unwrap();
+        registry
+            .register(Scenario::new(
+                RandomRegularFamily::new(3, vec![16], 0xA5EED),
+                Task::Selection,
+                SolverSpec::Map,
+                Backend::capped(32),
+                1,
+            ))
+            .unwrap();
+        let config = SweepConfig {
+            out_dir: tmp_dir("wire"),
+            label: "wire".to_string(),
+            ..SweepConfig::default()
+        };
+        let outcome = run_sweep(&registry, &config).unwrap();
+        assert_eq!(outcome.cells, 2);
+        assert_eq!(outcome.solved, 2);
+        let doc = read_bench_json(&outcome.json_path).unwrap();
+        let cells = doc.get("cells").and_then(Json::as_array).unwrap();
+        let sum = |cell: &Json, key: &str| {
+            cell.get(key)
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .map(|j| Json::as_int(j).unwrap())
+                .sum::<i64>()
+        };
+        let metered = &cells[0];
+        assert_eq!(
+            metered.get("wire_codec").and_then(Json::as_str),
+            Some("dag")
+        );
+        assert_eq!(metered.get("wire_cap"), Some(&Json::Null));
+        let total = metered.get("wire_bits").and_then(Json::as_int).unwrap();
+        assert!(total > 0);
+        // Both breakdowns reconcile with the total.
+        assert_eq!(sum(metered, "wire_round_bits"), total);
+        assert_eq!(sum(metered, "wire_edge_bits"), total);
+        // The capped cell is metered implicitly (default codec), records its cap,
+        // ships the same bits, and pays for the cap in physical rounds.
+        let capped = &cells[1];
+        assert_eq!(capped.get("wire_codec").and_then(Json::as_str), Some("dag"));
+        assert_eq!(capped.get("wire_cap").and_then(Json::as_int), Some(32));
+        assert_eq!(capped.get("wire_bits").and_then(Json::as_int), Some(total));
+        assert!(
+            capped.get("rounds").and_then(Json::as_int).unwrap()
+                >= metered.get("rounds").and_then(Json::as_int).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&config.out_dir);
+    }
+
+    #[test]
     fn sweep_records_infeasible_cells_instead_of_failing() {
         use crate::families::TorusFamily;
         let mut registry = ScenarioRegistry::new();
@@ -657,6 +802,29 @@ mod tests {
                     Task::Selection,
                     SolverSpec::Map,
                     Backend::AdaptiveParallel,
+                    1,
+                ))
+                .unwrap();
+            // Metered and capped scenarios: the wire meter's bit counts (arrays
+            // included) must also be deterministic at any jobs count.
+            registry
+                .register(
+                    Scenario::new(
+                        RandomRegularFamily::new(3, vec![16, 24], 0xA5EED),
+                        Task::Selection,
+                        SolverSpec::Map,
+                        Backend::Sequential,
+                        2,
+                    )
+                    .metered(MessageCodec::Delta),
+                )
+                .unwrap();
+            registry
+                .register(Scenario::new(
+                    RandomRegularFamily::new(3, vec![16], 0xA5EED),
+                    Task::Selection,
+                    SolverSpec::Map,
+                    Backend::capped(32),
                     1,
                 ))
                 .unwrap();

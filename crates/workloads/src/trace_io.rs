@@ -212,6 +212,10 @@ pub fn event_to_json(event: &TraceEvent) -> Json {
             num("messages", messages);
             num("payload_bytes", payload_bytes);
         }
+        TraceEvent::RoundWire { round, bits, .. } => {
+            num("round", round);
+            num("bits", bits);
+        }
         TraceEvent::RunEnd {
             rounds, messages, ..
         } => {
@@ -266,6 +270,11 @@ fn event_from_json(
             round: num("round")?,
             messages: num("messages")?,
             payload_bytes: num("payload_bytes")?,
+        },
+        "wire" => TraceEvent::RoundWire {
+            trace_id,
+            round: num("round")?,
+            bits: num("bits")?,
         },
         "run_end" => TraceEvent::RunEnd {
             trace_id,
@@ -496,9 +505,12 @@ pub fn chrome_trace_json(file: &TraceFile) -> Json {
                 }
                 // Exhaustive on purpose: deciding whether a new TraceEvent
                 // variant appears on the timeline must be a conscious choice
-                // here, not a silent drop.
+                // here, not a silent drop. RoundWire stays off the timeline:
+                // bit totals are durationless (they live in the round tables
+                // of `trace_report` and the sweep artifact instead).
                 TraceEvent::RunStart { .. }
                 | TraceEvent::RoundStart { .. }
+                | TraceEvent::RoundWire { .. }
                 | TraceEvent::RunEnd { .. }
                 | TraceEvent::InternerDelta { .. }
                 | TraceEvent::WorkerExecute { .. }
@@ -543,6 +555,11 @@ mod tests {
                     messages: 48,
                     payload_bytes: 768,
                 },
+                TraceEvent::RoundWire {
+                    trace_id: 0,
+                    round: 1,
+                    bits: 517,
+                },
                 TraceEvent::RunEnd {
                     trace_id: 0,
                     rounds: 2,
@@ -580,7 +597,7 @@ mod tests {
         assert!(text.starts_with(&format!("{{\"schema\":\"{TRACE_SCHEMA}\"")));
         let parsed = parse_trace(&text).unwrap();
         assert_eq!(parsed, file);
-        assert_eq!(parsed.total_events(), 8);
+        assert_eq!(parsed.total_events(), 9);
     }
 
     #[test]
@@ -607,8 +624,8 @@ mod tests {
         match parse_trace(&truncated) {
             Err(TraceIoError::CountMismatch {
                 field: "events",
-                declared: 8,
-                found: 7,
+                declared: 9,
+                found: 8,
             }) => {}
             other => panic!("expected an events CountMismatch, got {other:?}"),
         }
@@ -632,8 +649,8 @@ mod tests {
             parse_trace(&text),
             Err(TraceIoError::CountMismatch {
                 field: "events",
-                declared: 8,
-                found: 9,
+                declared: 9,
+                found: 10,
             })
         ));
     }

@@ -172,8 +172,9 @@ fn standard_grid_strong_shades_reach_ten_thousand_nodes() {
         has_large,
         "standard grid must contain a strong-shade cell with >= 10^4 nodes"
     );
-    // The smoke grid is untouched by the cap removal: still exactly 40 scenarios.
-    assert_eq!(ScenarioRegistry::smoke().len(), 40);
+    // The smoke grid is untouched by the cap removal: the original 40 scenarios
+    // plus the wire axis (three metered codecs + one capped backend).
+    assert_eq!(ScenarioRegistry::smoke().len(), 44);
 }
 
 #[test]
